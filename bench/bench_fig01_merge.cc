@@ -1,0 +1,99 @@
+// Figure 1: merge behavior of Misra-Gries vs Unbiased Space Saving.
+//
+// Two sketches built on disjoint Weibull streams are merged back to the
+// original capacity. The Misra-Gries reduction soft-thresholds: it removes
+// mass from the small bins (the tail goes to zero, head counts shrink).
+// The unbiased pairwise-PPS reduction instead moves tail mass onto
+// surviving labels: the total is preserved exactly and the tail of the
+// merged sketch carries *larger* bins than either input.
+//
+// Output: the bin-count profile (descending) of both merged sketches plus
+// total-mass accounting, mirroring the two panels of Fig. 1.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/merge.h"
+#include "core/unbiased_space_saving.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+void Run(int argc, char** argv) {
+  const int64_t m = bench::FlagInt(argc, argv, "bins", 100);
+  const int64_t items = bench::FlagInt(argc, argv, "items", 2000);
+  const int64_t rows_per_half = bench::FlagInt(argc, argv, "rows", 200000);
+
+  bench::Banner("Figure 1: what a merge does to the bin profile",
+                "paper Fig. 1 (merge operation, Misra-Gries vs USS)");
+
+  auto counts = ScaleCountsToTotal(
+      WeibullCounts(static_cast<size_t>(items), 5e5, 0.3), rows_per_half);
+
+  // Two disjoint populations: second half's item ids are offset.
+  Rng rng(1);
+  auto rows_a = PermutedStream(counts, rng);
+  auto rows_b = PermutedStream(counts, rng);
+
+  UnbiasedSpaceSaving a(static_cast<size_t>(m), 11);
+  UnbiasedSpaceSaving b(static_cast<size_t>(m), 12);
+  for (uint64_t item : rows_a) a.Update(item);
+  for (uint64_t item : rows_b) b.Update(item + static_cast<uint64_t>(items));
+
+  // Unbiased pairwise merge.
+  UnbiasedSpaceSaving merged_uss = Merge(a, b, static_cast<size_t>(m), 13);
+  // Misra-Gries soft-threshold merge over the same entries.
+  auto combined = CombineEntries(a.Entries(), b.Entries());
+  auto merged_mg = ReduceMisraGries(combined, static_cast<size_t>(m));
+  std::sort(merged_mg.begin(), merged_mg.end(),
+            [](const SketchEntry& x, const SketchEntry& y) {
+              return x.count > y.count;
+            });
+
+  int64_t total_in = a.TotalCount() + b.TotalCount();
+  int64_t total_uss = 0, total_mg = 0;
+  for (const auto& e : merged_uss.Entries()) total_uss += e.count;
+  for (const auto& e : merged_mg) total_mg += e.count;
+
+  std::printf("input_total=%lld  merged_uss_total=%lld  merged_mg_total=%lld\n",
+              static_cast<long long>(total_in),
+              static_cast<long long>(total_uss),
+              static_cast<long long>(total_mg));
+  std::printf("uss preserves the total exactly; mg drops %lld (%.1f%%)\n\n",
+              static_cast<long long>(total_in - total_mg),
+              100.0 * static_cast<double>(total_in - total_mg) /
+                  static_cast<double>(total_in));
+
+  std::printf("%-6s %16s %16s\n", "bin", "misra_gries", "unbiased_ss");
+  auto uss_entries = merged_uss.Entries();
+  for (int64_t i = 0; i < m; i += m / 20 > 0 ? m / 20 : 1) {
+    long long mg_count =
+        static_cast<size_t>(i) < merged_mg.size() ? merged_mg[static_cast<size_t>(i)].count : 0;
+    long long uss_count =
+        static_cast<size_t>(i) < uss_entries.size() ? uss_entries[static_cast<size_t>(i)].count : 0;
+    std::printf("%-6lld %16lld %16lld\n", static_cast<long long>(i), mg_count,
+                uss_count);
+  }
+
+  // Tail view: the last bins show MG truncation vs USS mass relocation.
+  std::printf("\ntail (smallest 5 bins):\n");
+  for (size_t i = uss_entries.size() >= 5 ? uss_entries.size() - 5 : 0;
+       i < uss_entries.size(); ++i) {
+    long long mg_count = i < merged_mg.size() ? merged_mg[i].count : 0;
+    std::printf("%-6zu %16lld %16lld\n", i, mg_count,
+                static_cast<long long>(uss_entries[i].count));
+  }
+}
+
+}  // namespace
+}  // namespace dsketch
+
+int main(int argc, char** argv) {
+  dsketch::Run(argc, argv);
+  return 0;
+}

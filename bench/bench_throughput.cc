@@ -1,0 +1,164 @@
+// Microbenchmarks for the §6.7 cost claims: O(1) Space Saving updates
+// (unbiased and deterministic), amortized O(1) Misra-Gries, the O(log m)
+// weighted sketch, the disaggregated baselines, merge cost, and query
+// cost. Run with --benchmark_filter=... to narrow.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/deterministic_space_saving.h"
+#include "core/merge.h"
+#include "core/subset_sum.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+#include "frequency/count_min.h"
+#include "frequency/misra_gries.h"
+#include "sampling/bottom_k.h"
+#include "sampling/sample_and_hold.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+// A reusable skewed row stream; Zipf-ish so sketches see realistic mixes
+// of tracked and untracked items.
+const std::vector<uint64_t>& SharedStream() {
+  static const std::vector<uint64_t>* stream = [] {
+    auto counts = ScaleCountsToTotal(WeibullCounts(100000, 5e5, 0.3),
+                                     2000000);
+    Rng rng(1);
+    return new std::vector<uint64_t>(PermutedStream(counts, rng));
+  }();
+  return *stream;
+}
+
+void BM_UnbiasedSpaceSavingUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  UnbiasedSpaceSaving sketch(static_cast<size_t>(state.range(0)), 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i]);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnbiasedSpaceSavingUpdate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DeterministicSpaceSavingUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  DeterministicSpaceSaving sketch(static_cast<size_t>(state.range(0)), 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i]);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeterministicSpaceSavingUpdate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MisraGriesUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  MisraGries sketch(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i]);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesUpdate)->Arg(1000);
+
+void BM_WeightedSpaceSavingUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  WeightedSpaceSaving sketch(static_cast<size_t>(state.range(0)), 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i], 1.0);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeightedSpaceSavingUpdate)->Arg(1000);
+
+void BM_AdaptiveSampleAndHoldUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  AdaptiveSampleAndHold sketch(static_cast<size_t>(state.range(0)), 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i]);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveSampleAndHoldUpdate)->Arg(1000);
+
+void BM_BottomKUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  BottomKSampler sketch(static_cast<size_t>(state.range(0)), 6);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i]);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BottomKUpdate)->Arg(1000);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  const auto& rows = SharedStream();
+  CountMin sketch(static_cast<size_t>(state.range(0)), 4, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(rows[i]);
+    if (++i == rows.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(1024);
+
+void BM_UnbiasedMerge(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  UnbiasedSpaceSaving a(m, 8), b(m, 9);
+  const auto& rows = SharedStream();
+  for (size_t i = 0; i < rows.size() / 2; ++i) {
+    a.Update(rows[i]);
+    b.Update(rows[rows.size() / 2 + i]);
+  }
+  uint64_t seed = 10;
+  for (auto _ : state) {
+    UnbiasedSpaceSaving merged = Merge(a, b, m, seed++);
+    benchmark::DoNotOptimize(merged.TotalCount());
+  }
+}
+BENCHMARK(BM_UnbiasedMerge)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SubsetSumQuery(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  UnbiasedSpaceSaving sketch(m, 11);
+  for (uint64_t item : SharedStream()) sketch.Update(item);
+  for (auto _ : state) {
+    auto r = EstimateSubsetSum(sketch,
+                               [](uint64_t item) { return item % 3 == 0; });
+    benchmark::DoNotOptimize(r.estimate);
+  }
+}
+BENCHMARK(BM_SubsetSumQuery)->Arg(1000)->Arg(10000);
+
+void BM_EstimateCountLookup(benchmark::State& state) {
+  UnbiasedSpaceSaving sketch(10000, 12);
+  for (uint64_t item : SharedStream()) sketch.Update(item);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.EstimateCount(i++ % 100000));
+  }
+}
+BENCHMARK(BM_EstimateCountLookup);
+
+}  // namespace
+}  // namespace dsketch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Shared helpers for the figure benches: tiny --key=value flag parsing so
+// every bench runs with fast defaults yet scales to paper-sized runs, plus
+// common printing.
+
+#ifndef DSKETCH_BENCH_BENCH_UTIL_H_
+#define DSKETCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dsketch {
+namespace bench {
+
+/// Returns the value of --name=... as int64, or `def` if absent.
+inline int64_t FlagInt(int argc, char** argv, const char* name, int64_t def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoll(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+/// Returns the value of --name=... as double, or `def` if absent.
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtod(argv[i] + prefix.size(), nullptr);
+    }
+  }
+  return def;
+}
+
+/// Prints a header banner for a bench.
+inline void Banner(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace dsketch
+
+#endif  // DSKETCH_BENCH_BENCH_UTIL_H_

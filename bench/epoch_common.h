@@ -1,0 +1,62 @@
+// Shared setup for the sorted-stream epoch experiments (paper Figs. 8-10):
+// an ascending-frequency sorted stream (the pathological order for
+// Unbiased Space Saving) whose items are partitioned into epochs with an
+// equal number of distinct items; each figure queries per-epoch sums.
+//
+// The paper runs 1e5 items / 1e9 rows / 1e4 bins; defaults here are scaled
+// (2e4 items / 2e6 rows / 1e3 bins) with the same rows:bins ratio per
+// item, restorable via flags. See EXPERIMENTS.md.
+
+#ifndef DSKETCH_BENCH_EPOCH_COMMON_H_
+#define DSKETCH_BENCH_EPOCH_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/distributions.h"
+#include "stream/generators.h"
+
+namespace dsketch {
+namespace bench {
+
+/// The sorted-stream workload shared by Figs. 8-10.
+struct EpochSetup {
+  std::vector<int64_t> counts;      ///< ascending item counts
+  std::vector<uint64_t> rows;       ///< ascending-frequency sorted stream
+  std::vector<double> epoch_truth;  ///< true sum per epoch
+  size_t items_per_epoch = 0;
+  int epochs = 0;
+};
+
+/// Builds the workload: `items` Weibull-count items scaled to `total`
+/// rows, split into `epochs` equal-distinct-count epochs.
+inline EpochSetup MakeEpochSetup(int64_t items, int64_t total, int epochs) {
+  EpochSetup setup;
+  setup.epochs = epochs;
+  setup.items_per_epoch = static_cast<size_t>(items) / epochs;
+  setup.counts = ScaleCountsToTotal(
+      WeibullCounts(static_cast<size_t>(items), 5e5, 0.15), total);
+  // Counts are ascending, so the identity stream order is the sorted one.
+  setup.rows = SortedStream(setup.counts, /*ascending=*/true);
+  setup.epoch_truth.assign(static_cast<size_t>(epochs), 0.0);
+  for (size_t i = 0; i < setup.counts.size(); ++i) {
+    size_t e = i / setup.items_per_epoch;
+    if (e >= static_cast<size_t>(epochs)) e = epochs - 1;
+    setup.epoch_truth[e] += static_cast<double>(setup.counts[i]);
+  }
+  return setup;
+}
+
+/// Epoch index of an item id.
+inline int EpochOf(const EpochSetup& setup, uint64_t item) {
+  size_t e = item / setup.items_per_epoch;
+  if (e >= static_cast<size_t>(setup.epochs)) {
+    e = static_cast<size_t>(setup.epochs) - 1;
+  }
+  return static_cast<int>(e);
+}
+
+}  // namespace bench
+}  // namespace dsketch
+
+#endif  // DSKETCH_BENCH_EPOCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Shared machinery for the subset-sum error figures (paper Figs. 3-5):
+// the three synthetic distributions, random fixed-size item subsets, and
+// per-subset error accumulation for each estimator.
+
+#ifndef DSKETCH_BENCH_SUBSET_WORKLOAD_H_
+#define DSKETCH_BENCH_SUBSET_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/summary.h"
+#include "stream/distributions.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace bench {
+
+/// One of the paper's three §7 distributions, scaled to `total` rows.
+inline std::vector<int64_t> MakeDistribution(const std::string& name,
+                                             size_t n_items, int64_t total) {
+  std::vector<int64_t> counts;
+  if (name == "weibull_0.32") {
+    counts = WeibullCounts(n_items, 5e5, 0.32);
+  } else if (name == "geometric_0.03") {
+    counts = GeometricCounts(n_items, 0.03);
+  } else {
+    counts = WeibullCounts(n_items, 5e5, 0.15);  // "weibull_0.15"
+  }
+  return ScaleCountsToTotal(counts, total);
+}
+
+/// A random subset of `size` items with its true sum.
+struct Subset {
+  std::unordered_set<uint64_t> items;
+  double truth = 0.0;
+};
+
+/// Draws `how_many` random subsets of `size` items each (paper: random
+/// subsets of 100 items).
+inline std::vector<Subset> DrawSubsets(const std::vector<int64_t>& counts,
+                                       int how_many, size_t size,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Subset> out;
+  out.reserve(static_cast<size_t>(how_many));
+  for (int s = 0; s < how_many; ++s) {
+    Subset subset;
+    while (subset.items.size() < size) {
+      uint64_t item = rng.NextBounded(counts.size());
+      if (subset.items.insert(item).second) {
+        subset.truth += static_cast<double>(counts[item]);
+      }
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace dsketch
+
+#endif  // DSKETCH_BENCH_SUBSET_WORKLOAD_H_

@@ -1,0 +1,132 @@
+#include "core/adaptive_size_space_saving.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+AdaptiveSizeSpaceSaving::AdaptiveSizeSpaceSaving(size_t min_capacity,
+                                                 size_t max_capacity,
+                                                 double error_target,
+                                                 uint64_t seed)
+    : min_capacity_(min_capacity),
+      max_capacity_(max_capacity),
+      error_target_(error_target),
+      index_(max_capacity),
+      rng_(seed) {
+  DSKETCH_CHECK(min_capacity > 0);
+  DSKETCH_CHECK(max_capacity >= 2 * min_capacity);
+  DSKETCH_CHECK(error_target > 0.0 && error_target < 1.0);
+  heap_.reserve(max_capacity);
+}
+
+void AdaptiveSizeSpaceSaving::SetSlot(size_t i, SketchEntry e) {
+  heap_[i] = e;
+  index_.InsertOrAssign(e.item, static_cast<uint32_t>(i));
+}
+
+void AdaptiveSizeSpaceSaving::SiftUp(size_t i) {
+  SketchEntry e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (heap_[parent].count <= e.count) break;
+    SetSlot(i, heap_[parent]);
+    i = parent;
+  }
+  SetSlot(i, e);
+}
+
+void AdaptiveSizeSpaceSaving::SiftDown(size_t i) {
+  SketchEntry e = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].count < heap_[child].count) ++child;
+    if (heap_[child].count >= e.count) break;
+    SetSlot(i, heap_[child]);
+    i = child;
+  }
+  SetSlot(i, e);
+}
+
+void AdaptiveSizeSpaceSaving::PopMinInto(SketchEntry* out) {
+  *out = heap_[0];
+  index_.Erase(out->item);
+  SketchEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SetSlot(0, last);
+    SiftDown(0);
+  }
+}
+
+void AdaptiveSizeSpaceSaving::ReduceIfNeeded() {
+  if (heap_.size() < max_capacity_) return;
+  // Collapse smallest pairs while bins remain above the floor and the
+  // smallest bin is below the error budget.
+  const int64_t budget = static_cast<int64_t>(
+      error_target_ * static_cast<double>(total_));
+  auto collapse_smallest_pair = [this]() {
+    SketchEntry a, b;
+    PopMinInto(&a);  // smallest
+    PopMinInto(&b);  // second smallest
+    int64_t combined = a.count + b.count;
+    bool keep_b = combined == 0 ||
+                  rng_.NextDouble() * static_cast<double>(combined) <
+                      static_cast<double>(b.count);
+    SketchEntry winner{keep_b ? b.item : a.item, combined};
+    heap_.push_back(winner);
+    SetSlot(heap_.size() - 1, winner);
+    SiftUp(heap_.size() - 1);
+  };
+  // Collapse only pairs where *both* bins are within the error budget, so
+  // an above-budget ("heavy") label is never put at risk by the
+  // budget-driven reduction. The second smallest is one of the root's
+  // children.
+  while (heap_.size() > min_capacity_ && heap_[0].count <= budget) {
+    size_t second = 1;
+    if (heap_.size() > 2 && heap_[2].count < heap_[1].count) second = 2;
+    if (heap_[second].count > budget) break;  // lone light bin left
+    collapse_smallest_pair();
+  }
+  // Hard bound: if everything above the floor clears the error budget
+  // (e.g. an all-light prefix where budget is still ~0), fall back to the
+  // plain pairwise reduction so memory never exceeds max_capacity.
+  while (heap_.size() >= max_capacity_) collapse_smallest_pair();
+}
+
+void AdaptiveSizeSpaceSaving::Update(uint64_t item) {
+  ++total_;
+  if (uint32_t* pos = index_.Find(item)) {
+    ++heap_[*pos].count;
+    SiftDown(*pos);
+    return;
+  }
+  SketchEntry e{item, 1};
+  heap_.push_back(e);
+  SetSlot(heap_.size() - 1, e);
+  SiftUp(heap_.size() - 1);
+  ReduceIfNeeded();
+}
+
+int64_t AdaptiveSizeSpaceSaving::EstimateCount(uint64_t item) const {
+  const uint32_t* pos = index_.Find(item);
+  return pos != nullptr ? heap_[*pos].count : 0;
+}
+
+int64_t AdaptiveSizeSpaceSaving::MinCount() const {
+  return heap_.empty() ? 0 : heap_[0].count;
+}
+
+std::vector<SketchEntry> AdaptiveSizeSpaceSaving::Entries() const {
+  std::vector<SketchEntry> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return a.count > b.count;
+            });
+  return out;
+}
+
+}  // namespace dsketch

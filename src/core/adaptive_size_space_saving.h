@@ -1,0 +1,76 @@
+// Adaptive sketch size (paper §5.3: "Other possible operations include
+// adaptively varying the sketch size in order to only remove items with
+// small estimated frequency").
+//
+// Instead of a fixed bin budget, the sketch targets a *relative error
+// budget*: it admits every new item into its own bin and, whenever the bin
+// count exceeds a high-water mark, PPS-collapses the smallest bins until
+// either the floor capacity is reached or the smallest bin exceeds
+// `error_target` * TotalCount() — i.e. it only ever merges away items
+// whose estimated frequency is below the error target. Memory therefore
+// floats with the data: skewed streams stay small, flat streams grow.
+// Every reduction is the unbiased pairwise-PPS collapse, so Theorem 2
+// keeps all estimates unbiased and the total exact.
+
+#ifndef DSKETCH_CORE_ADAPTIVE_SIZE_SPACE_SAVING_H_
+#define DSKETCH_CORE_ADAPTIVE_SIZE_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "util/flat_map.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Unbiased Space Saving with a floating bin count.
+class AdaptiveSizeSpaceSaving {
+ public:
+  /// Bins never drop below `min_capacity`; a reduction pass runs whenever
+  /// the bin count reaches `max_capacity`, collapsing smallest-first while
+  /// the smallest bin is under `error_target` * TotalCount().
+  AdaptiveSizeSpaceSaving(size_t min_capacity, size_t max_capacity,
+                          double error_target, uint64_t seed = 1);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Unbiased estimate of the item's count (0 if untracked).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// True if `item` labels a bin.
+  bool Contains(uint64_t item) const { return index_.Find(item) != nullptr; }
+
+  /// Rows processed; bins sum to exactly this.
+  int64_t TotalCount() const { return total_; }
+
+  /// Current number of bins (floats between min_capacity and max_capacity).
+  size_t size() const { return heap_.size(); }
+
+  /// Labeled bins, descending by count.
+  std::vector<SketchEntry> Entries() const;
+
+  /// Smallest current bin count (the overestimation scale).
+  int64_t MinCount() const;
+
+ private:
+  void SetSlot(size_t i, SketchEntry e);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void PopMinInto(SketchEntry* out);
+  void ReduceIfNeeded();
+
+  size_t min_capacity_;
+  size_t max_capacity_;
+  double error_target_;
+  std::vector<SketchEntry> heap_;  // min-heap by count
+  FlatMap<uint32_t> index_;
+  int64_t total_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_ADAPTIVE_SIZE_SPACE_SAVING_H_

@@ -1,0 +1,67 @@
+#include "core/decayed_space_saving.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dsketch {
+namespace {
+
+// Advance the landmark whenever forward weights exceed this, to keep
+// exp(lambda * (t - L)) far from overflow.
+constexpr double kRenormThreshold = 1e100;
+
+}  // namespace
+
+DecayedSpaceSaving::DecayedSpaceSaving(size_t capacity, double half_life,
+                                       uint64_t seed)
+    : inner_(capacity, seed), lambda_(std::log(2.0) / half_life) {
+  DSKETCH_CHECK(half_life > 0.0);
+}
+
+void DecayedSpaceSaving::Update(uint64_t item, double timestamp,
+                                double weight) {
+  DSKETCH_CHECK(weight > 0.0);
+  if (!started_) {
+    landmark_ = timestamp;
+    last_time_ = timestamp;
+    started_ = true;
+  }
+  DSKETCH_CHECK(timestamp >= last_time_);
+  last_time_ = timestamp;
+
+  double forward = std::exp(lambda_ * (timestamp - landmark_));
+  if (forward * weight > kRenormThreshold) {
+    // Memorylessness of exponential decay: rescaling all counters by
+    // exp(-lambda (timestamp - L)) and moving the landmark to `timestamp`
+    // leaves every decayed estimate unchanged.
+    inner_.Scale(std::exp(-lambda_ * (timestamp - landmark_)));
+    landmark_ = timestamp;
+    forward = 1.0;
+  }
+  inner_.Update(item, forward * weight);
+}
+
+double DecayedSpaceSaving::DecayFactor(double query_time) const {
+  DSKETCH_CHECK(query_time >= last_time_);
+  return std::exp(-lambda_ * (query_time - landmark_));
+}
+
+double DecayedSpaceSaving::EstimateDecayedCount(uint64_t item,
+                                                double query_time) const {
+  return inner_.EstimateWeight(item) * DecayFactor(query_time);
+}
+
+std::vector<WeightedEntry> DecayedSpaceSaving::DecayedEntries(
+    double query_time) const {
+  double f = DecayFactor(query_time);
+  std::vector<WeightedEntry> out = inner_.Entries();
+  for (WeightedEntry& e : out) e.weight *= f;
+  return out;
+}
+
+double DecayedSpaceSaving::TotalDecayedWeight(double query_time) const {
+  return inner_.TotalWeight() * DecayFactor(query_time);
+}
+
+}  // namespace dsketch

@@ -1,0 +1,72 @@
+// Time-decayed Unbiased Space Saving via forward decay (paper §5.3;
+// Cormode, Shkapenyuk, Srivastava & Xu 2009).
+//
+// Forward decay weights a row arriving at time t_i by g(t_i - L) for a
+// fixed landmark L <= t_i; a query at time t reports counters divided by
+// g(t - L), so each row contributes g(t_i - L)/g(t - L) — for exponential
+// g this equals exp(-lambda (t - t_i)), the usual backward exponential
+// decay. Because the weighting is computed *forward*, counters are
+// append-only and the weighted Space Saving reduction applies unchanged;
+// the sketch stays unbiased for decayed subset sums.
+//
+// Exponential g is memoryless, which lets the sketch periodically advance
+// the landmark and rescale counters to avoid overflow.
+
+#ifndef DSKETCH_CORE_DECAYED_SPACE_SAVING_H_
+#define DSKETCH_CORE_DECAYED_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "core/weighted_space_saving.h"
+
+namespace dsketch {
+
+/// Exponentially time-decayed Unbiased Space Saving sketch.
+class DecayedSpaceSaving {
+ public:
+  /// `half_life` is the time for a row's influence to halve (> 0).
+  DecayedSpaceSaving(size_t capacity, double half_life, uint64_t seed = 1);
+
+  /// Processes a row for `item` observed at `timestamp` (non-decreasing
+  /// across calls) carrying `weight` (> 0, default 1).
+  void Update(uint64_t item, double timestamp, double weight = 1.0);
+
+  /// Unbiased estimate of the decayed count of `item` as of `query_time`
+  /// (>= the last update timestamp): sum over the item's rows of
+  /// weight * 2^{-(query_time - t_i)/half_life}.
+  double EstimateDecayedCount(uint64_t item, double query_time) const;
+
+  /// All labeled bins with decayed weights as of `query_time`, descending.
+  std::vector<WeightedEntry> DecayedEntries(double query_time) const;
+
+  /// Total decayed mass as of `query_time` (preserved exactly).
+  double TotalDecayedWeight(double query_time) const;
+
+  /// True if `item` currently labels a bin.
+  bool Contains(uint64_t item) const { return inner_.Contains(item); }
+
+  /// Number of bins.
+  size_t capacity() const { return inner_.capacity(); }
+
+  /// Number of labeled bins.
+  size_t size() const { return inner_.size(); }
+
+  /// Decay rate lambda = ln 2 / half_life.
+  double lambda() const { return lambda_; }
+
+ private:
+  double DecayFactor(double query_time) const;
+
+  WeightedSpaceSaving inner_;
+  double lambda_;
+  double landmark_ = 0.0;
+  double last_time_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_DECAYED_SPACE_SAVING_H_

@@ -1,0 +1,3 @@
+#include "core/deterministic_space_saving.h"
+
+// Header-only wrapper; translation unit anchors the type for the library.

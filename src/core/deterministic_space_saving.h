@@ -1,0 +1,69 @@
+// Deterministic (classic) Space Saving, Metwally et al. 2005 — Algorithm 1
+// with p = 1. Implemented as the paper's baseline: excellent deterministic
+// frequent-item guarantees (|n̂ᵢ - nᵢ| <= n/m), but biased counts that fail
+// badly on subset sums over non-i.i.d. streams (paper §6.3, Theorem 11).
+
+#ifndef DSKETCH_CORE_DETERMINISTIC_SPACE_SAVING_H_
+#define DSKETCH_CORE_DETERMINISTIC_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/space_saving_core.h"
+
+namespace dsketch {
+
+/// The classic Space Saving sketch (always replaces the minimum label).
+class DeterministicSpaceSaving {
+ public:
+  /// Sketch with `capacity` bins. The seed only drives tie-breaking among
+  /// equal minimum bins.
+  explicit DeterministicSpaceSaving(size_t capacity, uint64_t seed = 1,
+                                    TieBreak tie_break = TieBreak::kRandom)
+      : core_(capacity, LabelPolicy::kDeterministic, seed, tie_break) {}
+
+  /// Processes one row with unit-of-analysis label `item`.
+  void Update(uint64_t item) { core_.Update(item); }
+
+  /// Estimated count: overestimates by at most MinCount(), and the error
+  /// for any item is at most TotalCount()/capacity().
+  int64_t EstimateCount(uint64_t item) const {
+    return core_.EstimateCount(item);
+  }
+
+  /// Lower bound on `item`'s true count: estimate minus MinCount().
+  int64_t GuaranteedCount(uint64_t item) const {
+    int64_t e = core_.EstimateCount(item);
+    return e > core_.MinCount() ? e - core_.MinCount() : 0;
+  }
+
+  /// True if `item` currently labels a bin.
+  bool Contains(uint64_t item) const { return core_.Contains(item); }
+
+  /// Count of the minimum bin (= maximum overestimation).
+  int64_t MinCount() const { return core_.MinCount(); }
+
+  /// Rows processed; preserved exactly by the bins.
+  int64_t TotalCount() const { return core_.TotalCount(); }
+
+  /// Number of bins (m).
+  size_t capacity() const { return core_.capacity(); }
+
+  /// Number of labeled bins.
+  size_t size() const { return core_.size(); }
+
+  /// Labeled bins in descending count order.
+  std::vector<SketchEntry> Entries() const { return core_.Entries(); }
+
+  /// Access for merge/estimation helpers.
+  const SpaceSavingCore& core() const { return core_; }
+  SpaceSavingCore& core() { return core_; }
+
+ private:
+  SpaceSavingCore core_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_DETERMINISTIC_SPACE_SAVING_H_

@@ -1,0 +1,43 @@
+#include "core/distributed.h"
+
+#include "core/merge.h"
+#include "hashing/hash.h"
+#include "util/logging.h"
+
+namespace dsketch {
+
+ShardedSketcher::ShardedSketcher(size_t num_shards, size_t shard_capacity,
+                                 uint64_t seed)
+    : route_seed_(seed ^ 0xabcdef0123456789ULL) {
+  DSKETCH_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(shard_capacity, seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+}
+
+void ShardedSketcher::Update(uint64_t item) {
+  size_t shard = HashU64(item, route_seed_) % shards_.size();
+  shards_[shard].Update(item);
+}
+
+void ShardedSketcher::UpdateShard(size_t shard, uint64_t item) {
+  DSKETCH_CHECK(shard < shards_.size());
+  shards_[shard].Update(item);
+}
+
+UnbiasedSpaceSaving ShardedSketcher::Combine(size_t capacity,
+                                             uint64_t seed) const {
+  std::vector<const UnbiasedSpaceSaving*> ptrs;
+  ptrs.reserve(shards_.size());
+  for (const auto& s : shards_) ptrs.push_back(&s);
+  return MergeAll(ptrs, capacity, seed);
+}
+
+int64_t ShardedSketcher::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s.TotalCount();
+  return total;
+}
+
+}  // namespace dsketch

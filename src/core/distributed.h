@@ -1,0 +1,55 @@
+// Distributed counting with mergeable sketches (paper §5.5).
+//
+// Models the map-reduce deployment the paper motivates: each mapper
+// maintains a local Unbiased Space Saving sketch over its shard of the
+// stream; the reducer combines them with the unbiased pairwise-PPS merge.
+// Because the merge satisfies Theorem 2, the combined sketch gives
+// unbiased subset-sum estimates over the union of all shards, and the
+// total count is preserved exactly.
+
+#ifndef DSKETCH_CORE_DISTRIBUTED_H_
+#define DSKETCH_CORE_DISTRIBUTED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/unbiased_space_saving.h"
+
+namespace dsketch {
+
+/// A fleet of per-shard Unbiased Space Saving sketches with an unbiased
+/// reducer-side combine.
+class ShardedSketcher {
+ public:
+  /// `num_shards` mappers, each with `shard_capacity` bins.
+  ShardedSketcher(size_t num_shards, size_t shard_capacity,
+                  uint64_t seed = 1);
+
+  /// Routes `item` to a shard by hash (simulates partitioned ingest).
+  void Update(uint64_t item);
+
+  /// Feeds `item` to an explicit shard (simulates arbitrary partitioning,
+  /// e.g. one sketch per day or per data center).
+  void UpdateShard(size_t shard, uint64_t item);
+
+  /// Reducer: unbiased merge of all shards into `capacity` bins.
+  UnbiasedSpaceSaving Combine(size_t capacity, uint64_t seed = 1) const;
+
+  /// Read access to an individual shard sketch.
+  const UnbiasedSpaceSaving& shard(size_t i) const { return shards_[i]; }
+
+  /// Number of shards.
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Rows processed across all shards.
+  int64_t TotalCount() const;
+
+ private:
+  std::vector<UnbiasedSpaceSaving> shards_;
+  uint64_t route_seed_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_DISTRIBUTED_H_

@@ -1,0 +1,58 @@
+#include "core/frequent_items.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dsketch {
+namespace {
+
+std::vector<FrequentItem> FrequentFromEntries(
+    const std::vector<SketchEntry>& entries, int64_t min_count, int64_t total,
+    double phi) {
+  DSKETCH_CHECK(phi >= 0.0 && phi < 1.0);
+  const double threshold = phi * static_cast<double>(total);
+  std::vector<FrequentItem> out;
+  for (const SketchEntry& e : entries) {  // entries are descending
+    if (static_cast<double>(e.count) <= threshold) break;
+    FrequentItem f;
+    f.item = e.item;
+    f.estimate = e.count;
+    f.lower_bound = e.count > min_count ? e.count - min_count : 0;
+    f.guaranteed = static_cast<double>(f.lower_bound) > threshold;
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<SketchEntry> TopKFromEntries(std::vector<SketchEntry> entries,
+                                         size_t k) {
+  DSKETCH_CHECK(k > 0);
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace
+
+std::vector<FrequentItem> FrequentItems(const DeterministicSpaceSaving& sketch,
+                                        double phi) {
+  return FrequentFromEntries(sketch.Entries(), sketch.MinCount(),
+                             sketch.TotalCount(), phi);
+}
+
+std::vector<FrequentItem> FrequentItems(const UnbiasedSpaceSaving& sketch,
+                                        double phi) {
+  return FrequentFromEntries(sketch.Entries(), sketch.MinCount(),
+                             sketch.TotalCount(), phi);
+}
+
+std::vector<SketchEntry> TopK(const DeterministicSpaceSaving& sketch,
+                              size_t k) {
+  return TopKFromEntries(sketch.Entries(), k);
+}
+
+std::vector<SketchEntry> TopK(const UnbiasedSpaceSaving& sketch, size_t k) {
+  return TopKFromEntries(sketch.Entries(), k);
+}
+
+}  // namespace dsketch

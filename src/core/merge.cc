@@ -1,0 +1,247 @@
+#include "core/merge.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+std::vector<SketchEntry> CombineEntries(const std::vector<SketchEntry>& a,
+                                        const std::vector<SketchEntry>& b) {
+  std::unordered_map<uint64_t, int64_t> sums;
+  sums.reserve(a.size() + b.size());
+  for (const SketchEntry& e : a) sums[e.item] += e.count;
+  for (const SketchEntry& e : b) sums[e.item] += e.count;
+  std::vector<SketchEntry> out;
+  out.reserve(sums.size());
+  for (const auto& [item, count] : sums) out.push_back({item, count});
+  return out;
+}
+
+std::vector<SketchEntry> ReducePairwise(std::vector<SketchEntry> entries,
+                                        size_t target, Rng& rng) {
+  DSKETCH_CHECK(target > 0);
+  if (entries.size() <= target) return entries;
+
+  // Min-heap of (count, index, version). Merged bins are re-pushed with a
+  // bumped version; stale heap items are discarded on pop.
+  struct HeapItem {
+    int64_t count;
+    size_t index;
+    uint32_t version;
+    bool operator>(const HeapItem& o) const { return count > o.count; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  std::vector<uint32_t> version(entries.size(), 0);
+  std::vector<bool> dead(entries.size(), false);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    heap.push({entries[i].count, i, 0});
+  }
+
+  auto pop_live = [&]() -> HeapItem {
+    while (true) {
+      HeapItem top = heap.top();
+      heap.pop();
+      if (!dead[top.index] && version[top.index] == top.version) return top;
+    }
+  };
+
+  size_t live = entries.size();
+  while (live > target) {
+    HeapItem a = pop_live();  // smallest
+    HeapItem b = pop_live();  // second smallest
+    int64_t combined = a.count + b.count;
+    // Keep the label of the *larger* bin with probability c2/(c1+c2):
+    // a PPS draw between the two collapsed bins (unbiased per Theorem 2).
+    // combined == 0 can only happen for two zero-count bins; keep either.
+    bool keep_larger =
+        combined == 0 ||
+        rng.NextDouble() * static_cast<double>(combined) <
+            static_cast<double>(b.count);
+    size_t keep = keep_larger ? b.index : a.index;
+    size_t drop = keep_larger ? a.index : b.index;
+    entries[keep].count = combined;
+    dead[drop] = true;
+    heap.push({combined, keep, ++version[keep]});
+    --live;
+  }
+
+  std::vector<SketchEntry> out;
+  out.reserve(live);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (!dead[i]) out.push_back(entries[i]);
+  }
+  return out;
+}
+
+std::vector<WeightedEntry> ReducePriority(
+    const std::vector<SketchEntry>& entries, size_t target, Rng& rng) {
+  DSKETCH_CHECK(target > 0);
+  if (entries.size() <= target) {
+    std::vector<WeightedEntry> out;
+    out.reserve(entries.size());
+    for (const SketchEntry& e : entries) {
+      out.push_back({e.item, static_cast<double>(e.count)});
+    }
+    return out;
+  }
+
+  struct Prioritized {
+    double priority;
+    size_t index;
+  };
+  std::vector<Prioritized> pris;
+  pris.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    double u = rng.NextDoublePositive();
+    pris.push_back({static_cast<double>(entries[i].count) / u, i});
+  }
+  // Partition so the `target` largest priorities come first; the threshold
+  // tau is the (target+1)-th largest priority.
+  std::nth_element(pris.begin(), pris.begin() + static_cast<long>(target),
+                   pris.end(), [](const Prioritized& a, const Prioritized& b) {
+                     return a.priority > b.priority;
+                   });
+  double tau = pris[target].priority;
+
+  std::vector<WeightedEntry> out;
+  out.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    const SketchEntry& e = entries[pris[i].index];
+    out.push_back({e.item, std::max(static_cast<double>(e.count), tau)});
+  }
+  return out;
+}
+
+std::vector<SketchEntry> ReduceMisraGries(std::vector<SketchEntry> entries,
+                                          size_t target) {
+  DSKETCH_CHECK(target > 0);
+  if (entries.size() <= target) return entries;
+  // Threshold = (target+1)-th largest count.
+  std::nth_element(entries.begin(), entries.begin() + static_cast<long>(target),
+                   entries.end(), [](const SketchEntry& a, const SketchEntry& b) {
+                     return a.count > b.count;
+                   });
+  int64_t threshold = entries[target].count;
+  std::vector<SketchEntry> out;
+  out.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    int64_t c = entries[i].count - threshold;
+    if (c > 0) out.push_back({entries[i].item, c});
+  }
+  return out;
+}
+
+UnbiasedSpaceSaving Merge(const UnbiasedSpaceSaving& a,
+                          const UnbiasedSpaceSaving& b, size_t capacity,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SketchEntry> combined = CombineEntries(a.Entries(), b.Entries());
+  std::vector<SketchEntry> reduced = ReducePairwise(std::move(combined),
+                                                    capacity, rng);
+  UnbiasedSpaceSaving out(capacity, seed);
+  out.core().LoadEntries(reduced);
+  return out;
+}
+
+DeterministicSpaceSaving Merge(const DeterministicSpaceSaving& a,
+                               const DeterministicSpaceSaving& b,
+                               size_t capacity, uint64_t seed) {
+  std::vector<SketchEntry> combined = CombineEntries(a.Entries(), b.Entries());
+  std::vector<SketchEntry> reduced = ReduceMisraGries(std::move(combined),
+                                                      capacity);
+  DeterministicSpaceSaving out(capacity, seed);
+  out.core().LoadEntries(reduced);
+  return out;
+}
+
+std::vector<WeightedEntry> ReducePairwiseWeighted(
+    std::vector<WeightedEntry> entries, size_t target, Rng& rng) {
+  DSKETCH_CHECK(target > 0);
+  if (entries.size() <= target) return entries;
+
+  struct HeapItem {
+    double weight;
+    size_t index;
+    uint32_t version;
+    bool operator>(const HeapItem& o) const { return weight > o.weight; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  std::vector<uint32_t> version(entries.size(), 0);
+  std::vector<bool> dead(entries.size(), false);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    heap.push({entries[i].weight, i, 0});
+  }
+  auto pop_live = [&]() -> HeapItem {
+    while (true) {
+      HeapItem top = heap.top();
+      heap.pop();
+      if (!dead[top.index] && version[top.index] == top.version) return top;
+    }
+  };
+
+  size_t live = entries.size();
+  while (live > target) {
+    HeapItem a = pop_live();
+    HeapItem b = pop_live();
+    double combined = a.weight + b.weight;
+    bool keep_larger =
+        combined == 0.0 || rng.NextDouble() * combined < b.weight;
+    size_t keep = keep_larger ? b.index : a.index;
+    size_t drop = keep_larger ? a.index : b.index;
+    entries[keep].weight = combined;
+    dead[drop] = true;
+    heap.push({combined, keep, ++version[keep]});
+    --live;
+  }
+
+  std::vector<WeightedEntry> out;
+  out.reserve(live);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (!dead[i]) out.push_back(entries[i]);
+  }
+  return out;
+}
+
+WeightedSpaceSaving Merge(const WeightedSpaceSaving& a,
+                          const WeightedSpaceSaving& b, size_t capacity,
+                          uint64_t seed) {
+  std::unordered_map<uint64_t, double> sums;
+  for (const WeightedEntry& e : a.Entries()) sums[e.item] += e.weight;
+  for (const WeightedEntry& e : b.Entries()) sums[e.item] += e.weight;
+  std::vector<WeightedEntry> combined;
+  combined.reserve(sums.size());
+  for (const auto& [item, weight] : sums) combined.push_back({item, weight});
+
+  Rng rng(seed);
+  std::vector<WeightedEntry> reduced =
+      ReducePairwiseWeighted(std::move(combined), capacity, rng);
+  WeightedSpaceSaving out(capacity, seed);
+  out.LoadEntries(reduced);
+  return out;
+}
+
+UnbiasedSpaceSaving MergeAll(
+    const std::vector<const UnbiasedSpaceSaving*>& sketches, size_t capacity,
+    uint64_t seed) {
+  DSKETCH_CHECK(!sketches.empty());
+  std::unordered_map<uint64_t, int64_t> sums;
+  for (const UnbiasedSpaceSaving* s : sketches) {
+    DSKETCH_CHECK(s != nullptr);
+    for (const SketchEntry& e : s->Entries()) sums[e.item] += e.count;
+  }
+  std::vector<SketchEntry> combined;
+  combined.reserve(sums.size());
+  for (const auto& [item, count] : sums) combined.push_back({item, count});
+
+  Rng rng(seed);
+  std::vector<SketchEntry> reduced = ReducePairwise(std::move(combined),
+                                                    capacity, rng);
+  UnbiasedSpaceSaving out(capacity, seed);
+  out.core().LoadEntries(reduced);
+  return out;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,89 @@
+// Merge operations and reduction primitives (paper §5.3, §5.5).
+//
+// All frequent-item sketches share the shape "exact increment, then a
+// reduction that shrinks the bin set" (Algorithm 2). Theorem 2 shows any
+// reduction whose post-reduction expected estimates equal the
+// pre-reduction estimates yields an unbiased sketch. This module provides
+// three reductions over (item, count) entry sets and the sketch-level
+// merges built from them:
+//
+//  * ReducePairwise      — repeatedly PPS-collapse the two smallest bins
+//                          (the generalization of USS's own update rule);
+//                          unbiased, preserves the total count exactly,
+//                          keeps integer counts.
+//  * ReducePriority      — priority sampling over bins with the max(c, tau)
+//                          Horvitz-Thompson estimator; unbiased, real-valued
+//                          outputs, does not preserve the total exactly.
+//  * ReduceMisraGries    — the Agarwal et al. soft-threshold merge used by
+//                          the deterministic sketches; biased downward but
+//                          deterministic-guarantee preserving.
+
+#ifndef DSKETCH_CORE_MERGE_H_
+#define DSKETCH_CORE_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/deterministic_space_saving.h"
+#include "core/sketch_entry.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Concatenates two entry sets, summing counts of duplicate labels.
+std::vector<SketchEntry> CombineEntries(const std::vector<SketchEntry>& a,
+                                        const std::vector<SketchEntry>& b);
+
+/// Unbiased reduction to at most `target` bins by repeatedly collapsing
+/// the two smallest bins into one whose label is chosen with probability
+/// proportional to the collapsed counts. Preserves the total exactly.
+std::vector<SketchEntry> ReducePairwise(std::vector<SketchEntry> entries,
+                                        size_t target, Rng& rng);
+
+/// Unbiased reduction to at most `target` bins via priority sampling
+/// (priorities c_i/u_i, threshold tau = (target+1)-th priority, estimate
+/// max(c_i, tau)). Returns real-valued adjusted weights.
+std::vector<WeightedEntry> ReducePriority(
+    const std::vector<SketchEntry>& entries, size_t target, Rng& rng);
+
+/// Misra-Gries style reduction: subtracts the (target+1)-th largest count
+/// from every entry and drops non-positive results (biased downward;
+/// deterministic error guarantee preserved).
+std::vector<SketchEntry> ReduceMisraGries(std::vector<SketchEntry> entries,
+                                          size_t target);
+
+/// Unbiased merge of two Unbiased Space Saving sketches into a fresh
+/// sketch with `capacity` bins (pairwise reduction; Theorem 2).
+UnbiasedSpaceSaving Merge(const UnbiasedSpaceSaving& a,
+                          const UnbiasedSpaceSaving& b, size_t capacity,
+                          uint64_t seed = 1);
+
+/// Merge of deterministic sketches via the Misra-Gries soft threshold
+/// (biased, deterministic guarantees).
+DeterministicSpaceSaving Merge(const DeterministicSpaceSaving& a,
+                               const DeterministicSpaceSaving& b,
+                               size_t capacity, uint64_t seed = 1);
+
+/// Unbiased merge of many sketches (fold with a single final reduction —
+/// combines all entries first, then reduces once, which adds less noise
+/// than repeated binary merges).
+UnbiasedSpaceSaving MergeAll(const std::vector<const UnbiasedSpaceSaving*>& sketches,
+                             size_t capacity, uint64_t seed = 1);
+
+/// Real-valued analogue of ReducePairwise for weighted entries: unbiased,
+/// preserves the total weight exactly (up to fp rounding).
+std::vector<WeightedEntry> ReducePairwiseWeighted(
+    std::vector<WeightedEntry> entries, size_t target, Rng& rng);
+
+/// Unbiased merge of two weighted sketches (also covers time-decayed
+/// sketches after rescaling both to a common landmark).
+WeightedSpaceSaving Merge(const WeightedSpaceSaving& a,
+                          const WeightedSpaceSaving& b, size_t capacity,
+                          uint64_t seed = 1);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_MERGE_H_

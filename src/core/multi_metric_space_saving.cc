@@ -1,0 +1,120 @@
+#include "core/multi_metric_space_saving.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+MultiMetricSpaceSaving::MultiMetricSpaceSaving(size_t capacity,
+                                               size_t num_metrics,
+                                               uint64_t seed)
+    : capacity_(capacity),
+      num_metrics_(num_metrics),
+      index_(capacity),
+      rng_(seed) {
+  DSKETCH_CHECK(capacity > 0);
+  DSKETCH_CHECK(num_metrics > 0);
+  heap_.reserve(capacity);
+}
+
+void MultiMetricSpaceSaving::SetSlot(size_t i, MultiMetricEntry e) {
+  heap_[i] = std::move(e);
+  index_.InsertOrAssign(heap_[i].item, static_cast<uint32_t>(i));
+}
+
+void MultiMetricSpaceSaving::SiftUp(size_t i) {
+  MultiMetricEntry e = std::move(heap_[i]);
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (heap_[parent].primary <= e.primary) break;
+    SetSlot(i, std::move(heap_[parent]));
+    i = parent;
+  }
+  SetSlot(i, std::move(e));
+}
+
+void MultiMetricSpaceSaving::SiftDown(size_t i) {
+  MultiMetricEntry e = std::move(heap_[i]);
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].primary < heap_[child].primary) {
+      ++child;
+    }
+    if (heap_[child].primary >= e.primary) break;
+    SetSlot(i, std::move(heap_[child]));
+    i = child;
+  }
+  SetSlot(i, std::move(e));
+}
+
+void MultiMetricSpaceSaving::Update(uint64_t item, double primary_weight,
+                                    const std::vector<double>& metrics) {
+  DSKETCH_CHECK(primary_weight > 0.0);
+  DSKETCH_CHECK(metrics.size() == num_metrics_);
+  total_primary_ += primary_weight;
+
+  if (uint32_t* pos = index_.Find(item)) {
+    MultiMetricEntry& bin = heap_[*pos];
+    bin.primary += primary_weight;
+    for (size_t k = 0; k < num_metrics_; ++k) bin.metrics[k] += metrics[k];
+    SiftDown(*pos);
+    return;
+  }
+
+  if (heap_.size() < capacity_) {
+    MultiMetricEntry e;
+    e.item = item;
+    e.primary = primary_weight;
+    e.metrics = metrics;
+    heap_.push_back(std::move(e));
+    SetSlot(heap_.size() - 1, std::move(heap_.back()));
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+
+  // PPS-collapse the incoming bin with the minimum bin: the survivor's
+  // auxiliary metrics are Horvitz-Thompson scaled by 1/P(survive), which
+  // preserves every metric's expectation (Theorem 2 per metric).
+  MultiMetricEntry& root = heap_[0];
+  double combined = root.primary + primary_weight;
+  double keep_incoming_prob = primary_weight / combined;
+  bool keep_incoming = rng_.NextDouble() < keep_incoming_prob;
+
+  MultiMetricEntry winner;
+  winner.primary = combined;
+  if (keep_incoming) {
+    winner.item = item;
+    winner.metrics = metrics;
+    for (double& v : winner.metrics) v /= keep_incoming_prob;
+  } else {
+    winner.item = root.item;
+    winner.metrics = root.metrics;
+    for (double& v : winner.metrics) v /= (1.0 - keep_incoming_prob);
+  }
+  index_.Erase(root.item);
+  SetSlot(0, std::move(winner));
+  SiftDown(0);
+}
+
+void MultiMetricSpaceSaving::Update(uint64_t item, double primary_weight,
+                                    double metric0) {
+  scratch_.assign(num_metrics_, 0.0);
+  scratch_[0] = metric0;
+  Update(item, primary_weight, scratch_);
+}
+
+double MultiMetricSpaceSaving::EstimatePrimary(uint64_t item) const {
+  const uint32_t* pos = index_.Find(item);
+  return pos != nullptr ? heap_[*pos].primary : 0.0;
+}
+
+double MultiMetricSpaceSaving::EstimateMetric(uint64_t item, size_t k) const {
+  DSKETCH_CHECK(k < num_metrics_);
+  const uint32_t* pos = index_.Find(item);
+  return pos != nullptr ? heap_[*pos].metrics[k] : 0.0;
+}
+
+}  // namespace dsketch

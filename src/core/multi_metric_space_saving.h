@@ -1,0 +1,96 @@
+// Multiple metrics per unit (paper §5: "If multiple metrics are being
+// tracked, multi-objective sampling (Cohen 2015) may be used").
+//
+// Each bin tracks the primary count (which drives the PPS label choice,
+// exactly as in Unbiased Space Saving) plus K auxiliary metric
+// accumulators (e.g. clicks, revenue, bytes alongside impressions). On a
+// label collapse the surviving label's auxiliary values are divided by its
+// survival probability — a Horvitz-Thompson correction that keeps every
+// auxiliary subset sum unbiased (Theorem 2 applied per metric). The
+// primary counts behave exactly like the weighted sketch and preserve the
+// total; auxiliary totals are preserved in expectation only, and their
+// variance grows for metrics poorly correlated with the primary — the
+// standard multi-objective trade-off.
+
+#ifndef DSKETCH_CORE_MULTI_METRIC_SPACE_SAVING_H_
+#define DSKETCH_CORE_MULTI_METRIC_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_map.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// One bin of the multi-metric sketch.
+struct MultiMetricEntry {
+  uint64_t item = 0;
+  double primary = 0.0;          ///< sampling weight (e.g. impressions)
+  std::vector<double> metrics;   ///< HT-adjusted auxiliary metrics
+};
+
+/// Unbiased Space Saving carrying K auxiliary metrics per bin.
+class MultiMetricSpaceSaving {
+ public:
+  /// `capacity` bins, `num_metrics` auxiliary metrics.
+  MultiMetricSpaceSaving(size_t capacity, size_t num_metrics,
+                         uint64_t seed = 1);
+
+  /// Processes one row: primary weight (> 0) plus auxiliary contributions
+  /// (`metrics` must have num_metrics() entries; values may be 0).
+  void Update(uint64_t item, double primary_weight,
+              const std::vector<double>& metrics);
+
+  /// Convenience for count-like primaries with one auxiliary metric.
+  void Update(uint64_t item, double primary_weight, double metric0);
+
+  /// Unbiased estimate of the item's primary weight (0 if untracked).
+  double EstimatePrimary(uint64_t item) const;
+
+  /// Unbiased estimate of auxiliary metric `k` for the item.
+  double EstimateMetric(uint64_t item, size_t k) const;
+
+  /// Unbiased subset-sum of auxiliary metric `k`.
+  template <typename Pred>
+  double EstimateMetricSubset(size_t k, Pred pred) const {
+    double sum = 0;
+    for (const auto& bin : heap_) {
+      if (pred(bin.item)) sum += bin.metrics[k];
+    }
+    return sum;
+  }
+
+  /// Exact total of primary weights processed.
+  double TotalPrimary() const { return total_primary_; }
+
+  /// Number of auxiliary metrics.
+  size_t num_metrics() const { return num_metrics_; }
+
+  /// Number of bins.
+  size_t capacity() const { return capacity_; }
+
+  /// Number of labeled bins.
+  size_t size() const { return heap_.size(); }
+
+  /// All bins (unordered).
+  const std::vector<MultiMetricEntry>& bins() const { return heap_; }
+
+ private:
+  void SetSlot(size_t i, MultiMetricEntry e);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  size_t capacity_;
+  size_t num_metrics_;
+  std::vector<MultiMetricEntry> heap_;  // min-heap by primary
+  FlatMap<uint32_t> index_;
+  double total_primary_ = 0.0;
+  std::vector<double> scratch_;  // reused by the single-metric overload
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_MULTI_METRIC_SPACE_SAVING_H_

@@ -1,0 +1,173 @@
+#include "core/serialization.h"
+
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+namespace dsketch {
+namespace {
+
+constexpr uint32_t kMagic = 0x44534B31;  // "DSK1"
+constexpr uint8_t kVersion = 1;
+
+enum class SketchKind : uint8_t {
+  kUnbiased = 1,
+  kDeterministic = 2,
+  kWeighted = 3,
+};
+
+void AppendRaw(std::string& out, const void* data, size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendValue(std::string& out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+std::string SerializeHeader(SketchKind kind, uint64_t capacity,
+                            uint32_t entries) {
+  std::string out;
+  out.reserve(20 + entries * 16);
+  AppendValue(out, kMagic);
+  AppendValue(out, static_cast<uint8_t>(kind));
+  AppendValue(out, kVersion);
+  AppendValue(out, static_cast<uint16_t>(0));
+  AppendValue(out, capacity);
+  AppendValue(out, entries);
+  return out;
+}
+
+// Parses and validates the header; returns false on any mismatch.
+bool ReadHeader(Reader& reader, SketchKind expected_kind, uint64_t* capacity,
+                uint32_t* entries) {
+  uint32_t magic;
+  uint8_t kind, version;
+  uint16_t reserved;
+  if (!reader.Read(&magic) || magic != kMagic) return false;
+  if (!reader.Read(&kind) || kind != static_cast<uint8_t>(expected_kind)) {
+    return false;
+  }
+  if (!reader.Read(&version) || version != kVersion) return false;
+  if (!reader.Read(&reserved)) return false;
+  if (!reader.Read(capacity) || *capacity == 0 ||
+      *capacity >= (1ULL << 32)) {
+    return false;
+  }
+  if (!reader.Read(entries) || *entries > *capacity) return false;
+  return true;
+}
+
+template <typename Sketch>
+std::string SerializeInteger(SketchKind kind, const Sketch& sketch) {
+  auto entries = sketch.Entries();
+  std::string out = SerializeHeader(kind, sketch.capacity(),
+                                    static_cast<uint32_t>(entries.size()));
+  for (const SketchEntry& e : entries) {
+    AppendValue(out, e.item);
+    AppendValue(out, e.count);
+  }
+  return out;
+}
+
+template <typename Sketch>
+std::optional<Sketch> DeserializeInteger(SketchKind kind,
+                                         std::string_view bytes,
+                                         uint64_t seed) {
+  Reader reader(bytes);
+  uint64_t capacity;
+  uint32_t count;
+  if (!ReadHeader(reader, kind, &capacity, &count)) return std::nullopt;
+  std::vector<SketchEntry> entries;
+  entries.reserve(count);
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t i = 0; i < count; ++i) {
+    SketchEntry e;
+    if (!reader.Read(&e.item) || !reader.Read(&e.count)) return std::nullopt;
+    if (e.count < 0) return std::nullopt;
+    if (!seen.insert(e.item).second) return std::nullopt;  // duplicate label
+    entries.push_back(e);
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  Sketch sketch(static_cast<size_t>(capacity), seed);
+  sketch.core().LoadEntries(entries);
+  return sketch;
+}
+
+}  // namespace
+
+std::string Serialize(const UnbiasedSpaceSaving& sketch) {
+  return SerializeInteger(SketchKind::kUnbiased, sketch);
+}
+
+std::string Serialize(const DeterministicSpaceSaving& sketch) {
+  return SerializeInteger(SketchKind::kDeterministic, sketch);
+}
+
+std::string Serialize(const WeightedSpaceSaving& sketch) {
+  auto entries = sketch.Entries();
+  std::string out = SerializeHeader(SketchKind::kWeighted, sketch.capacity(),
+                                    static_cast<uint32_t>(entries.size()));
+  for (const WeightedEntry& e : entries) {
+    AppendValue(out, e.item);
+    AppendValue(out, e.weight);
+  }
+  return out;
+}
+
+std::optional<UnbiasedSpaceSaving> DeserializeUnbiased(std::string_view bytes,
+                                                       uint64_t seed) {
+  return DeserializeInteger<UnbiasedSpaceSaving>(SketchKind::kUnbiased,
+                                                 bytes, seed);
+}
+
+std::optional<DeterministicSpaceSaving> DeserializeDeterministic(
+    std::string_view bytes, uint64_t seed) {
+  return DeserializeInteger<DeterministicSpaceSaving>(
+      SketchKind::kDeterministic, bytes, seed);
+}
+
+std::optional<WeightedSpaceSaving> DeserializeWeighted(std::string_view bytes,
+                                                       uint64_t seed) {
+  Reader reader(bytes);
+  uint64_t capacity;
+  uint32_t count;
+  if (!ReadHeader(reader, SketchKind::kWeighted, &capacity, &count)) {
+    return std::nullopt;
+  }
+  std::vector<WeightedEntry> entries;
+  entries.reserve(count);
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t i = 0; i < count; ++i) {
+    WeightedEntry e;
+    if (!reader.Read(&e.item) || !reader.Read(&e.weight)) return std::nullopt;
+    if (!(e.weight >= 0.0)) return std::nullopt;  // rejects NaN too
+    if (!seen.insert(e.item).second) return std::nullopt;  // duplicate label
+    entries.push_back(e);
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  WeightedSpaceSaving sketch(static_cast<size_t>(capacity), seed);
+  sketch.LoadEntries(entries);
+  return sketch;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,52 @@
+// Binary serialization for the mergeable sketches (paper §5.5: "in a
+// map-reduce framework ... only a set of small sketches needs to be sent
+// over the network"). The wire format is a little-endian header plus the
+// entry list:
+//
+//   [u32 magic][u8 kind][u8 version][u16 reserved]
+//   [u64 capacity][u32 entry_count]
+//   entries: kind-dependent (u64 item + i64 count, or u64 item + f64 weight)
+//
+// Deserialization validates the header and sizes and returns nullopt on
+// any malformed input (never aborts) — inputs may come from the network.
+
+#ifndef DSKETCH_CORE_SERIALIZATION_H_
+#define DSKETCH_CORE_SERIALIZATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/deterministic_space_saving.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+
+namespace dsketch {
+
+/// Serializes a sketch's state (capacity + entries) to bytes.
+std::string Serialize(const UnbiasedSpaceSaving& sketch);
+
+/// Serializes a deterministic sketch.
+std::string Serialize(const DeterministicSpaceSaving& sketch);
+
+/// Serializes a weighted sketch.
+std::string Serialize(const WeightedSpaceSaving& sketch);
+
+/// Reconstructs an Unbiased Space Saving sketch; `seed` re-seeds the
+/// receiving side's randomness (the sample itself is in the entries).
+/// Returns nullopt on malformed or wrong-kind input.
+std::optional<UnbiasedSpaceSaving> DeserializeUnbiased(std::string_view bytes,
+                                                       uint64_t seed = 1);
+
+/// Reconstructs a Deterministic Space Saving sketch.
+std::optional<DeterministicSpaceSaving> DeserializeDeterministic(
+    std::string_view bytes, uint64_t seed = 1);
+
+/// Reconstructs a weighted sketch.
+std::optional<WeightedSpaceSaving> DeserializeWeighted(std::string_view bytes,
+                                                       uint64_t seed = 1);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_SERIALIZATION_H_

@@ -1,0 +1,29 @@
+// Common (item, count) entry types shared by the sketch family.
+
+#ifndef DSKETCH_CORE_SKETCH_ENTRY_H_
+#define DSKETCH_CORE_SKETCH_ENTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsketch {
+
+/// One bin of an integer-count sketch.
+struct SketchEntry {
+  uint64_t item = 0;  ///< item label (unit-of-analysis identifier)
+  int64_t count = 0;  ///< estimated count for the label
+
+  friend bool operator==(const SketchEntry&, const SketchEntry&) = default;
+};
+
+/// One bin of a real-valued (weighted) sketch.
+struct WeightedEntry {
+  uint64_t item = 0;   ///< item label
+  double weight = 0.0; ///< estimated total weight for the label
+
+  friend bool operator==(const WeightedEntry&, const WeightedEntry&) = default;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_SKETCH_ENTRY_H_

@@ -1,0 +1,143 @@
+#include "core/space_saving_core.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+SpaceSavingCore::SpaceSavingCore(size_t capacity, LabelPolicy policy,
+                                 uint64_t seed, TieBreak tie_break)
+    : policy_(policy),
+      tie_break_(tie_break),
+      index_(capacity),
+      ranges_(capacity),
+      rng_(seed) {
+  DSKETCH_CHECK(capacity > 0);
+  DSKETCH_CHECK(capacity < (1ULL << 32));
+  slots_.resize(capacity);
+  for (auto& s : slots_) {
+    s.item = kNoLabel;
+    s.count = 0;
+  }
+  ranges_.InsertOrAssign(0, Range{0, static_cast<uint32_t>(capacity)});
+}
+
+void SpaceSavingCore::SwapSlots(uint32_t a, uint32_t b) {
+  if (a == b) return;
+  std::swap(slots_[a], slots_[b]);
+  if (slots_[a].item != kNoLabel) index_.InsertOrAssign(slots_[a].item, a);
+  if (slots_[b].item != kNoLabel) index_.InsertOrAssign(slots_[b].item, b);
+}
+
+uint32_t SpaceSavingCore::IncrementSlot(uint32_t i) {
+  const int64_t c = slots_[i].count;
+  Range* r = ranges_.Find(static_cast<uint64_t>(c));
+  DSKETCH_DCHECK(r != nullptr && r->begin <= i && i < r->end);
+  const uint32_t last = r->end - 1;
+  SwapSlots(i, last);
+  slots_[last].count = c + 1;
+
+  if (r->begin == last) {
+    ranges_.Erase(static_cast<uint64_t>(c));
+  } else {
+    r->end = last;
+  }
+  Range* up = ranges_.Find(static_cast<uint64_t>(c + 1));
+  if (up != nullptr) {
+    DSKETCH_DCHECK(up->begin == last + 1);
+    up->begin = last;
+  } else {
+    ranges_.InsertOrAssign(static_cast<uint64_t>(c + 1),
+                           Range{last, last + 1});
+  }
+  ++total_;
+  return last;
+}
+
+void SpaceSavingCore::Update(uint64_t item) {
+  DSKETCH_DCHECK(item != kNoLabel && item != FlatMap<uint32_t>::kEmpty);
+  if (uint32_t* pos = index_.Find(item)) {
+    IncrementSlot(*pos);
+    return;
+  }
+
+  // Untracked item: pick a minimum-count bin.
+  const int64_t min_count = slots_.front().count;
+  const Range* min_range = ranges_.Find(static_cast<uint64_t>(min_count));
+  DSKETCH_DCHECK(min_range != nullptr && min_range->begin == 0);
+  uint32_t k;
+  if (tie_break_ == TieBreak::kRandom && min_range->end > 1) {
+    k = static_cast<uint32_t>(rng_.NextBounded(min_range->end));
+  } else {
+    k = 0;
+  }
+
+  // Replace the label with probability p. An unlabeled (never used) bin
+  // has count 0, so p = 1 under both policies and the item is adopted.
+  bool replace = true;
+  if (policy_ == LabelPolicy::kUnbiased && min_count > 0) {
+    replace = rng_.NextBernoulli(1.0 / (static_cast<double>(min_count) + 1.0));
+  }
+  if (replace) {
+    if (slots_[k].item != kNoLabel) index_.Erase(slots_[k].item);
+    slots_[k].item = item;
+    index_.InsertOrAssign(item, k);
+  }
+  IncrementSlot(k);
+}
+
+int64_t SpaceSavingCore::EstimateCount(uint64_t item) const {
+  const uint32_t* pos = index_.Find(item);
+  return pos != nullptr ? slots_[*pos].count : 0;
+}
+
+std::vector<SketchEntry> SpaceSavingCore::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(index_.size());
+  // Slots are ascending by count; emit in reverse for descending order.
+  for (size_t i = slots_.size(); i > 0; --i) {
+    const Slot& s = slots_[i - 1];
+    if (s.item != kNoLabel) out.push_back({s.item, s.count});
+  }
+  return out;
+}
+
+void SpaceSavingCore::LoadEntries(const std::vector<SketchEntry>& entries) {
+  DSKETCH_CHECK(entries.size() <= slots_.size());
+  index_.Clear();
+  ranges_.Clear();
+  total_ = 0;
+
+  std::vector<SketchEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return a.count < b.count;
+            });
+
+  const size_t pad = slots_.size() - sorted.size();
+  for (size_t i = 0; i < pad; ++i) {
+    slots_[i].item = kNoLabel;
+    slots_[i].count = 0;
+  }
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    DSKETCH_CHECK(sorted[i].count >= 0);
+    slots_[pad + i].item = sorted[i].item;
+    slots_[pad + i].count = sorted[i].count;
+    total_ += sorted[i].count;
+    index_.InsertOrAssign(sorted[i].item, static_cast<uint32_t>(pad + i));
+  }
+
+  // Rebuild the count -> range map over the now-sorted slot array.
+  size_t begin = 0;
+  for (size_t i = 1; i <= slots_.size(); ++i) {
+    if (i == slots_.size() || slots_[i].count != slots_[begin].count) {
+      ranges_.InsertOrAssign(static_cast<uint64_t>(slots_[begin].count),
+                             Range{static_cast<uint32_t>(begin),
+                                   static_cast<uint32_t>(i)});
+      begin = i;
+    }
+  }
+}
+
+}  // namespace dsketch

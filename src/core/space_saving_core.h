@@ -1,0 +1,118 @@
+// Shared engine for the Space Saving sketch family (paper Algorithm 1).
+//
+// The engine maintains m (item, count) bins and supports the single update
+// rule both variants share:
+//
+//   * tracked item  -> increment its bin;
+//   * untracked item -> increment a minimum-count bin and replace its label
+//     with the new item with probability p, where
+//       p = 1               (Deterministic Space Saving, Metwally et al.)
+//       p = 1/(Nmin + 1)    (Unbiased Space Saving, the paper's sketch)
+//
+// Everything is O(1) per update. Instead of the linked-list "stream
+// summary" structure of Metwally et al., bins live in an array kept sorted
+// by count, with a hash map from each distinct count value to its
+// contiguous [begin, end) slot range. Incrementing a bin swaps it to the
+// end of its count range and extends the next range — an equivalent
+// formulation that is cache-friendlier and, importantly here, supports
+// uniform-random selection among minimum bins in O(1) (the paper's
+// analysis assumes random tie-breaking, §6.1).
+
+#ifndef DSKETCH_CORE_SPACE_SAVING_CORE_H_
+#define DSKETCH_CORE_SPACE_SAVING_CORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "util/flat_map.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Label-replacement rule for the minimum bin (see file comment).
+enum class LabelPolicy {
+  kDeterministic,  ///< always relabel (classic Space Saving)
+  kUnbiased,       ///< relabel with probability 1/(Nmin+1) (the paper)
+};
+
+/// How to choose among several bins tied at the minimum count.
+enum class TieBreak {
+  kRandom,      ///< uniform random minimum bin (paper's analysis, default)
+  kFirstSlot,   ///< deterministic choice (reproducible unit tests)
+};
+
+/// Engine implementing the Space Saving update; used via the
+/// UnbiasedSpaceSaving / DeterministicSpaceSaving wrappers.
+class SpaceSavingCore {
+ public:
+  /// A sketch with `capacity` bins. `seed` drives label replacement and
+  /// tie-breaking; runs with equal seeds are bit-for-bit reproducible.
+  SpaceSavingCore(size_t capacity, LabelPolicy policy, uint64_t seed = 1,
+                  TieBreak tie_break = TieBreak::kRandom);
+
+  /// Processes one row whose unit-of-analysis label is `item`.
+  void Update(uint64_t item);
+
+  /// Estimated count for `item`: its bin count, or 0 if untracked.
+  /// Unbiased under LabelPolicy::kUnbiased (paper Theorem 1).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// True if `item` currently labels a bin.
+  bool Contains(uint64_t item) const { return index_.Find(item) != nullptr; }
+
+  /// Count of the minimum bin (0 while the sketch has empty bins).
+  int64_t MinCount() const { return slots_.front().count; }
+
+  /// Rows processed so far; the bins always sum to exactly this value.
+  int64_t TotalCount() const { return total_; }
+
+  /// Number of bins (m).
+  size_t capacity() const { return slots_.size(); }
+
+  /// Number of bins currently holding a label.
+  size_t size() const { return index_.size(); }
+
+  /// All labeled bins, sorted by descending count.
+  std::vector<SketchEntry> Entries() const;
+
+  /// Replaces the sketch contents with `entries` (at most `capacity()`,
+  /// distinct labels). Used by the merge operations to materialize a
+  /// reduced sketch; TotalCount() becomes the sum of the entry counts.
+  void LoadEntries(const std::vector<SketchEntry>& entries);
+
+  /// The label-replacement policy this sketch was built with.
+  LabelPolicy policy() const { return policy_; }
+
+ private:
+  struct Slot {
+    uint64_t item;  // kNoLabel when the bin has never been labeled
+    int64_t count;
+  };
+
+  struct Range {
+    uint32_t begin;
+    uint32_t end;  // exclusive
+  };
+
+  static constexpr uint64_t kNoLabel = ~0ULL - 1;
+
+  // Moves slot `i` (count c) to the top of its count range and bumps it to
+  // c+1, fixing the range map; returns the slot's final position.
+  uint32_t IncrementSlot(uint32_t i);
+
+  void SwapSlots(uint32_t a, uint32_t b);
+
+  LabelPolicy policy_;
+  TieBreak tie_break_;
+  std::vector<Slot> slots_;       // ascending by count
+  FlatMap<uint32_t> index_;       // item -> slot position
+  FlatMap<Range> ranges_;         // count value -> slot range
+  int64_t total_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_SPACE_SAVING_CORE_H_

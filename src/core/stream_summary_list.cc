@@ -1,0 +1,159 @@
+#include "core/stream_summary_list.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+StreamSummaryList::StreamSummaryList(size_t capacity, LabelPolicy policy,
+                                     uint64_t seed, TieBreak tie_break)
+    : capacity_(capacity),
+      policy_(policy),
+      tie_break_(tie_break),
+      index_(capacity),
+      rng_(seed) {
+  DSKETCH_CHECK(capacity > 0);
+  DSKETCH_CHECK(capacity < (1ULL << 32) - 2);
+  bins_.resize(capacity);
+  groups_.reserve(capacity + 1);
+}
+
+uint32_t StreamSummaryList::AllocGroup(int64_t count) {
+  uint32_t g;
+  if (!free_groups_.empty()) {
+    g = free_groups_.back();
+    free_groups_.pop_back();
+  } else {
+    g = static_cast<uint32_t>(groups_.size());
+    groups_.push_back({});
+  }
+  groups_[g].count = count;
+  groups_[g].head = kNil;
+  groups_[g].size = 0;
+  groups_[g].prev = kNil;
+  groups_[g].next = kNil;
+  return g;
+}
+
+void StreamSummaryList::FreeGroup(uint32_t g) { free_groups_.push_back(g); }
+
+void StreamSummaryList::DetachBin(uint32_t b) {
+  Bin& bin = bins_[b];
+  Group& g = groups_[bin.group];
+  if (bin.prev != kNil) bins_[bin.prev].next = bin.next;
+  if (bin.next != kNil) bins_[bin.next].prev = bin.prev;
+  if (g.head == b) g.head = bin.next;
+  --g.size;
+}
+
+void StreamSummaryList::AttachBin(uint32_t b, uint32_t g) {
+  Bin& bin = bins_[b];
+  bin.group = g;
+  bin.prev = kNil;
+  bin.next = groups_[g].head;
+  if (groups_[g].head != kNil) bins_[groups_[g].head].prev = b;
+  groups_[g].head = b;
+  ++groups_[g].size;
+}
+
+void StreamSummaryList::PromoteBin(uint32_t b) {
+  const uint32_t g = bins_[b].group;
+  const int64_t c = groups_[g].count;
+  const uint32_t nxt = groups_[g].next;
+
+  uint32_t target;
+  if (nxt != kNil && groups_[nxt].count == c + 1) {
+    target = nxt;
+  } else {
+    target = AllocGroup(c + 1);
+    groups_[target].prev = g;
+    groups_[target].next = nxt;
+    groups_[g].next = target;
+    if (nxt != kNil) groups_[nxt].prev = target;
+  }
+
+  DetachBin(b);
+  if (groups_[g].size == 0) {
+    uint32_t p = groups_[g].prev;
+    uint32_t n = groups_[g].next;
+    if (p != kNil) groups_[p].next = n;
+    if (n != kNil) groups_[n].prev = p;
+    if (min_group_ == g) min_group_ = n;
+    FreeGroup(g);
+  }
+  AttachBin(b, target);
+}
+
+uint32_t StreamSummaryList::PickMinBin() {
+  DSKETCH_DCHECK(min_group_ != kNil);
+  const Group& g = groups_[min_group_];
+  uint32_t b = g.head;
+  if (tie_break_ == TieBreak::kRandom && g.size > 1) {
+    uint64_t steps = rng_.NextBounded(g.size);
+    for (uint64_t s = 0; s < steps; ++s) b = bins_[b].next;
+  }
+  return b;
+}
+
+void StreamSummaryList::Update(uint64_t item) {
+  ++total_;
+  if (uint32_t* pb = index_.Find(item)) {
+    PromoteBin(*pb);
+    return;
+  }
+
+  if (used_bins_ < capacity_) {
+    uint32_t b = static_cast<uint32_t>(used_bins_++);
+    bins_[b].item = item;
+    uint32_t g;
+    if (min_group_ != kNil && groups_[min_group_].count == 1) {
+      g = min_group_;
+    } else {
+      g = AllocGroup(1);
+      groups_[g].next = min_group_;
+      if (min_group_ != kNil) groups_[min_group_].prev = g;
+      min_group_ = g;
+    }
+    AttachBin(b, g);
+    index_.InsertOrAssign(item, b);
+    return;
+  }
+
+  uint32_t b = PickMinBin();
+  int64_t cmin = groups_[bins_[b].group].count;
+  bool replace = true;
+  if (policy_ == LabelPolicy::kUnbiased) {
+    replace = rng_.NextBernoulli(1.0 / (static_cast<double>(cmin) + 1.0));
+  }
+  if (replace) {
+    index_.Erase(bins_[b].item);
+    bins_[b].item = item;
+    index_.InsertOrAssign(item, b);
+  }
+  PromoteBin(b);
+}
+
+int64_t StreamSummaryList::EstimateCount(uint64_t item) const {
+  const uint32_t* pb = index_.Find(item);
+  return pb != nullptr ? groups_[bins_[*pb].group].count : 0;
+}
+
+int64_t StreamSummaryList::MinCount() const {
+  if (used_bins_ < capacity_ || min_group_ == kNil) return 0;
+  return groups_[min_group_].count;
+}
+
+std::vector<SketchEntry> StreamSummaryList::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(used_bins_);
+  for (uint32_t g = min_group_; g != kNil; g = groups_[g].next) {
+    for (uint32_t b = groups_[g].head; b != kNil; b = bins_[b].next) {
+      out.push_back({bins_[b].item, groups_[g].count});
+    }
+  }
+  std::reverse(out.begin(), out.end());  // ascending walk -> descending out
+  return out;
+}
+
+}  // namespace dsketch

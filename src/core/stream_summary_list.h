@@ -1,0 +1,102 @@
+// The classic "stream summary" data structure of Metwally et al. 2005: a
+// doubly-linked list of count-value groups, each holding a doubly-linked
+// list of bins, with a hash index from item to bin. Increments move a bin
+// to the neighboring group in O(1).
+//
+// The main engine (core/space_saving_core.h) uses an equivalent
+// count-sorted array instead; this faithful linked-list implementation
+// exists (a) as the ablation comparator for that design choice
+// (bench_ablation_structure) and (b) to cross-validate the two engines'
+// statistical behavior. Functionally it supports the same two policies.
+//
+// Tie-breaking among minimum bins: the group's bin list acts as a queue —
+// kFirstSlot picks the head; kRandom picks a uniformly random bin of the
+// minimum group in O(group size) (the array engine does this in O(1),
+// one of the reasons it is preferred).
+
+#ifndef DSKETCH_CORE_STREAM_SUMMARY_LIST_H_
+#define DSKETCH_CORE_STREAM_SUMMARY_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "core/space_saving_core.h"  // LabelPolicy, TieBreak
+#include "util/flat_map.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Space Saving on the original linked-list stream summary structure.
+class StreamSummaryList {
+ public:
+  /// Same contract as SpaceSavingCore.
+  StreamSummaryList(size_t capacity, LabelPolicy policy, uint64_t seed = 1,
+                    TieBreak tie_break = TieBreak::kRandom);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Estimated count (0 if untracked).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// True if `item` labels a bin.
+  bool Contains(uint64_t item) const { return index_.Find(item) != nullptr; }
+
+  /// Count of the minimum bin (0 while not full).
+  int64_t MinCount() const;
+
+  /// Rows processed (bins sum to exactly this).
+  int64_t TotalCount() const { return total_; }
+
+  /// Number of bins.
+  size_t capacity() const { return capacity_; }
+
+  /// Number of labeled bins.
+  size_t size() const { return index_.size(); }
+
+  /// Labeled bins, descending by count.
+  std::vector<SketchEntry> Entries() const;
+
+ private:
+  static constexpr uint32_t kNil = ~0u;
+
+  struct Bin {
+    uint64_t item;
+    uint32_t group;      // owning group index
+    uint32_t prev, next; // within the group's bin list
+  };
+
+  struct Group {
+    int64_t count;
+    uint32_t head;        // first bin
+    uint32_t size;        // number of bins
+    uint32_t prev, next;  // neighboring groups by count (ascending)
+  };
+
+  uint32_t AllocGroup(int64_t count);
+  void FreeGroup(uint32_t g);
+  void DetachBin(uint32_t b);
+  void AttachBin(uint32_t b, uint32_t g);
+  // Moves bin b from its group (count c) to a group with count c+1,
+  // creating/destroying groups as needed.
+  void PromoteBin(uint32_t b);
+  uint32_t PickMinBin();
+
+  size_t capacity_;
+  LabelPolicy policy_;
+  TieBreak tie_break_;
+  std::vector<Bin> bins_;
+  std::vector<Group> groups_;
+  std::vector<uint32_t> free_groups_;
+  uint32_t min_group_ = kNil;
+  FlatMap<uint32_t> index_;  // item -> bin id
+  size_t used_bins_ = 0;
+  int64_t total_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_STREAM_SUMMARY_LIST_H_

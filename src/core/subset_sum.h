@@ -1,0 +1,66 @@
+// Disaggregated subset sum estimation over an Unbiased Space Saving sketch
+// (paper §6.4-6.5): point estimate, the variance estimator
+//
+//   V̂ar(N̂_S) = N̂min² · C_S        (paper eq. 5)
+//
+// where C_S = max(1, #items of S tracked by the sketch), and normal
+// confidence intervals built from it. The variance estimate is valid (and
+// deliberately upward biased) even for worst-case non-i.i.d. streams.
+
+#ifndef DSKETCH_CORE_SUBSET_SUM_H_
+#define DSKETCH_CORE_SUBSET_SUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/unbiased_space_saving.h"
+
+namespace dsketch {
+
+/// A two-sided interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// True if `x` lies inside the interval (inclusive).
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+
+  /// Interval width.
+  double Width() const { return hi - lo; }
+};
+
+/// Result of a subset sum query against a sketch.
+struct SubsetSumEstimate {
+  double estimate = 0.0;       ///< unbiased estimate of the subset sum
+  double variance = 0.0;       ///< V̂ar from paper eq. 5 (upward biased)
+  uint64_t items_in_sample = 0;  ///< C_S before the max(1, .) floor
+
+  /// Estimated standard deviation.
+  double StdDev() const;
+
+  /// Normal confidence interval at `level` (e.g. 0.95).
+  Interval Confidence(double level) const;
+};
+
+/// Estimates the sum over all items satisfying `pred`.
+SubsetSumEstimate EstimateSubsetSum(
+    const UnbiasedSpaceSaving& sketch,
+    const std::function<bool(uint64_t)>& pred);
+
+/// Estimates the sum over an explicit item set.
+SubsetSumEstimate EstimateSubsetSum(
+    const UnbiasedSpaceSaving& sketch,
+    const std::unordered_set<uint64_t>& items);
+
+/// Estimate over pre-listed sketch entries (used when one scan must serve
+/// many subsets); `min_count` is the sketch's MinCount().
+SubsetSumEstimate EstimateSubsetSumFromEntries(
+    const std::vector<SketchEntry>& entries, int64_t min_count,
+    const std::function<bool(uint64_t)>& pred);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_CORE_SUBSET_SUM_H_

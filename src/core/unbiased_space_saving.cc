@@ -1,0 +1,3 @@
+#include "core/unbiased_space_saving.h"
+
+// Header-only wrapper; translation unit anchors the type for the library.

@@ -1,0 +1,153 @@
+#include "core/weighted_space_saving.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+WeightedSpaceSaving::WeightedSpaceSaving(size_t capacity, uint64_t seed)
+    : capacity_(capacity), index_(capacity), rng_(seed) {
+  DSKETCH_CHECK(capacity > 0);
+  heap_.reserve(capacity + 1);
+}
+
+void WeightedSpaceSaving::SetSlot(size_t i, WeightedEntry e) {
+  heap_[i] = e;
+  index_.InsertOrAssign(e.item, static_cast<uint32_t>(i));
+}
+
+void WeightedSpaceSaving::SiftUp(size_t i) {
+  WeightedEntry e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (heap_[parent].weight <= e.weight) break;
+    SetSlot(i, heap_[parent]);
+    i = parent;
+  }
+  SetSlot(i, e);
+}
+
+void WeightedSpaceSaving::SiftDown(size_t i) {
+  WeightedEntry e = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].weight < heap_[child].weight) {
+      ++child;
+    }
+    if (heap_[child].weight >= e.weight) break;
+    SetSlot(i, heap_[child]);
+    i = child;
+  }
+  SetSlot(i, e);
+}
+
+void WeightedSpaceSaving::Update(uint64_t item, double weight) {
+  DSKETCH_CHECK(weight > 0.0);
+  total_ += weight;
+
+  if (uint32_t* pos = index_.Find(item)) {
+    heap_[*pos].weight += weight;
+    SiftDown(*pos);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back({item, weight});
+    SetSlot(heap_.size() - 1, {item, weight});
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+
+  // Full: treat the row as a temporary (m+1)-th bin and PPS-collapse the
+  // two smallest of the m+1 bins (Theorem 2 reduction). The smallest is
+  // the heap root; the second smallest is the smaller of the root's
+  // children and the incoming bin.
+  WeightedEntry incoming{item, weight};
+  size_t second = 0;  // index of the second-smallest *heap* bin
+  if (heap_.size() > 1) {
+    second = 1;
+    if (heap_.size() > 2 && heap_[2].weight < heap_[1].weight) second = 2;
+  }
+
+  auto pps_winner = [this](const WeightedEntry& lo, const WeightedEntry& hi,
+                           double combined) -> uint64_t {
+    // Keep hi's label with probability hi.weight / combined.
+    return rng_.NextDouble() * combined < hi.weight ? hi.item : lo.item;
+  };
+
+  if (second == 0 || incoming.weight <= heap_[second].weight) {
+    // Collapse root with the incoming bin.
+    WeightedEntry root = heap_[0];
+    const WeightedEntry& lo = incoming.weight < root.weight ? incoming : root;
+    const WeightedEntry& hi = incoming.weight < root.weight ? root : incoming;
+    double combined = lo.weight + hi.weight;
+    uint64_t winner = pps_winner(lo, hi, combined);
+    index_.Erase(root.item);
+    SetSlot(0, {winner, combined});
+    SiftDown(0);
+  } else {
+    // Collapse root with its smaller child; the freed slot takes the
+    // incoming bin unchanged.
+    WeightedEntry root = heap_[0];
+    WeightedEntry next = heap_[second];
+    double combined = root.weight + next.weight;
+    uint64_t winner = pps_winner(root, next, combined);
+    index_.Erase(root.item);
+    index_.Erase(next.item);
+    SetSlot(second, incoming);
+    SiftDown(second);
+    SetSlot(0, {winner, combined});
+    SiftDown(0);
+  }
+}
+
+double WeightedSpaceSaving::EstimateWeight(uint64_t item) const {
+  const uint32_t* pos = index_.Find(item);
+  return pos != nullptr ? heap_[*pos].weight : 0.0;
+}
+
+double WeightedSpaceSaving::MinWeight() const {
+  if (heap_.size() < capacity_) return 0.0;
+  return heap_.empty() ? 0.0 : heap_[0].weight;
+}
+
+std::vector<WeightedEntry> WeightedSpaceSaving::Entries() const {
+  std::vector<WeightedEntry> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [](const WeightedEntry& a, const WeightedEntry& b) {
+              return a.weight > b.weight;
+            });
+  return out;
+}
+
+void WeightedSpaceSaving::Scale(double factor) {
+  DSKETCH_CHECK(factor > 0.0);
+  for (WeightedEntry& e : heap_) e.weight *= factor;
+  total_ *= factor;
+}
+
+void WeightedSpaceSaving::LoadEntries(
+    const std::vector<WeightedEntry>& entries) {
+  DSKETCH_CHECK(entries.size() <= capacity_);
+  heap_.clear();
+  index_.Clear();
+  total_ = 0.0;
+  for (const WeightedEntry& e : entries) {
+    DSKETCH_CHECK(e.weight >= 0.0);
+    heap_.push_back(e);
+    total_ += e.weight;
+  }
+  // Heapify bottom-up, then record positions.
+  for (size_t i = heap_.size(); i > 0; --i) {
+    size_t idx = i - 1;
+    // SiftDown rewrites positions for the subtree it touches.
+    SiftDown(idx);
+  }
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    index_.InsertOrAssign(heap_[i].item, static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace dsketch

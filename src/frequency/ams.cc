@@ -1,0 +1,61 @@
+#include "frequency/ams.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+AmsSketch::AmsSketch(size_t groups, size_t per_group, uint64_t seed)
+    : groups_(groups),
+      per_group_(per_group),
+      counters_(groups * per_group, 0) {
+  DSKETCH_CHECK(groups > 0 && per_group > 0);
+  Rng rng(seed);
+  sign_hash_.reserve(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    sign_hash_.emplace_back(/*k=*/4, rng);
+  }
+}
+
+void AmsSketch::Update(uint64_t item, int64_t count) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += sign_hash_[i].HashSign(item) * count;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> means;
+  means.reserve(groups_);
+  for (size_t g = 0; g < groups_; ++g) {
+    double sum = 0.0;
+    for (size_t j = 0; j < per_group_; ++j) {
+      double z = static_cast<double>(counters_[g * per_group_ + j]);
+      sum += z * z;
+    }
+    means.push_back(sum / static_cast<double>(per_group_));
+  }
+  std::nth_element(means.begin(), means.begin() + static_cast<long>(groups_ / 2),
+                   means.end());
+  return means[groups_ / 2];
+}
+
+double AmsSketch::EstimateJoinSize(const AmsSketch& other) const {
+  DSKETCH_CHECK(groups_ == other.groups_ && per_group_ == other.per_group_);
+  std::vector<double> means;
+  means.reserve(groups_);
+  for (size_t g = 0; g < groups_; ++g) {
+    double sum = 0.0;
+    for (size_t j = 0; j < per_group_; ++j) {
+      size_t idx = g * per_group_ + j;
+      sum += static_cast<double>(counters_[idx]) *
+             static_cast<double>(other.counters_[idx]);
+    }
+    means.push_back(sum / static_cast<double>(per_group_));
+  }
+  std::nth_element(means.begin(), means.begin() + static_cast<long>(groups_ / 2),
+                   means.end());
+  return means[groups_ / 2];
+}
+
+}  // namespace dsketch

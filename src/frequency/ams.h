@@ -1,0 +1,49 @@
+// AMS "tug of war" sketch (Alon, Matias & Szegedy 1999), the second
+// counting sketch the paper's related work cites for pre-known filters.
+// Estimates the second frequency moment F2 = sum_i n_i^2 (self-join size)
+// with a median-of-means over counters Z_j = sum_i s_j(i) n_i, where each
+// sign hash s_j is 4-wise independent.
+
+#ifndef DSKETCH_FREQUENCY_AMS_H_
+#define DSKETCH_FREQUENCY_AMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/poly_hash.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// AMS F2 sketch with `groups` x `per_group` sign counters.
+class AmsSketch {
+ public:
+  /// Median over `groups` groups of the mean of `per_group` squared
+  /// counters. Variance of each group mean is 2 F2^2 / per_group.
+  AmsSketch(size_t groups, size_t per_group, uint64_t seed = 1);
+
+  /// Adds `count` occurrences of `item` (negative deletes are allowed —
+  /// the sketch is linear).
+  void Update(uint64_t item, int64_t count = 1);
+
+  /// Estimate of F2 = sum_i n_i^2.
+  double EstimateF2() const;
+
+  /// Estimated join size with `other` (must share seed/shape):
+  /// sum_i n_i * m_i via the cross product of counters.
+  double EstimateJoinSize(const AmsSketch& other) const;
+
+  /// Total counters.
+  size_t size() const { return counters_.size(); }
+
+ private:
+  size_t groups_;
+  size_t per_group_;
+  std::vector<int64_t> counters_;   // groups_ x per_group_
+  std::vector<PolyHash> sign_hash_;  // one 4-wise hash per counter
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_FREQUENCY_AMS_H_

@@ -1,0 +1,49 @@
+#include "frequency/count_min.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+CountMin::CountMin(size_t width, size_t depth, uint64_t seed,
+                   bool conservative)
+    : width_(width),
+      depth_(depth),
+      conservative_(conservative),
+      table_(width * depth, 0) {
+  DSKETCH_CHECK(width > 0 && depth > 0);
+  Rng rng(seed);
+  hashes_.reserve(depth);
+  for (size_t d = 0; d < depth; ++d) hashes_.emplace_back(/*k=*/2, rng);
+}
+
+size_t CountMin::Cell(size_t row, uint64_t item) const {
+  return row * width_ + hashes_[row].HashRange(item, width_);
+}
+
+void CountMin::Update(uint64_t item, int64_t count) {
+  DSKETCH_CHECK(count > 0);
+  total_ += count;
+  if (!conservative_) {
+    for (size_t d = 0; d < depth_; ++d) table_[Cell(d, item)] += count;
+    return;
+  }
+  // Conservative update: raise each counter only up to (estimate + count).
+  int64_t est = std::numeric_limits<int64_t>::max();
+  for (size_t d = 0; d < depth_; ++d) est = std::min(est, table_[Cell(d, item)]);
+  int64_t target = est + count;
+  for (size_t d = 0; d < depth_; ++d) {
+    int64_t& cell = table_[Cell(d, item)];
+    cell = std::max(cell, target);
+  }
+}
+
+int64_t CountMin::EstimateCount(uint64_t item) const {
+  int64_t est = std::numeric_limits<int64_t>::max();
+  for (size_t d = 0; d < depth_; ++d) est = std::min(est, table_[Cell(d, item)]);
+  return est;
+}
+
+}  // namespace dsketch

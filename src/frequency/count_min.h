@@ -1,0 +1,56 @@
+// CountMin sketch (Cormode & Muthukrishnan 2005). The paper's related-work
+// baseline for pre-known filter conditions (§2) and the counting sketch
+// used by prior ad-prediction systems (§7). d pairwise-independent rows of
+// w counters; point queries return the minimum, overestimating by at most
+// 2n/w with probability 1 - 2^-d. Supports the conservative-update
+// variant, which only raises counters as far as necessary.
+
+#ifndef DSKETCH_FREQUENCY_COUNT_MIN_H_
+#define DSKETCH_FREQUENCY_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/poly_hash.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// CountMin sketch over 64-bit items with int64 counters.
+class CountMin {
+ public:
+  /// `width` counters per row, `depth` rows, independent hashes from
+  /// `seed`. `conservative` enables conservative update.
+  CountMin(size_t width, size_t depth, uint64_t seed = 1,
+           bool conservative = false);
+
+  /// Adds `count` (> 0) occurrences of `item`.
+  void Update(uint64_t item, int64_t count = 1);
+
+  /// Point estimate: min over rows; never underestimates.
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// Sum of all processed counts.
+  int64_t TotalCount() const { return total_; }
+
+  /// Counters per row.
+  size_t width() const { return width_; }
+
+  /// Number of rows.
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t Cell(size_t row, uint64_t item) const;
+
+  size_t width_;
+  size_t depth_;
+  bool conservative_;
+  std::vector<int64_t> table_;  // depth_ x width_, row-major
+  std::vector<PolyHash> hashes_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_FREQUENCY_COUNT_MIN_H_

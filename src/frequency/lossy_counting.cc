@@ -1,0 +1,56 @@
+#include "frequency/lossy_counting.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+LossyCounting::LossyCounting(size_t period) : period_(period) {
+  DSKETCH_CHECK(period > 0);
+}
+
+void LossyCounting::Update(uint64_t item) {
+  ++total_;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    ++it->second;
+  } else {
+    counters_.emplace(item, offset_ + 1);
+  }
+
+  if (static_cast<size_t>(total_) % period_ == 0) {
+    ++offset_;
+    for (auto cit = counters_.begin(); cit != counters_.end();) {
+      if (cit->second <= offset_) {
+        cit = counters_.erase(cit);
+      } else {
+        ++cit;
+      }
+    }
+  }
+}
+
+int64_t LossyCounting::EstimateCount(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it != counters_.end() ? it->second - offset_ : 0;
+}
+
+int64_t LossyCounting::UpperBound(uint64_t item) const {
+  return EstimateCount(item) + offset_;
+}
+
+std::vector<SketchEntry> LossyCounting::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, stored] : counters_) {
+    out.push_back({item, stored - offset_});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return a.count > b.count;
+            });
+  return out;
+}
+
+}  // namespace dsketch

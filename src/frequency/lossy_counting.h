@@ -1,0 +1,62 @@
+// Lossy Counting (Manku & Motwani 2002), simplified form described in the
+// paper (§5.2): the same decrement-all reduction as Misra-Gries but on a
+// fixed schedule — after every `period` rows all counters drop by one —
+// rather than a data-dependent one. Counts items with frequency > n/period
+// while underestimating counts by at most n/period. Unlike Misra-Gries,
+// the number of live counters is not bounded by the period; it can grow to
+// O(period * log(n/period)) in the worst case.
+
+#ifndef DSKETCH_FREQUENCY_LOSSY_COUNTING_H_
+#define DSKETCH_FREQUENCY_LOSSY_COUNTING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch_entry.h"
+
+namespace dsketch {
+
+/// Lossy Counting with decrement period `period` (the "m" of the paper).
+class LossyCounting {
+ public:
+  /// Decrements all counters after every `period` rows.
+  explicit LossyCounting(size_t period);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Estimated count (underestimate by at most decrements(); 0 if absent).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// Upper bound: estimate + decrements().
+  int64_t UpperBound(uint64_t item) const;
+
+  /// True if `item` holds a counter.
+  bool Contains(uint64_t item) const {
+    return counters_.find(item) != counters_.end();
+  }
+
+  /// Number of decrement epochs so far (= floor(n / period)).
+  int64_t decrements() const { return offset_; }
+
+  /// Rows processed.
+  int64_t TotalCount() const { return total_; }
+
+  /// Live counters in descending estimate order.
+  std::vector<SketchEntry> Entries() const;
+
+  /// Number of live counters (not bounded by period).
+  size_t size() const { return counters_.size(); }
+
+ private:
+  size_t period_;
+  std::unordered_map<uint64_t, int64_t> counters_;  // stored = est + offset_
+  int64_t offset_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_FREQUENCY_LOSSY_COUNTING_H_

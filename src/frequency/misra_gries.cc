@@ -1,0 +1,97 @@
+#include "frequency/misra_gries.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+MisraGries::MisraGries(size_t capacity) : capacity_(capacity) {
+  DSKETCH_CHECK(capacity > 0);
+  counters_.reserve(capacity + 1);
+}
+
+void MisraGries::Update(uint64_t item) {
+  ++total_;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(item, offset_ + 1);
+    return;
+  }
+  DecrementAll();
+}
+
+void MisraGries::DecrementAll() {
+  // One global decrement; purge counters whose estimate reached zero.
+  // The purge scans all counters, but each scanned-and-removed counter was
+  // inserted once, and a scan happens only when a full sketch absorbs an
+  // untracked row, which costs m tracked increments of "mass" — amortized
+  // O(1) per update overall (see paper §5.2 on the decrement reduction).
+  ++offset_;
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second <= offset_) {
+      it = counters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t MisraGries::EstimateCount(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it != counters_.end() ? it->second - offset_ : 0;
+}
+
+int64_t MisraGries::UpperBound(uint64_t item) const {
+  return EstimateCount(item) + offset_;
+}
+
+std::vector<SketchEntry> MisraGries::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, stored] : counters_) {
+    out.push_back({item, stored - offset_});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return a.count > b.count;
+            });
+  return out;
+}
+
+void MisraGries::MergeFrom(const MisraGries& other) {
+  // Combine estimates, then soft-threshold by the (capacity+1)-th largest
+  // combined count (Agarwal et al. 2013).
+  std::unordered_map<uint64_t, int64_t> combined;
+  combined.reserve(counters_.size() + other.counters_.size());
+  for (const auto& [item, stored] : counters_) {
+    combined[item] += stored - offset_;
+  }
+  for (const auto& [item, stored] : other.counters_) {
+    combined[item] += stored - other.offset_;
+  }
+
+  int64_t threshold = 0;
+  if (combined.size() > capacity_) {
+    std::vector<int64_t> counts;
+    counts.reserve(combined.size());
+    for (const auto& [item, c] : combined) counts.push_back(c);
+    std::nth_element(counts.begin(),
+                     counts.begin() + static_cast<long>(capacity_),
+                     counts.end(), std::greater<>());
+    threshold = counts[capacity_];
+  }
+
+  counters_.clear();
+  offset_ += other.offset_ + threshold;
+  total_ += other.total_;
+  for (const auto& [item, c] : combined) {
+    if (c > threshold) counters_.emplace(item, c - threshold + offset_);
+  }
+}
+
+}  // namespace dsketch

@@ -1,0 +1,83 @@
+// Misra-Gries frequent item sketch (Misra & Gries 1982; Demaine et al.
+// 2002; Karp et al. 2003).
+//
+// Maintains at most m counters. A tracked item increments its counter; an
+// untracked item takes a free counter if available, otherwise *all*
+// counters are decremented by one (zeros are dropped, and the new item is
+// discarded). Estimates underestimate by at most n/m.
+//
+// The sketch is isomorphic to Deterministic Space Saving (paper §5.2;
+// Agarwal et al. 2013): Misra-Gries with m-1 counters corresponds exactly
+// to Space Saving with m bins via
+//   N̂_MG(i) = (N̂_DSS(i) - N̂min)₊ ,
+// independent of tie-breaking, and the total number of decrements equals
+// the DSS minimum bin count at all times.
+// This implementation uses a global-offset trick: "decrement all" is a
+// single offset increment plus an amortized purge of dead counters, so
+// updates are amortized O(1).
+
+#ifndef DSKETCH_FREQUENCY_MISRA_GRIES_H_
+#define DSKETCH_FREQUENCY_MISRA_GRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch_entry.h"
+
+namespace dsketch {
+
+/// The Misra-Gries summary.
+class MisraGries {
+ public:
+  /// Sketch with at most `capacity` counters.
+  explicit MisraGries(size_t capacity);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Estimated count (underestimate; 0 when untracked).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// Upper bound on the true count: estimate + decrements().
+  int64_t UpperBound(uint64_t item) const;
+
+  /// True if `item` holds a counter.
+  bool Contains(uint64_t item) const {
+    return counters_.find(item) != counters_.end();
+  }
+
+  /// Total number of decrement-all operations performed (equals the
+  /// Deterministic Space Saving minimum bin count on the same stream).
+  int64_t decrements() const { return offset_; }
+
+  /// Rows processed.
+  int64_t TotalCount() const { return total_; }
+
+  /// Maximum number of counters.
+  size_t capacity() const { return capacity_; }
+
+  /// Number of live counters.
+  size_t size() const { return counters_.size(); }
+
+  /// Live counters (estimate > 0) in descending estimate order.
+  std::vector<SketchEntry> Entries() const;
+
+  /// Merges another sketch into this one with the Agarwal et al.
+  /// soft-threshold merge (deterministic guarantee preserved; biased).
+  void MergeFrom(const MisraGries& other);
+
+ private:
+  void DecrementAll();
+
+  size_t capacity_;
+  // Stored value = estimate + offset_ at all times; estimate = stored - offset_.
+  std::unordered_map<uint64_t, int64_t> counters_;
+  int64_t offset_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_FREQUENCY_MISRA_GRIES_H_

@@ -1,0 +1,73 @@
+#include "frequency/signed_misra_gries.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+SignedMisraGries::SignedMisraGries(size_t capacity) : capacity_(capacity) {
+  DSKETCH_CHECK(capacity > 0);
+  counters_.reserve(2 * capacity);
+}
+
+void SignedMisraGries::Update(uint64_t item, int64_t delta) {
+  DSKETCH_CHECK(delta != 0);
+  net_total_ += delta;
+  int64_t& value = counters_[item];
+  value += delta;
+  if (value == 0) {
+    counters_.erase(item);
+    return;
+  }
+  // Amortize: allow 2x overflow before reducing so each reduction is paid
+  // for by at least `capacity` inserts.
+  if (counters_.size() > 2 * capacity_) Reduce();
+}
+
+void SignedMisraGries::Reduce() {
+  // Two-sided soft threshold by the (capacity+1)-th largest |value|.
+  std::vector<int64_t> magnitudes;
+  magnitudes.reserve(counters_.size());
+  for (const auto& [item, value] : counters_) {
+    magnitudes.push_back(std::llabs(value));
+  }
+  if (magnitudes.size() <= capacity_) return;
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + static_cast<long>(capacity_),
+                   magnitudes.end(), std::greater<>());
+  int64_t threshold = magnitudes[capacity_];
+  if (threshold == 0) return;
+
+  threshold_applied_ += threshold;
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second > threshold) {
+      it->second -= threshold;
+      ++it;
+    } else if (it->second < -threshold) {
+      it->second += threshold;
+      ++it;
+    } else {
+      it = counters_.erase(it);
+    }
+  }
+}
+
+int64_t SignedMisraGries::EstimateValue(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::vector<SketchEntry> SignedMisraGries::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, value] : counters_) out.push_back({item, value});
+  std::sort(out.begin(), out.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return std::llabs(a.count) > std::llabs(b.count);
+            });
+  return out;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,68 @@
+// Signed / deletion-capable Misra-Gries (paper §5.3): "It can be modified
+// to handle deletions and arbitrary numeric aggregations by making the
+// thresholding operation two-sided so that negative values are shrunk
+// toward 0 as well."
+//
+// Counters hold signed values; when the summary exceeds capacity the
+// reduction soft-thresholds *two-sidedly* by the (capacity+1)-th largest
+// absolute value: positives shrink down, negatives shrink up, and values
+// crossing zero are dropped. Estimates carry the deterministic error bound
+// |n̂ - n| <= (sum of thresholds applied). As in the paper, no stronger
+// theoretical analysis is claimed for the signed case.
+
+#ifndef DSKETCH_FREQUENCY_SIGNED_MISRA_GRIES_H_
+#define DSKETCH_FREQUENCY_SIGNED_MISRA_GRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch_entry.h"
+
+namespace dsketch {
+
+/// Misra-Gries over signed integer updates (insertions and deletions).
+class SignedMisraGries {
+ public:
+  /// At most `capacity` counters are kept after each reduction.
+  explicit SignedMisraGries(size_t capacity);
+
+  /// Adds `delta` (any sign, non-zero) to `item`'s value.
+  void Update(uint64_t item, int64_t delta);
+
+  /// Estimated value (biased toward 0 by at most error_bound()).
+  int64_t EstimateValue(uint64_t item) const;
+
+  /// Deterministic bound on |truth - estimate| for any item.
+  int64_t error_bound() const { return threshold_applied_; }
+
+  /// True if `item` holds a counter.
+  bool Contains(uint64_t item) const {
+    return counters_.find(item) != counters_.end();
+  }
+
+  /// Exact sum of all deltas processed (maintained separately).
+  int64_t NetTotal() const { return net_total_; }
+
+  /// Live counters, descending by |value|.
+  std::vector<SketchEntry> Entries() const;
+
+  /// Number of live counters.
+  size_t size() const { return counters_.size(); }
+
+  /// Maximum counters retained after a reduction.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Reduce();
+
+  size_t capacity_;
+  std::unordered_map<uint64_t, int64_t> counters_;
+  int64_t threshold_applied_ = 0;  // cumulative two-sided shrinkage
+  int64_t net_total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_FREQUENCY_SIGNED_MISRA_GRIES_H_

@@ -1,0 +1,58 @@
+#include "frequency/sticky_sampling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+StickySampling::StickySampling(size_t t, uint64_t seed)
+    : t_(t), next_boundary_(static_cast<int64_t>(2 * t)), rng_(seed) {
+  DSKETCH_CHECK(t > 0);
+}
+
+void StickySampling::Update(uint64_t item) {
+  if (total_ >= next_boundary_) HalveRate();
+  ++total_;
+
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (rng_.NextBernoulli(rate_)) counters_.emplace(item, 1);
+}
+
+void StickySampling::HalveRate() {
+  rate_ *= 0.5;
+  next_boundary_ *= 2;
+  // Diminish each counter by the number of tails before the first head of
+  // a fair coin; drop counters that reach zero (Manku & Motwani).
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    int64_t tails = static_cast<int64_t>(rng_.NextGeometric0(0.5));
+    it->second -= tails;
+    if (it->second <= 0) {
+      it = counters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t StickySampling::EstimateCount(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::vector<SketchEntry> StickySampling::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, c] : counters_) out.push_back({item, c});
+  std::sort(out.begin(), out.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return a.count > b.count;
+            });
+  return out;
+}
+
+}  // namespace dsketch

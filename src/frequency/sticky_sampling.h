@@ -1,0 +1,66 @@
+// Sticky Sampling (Manku & Motwani 2002). Included to complete the
+// related-work family the paper discusses (§5.2); the paper notes it has
+// both worse practical performance and weaker guarantees than the other
+// frequent-item sketches, which the bench suite confirms.
+//
+// Rows are sampled into the summary with a rate that halves every time the
+// window doubles; on each rate change every counter is diminished by a
+// Geometric number of failed coin tosses. Tracked items count exactly.
+
+#ifndef DSKETCH_FREQUENCY_STICKY_SAMPLING_H_
+#define DSKETCH_FREQUENCY_STICKY_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Sticky Sampling with window scale `t`: the first 2t rows are sampled at
+/// rate 1, the next 2t at rate 1/2, then 4t at rate 1/4, and so on.
+class StickySampling {
+ public:
+  /// `t` controls memory (expected ~2t counters); `seed` drives sampling.
+  explicit StickySampling(size_t t, uint64_t seed = 1);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Estimated count (underestimate; 0 when untracked).
+  int64_t EstimateCount(uint64_t item) const;
+
+  /// True if `item` holds a counter.
+  bool Contains(uint64_t item) const {
+    return counters_.find(item) != counters_.end();
+  }
+
+  /// Current sampling rate (1, 1/2, 1/4, ...).
+  double sampling_rate() const { return rate_; }
+
+  /// Rows processed.
+  int64_t TotalCount() const { return total_; }
+
+  /// Number of live counters.
+  size_t size() const { return counters_.size(); }
+
+  /// Live counters in descending estimate order.
+  std::vector<SketchEntry> Entries() const;
+
+ private:
+  void HalveRate();
+
+  size_t t_;
+  std::unordered_map<uint64_t, int64_t> counters_;
+  double rate_ = 1.0;
+  int64_t total_ = 0;
+  int64_t next_boundary_;
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_FREQUENCY_STICKY_SAMPLING_H_

@@ -1,0 +1,39 @@
+// 64-bit hashing primitives implemented from scratch (no external deps):
+// an XXH64-compatible byte-stream hash, a fast integer mixer, and seeded
+// variants used to derive independent hash functions per sketch row.
+
+#ifndef DSKETCH_HASHING_HASH_H_
+#define DSKETCH_HASHING_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dsketch {
+
+/// XXH64 of `len` bytes at `data` with the given `seed`. Matches the
+/// reference xxHash algorithm (useful for cross-checking golden values).
+uint64_t XXH64(const void* data, size_t len, uint64_t seed);
+
+/// Convenience overload over a string_view.
+inline uint64_t XXH64(std::string_view s, uint64_t seed = 0) {
+  return XXH64(s.data(), s.size(), seed);
+}
+
+/// Strong 64-bit mixer (Murmur3 finalizer). Bijective.
+uint64_t Mix64(uint64_t x);
+
+/// Seeded hash of a 64-bit key: cheap, high-quality, used to derive
+/// per-structure hash functions (e.g., bottom-k ranks, shard routing).
+inline uint64_t HashU64(uint64_t key, uint64_t seed) {
+  return Mix64(key ^ Mix64(seed ^ 0x9e3779b97f4a7c15ULL));
+}
+
+/// Maps a 64-bit hash to a double in [0, 1). Used for hash-derived ranks.
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_HASHING_HASH_H_

@@ -1,0 +1,43 @@
+#include "hashing/poly_hash.h"
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+uint64_t MulMod61(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  return r >= kMersenne61 ? r - kMersenne61 : r;
+}
+
+PolyHash::PolyHash(int k, Rng& rng) {
+  DSKETCH_CHECK(k >= 1);
+  coef_.resize(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    coef_[static_cast<size_t>(i)] = rng.NextBounded(kMersenne61);
+  }
+  // Keep the family "really" degree k-1: non-zero leading coefficient.
+  if (k > 1 && coef_.back() == 0) coef_.back() = 1;
+}
+
+uint64_t PolyHash::Hash(uint64_t key) const {
+  uint64_t x = Mod61(key);
+  uint64_t acc = 0;
+  // Horner evaluation, highest degree first.
+  for (size_t i = coef_.size(); i > 0; --i) {
+    acc = MulMod61(acc, x);
+    acc += coef_[i - 1];
+    if (acc >= kMersenne61) acc -= kMersenne61;
+  }
+  return acc;
+}
+
+uint64_t PolyHash::HashRange(uint64_t key, uint64_t range) const {
+  DSKETCH_DCHECK(range > 0);
+  __uint128_t scaled = static_cast<__uint128_t>(Hash(key)) * range;
+  return static_cast<uint64_t>(scaled / kMersenne61);
+}
+
+}  // namespace dsketch

@@ -1,0 +1,53 @@
+// k-wise independent polynomial hashing over the Mersenne prime 2^61 - 1.
+//
+// A random degree-(k-1) polynomial evaluated at the key is a k-wise
+// independent hash family; CountMin needs pairwise independence and the
+// AMS sketch needs 4-wise independence for its variance bound. Arithmetic
+// uses the standard Mersenne-prime folding trick so no 128-bit modulo is
+// required.
+
+#ifndef DSKETCH_HASHING_POLY_HASH_H_
+#define DSKETCH_HASHING_POLY_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsketch {
+
+/// The Mersenne prime 2^61 - 1 used as the hash field modulus.
+constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Multiplies a*b mod 2^61-1 without overflow.
+uint64_t MulMod61(uint64_t a, uint64_t b);
+
+/// Reduces x mod 2^61-1 (x < 2^62 + 2^61 is fine).
+inline uint64_t Mod61(uint64_t x) {
+  uint64_t r = (x & kMersenne61) + (x >> 61);
+  return r >= kMersenne61 ? r - kMersenne61 : r;
+}
+
+/// k-wise independent hash: h(x) = poly(x) mod p, coefficients drawn
+/// uniformly from [0, p) with a non-zero leading coefficient.
+class PolyHash {
+ public:
+  /// Degree-(k-1) polynomial => k-wise independence. k >= 1.
+  PolyHash(int k, Rng& rng);
+
+  /// Hash of `key` in [0, 2^61 - 1).
+  uint64_t Hash(uint64_t key) const;
+
+  /// Hash reduced to [0, range) via multiply-shift style scaling.
+  uint64_t HashRange(uint64_t key, uint64_t range) const;
+
+  /// Hash mapped to {-1, +1} (sign hash for AMS).
+  int HashSign(uint64_t key) const { return (Hash(key) & 1) ? 1 : -1; }
+
+ private:
+  std::vector<uint64_t> coef_;  // coef_[0] + coef_[1] x + ...
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_HASHING_POLY_HASH_H_

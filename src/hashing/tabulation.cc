@@ -1,0 +1,11 @@
+#include "hashing/tabulation.h"
+
+namespace dsketch {
+
+TabulationHash::TabulationHash(Rng& rng) {
+  for (auto& row : table_) {
+    for (auto& cell : row) cell = rng.NextU64();
+  }
+}
+
+}  // namespace dsketch

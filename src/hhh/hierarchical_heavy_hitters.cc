@@ -1,0 +1,92 @@
+#include "hhh/hierarchical_heavy_hitters.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+HierarchicalHeavyHitters::HierarchicalHeavyHitters(int levels,
+                                                   int bits_per_level,
+                                                   size_t capacity_per_level,
+                                                   uint64_t seed)
+    : bits_per_level_(bits_per_level) {
+  DSKETCH_CHECK(levels >= 1);
+  DSKETCH_CHECK(bits_per_level >= 1 && bits_per_level * (levels - 1) < 64);
+  sketches_.reserve(static_cast<size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    sketches_.emplace_back(capacity_per_level,
+                           seed + 0x9e3779b97f4a7c15ULL * (l + 1));
+  }
+}
+
+uint64_t HierarchicalHeavyHitters::Truncate(uint64_t key, int level) const {
+  DSKETCH_DCHECK(level >= 0 && level < levels());
+  int shift = bits_per_level_ * level;
+  return shift == 0 ? key : (key >> shift) << shift;
+}
+
+void HierarchicalHeavyHitters::Update(uint64_t key) {
+  for (int l = 0; l < levels(); ++l) {
+    sketches_[static_cast<size_t>(l)].Update(Truncate(key, l));
+  }
+}
+
+int64_t HierarchicalHeavyHitters::EstimatePrefix(uint64_t prefix,
+                                                 int level) const {
+  DSKETCH_CHECK(level >= 0 && level < levels());
+  return sketches_[static_cast<size_t>(level)].EstimateCount(prefix);
+}
+
+int64_t HierarchicalHeavyHitters::TotalCount() const {
+  return sketches_.front().TotalCount();
+}
+
+std::vector<HeavyPrefix> HierarchicalHeavyHitters::Query(double phi) const {
+  DSKETCH_CHECK(phi > 0.0 && phi < 1.0);
+  const double threshold = phi * static_cast<double>(TotalCount());
+  std::vector<HeavyPrefix> out;
+
+  // Mass of reported prefixes from the previous (finer) level, keyed by
+  // their parent prefix at the current level.
+  std::unordered_map<uint64_t, int64_t> reported_child_mass;
+
+  for (int l = 0; l < levels(); ++l) {
+    std::unordered_map<uint64_t, int64_t> next_child_mass;
+    for (const SketchEntry& e :
+         sketches_[static_cast<size_t>(l)].Entries()) {
+      if (static_cast<double>(e.count) <= threshold) continue;
+      int64_t child_mass = 0;
+      auto it = reported_child_mass.find(e.item);
+      if (it != reported_child_mass.end()) child_mass = it->second;
+
+      HeavyPrefix hp;
+      hp.prefix = e.item;
+      hp.level = l;
+      hp.estimate = e.count;
+      hp.conditioned = e.count - child_mass;
+      // A prefix is a *hierarchical* heavy hitter when it is heavy beyond
+      // its already-reported descendants.
+      bool report = static_cast<double>(hp.conditioned) > threshold;
+      if (report) out.push_back(hp);
+
+      // Mass absorbed at this level (either reported here or passed
+      // through from below) shields the parent one level up.
+      int64_t absorbed = report ? e.count : child_mass;
+      if (l + 1 < levels()) {
+        next_child_mass[Truncate(e.item, l + 1)] += absorbed;
+      }
+    }
+    reported_child_mass = std::move(next_child_mass);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const HeavyPrefix& a, const HeavyPrefix& b) {
+              if (a.level != b.level) return a.level < b.level;
+              return a.estimate > b.estimate;
+            });
+  return out;
+}
+
+}  // namespace dsketch

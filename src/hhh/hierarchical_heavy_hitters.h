@@ -1,0 +1,73 @@
+// Hierarchical heavy hitters over prefix hierarchies (paper §3.1: network
+// addresses arrange hierarchically; an administrator wants both individual
+// hot nodes and hot subnets; cf. Zhang et al. 2004, Mitzenmacher et al.
+// 2012 "hierarchical heavy hitters with the space saving algorithm").
+//
+// One Unbiased Space Saving sketch per hierarchy level, each fed the row's
+// key truncated to that level's prefix. Because every level's sketch is
+// unbiased, level-l subset sums (e.g. "traffic of 10.3.0.0/16") are
+// unbiased too, and *conditioned* heavy hitters — prefixes heavy after
+// subtracting their heavy children — follow from the level estimates.
+
+#ifndef DSKETCH_HHH_HIERARCHICAL_HEAVY_HITTERS_H_
+#define DSKETCH_HHH_HIERARCHICAL_HEAVY_HITTERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/unbiased_space_saving.h"
+
+namespace dsketch {
+
+/// A heavy prefix reported by the hierarchy.
+struct HeavyPrefix {
+  uint64_t prefix = 0;           ///< key truncated to the level
+  int level = 0;                 ///< 0 = full key, higher = coarser
+  int64_t estimate = 0;          ///< estimated total under the prefix
+  int64_t conditioned = 0;       ///< estimate minus heavy-descendant mass
+};
+
+/// Per-level Space Saving over an N-level truncation hierarchy of 64-bit
+/// keys. Level l truncates the low `bits_per_level * l` bits.
+class HierarchicalHeavyHitters {
+ public:
+  /// `levels` >= 1 sketches of `capacity_per_level` bins each;
+  /// `bits_per_level` low bits are dropped per level step.
+  HierarchicalHeavyHitters(int levels, int bits_per_level,
+                           size_t capacity_per_level, uint64_t seed = 1);
+
+  /// Processes one row keyed by `key` (weight-1).
+  void Update(uint64_t key);
+
+  /// Unbiased estimate of the total under `prefix` at `level`.
+  int64_t EstimatePrefix(uint64_t prefix, int level) const;
+
+  /// Rows processed.
+  int64_t TotalCount() const;
+
+  /// Number of levels.
+  int levels() const { return static_cast<int>(sketches_.size()); }
+
+  /// The level-l sketch (level 0 = full keys).
+  const UnbiasedSpaceSaving& level_sketch(int level) const {
+    return sketches_[static_cast<size_t>(level)];
+  }
+
+  /// Truncates `key` to `level`.
+  uint64_t Truncate(uint64_t key, int level) const;
+
+  /// Hierarchical heavy hitters above `phi` * total: per level, prefixes
+  /// whose *conditioned* count (estimate minus the mass of reported
+  /// descendants one level below) still exceeds the threshold. Sorted by
+  /// level then estimate.
+  std::vector<HeavyPrefix> Query(double phi) const;
+
+ private:
+  int bits_per_level_;
+  std::vector<UnbiasedSpaceSaving> sketches_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_HHH_HIERARCHICAL_HEAVY_HITTERS_H_

@@ -1,0 +1,34 @@
+#include "query/attribute_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+AttributeTable::AttributeTable(size_t num_dims) : num_dims_(num_dims) {
+  DSKETCH_CHECK(num_dims > 0);
+}
+
+uint64_t AttributeTable::AddItem(const std::vector<uint32_t>& attrs) {
+  DSKETCH_CHECK(attrs.size() == num_dims_);
+  uint64_t id = num_items();
+  flat_.insert(flat_.end(), attrs.begin(), attrs.end());
+  return id;
+}
+
+uint32_t AttributeTable::Get(uint64_t item, size_t dim) const {
+  DSKETCH_DCHECK(item < num_items() && dim < num_dims_);
+  return flat_[item * num_dims_ + dim];
+}
+
+uint32_t AttributeTable::DimCardinality(size_t dim) const {
+  DSKETCH_CHECK(dim < num_dims_);
+  uint32_t max_val = 0;
+  for (size_t i = dim; i < flat_.size(); i += num_dims_) {
+    max_val = std::max(max_val, flat_[i]);
+  }
+  return flat_.empty() ? 0 : max_val + 1;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,111 @@
+#include "query/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+SketchQueryEngine::SketchQueryEngine(const UnbiasedSpaceSaving* sketch,
+                                     const AttributeTable* attrs)
+    : sketch_(sketch), attrs_(attrs) {
+  DSKETCH_CHECK(sketch != nullptr && attrs != nullptr);
+}
+
+SubsetSumEstimate SketchQueryEngine::Sum(const Predicate& where) const {
+  return EstimateSubsetSum(*sketch_, [&](uint64_t item) {
+    return where.Matches(*attrs_, item);
+  });
+}
+
+std::unordered_map<uint32_t, SubsetSumEstimate> SketchQueryEngine::GroupBy1(
+    size_t dim, const Predicate& where) const {
+  struct Acc {
+    double sum = 0.0;
+    uint64_t items = 0;
+  };
+  std::unordered_map<uint32_t, Acc> acc;
+  for (const SketchEntry& e : sketch_->Entries()) {
+    if (!where.Matches(*attrs_, e.item)) continue;
+    Acc& a = acc[attrs_->Get(e.item, dim)];
+    a.sum += static_cast<double>(e.count);
+    ++a.items;
+  }
+  double nmin = static_cast<double>(sketch_->MinCount());
+  std::unordered_map<uint32_t, SubsetSumEstimate> out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    SubsetSumEstimate est;
+    est.estimate = a.sum;
+    est.items_in_sample = a.items;
+    est.variance =
+        nmin * nmin * static_cast<double>(std::max<uint64_t>(1, a.items));
+    out.emplace(key, est);
+  }
+  return out;
+}
+
+std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
+    size_t d1, size_t d2, const Predicate& where) const {
+  struct Acc {
+    double sum = 0.0;
+    uint64_t items = 0;
+  };
+  std::unordered_map<uint64_t, Acc> acc;
+  for (const SketchEntry& e : sketch_->Entries()) {
+    if (!where.Matches(*attrs_, e.item)) continue;
+    uint64_t key = PackGroupKey(attrs_->Get(e.item, d1),
+                                attrs_->Get(e.item, d2));
+    Acc& a = acc[key];
+    a.sum += static_cast<double>(e.count);
+    ++a.items;
+  }
+  double nmin = static_cast<double>(sketch_->MinCount());
+  std::unordered_map<uint64_t, SubsetSumEstimate> out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    SubsetSumEstimate est;
+    est.estimate = a.sum;
+    est.items_in_sample = a.items;
+    est.variance =
+        nmin * nmin * static_cast<double>(std::max<uint64_t>(1, a.items));
+    out.emplace(key, est);
+  }
+  return out;
+}
+
+ExactQueryEngine::ExactQueryEngine(const ExactAggregator* agg,
+                                   const AttributeTable* attrs)
+    : agg_(agg), attrs_(attrs) {
+  DSKETCH_CHECK(agg != nullptr && attrs != nullptr);
+}
+
+int64_t ExactQueryEngine::Sum(const Predicate& where) const {
+  int64_t sum = 0;
+  for (const auto& [item, count] : agg_->counts()) {
+    if (where.Matches(*attrs_, item)) sum += count;
+  }
+  return sum;
+}
+
+std::unordered_map<uint32_t, int64_t> ExactQueryEngine::GroupBy1(
+    size_t dim, const Predicate& where) const {
+  std::unordered_map<uint32_t, int64_t> out;
+  for (const auto& [item, count] : agg_->counts()) {
+    if (!where.Matches(*attrs_, item)) continue;
+    out[attrs_->Get(item, dim)] += count;
+  }
+  return out;
+}
+
+std::unordered_map<uint64_t, int64_t> ExactQueryEngine::GroupBy2(
+    size_t d1, size_t d2, const Predicate& where) const {
+  std::unordered_map<uint64_t, int64_t> out;
+  for (const auto& [item, count] : agg_->counts()) {
+    if (!where.Matches(*attrs_, item)) continue;
+    out[PackGroupKey(attrs_->Get(item, d1), attrs_->Get(item, d2))] += count;
+  }
+  return out;
+}
+
+}  // namespace dsketch

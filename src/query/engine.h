@@ -1,0 +1,78 @@
+// Query engines answering the paper's motivating SQL shape
+//
+//   SELECT sum(metric) FROM table WHERE filters GROUP BY dimensions
+//
+// over (a) an Unbiased Space Saving sketch — approximate, with variance
+// and confidence intervals — and (b) an ExactAggregator — ground truth.
+// Group-by keys are the attribute value (1-way) or a packed pair of
+// attribute values (2-way), matching the marginal queries of Fig. 6.
+
+#ifndef DSKETCH_QUERY_ENGINE_H_
+#define DSKETCH_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/subset_sum.h"
+#include "core/unbiased_space_saving.h"
+#include "query/attribute_table.h"
+#include "query/exact_aggregator.h"
+#include "query/predicate.h"
+
+namespace dsketch {
+
+/// Packs two 32-bit group keys into one 64-bit key (d1 high, d2 low).
+inline uint64_t PackGroupKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Approximate engine over a sketch plus dimension table.
+class SketchQueryEngine {
+ public:
+  /// Both pointers must outlive the engine.
+  SketchQueryEngine(const UnbiasedSpaceSaving* sketch,
+                    const AttributeTable* attrs);
+
+  /// SELECT sum(1) WHERE `where`.
+  SubsetSumEstimate Sum(const Predicate& where) const;
+
+  /// SELECT sum(1) GROUP BY dim WHERE `where`; key = attribute value.
+  std::unordered_map<uint32_t, SubsetSumEstimate> GroupBy1(
+      size_t dim, const Predicate& where = Predicate()) const;
+
+  /// Two-dimensional group-by; key = PackGroupKey(attr[d1], attr[d2]).
+  std::unordered_map<uint64_t, SubsetSumEstimate> GroupBy2(
+      size_t d1, size_t d2, const Predicate& where = Predicate()) const;
+
+ private:
+  const UnbiasedSpaceSaving* sketch_;
+  const AttributeTable* attrs_;
+};
+
+/// Exact engine with the same query surface (returns true sums).
+class ExactQueryEngine {
+ public:
+  /// Both pointers must outlive the engine.
+  ExactQueryEngine(const ExactAggregator* agg, const AttributeTable* attrs);
+
+  /// Exact SELECT sum(1) WHERE `where`.
+  int64_t Sum(const Predicate& where) const;
+
+  /// Exact 1-way group-by.
+  std::unordered_map<uint32_t, int64_t> GroupBy1(
+      size_t dim, const Predicate& where = Predicate()) const;
+
+  /// Exact 2-way group-by (keys packed as in PackGroupKey).
+  std::unordered_map<uint64_t, int64_t> GroupBy2(
+      size_t d1, size_t d2, const Predicate& where = Predicate()) const;
+
+ private:
+  const ExactAggregator* agg_;
+  const AttributeTable* attrs_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_QUERY_ENGINE_H_

@@ -1,0 +1,25 @@
+#include "query/exact_aggregator.h"
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+void ExactAggregator::Update(uint64_t item, int64_t count) {
+  DSKETCH_CHECK(count > 0);
+  counts_[item] += count;
+  total_ += count;
+}
+
+int64_t ExactAggregator::Count(uint64_t item) const {
+  auto it = counts_.find(item);
+  return it != counts_.end() ? it->second : 0;
+}
+
+std::vector<SketchEntry> ExactAggregator::Entries() const {
+  std::vector<SketchEntry> out;
+  out.reserve(counts_.size());
+  for (const auto& [item, count] : counts_) out.push_back({item, count});
+  return out;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,50 @@
+// Exact per-unit pre-aggregation: the expensive baseline the paper's
+// disaggregated sketches avoid. Used as ground truth in every experiment
+// and as the input required by the pre-aggregated samplers (priority
+// sampling).
+
+#ifndef DSKETCH_QUERY_EXACT_AGGREGATOR_H_
+#define DSKETCH_QUERY_EXACT_AGGREGATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch_entry.h"
+
+namespace dsketch {
+
+/// Exact item -> count aggregation over a disaggregated stream.
+class ExactAggregator {
+ public:
+  ExactAggregator() = default;
+
+  /// Processes one row with label `item` and optional weight.
+  void Update(uint64_t item, int64_t count = 1);
+
+  /// True count of `item` (0 if never seen).
+  int64_t Count(uint64_t item) const;
+
+  /// Total rows (sum of weights) processed.
+  int64_t TotalCount() const { return total_; }
+
+  /// Number of distinct items.
+  size_t size() const { return counts_.size(); }
+
+  /// All (item, count) pairs, unordered.
+  std::vector<SketchEntry> Entries() const;
+
+  /// Read access for single-pass consumers.
+  const std::unordered_map<uint64_t, int64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_QUERY_EXACT_AGGREGATOR_H_

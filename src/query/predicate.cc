@@ -1,0 +1,33 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+Predicate& Predicate::WhereEq(size_t dim, uint32_t value) {
+  conditions_.push_back({dim, {value}});
+  return *this;
+}
+
+Predicate& Predicate::WhereIn(size_t dim, std::vector<uint32_t> values) {
+  DSKETCH_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  conditions_.push_back({dim, std::move(values)});
+  return *this;
+}
+
+bool Predicate::Matches(const AttributeTable& table, uint64_t item) const {
+  for (const Condition& c : conditions_) {
+    uint32_t v = table.Get(item, c.dim);
+    if (c.values.size() == 1) {
+      if (v != c.values[0]) return false;
+    } else if (!std::binary_search(c.values.begin(), c.values.end(), v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,44 @@
+// Filter predicates over attribute tuples: conjunctions of per-dimension
+// equality / set-membership conditions — the arbitrary "WHERE filters" of
+// the disaggregated subset sum problem.
+
+#ifndef DSKETCH_QUERY_PREDICATE_H_
+#define DSKETCH_QUERY_PREDICATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "query/attribute_table.h"
+
+namespace dsketch {
+
+/// Conjunctive filter over dimensions of an AttributeTable.
+class Predicate {
+ public:
+  /// The always-true predicate.
+  Predicate() = default;
+
+  /// Adds the condition attr[dim] == value; returns *this for chaining.
+  Predicate& WhereEq(size_t dim, uint32_t value);
+
+  /// Adds the condition attr[dim] IN values; returns *this for chaining.
+  Predicate& WhereIn(size_t dim, std::vector<uint32_t> values);
+
+  /// True if `item`'s attributes satisfy every condition.
+  bool Matches(const AttributeTable& table, uint64_t item) const;
+
+  /// Number of conditions.
+  size_t num_conditions() const { return conditions_.size(); }
+
+ private:
+  struct Condition {
+    size_t dim;
+    std::vector<uint32_t> values;  // sorted for binary search
+  };
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_QUERY_PREDICATE_H_

@@ -1,0 +1,90 @@
+#include "sampling/bottom_k.h"
+
+#include "hashing/hash.h"
+#include "util/logging.h"
+
+namespace dsketch {
+
+BottomKSampler::BottomKSampler(size_t k, uint64_t seed)
+    : k_(k), seed_(seed), index_(k + 1) {
+  DSKETCH_CHECK(k > 0);
+  heap_.reserve(k + 1);
+}
+
+void BottomKSampler::SetSlot(size_t i, Tracked t) {
+  heap_[i] = t;
+  index_.InsertOrAssign(t.item, static_cast<uint32_t>(i));
+}
+
+void BottomKSampler::SiftUp(size_t i) {
+  Tracked t = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (heap_[parent].rank >= t.rank) break;
+    SetSlot(i, heap_[parent]);
+    i = parent;
+  }
+  SetSlot(i, t);
+}
+
+void BottomKSampler::SiftDown(size_t i) {
+  Tracked t = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].rank > heap_[child].rank) ++child;
+    if (heap_[child].rank <= t.rank) break;
+    SetSlot(i, heap_[child]);
+    i = child;
+  }
+  SetSlot(i, t);
+}
+
+void BottomKSampler::Update(uint64_t item) {
+  ++total_;
+  if (uint32_t* pos = index_.Find(item)) {
+    ++heap_[*pos].count;
+    return;
+  }
+  double rank = HashToUnit(HashU64(item, seed_));
+  if (heap_.size() < k_ + 1) {
+    heap_.push_back({rank, item, 1});
+    SetSlot(heap_.size() - 1, heap_.back());
+    SiftUp(heap_.size() - 1);
+    if (heap_.size() == k_ + 1) tau_ = heap_.front().rank;
+    return;
+  }
+  if (rank < heap_.front().rank) {
+    index_.Erase(heap_.front().item);
+    SetSlot(0, {rank, item, 1});
+    SiftDown(0);
+    tau_ = heap_.front().rank;
+  }
+  // Otherwise: rank is beyond the (k+1)-th smallest — the row is dropped,
+  // exactly the information loss uniform item sampling incurs.
+}
+
+std::vector<WeightedEntry> BottomKSampler::Sample() const {
+  std::vector<WeightedEntry> out;
+  const bool exact = heap_.size() <= k_;
+  out.reserve(exact ? heap_.size() : k_);
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (!exact && i == 0) continue;  // root = threshold item, excluded
+    const Tracked& t = heap_[i];
+    double w = static_cast<double>(t.count);
+    out.push_back({t.item, exact ? w : w / tau_});
+  }
+  return out;
+}
+
+double BottomKSampler::EstimateSubset(
+    const std::function<bool(uint64_t)>& pred) const {
+  double sum = 0.0;
+  for (const WeightedEntry& e : Sample()) {
+    if (pred(e.item)) sum += e.weight;
+  }
+  return sum;
+}
+
+}  // namespace dsketch

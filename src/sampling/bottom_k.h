@@ -1,0 +1,74 @@
+// Bottom-k sketch (Cohen & Kaplan 2007): uniform sampling of *items* via
+// hash ranks, the paper's uniform baseline (Figs. 4). Because an item's
+// rank is a fixed hash of its identity, the sketch can ingest the raw
+// disaggregated stream: an item is tracked from its first row, counts of
+// tracked items are exact, and once an item's rank exceeds the k-th
+// smallest rank it can never re-enter.
+//
+// Subset sums use the rank-conditioning estimator: with tau = (k+1)-th
+// smallest rank over distinct items seen, each sampled item has
+// conditional inclusion probability tau, so  n̂_S = sum_{i in sample∩S}
+// n_i / tau  is unbiased.
+
+#ifndef DSKETCH_SAMPLING_BOTTOM_K_H_
+#define DSKETCH_SAMPLING_BOTTOM_K_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "util/flat_map.h"
+
+namespace dsketch {
+
+/// Streaming bottom-k uniform item sampler over a disaggregated stream.
+class BottomKSampler {
+ public:
+  /// Keeps the `k` items with smallest hash ranks; `seed` salts the hash.
+  BottomKSampler(size_t k, uint64_t seed = 1);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Conditional threshold tau: the (k+1)-th smallest distinct rank seen
+  /// (1.0 while at most k distinct items have been seen).
+  double Threshold() const { return tau_; }
+
+  /// Sampled items with their exact counts and Horvitz-Thompson adjusted
+  /// weights count/tau.
+  std::vector<WeightedEntry> Sample() const;
+
+  /// Unbiased subset-sum estimate over items satisfying `pred`.
+  double EstimateSubset(const std::function<bool(uint64_t)>& pred) const;
+
+  /// Number of tracked items (<= k).
+  size_t size() const { return heap_.size() > k_ ? k_ : heap_.size(); }
+
+  /// Rows processed.
+  int64_t TotalCount() const { return total_; }
+
+ private:
+  struct Tracked {
+    double rank;
+    uint64_t item;
+    int64_t count;
+  };
+
+  // Max-heap by rank over the k+1 smallest ranks (root = largest kept).
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void SetSlot(size_t i, Tracked t);
+
+  size_t k_;
+  uint64_t seed_;
+  std::vector<Tracked> heap_;
+  FlatMap<uint32_t> index_;  // item -> heap position
+  double tau_ = 1.0;
+  int64_t total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SAMPLING_BOTTOM_K_H_

@@ -1,0 +1,45 @@
+// Horvitz-Thompson estimation helpers (paper §5.1): unbiased totals from
+// unequal-probability samples via  Ŝ = sum_i x_i Z_i / pi_i.
+
+#ifndef DSKETCH_SAMPLING_HORVITZ_THOMPSON_H_
+#define DSKETCH_SAMPLING_HORVITZ_THOMPSON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+/// HT total over parallel arrays: indicator take[i], value weights[i],
+/// inclusion probability probs[i] (> 0 whenever take[i] is set).
+inline double HorvitzThompsonTotal(const std::vector<uint8_t>& take,
+                                   const std::vector<double>& weights,
+                                   const std::vector<double>& probs) {
+  DSKETCH_CHECK(take.size() == weights.size() && take.size() == probs.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < take.size(); ++i) {
+    if (take[i]) {
+      DSKETCH_DCHECK(probs[i] > 0.0);
+      sum += weights[i] / probs[i];
+    }
+  }
+  return sum;
+}
+
+/// HT-adjusted per-item values: weights[i] / probs[i] for sampled items,
+/// 0 otherwise (the "updated item values" the paper describes).
+inline std::vector<double> HorvitzThompsonAdjust(
+    const std::vector<uint8_t>& take, const std::vector<double>& weights,
+    const std::vector<double>& probs) {
+  DSKETCH_CHECK(take.size() == weights.size() && take.size() == probs.size());
+  std::vector<double> out(take.size(), 0.0);
+  for (size_t i = 0; i < take.size(); ++i) {
+    if (take[i]) out[i] = weights[i] / probs[i];
+  }
+  return out;
+}
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SAMPLING_HORVITZ_THOMPSON_H_

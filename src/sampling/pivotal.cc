@@ -1,0 +1,78 @@
+#include "sampling/pivotal.h"
+
+#include "sampling/pps.h"
+#include "util/logging.h"
+
+namespace dsketch {
+
+std::vector<uint8_t> PivotalSample(const std::vector<double>& probs,
+                                   Rng& rng) {
+  const size_t n = probs.size();
+  std::vector<uint8_t> take(n, 0);
+  constexpr double kEps = 1e-12;
+
+  // Sequential pivotal method: keep one "active" unit with fractional
+  // probability and duel it against the next unit.
+  size_t active = n;  // index of current fractional unit, n = none
+  double pa = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double pb = probs[i];
+    DSKETCH_CHECK(pb >= -kEps && pb <= 1.0 + kEps);
+    if (pb <= kEps) continue;
+    if (pb >= 1.0 - kEps) {
+      take[i] = 1;
+      continue;
+    }
+    if (active == n) {
+      active = i;
+      pa = pb;
+      continue;
+    }
+    double sum = pa + pb;
+    if (sum <= 1.0) {
+      // One unit dies; the survivor carries probability pa + pb.
+      if (rng.NextDouble() * sum < pa) {
+        // a survives
+        pa = sum;
+      } else {
+        active = i;
+        pa = sum;
+      }
+    } else {
+      // One unit is taken; the other continues with pa + pb - 1.
+      double rem = sum - 1.0;
+      if (rng.NextDouble() * (2.0 - sum) < (1.0 - pb)) {
+        take[active] = 1;
+        active = i;
+        pa = rem;
+      } else {
+        take[i] = 1;
+        pa = rem;
+      }
+      if (pa >= 1.0 - kEps) {
+        take[active] = 1;
+        active = n;
+        pa = 0.0;
+      } else if (pa <= kEps) {
+        active = n;
+        pa = 0.0;
+      }
+    }
+  }
+  if (active != n) {
+    // Leftover fractional mass: Bernoulli draw preserves the marginal.
+    if (rng.NextBernoulli(pa)) take[active] = 1;
+  }
+  return take;
+}
+
+std::vector<uint8_t> PivotalPpsSample(const std::vector<double>& weights,
+                                      size_t k, Rng& rng,
+                                      std::vector<double>* probs_out) {
+  std::vector<double> probs = ThresholdedPpsProbabilities(weights, k);
+  std::vector<uint8_t> take = PivotalSample(probs, rng);
+  if (probs_out != nullptr) *probs_out = std::move(probs);
+  return take;
+}
+
+}  // namespace dsketch

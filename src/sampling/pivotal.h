@@ -1,0 +1,37 @@
+// Fixed-size unequal-probability sampling by the splitting procedure of
+// Deville & Tillé (1998), in its sequential pivotal form (paper §5.1).
+//
+// Given target inclusion probabilities pi with integral sum k, two active
+// units are repeatedly "split": either one unit's probability is pushed to
+// 0 (it loses) or to 1 (it is taken), such that marginals are preserved
+// exactly. The result is a fixed-size-k sample with inclusion
+// probabilities exactly pi and negatively associated indicators. Used as
+// the gold-standard PPS comparator in the variance experiments (Fig. 9).
+
+#ifndef DSKETCH_SAMPLING_PIVOTAL_H_
+#define DSKETCH_SAMPLING_PIVOTAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Draws a sample with marginal inclusion probabilities `probs` (each in
+/// [0,1]). Returns an indicator per unit. When sum(probs) is an integer k
+/// the sample size is exactly k (up to floating point rounding).
+std::vector<uint8_t> PivotalSample(const std::vector<double>& probs,
+                                   Rng& rng);
+
+/// Convenience: PPS sample of expected size k over `weights` using
+/// thresholded PPS probabilities; returns indicators and writes the
+/// probabilities to `probs_out` when non-null.
+std::vector<uint8_t> PivotalPpsSample(const std::vector<double>& weights,
+                                      size_t k, Rng& rng,
+                                      std::vector<double>* probs_out = nullptr);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SAMPLING_PIVOTAL_H_

@@ -1,0 +1,72 @@
+#include "sampling/pps.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+double ThresholdedPpsAlpha(const std::vector<double>& weights, size_t k) {
+  size_t positive = 0;
+  for (double w : weights) {
+    DSKETCH_CHECK(w >= 0.0);
+    if (w > 0.0) ++positive;
+  }
+  if (positive == 0) return 0.0;
+  if (positive <= k) return 0.0;  // everything capped at 1
+
+  // Sort positive weights descending; with L items capped at probability 1,
+  // alpha(L) = (k - L) / tail_sum(L). The correct L is the smallest one for
+  // which alpha(L) * w_(L+1) <= 1 (w_(L+1) = largest uncapped weight).
+  std::vector<double> sorted;
+  sorted.reserve(positive);
+  for (double w : weights) {
+    if (w > 0.0) sorted.push_back(w);
+  }
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  // Suffix sums: tail[L] = sum of sorted[L..end).
+  std::vector<double> tail(sorted.size() + 1, 0.0);
+  for (size_t i = sorted.size(); i > 0; --i) {
+    tail[i - 1] = tail[i] + sorted[i - 1];
+  }
+
+  for (size_t cap = 0; cap < k && cap < sorted.size(); ++cap) {
+    double alpha = (static_cast<double>(k) - static_cast<double>(cap)) /
+                   tail[cap];
+    if (alpha * sorted[cap] <= 1.0) return alpha;
+  }
+  // k items capped exactly: alpha arbitrary below 1/sorted[k-1]; signal
+  // with the boundary value.
+  return 1.0 / sorted[k - 1];
+}
+
+std::vector<double> ThresholdedPpsProbabilities(
+    const std::vector<double>& weights, size_t k) {
+  size_t positive = 0;
+  for (double w : weights) {
+    DSKETCH_CHECK(w >= 0.0);
+    if (w > 0.0) ++positive;
+  }
+  std::vector<double> pi(weights.size(), 0.0);
+  if (positive == 0) return pi;
+  if (positive <= k) {
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] > 0.0) pi[i] = 1.0;
+    }
+    return pi;
+  }
+  double alpha = ThresholdedPpsAlpha(weights, k);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    pi[i] = std::min(1.0, alpha * weights[i]);
+  }
+  return pi;
+}
+
+double PpsItemVariance(double weight, double inclusion_probability) {
+  if (inclusion_probability <= 0.0 || inclusion_probability >= 1.0) return 0.0;
+  return weight * weight * (1.0 - inclusion_probability) /
+         inclusion_probability;
+}
+
+}  // namespace dsketch

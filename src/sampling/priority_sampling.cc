@@ -1,0 +1,65 @@
+#include "sampling/priority_sampling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+PrioritySampler::PrioritySampler(size_t k, uint64_t seed)
+    : k_(k), rng_(seed) {
+  DSKETCH_CHECK(k > 0);
+  heap_.reserve(k + 1);
+}
+
+void PrioritySampler::Add(uint64_t item, double weight) {
+  DSKETCH_CHECK(weight > 0.0);
+  ++seen_;
+  double priority = weight / rng_.NextDoublePositive();
+  if (heap_.size() < k_ + 1) {
+    heap_.push_back({priority, item, weight});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    return;
+  }
+  if (priority > heap_.front().priority) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.back() = {priority, item, weight};
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+}
+
+double PrioritySampler::Threshold() const {
+  if (heap_.size() <= k_) return 0.0;
+  return heap_.front().priority;  // (k+1)-th largest = heap minimum
+}
+
+std::vector<WeightedEntry> PrioritySampler::Sample() const {
+  double tau = Threshold();
+  std::vector<WeightedEntry> out;
+  out.reserve(std::min(heap_.size(), k_));
+  const bool exact = heap_.size() <= k_;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    // When over capacity the heap root is the threshold item — excluded.
+    if (!exact && i == 0) continue;
+    const Prioritized& p = heap_[i];
+    out.push_back({p.item, exact ? p.weight : std::max(p.weight, tau)});
+  }
+  return out;
+}
+
+double PrioritySampler::EstimateSubset(
+    const std::function<bool(uint64_t)>& pred) const {
+  double sum = 0.0;
+  for (const WeightedEntry& e : Sample()) {
+    if (pred(e.item)) sum += e.weight;
+  }
+  return sum;
+}
+
+double PrioritySampler::EstimateTotal() const {
+  double sum = 0.0;
+  for (const WeightedEntry& e : Sample()) sum += e.weight;
+  return sum;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,131 @@
+#include "sampling/sample_and_hold.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+AdaptiveSampleAndHold::AdaptiveSampleAndHold(size_t capacity, uint64_t seed,
+                                             double rate_decay)
+    : capacity_(capacity), decay_(rate_decay), rng_(seed) {
+  DSKETCH_CHECK(capacity > 0);
+  DSKETCH_CHECK(rate_decay > 0.0 && rate_decay < 1.0);
+  counts_.reserve(capacity + 1);
+}
+
+void AdaptiveSampleAndHold::Update(uint64_t item) {
+  ++total_;
+  auto it = counts_.find(item);
+  if (it != counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (!rng_.NextBernoulli(p_)) return;
+  counts_.emplace(item, 1);
+  while (counts_.size() > capacity_) ReduceRate();
+}
+
+void AdaptiveSampleAndHold::ReduceRate() {
+  // Resample every counter from rate p to rate p' = decay * p: keep with
+  // probability p'/p, otherwise shave 1 + Geometric0(p') — as if the item
+  // had needed additional tries to enter at the lower rate. Unbiased by
+  // the memorylessness argument in paper §5.4.
+  const double p_new = p_ * decay_;
+  const double keep_prob = p_new / p_;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    if (rng_.NextBernoulli(keep_prob)) {
+      ++it;
+      continue;
+    }
+    int64_t shave = 1 + static_cast<int64_t>(rng_.NextGeometric0(p_new));
+    it->second -= shave;
+    if (it->second <= 0) {
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  p_ = p_new;
+}
+
+double AdaptiveSampleAndHold::EstimateCount(uint64_t item) const {
+  auto it = counts_.find(item);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) + (1.0 - p_) / p_;
+}
+
+double AdaptiveSampleAndHold::EstimateSubset(
+    const std::function<bool(uint64_t)>& pred) const {
+  double sum = 0.0;
+  for (const auto& [item, count] : counts_) {
+    if (pred(item)) sum += static_cast<double>(count) + (1.0 - p_) / p_;
+  }
+  return sum;
+}
+
+std::vector<WeightedEntry> AdaptiveSampleAndHold::Entries() const {
+  std::vector<WeightedEntry> out;
+  out.reserve(counts_.size());
+  for (const auto& [item, count] : counts_) {
+    out.push_back({item, static_cast<double>(count) + (1.0 - p_) / p_});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WeightedEntry& a, const WeightedEntry& b) {
+              return a.weight > b.weight;
+            });
+  return out;
+}
+
+StepSampleAndHold::StepSampleAndHold(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  DSKETCH_CHECK(capacity > 0);
+  items_.reserve(capacity + 1);
+}
+
+void StepSampleAndHold::Update(uint64_t item) {
+  ++total_;
+  auto it = items_.find(item);
+  if (it != items_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (!rng_.NextBernoulli(p_)) return;
+  items_.emplace(item, Held{1, p_});
+  // New step: each entry at or beyond capacity halves the rate for future
+  // entries, keeping growth past `capacity` logarithmic in the stream.
+  if (items_.size() >= capacity_) p_ *= 0.5;
+}
+
+double StepSampleAndHold::EstimateCount(uint64_t item) const {
+  auto it = items_.find(item);
+  if (it == items_.end()) return 0.0;
+  return static_cast<double>(it->second.count) - 1.0 + 1.0 / it->second.entry_rate;
+}
+
+double StepSampleAndHold::EstimateSubset(
+    const std::function<bool(uint64_t)>& pred) const {
+  double sum = 0.0;
+  for (const auto& [item, held] : items_) {
+    if (pred(item)) {
+      sum += static_cast<double>(held.count) - 1.0 + 1.0 / held.entry_rate;
+    }
+  }
+  return sum;
+}
+
+std::vector<WeightedEntry> StepSampleAndHold::Entries() const {
+  std::vector<WeightedEntry> out;
+  out.reserve(items_.size());
+  for (const auto& [item, held] : items_) {
+    out.push_back({item, static_cast<double>(held.count) - 1.0 +
+                             1.0 / held.entry_rate});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WeightedEntry& a, const WeightedEntry& b) {
+              return a.weight > b.weight;
+            });
+  return out;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,117 @@
+// Sample-and-hold sketches (Gibbons & Matias 1998; Estan & Varghese 2003;
+// Cohen et al. 2007) — the prior state of the art for the disaggregated
+// subset sum problem, analyzed in paper §5.4.
+//
+// Adaptive sample-and-hold: rows of untracked items enter the sketch with
+// the current sampling rate p; tracked items count exactly. When the
+// sketch overflows, the rate is reduced to p' and every counter is
+// resampled: kept intact with probability p'/p, otherwise reduced by
+// 1 + Geometric0(p') (dropped at zero or below). The resample preserves
+// expected estimates (Theorem 2), with the estimate for a tracked item
+// being  count + (1 - p)/p.  The paper shows this reduction injects far
+// more noise per step than Unbiased Space Saving — the Geometric variance
+// (1-p')/p'^2 hits every bin, which the benches reproduce.
+//
+// Step sample-and-hold: the rate only applies to *entering* items; tracked
+// items are never resampled, so each item's count after entry is exact and
+// the unbiased estimate is  count - 1 + 1/p_entry. Memory is bounded only
+// softly (rate halves whenever the sketch hits capacity).
+
+#ifndef DSKETCH_SAMPLING_SAMPLE_AND_HOLD_H_
+#define DSKETCH_SAMPLING_SAMPLE_AND_HOLD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Adaptive sample-and-hold (Cohen et al. 2007).
+class AdaptiveSampleAndHold {
+ public:
+  /// At most `capacity` tracked items; on overflow the rate is multiplied
+  /// by `rate_decay` in (0,1) until at least one item drops.
+  AdaptiveSampleAndHold(size_t capacity, uint64_t seed = 1,
+                        double rate_decay = 0.9);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Unbiased estimate: count + (1-p)/p for tracked items, else 0.
+  double EstimateCount(uint64_t item) const;
+
+  /// Unbiased subset-sum estimate over items satisfying `pred`.
+  double EstimateSubset(const std::function<bool(uint64_t)>& pred) const;
+
+  /// Tracked items with adjusted weights, descending.
+  std::vector<WeightedEntry> Entries() const;
+
+  /// Current sampling rate p.
+  double sampling_rate() const { return p_; }
+
+  /// Rows processed.
+  int64_t TotalCount() const { return total_; }
+
+  /// Number of tracked items.
+  size_t size() const { return counts_.size(); }
+
+ private:
+  void ReduceRate();
+
+  size_t capacity_;
+  double decay_;
+  std::unordered_map<uint64_t, int64_t> counts_;
+  double p_ = 1.0;
+  int64_t total_ = 0;
+  Rng rng_;
+};
+
+/// Step sample-and-hold: no resampling after entry (soft memory bound).
+class StepSampleAndHold {
+ public:
+  /// The entry rate halves for every item admitted at or beyond
+  /// `capacity`, so the tracked set exceeds capacity only logarithmically.
+  StepSampleAndHold(size_t capacity, uint64_t seed = 1);
+
+  /// Processes one row with label `item`.
+  void Update(uint64_t item);
+
+  /// Unbiased estimate: count - 1 + 1/p_entry for tracked items, else 0.
+  double EstimateCount(uint64_t item) const;
+
+  /// Unbiased subset-sum estimate over items satisfying `pred`.
+  double EstimateSubset(const std::function<bool(uint64_t)>& pred) const;
+
+  /// Tracked items with adjusted weights, descending.
+  std::vector<WeightedEntry> Entries() const;
+
+  /// Current sampling rate for new entries.
+  double sampling_rate() const { return p_; }
+
+  /// Rows processed.
+  int64_t TotalCount() const { return total_; }
+
+  /// Number of tracked items (can exceed capacity, slowly).
+  size_t size() const { return items_.size(); }
+
+ private:
+  struct Held {
+    int64_t count;        // rows counted since entry (including the first)
+    double entry_rate;    // sampling rate when the item entered
+  };
+
+  size_t capacity_;
+  std::unordered_map<uint64_t, Held> items_;
+  double p_ = 1.0;
+  int64_t total_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SAMPLING_SAMPLE_AND_HOLD_H_

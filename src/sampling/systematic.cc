@@ -1,0 +1,41 @@
+#include "sampling/systematic.h"
+
+#include <cmath>
+
+#include "sampling/pps.h"
+#include "util/logging.h"
+
+namespace dsketch {
+
+std::vector<uint8_t> SystematicSample(const std::vector<double>& probs,
+                                      Rng& rng) {
+  std::vector<uint8_t> take(probs.size(), 0);
+  double u = rng.NextDouble();  // grid offset in [0,1)
+  double cum = 0.0;
+  // Unit i occupies (cum, cum + p_i]; it is selected once for every grid
+  // point u + j inside its segment. Probabilities <= 1 make duplicate
+  // selections impossible.
+  for (size_t i = 0; i < probs.size(); ++i) {
+    double p = probs[i];
+    DSKETCH_CHECK(p >= 0.0 && p <= 1.0 + 1e-12);
+    double lo = cum;
+    cum += p;
+    // Smallest integer j with u + j > lo  <=>  j = floor(lo - u) + 1 when
+    // lo >= u else j = 0.
+    double first_grid = u + std::ceil(lo - u);
+    if (first_grid <= lo) first_grid += 1.0;
+    if (first_grid <= cum) take[i] = 1;
+  }
+  return take;
+}
+
+std::vector<uint8_t> SystematicPpsSample(const std::vector<double>& weights,
+                                         size_t k, Rng& rng,
+                                         std::vector<double>* probs_out) {
+  std::vector<double> probs = ThresholdedPpsProbabilities(weights, k);
+  std::vector<uint8_t> take = SystematicSample(probs, rng);
+  if (probs_out != nullptr) *probs_out = std::move(probs);
+  return take;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,37 @@
+// Systematic PPS sampling (paper §5.1 context): the third classical
+// fixed-size unequal-probability design next to the splitting/pivotal
+// method and priority sampling. A single uniform start u ~ U(0,1) is
+// stepped through the cumulative inclusion probabilities; unit i is taken
+// when a grid point u + j lands inside its probability segment. Exactly k
+// units are drawn when the probabilities sum to k, marginals are exact,
+// and only one random variate is consumed — the cheapest PPS design, at
+// the cost of strong (ordering-dependent) joint dependencies, which is
+// why the pivotal method is the default comparator in the experiments.
+
+#ifndef DSKETCH_SAMPLING_SYSTEMATIC_H_
+#define DSKETCH_SAMPLING_SYSTEMATIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Draws a systematic sample with marginal inclusion probabilities
+/// `probs` (each in [0,1]); returns one indicator per unit. When
+/// sum(probs) is an integer k, exactly k units are selected.
+std::vector<uint8_t> SystematicSample(const std::vector<double>& probs,
+                                      Rng& rng);
+
+/// Convenience: systematic PPS sample of expected size k over `weights`
+/// using thresholded PPS probabilities; optionally returns the
+/// probabilities for Horvitz-Thompson estimation.
+std::vector<uint8_t> SystematicPpsSample(
+    const std::vector<double>& weights, size_t k, Rng& rng,
+    std::vector<double>* probs_out = nullptr);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SAMPLING_SYSTEMATIC_H_

@@ -1,0 +1,26 @@
+// Normal distribution helpers for the variance estimator and confidence
+// intervals (paper §6.4-6.5): pdf, cdf, and quantile (inverse cdf).
+
+#ifndef DSKETCH_STATS_NORMAL_H_
+#define DSKETCH_STATS_NORMAL_H_
+
+namespace dsketch {
+
+/// Standard normal density at x.
+double NormalPdf(double x);
+
+/// Standard normal CDF Phi(x), accurate to ~1e-15 via erfc.
+double NormalCdf(double x);
+
+/// Standard normal quantile Phi^{-1}(p) for p in (0, 1).
+/// Acklam's rational approximation refined with one Halley step; absolute
+/// error below 1e-12 across the domain.
+double NormalQuantile(double p);
+
+/// Two-sided z value for a confidence `level` in (0,1), e.g. 1.959964 for
+/// level = 0.95.
+double NormalTwoSidedZ(double level);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_STATS_NORMAL_H_

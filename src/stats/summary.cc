@@ -1,0 +1,72 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+double ErrorAccumulator::rmse() const { return std::sqrt(mse()); }
+
+double ErrorAccumulator::rrmse() const {
+  double mt = mean_truth();
+  return mt != 0.0 ? rmse() / mt : 0.0;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  DSKETCH_CHECK(!values.empty());
+  DSKETCH_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double idx = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LogBucketCurve::LogBucketCurve(double min_x, double max_x, int buckets)
+    : log_min_(std::log(min_x)),
+      log_max_(std::log(max_x)),
+      buckets_(buckets),
+      cells_(static_cast<size_t>(buckets)) {
+  DSKETCH_CHECK(min_x > 0.0 && max_x > min_x && buckets > 0);
+}
+
+void LogBucketCurve::Add(double x, double y) {
+  if (x <= 0.0) x = std::exp(log_min_);
+  double frac = (std::log(x) - log_min_) / (log_max_ - log_min_);
+  int b = static_cast<int>(frac * buckets_);
+  b = std::clamp(b, 0, buckets_ - 1);
+  cells_[static_cast<size_t>(b)].Add(y);
+}
+
+std::vector<LogBucketCurve::Point> LogBucketCurve::Points() const {
+  std::vector<Point> out;
+  for (int b = 0; b < buckets_; ++b) {
+    const Welford& w = cells_[static_cast<size_t>(b)];
+    if (w.count() == 0) continue;
+    double lo = log_min_ + (log_max_ - log_min_) *
+                               (static_cast<double>(b) / buckets_);
+    double hi = log_min_ + (log_max_ - log_min_) *
+                               (static_cast<double>(b + 1) / buckets_);
+    Point p;
+    p.x_center = std::exp(0.5 * (lo + hi));
+    p.mean_y = w.mean();
+    p.count = w.count();
+    out.push_back(p);
+  }
+  return out;
+}
+
+void PrintTableRow(const std::string& tag,
+                   const std::vector<std::pair<std::string, double>>& cols) {
+  std::printf("%s", tag.c_str());
+  for (const auto& [name, value] : cols) {
+    std::printf("  %s=%.6g", name.c_str(), value);
+  }
+  std::printf("\n");
+}
+
+}  // namespace dsketch

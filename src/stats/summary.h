@@ -1,0 +1,116 @@
+// Error-summary utilities shared by the figure benches and the statistical
+// tests: MSE/RRMSE accumulators keyed by estimator, coverage counters for
+// confidence intervals, quantiles, and a bucketizer that produces the
+// "smoothed relative error vs true count" curves the paper plots.
+
+#ifndef DSKETCH_STATS_SUMMARY_H_
+#define DSKETCH_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/welford.h"
+
+namespace dsketch {
+
+/// Accumulates squared error of repeated estimates of a known truth and
+/// reports RMSE / relative RMSE, bias, and variance decomposition.
+class ErrorAccumulator {
+ public:
+  /// Records one (estimate, truth) pair.
+  void Add(double estimate, double truth) {
+    err_.Add(estimate - truth);
+    sq_err_.Add((estimate - truth) * (estimate - truth));
+    truth_.Add(truth);
+  }
+
+  /// Number of recorded pairs.
+  uint64_t count() const { return err_.count(); }
+
+  /// Mean error (bias estimate).
+  double bias() const { return err_.mean(); }
+
+  /// Standard error of the bias estimate (for z-tests of unbiasedness).
+  double bias_stderr() const { return err_.stderr_mean(); }
+
+  /// Mean squared error.
+  double mse() const { return sq_err_.mean(); }
+
+  /// Root mean squared error.
+  double rmse() const;
+
+  /// RMSE divided by the mean truth (the paper's relative RMSE).
+  double rrmse() const;
+
+  /// Mean of the recorded truths.
+  double mean_truth() const { return truth_.mean(); }
+
+ private:
+  Welford err_;
+  Welford sq_err_;
+  Welford truth_;
+};
+
+/// Counts how often confidence intervals cover the truth.
+class CoverageCounter {
+ public:
+  /// Records one interval [lo, hi] against `truth`.
+  void Add(double lo, double hi, double truth) {
+    ++n_;
+    if (truth >= lo && truth <= hi) ++covered_;
+  }
+
+  /// Number of recorded intervals.
+  uint64_t count() const { return n_; }
+
+  /// Fraction of intervals containing the truth.
+  double coverage() const {
+    return n_ > 0 ? static_cast<double>(covered_) / static_cast<double>(n_)
+                  : 0.0;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  uint64_t covered_ = 0;
+};
+
+/// Returns the q-quantile (0<=q<=1) of `values` by linear interpolation.
+/// The input vector is copied; it may be unsorted.
+double Quantile(std::vector<double> values, double q);
+
+/// Buckets (x, y) points by log-spaced x and reports the mean y per bucket:
+/// the "smoothed curve" used in the paper's relative-error figures.
+class LogBucketCurve {
+ public:
+  /// Buckets span [min_x, max_x] with `buckets` log-uniform cells.
+  LogBucketCurve(double min_x, double max_x, int buckets);
+
+  /// Adds a point. x outside the range is clamped to the end buckets.
+  void Add(double x, double y);
+
+  struct Point {
+    double x_center = 0.0;  ///< geometric center of the bucket
+    double mean_y = 0.0;    ///< mean of y values in the bucket
+    uint64_t count = 0;     ///< number of points in the bucket
+  };
+
+  /// Non-empty buckets in ascending x order.
+  std::vector<Point> Points() const;
+
+ private:
+  double log_min_;
+  double log_max_;
+  int buckets_;
+  std::vector<Welford> cells_;
+};
+
+/// Pretty-prints a table of named columns to stdout; benches use this so
+/// every figure's series is greppable as `name: value` rows.
+void PrintTableRow(const std::string& tag,
+                   const std::vector<std::pair<std::string, double>>& cols);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_STATS_SUMMARY_H_

@@ -1,0 +1,72 @@
+// Numerically stable streaming mean/variance (Welford's algorithm),
+// used by the test/bench harnesses to accumulate Monte Carlo error
+// statistics without storing samples.
+
+#ifndef DSKETCH_STATS_WELFORD_H_
+#define DSKETCH_STATS_WELFORD_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dsketch {
+
+/// Streaming accumulator of count/mean/variance.
+class Welford {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Number of observations.
+  uint64_t count() const { return n_; }
+
+  /// Sample mean (0 if empty).
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (0 if fewer than 2 observations).
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  /// Population (biased) variance.
+  double population_variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Sample standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double stderr_mean() const {
+    return n_ > 0 ? std::sqrt(variance() / static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Merges another accumulator (parallel Welford combine).
+  void Merge(const Welford& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    double delta = other.mean_ - mean_;
+    uint64_t total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+    n_ = total;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_STATS_WELFORD_H_

@@ -1,0 +1,79 @@
+#include "stream/ad_click.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stream/distributions.h"
+#include "util/alias.h"
+#include "util/logging.h"
+
+namespace dsketch {
+
+AdClickGenerator::AdClickGenerator(const AdClickConfig& config, uint64_t seed)
+    : config_(config), attrs_(config.num_features) {
+  DSKETCH_CHECK(config.num_ads > 0 && config.num_features > 0);
+  DSKETCH_CHECK(config.feature_cardinality > 0);
+  DSKETCH_CHECK(config.base_ctr > 0.0 && config.base_ctr < 1.0);
+  Rng rng(seed);
+
+  // Zipf-weighted alias table shared by all features; each feature gets an
+  // independent random value permutation so features are not identical.
+  std::vector<double> zipf(config.feature_cardinality);
+  for (uint32_t v = 0; v < config.feature_cardinality; ++v) {
+    zipf[v] = 1.0 / std::pow(static_cast<double>(v + 1), config.feature_skew);
+  }
+  AliasTable alias(zipf);
+  std::vector<std::vector<uint32_t>> perms(config.num_features);
+  for (auto& perm : perms) {
+    perm.resize(config.feature_cardinality);
+    for (uint32_t v = 0; v < config.feature_cardinality; ++v) perm[v] = v;
+    rng.Shuffle(perm.data(), perm.size());
+  }
+
+  // Heavy-tailed impressions per ad, shuffled so ad id carries no rank
+  // information (the paper's ads are not sorted by popularity either).
+  impressions_ = WeibullCounts(config.num_ads, config.weibull_scale,
+                               config.weibull_shape);
+  rng.Shuffle(impressions_.data(), impressions_.size());
+
+  clicks_.resize(config.num_ads);
+  std::vector<uint32_t> tuple(config.num_features);
+  for (size_t ad = 0; ad < config.num_ads; ++ad) {
+    for (size_t f = 0; f < config.num_features; ++f) {
+      tuple[f] = perms[f][alias.Sample(rng)];
+    }
+    attrs_.AddItem(tuple);
+
+    // Per-ad CTR jitters around the base rate (multiplicative lognormal).
+    double ctr = config.base_ctr * std::exp(0.5 * rng.NextGaussian());
+    ctr = std::min(ctr, 0.5);
+    int64_t clicks = 0;
+    for (int64_t i = 0; i < impressions_[ad]; ++i) {
+      if (rng.NextBernoulli(ctr)) ++clicks;
+    }
+    clicks_[ad] = clicks;
+    total_ += impressions_[ad];
+  }
+}
+
+std::vector<AdImpression> AdClickGenerator::GenerateLog(bool shuffled,
+                                                        uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<AdImpression> log;
+  log.reserve(static_cast<size_t>(total_));
+  // Blocks of ads in creation order; clicks are spread uniformly across an
+  // ad's impressions.
+  for (size_t ad = 0; ad < impressions_.size(); ++ad) {
+    int64_t n = impressions_[ad];
+    int64_t c = clicks_[ad];
+    for (int64_t i = 0; i < n; ++i) {
+      // The first c of the ad's rows are clicks; shuffling (below) or the
+      // per-ad uniform spread makes position irrelevant for aggregates.
+      log.push_back({ad, i < c});
+    }
+  }
+  if (shuffled) rng.Shuffle(log.data(), log.size());
+  return log;
+}
+
+}  // namespace dsketch

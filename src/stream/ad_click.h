@@ -1,0 +1,83 @@
+// Synthetic Criteo-like ad impression log (paper §7, Fig. 6 substitution).
+//
+// The paper evaluates marginal-count estimation on the Criteo Kaggle
+// display-advertising dataset: 45M impressions with categorical features,
+// 9 of which are used, arriving in their natural (non-randomized) order.
+// That dataset is not redistributable here, so this generator produces a
+// log with the statistical properties the sketches are sensitive to:
+//   * heavy-tailed impressions per ad unit (discretized Weibull);
+//   * categorical attribute tuples with skewed (Zipf-like) per-feature
+//     marginals, so 1-way and 2-way marginals span many magnitudes;
+//   * per-ad click-through rates for the "sum of clicks" metric;
+//   * optionally non-exchangeable arrival order (ads created in blocks),
+//     mimicking the real log's time-ordered arrival.
+// See DESIGN.md §3 for the substitution rationale.
+
+#ifndef DSKETCH_STREAM_AD_CLICK_H_
+#define DSKETCH_STREAM_AD_CLICK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "query/attribute_table.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// One impression row of the disaggregated log.
+struct AdImpression {
+  uint64_t ad_id = 0;  ///< unit of analysis (dense id into the table)
+  bool click = false;  ///< click outcome
+};
+
+/// Configuration for the synthetic log.
+struct AdClickConfig {
+  size_t num_ads = 20000;            ///< distinct ad units
+  size_t num_features = 9;           ///< categorical features (paper uses 9)
+  uint32_t feature_cardinality = 50; ///< values per feature
+  double feature_skew = 1.1;         ///< Zipf exponent of feature marginals
+  double weibull_scale = 50.0;       ///< impressions-per-ad scale
+  double weibull_shape = 0.35;       ///< impressions-per-ad tail heaviness
+  double base_ctr = 0.03;            ///< mean click-through rate
+};
+
+/// Generator owning the ad dimension table and per-ad impression counts.
+class AdClickGenerator {
+ public:
+  /// Builds the ad universe deterministically from `seed`.
+  AdClickGenerator(const AdClickConfig& config, uint64_t seed);
+
+  /// Per-ad impression counts (index = ad id).
+  const std::vector<int64_t>& impressions_per_ad() const {
+    return impressions_;
+  }
+
+  /// Per-ad click counts (realized once at construction).
+  const std::vector<int64_t>& clicks_per_ad() const { return clicks_; }
+
+  /// Ad attribute tuples (one row per ad id).
+  const AttributeTable& attributes() const { return attrs_; }
+
+  /// Total impressions.
+  int64_t total_impressions() const { return total_; }
+
+  /// The disaggregated log. `shuffled` = exchangeable arrival;
+  /// otherwise ads arrive grouped in creation blocks (non-i.i.d., the
+  /// realistic order that stresses Deterministic Space Saving).
+  std::vector<AdImpression> GenerateLog(bool shuffled, uint64_t seed) const;
+
+  /// Configuration used.
+  const AdClickConfig& config() const { return config_; }
+
+ private:
+  AdClickConfig config_;
+  AttributeTable attrs_;
+  std::vector<int64_t> impressions_;
+  std::vector<int64_t> clicks_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_STREAM_AD_CLICK_H_

@@ -1,0 +1,73 @@
+#include "stream/distributions.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+std::vector<int64_t> WeibullCounts(size_t n_items, double scale,
+                                   double shape) {
+  DSKETCH_CHECK(n_items > 0 && scale > 0.0 && shape > 0.0);
+  std::vector<int64_t> counts(n_items);
+  for (size_t i = 0; i < n_items; ++i) {
+    double u = (static_cast<double>(i) + 0.5) / static_cast<double>(n_items);
+    double x = scale * std::pow(-std::log1p(-u), 1.0 / shape);
+    counts[i] = static_cast<int64_t>(std::llround(x));
+  }
+  return counts;
+}
+
+std::vector<int64_t> GeometricCounts(size_t n_items, double p) {
+  DSKETCH_CHECK(n_items > 0 && p > 0.0 && p < 1.0);
+  std::vector<int64_t> counts(n_items);
+  for (size_t i = 0; i < n_items; ++i) {
+    double u = (static_cast<double>(i) + 0.5) / static_cast<double>(n_items);
+    counts[i] =
+        static_cast<int64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+  }
+  return counts;
+}
+
+std::vector<int64_t> ZipfCounts(size_t n_items, double s, int64_t max_count) {
+  DSKETCH_CHECK(n_items > 0 && s > 0.0 && max_count > 0);
+  std::vector<int64_t> counts(n_items);
+  for (size_t i = 0; i < n_items; ++i) {
+    // Rank 1 = most frequent; store ascending like the other generators.
+    double rank = static_cast<double>(n_items - i);
+    double x = static_cast<double>(max_count) / std::pow(rank, s);
+    counts[i] = static_cast<int64_t>(std::llround(x));
+  }
+  return counts;
+}
+
+int64_t TotalCount(const std::vector<int64_t>& counts) {
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    DSKETCH_CHECK(c >= 0);
+    total += c;
+  }
+  return total;
+}
+
+std::vector<int64_t> ScaleCountsToTotal(const std::vector<int64_t>& counts,
+                                        int64_t target_total) {
+  DSKETCH_CHECK(target_total > 0);
+  int64_t total = TotalCount(counts);
+  if (total == 0) return counts;
+  double factor =
+      static_cast<double>(target_total) / static_cast<double>(total);
+  std::vector<int64_t> out(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      out[i] = 0;
+      continue;
+    }
+    int64_t scaled =
+        static_cast<int64_t>(std::llround(static_cast<double>(counts[i]) * factor));
+    out[i] = scaled > 0 ? scaled : 1;  // keep present items present
+  }
+  return out;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,43 @@
+// Item-frequency distributions used by the paper's experiments (§7).
+//
+// The paper draws item counts as n_i = Round(F^{-1}(u_i)) for u_i on a
+// regular grid (the inverse-CDF method, "for more easily reproducible
+// behavior"), with F a Weibull distribution — a discretized generalization
+// of the geometric whose tail heaviness is tuned by the shape parameter —
+// or a geometric distribution. Zipf counts are provided for additional
+// skew sweeps.
+
+#ifndef DSKETCH_STREAM_DISTRIBUTIONS_H_
+#define DSKETCH_STREAM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsketch {
+
+/// Counts n_i = Round(scale * (-log(1-u_i))^(1/shape)) on the regular grid
+/// u_i = (i + 0.5) / n_items, ascending in i. Items may round to zero
+/// (they simply never appear in the stream), matching the paper's setup.
+std::vector<int64_t> WeibullCounts(size_t n_items, double scale, double shape);
+
+/// Counts from the discretized Geometric(p): n_i = floor(log(1-u_i) /
+/// log(1-p)) on the same regular grid, ascending.
+std::vector<int64_t> GeometricCounts(size_t n_items, double p);
+
+/// Zipf counts n_i proportional to (n_items - i)^-s scaled so the largest
+/// count is `max_count`, ascending in i.
+std::vector<int64_t> ZipfCounts(size_t n_items, double s, int64_t max_count);
+
+/// Sum of a count vector.
+int64_t TotalCount(const std::vector<int64_t>& counts);
+
+/// Rescales counts so their total is approximately `target_total` (>=
+/// current positive entries keep at least 1). Used to shrink paper-scale
+/// workloads (10^9 rows) to bench-friendly sizes with the same shape.
+std::vector<int64_t> ScaleCountsToTotal(const std::vector<int64_t>& counts,
+                                        int64_t target_total);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_STREAM_DISTRIBUTIONS_H_

@@ -1,0 +1,104 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+std::vector<uint64_t> ExpandRows(const std::vector<int64_t>& counts) {
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    DSKETCH_CHECK(c >= 0);
+    total += c;
+  }
+  std::vector<uint64_t> rows;
+  rows.reserve(static_cast<size_t>(total));
+  for (size_t i = 0; i < counts.size(); ++i) {
+    for (int64_t j = 0; j < counts[i]; ++j) rows.push_back(i);
+  }
+  return rows;
+}
+
+std::vector<uint64_t> PermutedStream(const std::vector<int64_t>& counts,
+                                     Rng& rng) {
+  std::vector<uint64_t> rows = ExpandRows(counts);
+  rng.Shuffle(rows.data(), rows.size());
+  return rows;
+}
+
+std::vector<uint64_t> SortedStream(const std::vector<int64_t>& counts,
+                                   bool ascending) {
+  // Order items by count, then expand.
+  std::vector<size_t> order(counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ascending ? counts[a] < counts[b] : counts[a] > counts[b];
+  });
+  std::vector<uint64_t> rows;
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  rows.reserve(static_cast<size_t>(total));
+  for (size_t idx : order) {
+    for (int64_t j = 0; j < counts[idx]; ++j) rows.push_back(idx);
+  }
+  return rows;
+}
+
+std::vector<uint64_t> TwoHalfStream(const std::vector<int64_t>& first,
+                                    const std::vector<int64_t>& second,
+                                    Rng& rng) {
+  std::vector<uint64_t> rows = PermutedStream(first, rng);
+  std::vector<uint64_t> tail = PermutedStream(second, rng);
+  const uint64_t offset = first.size();
+  rows.reserve(rows.size() + tail.size());
+  for (uint64_t item : tail) rows.push_back(item + offset);
+  return rows;
+}
+
+std::vector<uint64_t> AdversarialWipeoutStream(
+    const std::vector<int64_t>& counts, uint64_t fresh_start_id) {
+  // Most frequent first (Theorem 11 sorts descending).
+  std::vector<uint64_t> rows = SortedStream(counts, /*ascending=*/false);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  DSKETCH_CHECK(fresh_start_id >= counts.size());
+  rows.reserve(rows.size() + static_cast<size_t>(total));
+  for (int64_t j = 0; j < total; ++j) {
+    rows.push_back(fresh_start_id + static_cast<uint64_t>(j));
+  }
+  return rows;
+}
+
+std::vector<uint64_t> BurstyStream(uint64_t burst_item, int64_t burst_length,
+                                   int64_t quiet_length, int64_t periods,
+                                   uint64_t fresh_start_id) {
+  DSKETCH_CHECK(burst_length >= 0 && quiet_length >= 0 && periods > 0);
+  std::vector<uint64_t> rows;
+  rows.reserve(static_cast<size_t>((burst_length + quiet_length) * periods));
+  uint64_t fresh = fresh_start_id;
+  for (int64_t p = 0; p < periods; ++p) {
+    for (int64_t j = 0; j < burst_length; ++j) rows.push_back(burst_item);
+    for (int64_t j = 0; j < quiet_length; ++j) rows.push_back(fresh++);
+  }
+  return rows;
+}
+
+std::vector<uint64_t> DistinctStream(int64_t n, uint64_t start) {
+  DSKETCH_CHECK(n >= 0);
+  std::vector<uint64_t> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), start);
+  return rows;
+}
+
+UrnStream::UrnStream(const std::vector<int64_t>& counts, uint64_t seed)
+    : urn_(counts), rng_(seed) {}
+
+bool UrnStream::Next(uint64_t* item) {
+  if (urn_.Empty()) return false;
+  *item = urn_.Draw(rng_);
+  return true;
+}
+
+}  // namespace dsketch

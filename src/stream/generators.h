@@ -1,0 +1,88 @@
+// Row-stream builders over an item-count vector (paper §6.3, §7).
+//
+// A "stream" is the disaggregated input: one row per occurrence, labeled
+// by item id. Items are the indices 0..n-1 of the count vector unless a
+// builder documents otherwise. The builders cover every arrival order the
+// paper evaluates:
+//   * exchangeable (uniformly permuted) streams — equivalent to i.i.d.
+//     draws by de Finetti (paper §7);
+//   * sorted streams (ascending frequency = Unbiased Space Saving's worst
+//     case; descending = its best case), Figs. 8-10;
+//   * the two-half pathological stream that breaks Deterministic Space
+//     Saving (Fig. 7);
+//   * the Theorem-11 adversarial wipe-out sequence;
+//   * periodic bursts and all-distinct streams (§6.3).
+
+#ifndef DSKETCH_STREAM_GENERATORS_H_
+#define DSKETCH_STREAM_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/fenwick.h"
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Item i repeated counts[i] times, ascending item order.
+std::vector<uint64_t> ExpandRows(const std::vector<int64_t>& counts);
+
+/// Uniformly random permutation of ExpandRows (exchangeable stream).
+std::vector<uint64_t> PermutedStream(const std::vector<int64_t>& counts,
+                                     Rng& rng);
+
+/// Rows sorted by item frequency: ascending (rarest items first — the
+/// pathological order for subset sums) or descending.
+std::vector<uint64_t> SortedStream(const std::vector<int64_t>& counts,
+                                   bool ascending);
+
+/// Concatenation of two independently permuted halves: items 0..|a|-1
+/// appear only in the first half (counts `first`), items |a|..|a|+|b|-1
+/// only in the second (counts `second`). Fig. 7's pathological stream.
+std::vector<uint64_t> TwoHalfStream(const std::vector<int64_t>& first,
+                                    const std::vector<int64_t>& second,
+                                    Rng& rng);
+
+/// Theorem 11's adversarial sequence: items 0..v-1 played most-frequent
+/// first (counts[i] rows each, descending count order), followed by
+/// sum(counts) fresh distinct items with ids starting at `fresh_start_id`.
+/// Deterministic Space Saving estimates 0 for every original item when
+/// counts[i] < 2*total/m.
+std::vector<uint64_t> AdversarialWipeoutStream(
+    const std::vector<int64_t>& counts, uint64_t fresh_start_id);
+
+/// Periodic-burst stream: each period is `burst_item` repeated
+/// `burst_length` times followed by `quiet_length` fresh distinct items
+/// (ids from `fresh_start_id` on), for `periods` periods (§6.3's bursty
+/// pathological pattern).
+std::vector<uint64_t> BurstyStream(uint64_t burst_item, int64_t burst_length,
+                                   int64_t quiet_length, int64_t periods,
+                                   uint64_t fresh_start_id);
+
+/// Stream of `n` all-distinct items starting at id `start` (the paper's
+/// "most obvious pathological sequence").
+std::vector<uint64_t> DistinctStream(int64_t n, uint64_t start = 0);
+
+/// Streaming without-replacement row sampler for counts too large to
+/// materialize: draws the same distribution as PermutedStream one row at
+/// a time in O(log n) via a Fenwick urn.
+class UrnStream {
+ public:
+  /// Urn over `counts` with randomness from `seed`.
+  UrnStream(const std::vector<int64_t>& counts, uint64_t seed);
+
+  /// Rows remaining.
+  int64_t Remaining() const { return urn_.Remaining(); }
+
+  /// Draws the next row's item id; returns false when exhausted.
+  bool Next(uint64_t* item);
+
+ private:
+  WeightedUrn urn_;
+  Rng rng_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_STREAM_GENERATORS_H_

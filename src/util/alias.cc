@@ -1,0 +1,56 @@
+#include "util/alias.h"
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  DSKETCH_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    DSKETCH_CHECK(w >= 0.0);
+    total += w;
+  }
+  DSKETCH_CHECK(total > 0.0);
+
+  normalized_.resize(n);
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    alias_[i] = static_cast<uint32_t>(i);
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 up to floating-point error.
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  const size_t n = prob_.size();
+  size_t col = static_cast<size_t>(rng.NextBounded(n));
+  return rng.NextDouble() < prob_[col] ? static_cast<uint32_t>(col)
+                                       : alias_[col];
+}
+
+}  // namespace dsketch

@@ -1,0 +1,39 @@
+// Walker's alias method for O(1) sampling from a fixed discrete
+// distribution. Used by the workload generators to draw i.i.d. item streams
+// with heavy-tailed frequency vectors.
+
+#ifndef DSKETCH_UTIL_ALIAS_H_
+#define DSKETCH_UTIL_ALIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Alias table over categories 0..n-1 with probabilities proportional to
+/// the constructor weights. Construction is O(n); each draw is O(1).
+class AliasTable {
+ public:
+  /// Builds the table from non-negative `weights` (at least one positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws one category index.
+  uint32_t Sample(Rng& rng) const;
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+  /// Probability of category `i` implied by the construction weights.
+  double Probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;       // acceptance probability per column
+  std::vector<uint32_t> alias_;    // alias category per column
+  std::vector<double> normalized_; // input weights normalized to sum 1
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_UTIL_ALIAS_H_

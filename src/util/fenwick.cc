@@ -1,0 +1,65 @@
+#include "util/fenwick.h"
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+FenwickTree::FenwickTree(size_t n) : n_(n), tree_(n + 1, 0) {}
+
+FenwickTree::FenwickTree(const std::vector<int64_t>& weights)
+    : n_(weights.size()), tree_(weights.size() + 1, 0) {
+  // O(n) construction: place values then propagate to parents.
+  for (size_t i = 0; i < n_; ++i) {
+    DSKETCH_CHECK(weights[i] >= 0);
+    tree_[i + 1] += weights[i];
+    total_ += weights[i];
+    size_t parent = (i + 1) + ((i + 1) & (~(i + 1) + 1));
+    if (parent <= n_) tree_[parent] += tree_[i + 1];
+  }
+}
+
+void FenwickTree::Add(size_t i, int64_t delta) {
+  DSKETCH_DCHECK(i < n_);
+  total_ += delta;
+  for (size_t j = i + 1; j <= n_; j += j & (~j + 1)) tree_[j] += delta;
+}
+
+int64_t FenwickTree::PrefixSum(size_t i) const {
+  DSKETCH_DCHECK(i <= n_);
+  int64_t s = 0;
+  for (size_t j = i; j > 0; j -= j & (~j + 1)) s += tree_[j];
+  return s;
+}
+
+int64_t FenwickTree::Get(size_t i) const {
+  return PrefixSum(i + 1) - PrefixSum(i);
+}
+
+size_t FenwickTree::FindByPrefix(int64_t target) const {
+  DSKETCH_DCHECK(target >= 0 && target < total_);
+  size_t pos = 0;
+  size_t mask = 1;
+  while ((mask << 1) <= n_) mask <<= 1;
+  for (; mask > 0; mask >>= 1) {
+    size_t next = pos + mask;
+    if (next <= n_ && tree_[next] <= target) {
+      pos = next;
+      target -= tree_[next];
+    }
+  }
+  return pos;  // pos is the 0-based index whose cumulative range covers target
+}
+
+WeightedUrn::WeightedUrn(const std::vector<int64_t>& counts)
+    : tree_(counts) {}
+
+size_t WeightedUrn::Draw(Rng& rng) {
+  DSKETCH_CHECK(!Empty());
+  int64_t target =
+      static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(tree_.Total())));
+  size_t pos = tree_.FindByPrefix(target);
+  tree_.Add(pos, -1);
+  return pos;
+}
+
+}  // namespace dsketch

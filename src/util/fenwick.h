@@ -1,0 +1,75 @@
+// Fenwick (binary indexed) tree over non-negative weights, with O(log n)
+// point update, prefix sum, and inverse-prefix search. The stream
+// generators use it as a weighted urn to draw rows without replacement
+// (exchangeable streams too large to materialize and shuffle).
+
+#ifndef DSKETCH_UTIL_FENWICK_H_
+#define DSKETCH_UTIL_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dsketch {
+
+/// Fenwick tree over int64 weights indexed 0..n-1.
+class FenwickTree {
+ public:
+  /// Zero-initialized tree of `n` positions.
+  explicit FenwickTree(size_t n);
+
+  /// Tree initialized from `weights` in O(n).
+  explicit FenwickTree(const std::vector<int64_t>& weights);
+
+  /// Adds `delta` to position `i` (the result must stay non-negative; this
+  /// is checked only in debug builds via the sampling paths).
+  void Add(size_t i, int64_t delta);
+
+  /// Sum of positions [0, i).
+  int64_t PrefixSum(size_t i) const;
+
+  /// Sum of all positions.
+  int64_t Total() const { return total_; }
+
+  /// Weight at position `i`.
+  int64_t Get(size_t i) const;
+
+  /// Smallest index `i` such that PrefixSum(i+1) > target, for
+  /// 0 <= target < Total(). This is the inverse-CDF lookup.
+  size_t FindByPrefix(int64_t target) const;
+
+  /// Number of positions.
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<int64_t> tree_;  // 1-based internal layout
+  int64_t total_ = 0;
+};
+
+/// Weighted urn: draws positions proportional to their remaining weight and
+/// decrements the drawn position, i.e., samples the rows of a disaggregated
+/// stream without replacement.
+class WeightedUrn {
+ public:
+  /// Urn whose position `i` starts with integer multiplicity `counts[i]`.
+  explicit WeightedUrn(const std::vector<int64_t>& counts);
+
+  /// True when every row has been drawn.
+  bool Empty() const { return tree_.Total() == 0; }
+
+  /// Rows remaining.
+  int64_t Remaining() const { return tree_.Total(); }
+
+  /// Draws one position proportional to remaining multiplicity and
+  /// decrements it. Must not be called when Empty().
+  size_t Draw(Rng& rng);
+
+ private:
+  FenwickTree tree_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_UTIL_FENWICK_H_

@@ -1,0 +1,151 @@
+// Open-addressing hash map from uint64_t keys to a small trivially-copyable
+// value, tuned for the sketch hot path (one lookup per stream row).
+//
+// Design notes:
+//  - Linear probing with a power-of-two table and a strong 64-bit mixer.
+//    Sketch workloads are read-mostly lookups over at most `capacity` keys,
+//    so probe sequences stay short at the 0.5 max load factor used here.
+//  - Erase uses backward-shift deletion (no tombstones), keeping lookups
+//    O(1) even under the frequent label-replacement churn of Space Saving.
+//  - One reserved key (kEmpty) marks free slots; the sketches never store
+//    it because item ids are hashed upstream or offset by callers.
+
+#ifndef DSKETCH_UTIL_FLAT_MAP_H_
+#define DSKETCH_UTIL_FLAT_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+/// Open-addressing uint64 -> Value map with backward-shift deletion.
+///
+/// `Value` must be trivially copyable. The key 0xFFFFFFFFFFFFFFFF is
+/// reserved to mark empty slots and must not be inserted.
+template <typename Value>
+class FlatMap {
+ public:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+  /// Creates a map sized for `expected` keys without rehashing.
+  explicit FlatMap(size_t expected = 16) { Rehash(TableSizeFor(expected)); }
+
+  /// Number of stored keys.
+  size_t size() const { return size_; }
+
+  /// True if no keys are stored.
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts `key -> value` or overwrites the existing mapping.
+  void InsertOrAssign(uint64_t key, Value value) {
+    DSKETCH_DCHECK(key != kEmpty);
+    if ((size_ + 1) * 2 > keys_.size()) Rehash(keys_.size() * 2);
+    size_t i = FindSlot(key);
+    if (keys_[i] == kEmpty) {
+      keys_[i] = key;
+      ++size_;
+    }
+    values_[i] = value;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  Value* Find(uint64_t key) {
+    size_t i = FindSlot(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+
+  /// Const overload of Find.
+  const Value* Find(uint64_t key) const {
+    size_t i = FindSlot(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+
+  /// Removes `key` if present; returns true if a mapping was removed.
+  bool Erase(uint64_t key) {
+    size_t i = FindSlot(key);
+    if (keys_[i] != key) return false;
+    // Backward-shift deletion: move subsequent cluster entries into the
+    // hole while they are not at their home position.
+    size_t mask = keys_.size() - 1;
+    size_t hole = i;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (keys_[j] == kEmpty) break;
+      size_t home = Home(keys_[j]);
+      // Entry at j may move into the hole if its home position does not lie
+      // (cyclically) strictly after the hole.
+      bool movable;
+      if (j > hole) {
+        movable = home <= hole || home > j;
+      } else {
+        movable = home <= hole && home > j;
+      }
+      if (movable) {
+        keys_[hole] = keys_[j];
+        values_[hole] = values_[j];
+        hole = j;
+      }
+    }
+    keys_[hole] = kEmpty;
+    --size_;
+    return true;
+  }
+
+  /// Removes all keys, keeping the current capacity.
+  void Clear() {
+    for (auto& k : keys_) k = kEmpty;
+    size_ = 0;
+  }
+
+ private:
+  static size_t TableSizeFor(size_t expected) {
+    size_t n = 16;
+    while (n < expected * 2) n <<= 1;
+    return n;
+  }
+
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  size_t Home(uint64_t key) const { return Mix(key) & (keys_.size() - 1); }
+
+  size_t FindSlot(uint64_t key) const {
+    size_t mask = keys_.size() - 1;
+    size_t i = Home(key);
+    while (keys_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(size_t new_size) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(new_size, kEmpty);
+    values_.assign(new_size, Value());
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmpty) {
+        size_t j = FindSlot(old_keys[i]);
+        keys_[j] = old_keys[i];
+        values_[j] = old_values[i];
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<Value> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_UTIL_FLAT_MAP_H_

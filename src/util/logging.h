@@ -1,0 +1,40 @@
+// Lightweight CHECK/DCHECK macros in the spirit of the Google C++ style
+// guide. Library code uses these for programmer-error invariants instead of
+// exceptions; violations print a message and abort.
+
+#ifndef DSKETCH_UTIL_LOGGING_H_
+#define DSKETCH_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsketch {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dsketch
+
+/// Aborts the process if `cond` does not hold. Always enabled.
+#define DSKETCH_CHECK(cond)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::dsketch::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                              \
+  } while (0)
+
+/// Like DSKETCH_CHECK but compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define DSKETCH_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define DSKETCH_DCHECK(cond) DSKETCH_CHECK(cond)
+#endif
+
+#endif  // DSKETCH_UTIL_LOGGING_H_

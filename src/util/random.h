@@ -1,0 +1,95 @@
+// Pseudo-random number generation used throughout the library.
+//
+// The library deliberately does not use <random> engines on hot paths:
+// sketch updates draw one Bernoulli variate per unseen item, so the
+// generator must be a handful of instructions. We implement SplitMix64 for
+// seeding and xoshiro256++ for the main stream, plus the small set of
+// distributions the sketches and workload generators need.
+
+#ifndef DSKETCH_UTIL_RANDOM_H_
+#define DSKETCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace dsketch {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64Next(uint64_t& state);
+
+/// xoshiro256++ generator (Blackman & Vigna). Fast, 256-bit state, passes
+/// BigCrush; more than adequate for sampling sketches.
+class Xoshiro256 {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t Next();
+
+  /// Jumps the generator 2^128 steps ahead (for independent substreams).
+  void Jump();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Convenience wrapper bundling a generator with common distributions.
+///
+/// All methods are deterministic given the seed, which the test and bench
+/// harnesses rely on for reproducibility.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xd1b54a32d192ed03ULL) : gen_(seed) {}
+
+  /// Next 64 uniformly random bits.
+  uint64_t NextU64() { return gen_.Next(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0 (safe for division/logs).
+  double NextDoublePositive() {
+    return (static_cast<double>(gen_.Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Bernoulli(p): true with probability p (p clamped to [0,1]).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Number of failures before the first success of a Bernoulli(p) sequence;
+  /// support {0, 1, 2, ...}, mean (1-p)/p. `p` must be in (0, 1].
+  uint64_t NextGeometric0(double p);
+
+  /// Exponential(rate): mean 1/rate.
+  double NextExponential(double rate);
+
+  /// Standard normal via polar Box-Muller (caches the spare variate).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffles `data[0..n)`.
+  template <typename T>
+  void Shuffle(T* data, size_t n) {
+    for (size_t i = n; i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      T tmp = data[i - 1];
+      data[i - 1] = data[j];
+      data[j] = tmp;
+    }
+  }
+
+ private:
+  Xoshiro256 gen_;
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_UTIL_RANDOM_H_

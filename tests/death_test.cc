@@ -1,0 +1,93 @@
+// Contract (CHECK) tests: invalid arguments abort with a diagnostic
+// instead of corrupting sketch state. These document the library's
+// programmer-error surface.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_size_space_saving.h"
+#include "core/decayed_space_saving.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+#include "frequency/count_min.h"
+#include "frequency/misra_gries.h"
+#include "sampling/bottom_k.h"
+#include "sampling/pps.h"
+#include "sampling/priority_sampling.h"
+#include "stats/normal.h"
+#include "stream/distributions.h"
+#include "util/alias.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, ZeroCapacitySketchAborts) {
+  EXPECT_DEATH(UnbiasedSpaceSaving(0), "CHECK failed");
+  EXPECT_DEATH(WeightedSpaceSaving(0), "CHECK failed");
+  EXPECT_DEATH(MisraGries(0), "CHECK failed");
+  EXPECT_DEATH(BottomKSampler(0), "CHECK failed");
+  EXPECT_DEATH(PrioritySampler(0), "CHECK failed");
+}
+
+TEST(DeathTest, NonPositiveWeightAborts) {
+  WeightedSpaceSaving sketch(4);
+  EXPECT_DEATH(sketch.Update(1, 0.0), "CHECK failed");
+  EXPECT_DEATH(sketch.Update(1, -1.0), "CHECK failed");
+  PrioritySampler sampler(4);
+  EXPECT_DEATH(sampler.Add(1, 0.0), "CHECK failed");
+}
+
+TEST(DeathTest, DecayedSketchContracts) {
+  EXPECT_DEATH(DecayedSpaceSaving(4, 0.0), "CHECK failed");
+  DecayedSpaceSaving sketch(4, 10.0);
+  sketch.Update(1, 100.0);
+  // Timestamps must be non-decreasing.
+  EXPECT_DEATH(sketch.Update(1, 99.0), "CHECK failed");
+  // Queries cannot predate the last update.
+  EXPECT_DEATH(sketch.EstimateDecayedCount(1, 50.0), "CHECK failed");
+}
+
+TEST(DeathTest, AdaptiveSizeContracts) {
+  EXPECT_DEATH(AdaptiveSizeSpaceSaving(0, 10, 0.1), "CHECK failed");
+  EXPECT_DEATH(AdaptiveSizeSpaceSaving(8, 10, 0.1), "CHECK failed");
+  EXPECT_DEATH(AdaptiveSizeSpaceSaving(8, 16, 0.0), "CHECK failed");
+  EXPECT_DEATH(AdaptiveSizeSpaceSaving(8, 16, 1.0), "CHECK failed");
+}
+
+TEST(DeathTest, CountMinContracts) {
+  EXPECT_DEATH(CountMin(0, 4), "CHECK failed");
+  EXPECT_DEATH(CountMin(16, 0), "CHECK failed");
+  CountMin cm(16, 2);
+  EXPECT_DEATH(cm.Update(1, 0), "CHECK failed");
+  EXPECT_DEATH(cm.Update(1, -5), "CHECK failed");
+}
+
+TEST(DeathTest, NormalQuantileDomain) {
+  EXPECT_DEATH(NormalQuantile(0.0), "CHECK failed");
+  EXPECT_DEATH(NormalQuantile(1.0), "CHECK failed");
+  EXPECT_DEATH(NormalTwoSidedZ(1.5), "CHECK failed");
+}
+
+TEST(DeathTest, AliasTableContracts) {
+  EXPECT_DEATH(AliasTable({}), "CHECK failed");
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "CHECK failed");
+  EXPECT_DEATH(AliasTable({1.0, -1.0}), "CHECK failed");
+}
+
+TEST(DeathTest, DistributionContracts) {
+  EXPECT_DEATH(WeibullCounts(0, 1.0, 1.0), "CHECK failed");
+  EXPECT_DEATH(WeibullCounts(10, -1.0, 1.0), "CHECK failed");
+  EXPECT_DEATH(GeometricCounts(10, 1.5), "CHECK failed");
+  EXPECT_DEATH(ScaleCountsToTotal({1, 2}, 0), "CHECK failed");
+}
+
+TEST(DeathTest, PpsRejectsNegativeWeights) {
+  EXPECT_DEATH(ThresholdedPpsProbabilities({1.0, -2.0}, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dsketch

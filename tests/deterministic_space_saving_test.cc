@@ -1,0 +1,158 @@
+// Tests for Deterministic Space Saving: the classic guarantees, the
+// guaranteed-count lower bound, and the paper's negative results — the
+// Theorem 11 adversarial wipe-out and the two-half pathological bias that
+// motivate the unbiased sketch.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/deterministic_space_saving.h"
+#include "core/unbiased_space_saving.h"
+#include "stats/welford.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(DeterministicSpaceSavingTest, NeverUnderestimates) {
+  std::vector<int64_t> counts = ZipfCounts(100, 1.1, 300);
+  Rng rng(110);
+  auto rows = PermutedStream(counts, rng);
+  DeterministicSpaceSaving sketch(16, 1);
+  for (uint64_t item : rows) sketch.Update(item);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (sketch.Contains(i)) {
+      EXPECT_GE(sketch.EstimateCount(i), counts[i]);
+    }
+  }
+}
+
+TEST(DeterministicSpaceSavingTest, GuaranteedCountIsValidLowerBound) {
+  std::vector<int64_t> counts = ZipfCounts(150, 1.3, 400);
+  Rng rng(111);
+  auto rows = PermutedStream(counts, rng);
+  DeterministicSpaceSaving sketch(20, 2);
+  for (uint64_t item : rows) sketch.Update(item);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_LE(sketch.GuaranteedCount(i), counts[i]) << "item " << i;
+  }
+}
+
+TEST(DeterministicSpaceSavingTest, HeavyItemAlwaysTracked) {
+  // Any item with count > n/m must be in the sketch (classic guarantee).
+  std::vector<int64_t> counts{500, 400, 300, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  Rng rng(112);
+  auto rows = PermutedStream(counts, rng);
+  DeterministicSpaceSaving sketch(8, 3);
+  for (uint64_t item : rows) sketch.Update(item);
+  EXPECT_TRUE(sketch.Contains(0));
+  EXPECT_TRUE(sketch.Contains(1));
+  EXPECT_TRUE(sketch.Contains(2));
+}
+
+TEST(DeterministicSpaceSavingTest, Theorem11AdversarialWipeout) {
+  // Counts all below 2*ntot/m: after ntot extra distinct rows the sketch
+  // estimates exactly 0 for every original item.
+  const size_t kM = 10;
+  std::vector<int64_t> counts{30, 25, 20, 15, 10, 10, 8, 7, 5, 5,
+                              5,  5,  5,  5,  5};  // total 160
+  int64_t total = TotalCount(counts);
+  for (int64_t c : counts) ASSERT_LT(c, 2 * total / static_cast<int64_t>(kM));
+
+  auto rows = AdversarialWipeoutStream(counts, 1000000);
+  DeterministicSpaceSaving sketch(kM, 4);
+  for (uint64_t item : rows) sketch.Update(item);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(sketch.EstimateCount(i), 0) << "item " << i;
+  }
+}
+
+TEST(DeterministicSpaceSavingTest, UnbiasedSurvivesTheSameAdversary) {
+  // Same stream: Unbiased Space Saving keeps unbiased estimates (its
+  // expected estimate equals the true count; in particular the heavy
+  // originals are retained with non-trivial probability).
+  std::vector<int64_t> counts{30, 25, 20, 15, 10, 10, 8, 7, 5, 5,
+                              5,  5,  5,  5,  5};
+  std::vector<Welford> est(counts.size());
+  for (int t = 0; t < 6000; ++t) {
+    auto rows = AdversarialWipeoutStream(counts, 1000000);
+    UnbiasedSpaceSaving sketch(10, 50000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(static_cast<double>(sketch.EstimateCount(i)));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.1)
+        << "item " << i;
+  }
+}
+
+TEST(DeterministicSpaceSavingTest, TwoHalfStreamDropsFirstHalfTail) {
+  // Paper Fig. 7: infrequent items from the first half are completely
+  // forgotten by the deterministic sketch.
+  auto half_counts = WeibullCounts(200, 30.0, 0.6);
+  Rng rng(113);
+  auto rows = TwoHalfStream(half_counts, half_counts, rng);
+  DeterministicSpaceSaving sketch(50, 5);
+  for (uint64_t item : rows) sketch.Update(item);
+
+  // Count how many *infrequent* first-half items survive.
+  int first_half_tail_tracked = 0;
+  int tail_items = 0;
+  for (size_t i = 0; i < half_counts.size(); ++i) {
+    if (half_counts[i] == 0) continue;
+    if (half_counts[i] < 30) {
+      ++tail_items;
+      if (sketch.Contains(i)) ++first_half_tail_tracked;
+    }
+  }
+  ASSERT_GT(tail_items, 50);
+  // Essentially all of the first-half tail must be gone.
+  EXPECT_LE(first_half_tail_tracked, tail_items / 10);
+}
+
+TEST(DeterministicSpaceSavingTest, AllDistinctKeepsOnlyLastItems) {
+  // "The sketch always consists of the last m items" on all-distinct
+  // streams (paper §6.3). With random tie-breaking the replacement wave
+  // can lag one bin-generation, so the survivors come from the last 2m
+  // arrivals; with first-slot tie-breaking or at wave boundaries it is
+  // exactly the last m.
+  const size_t kM = 16;
+  DeterministicSpaceSaving sketch(kM, 6);
+  auto rows = DistinctStream(1000, 0);
+  for (uint64_t item : rows) sketch.Update(item);
+  for (const SketchEntry& e : sketch.Entries()) {
+    EXPECT_GE(e.item, 1000 - 2 * kM);
+  }
+  // At an exact wave boundary (1024 = 16 + 63*16), only the last m remain.
+  DeterministicSpaceSaving aligned(kM, 7);
+  auto rows2 = DistinctStream(1024, 0);
+  for (uint64_t item : rows2) aligned.Update(item);
+  for (const SketchEntry& e : aligned.Entries()) {
+    EXPECT_GE(e.item, 1024 - kM);
+  }
+}
+
+TEST(DeterministicSpaceSavingTest, MinCountIsMaxError) {
+  DeterministicSpaceSaving sketch(8, 7);
+  Rng rng(114);
+  std::vector<int64_t> truth(100, 0);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t item = rng.NextBounded(100);
+    ++truth[item];
+    sketch.Update(item);
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (!sketch.Contains(i)) continue;
+    EXPECT_LE(sketch.EstimateCount(i) - truth[i], sketch.MinCount());
+  }
+}
+
+}  // namespace
+}  // namespace dsketch

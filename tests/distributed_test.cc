@@ -1,0 +1,94 @@
+// Tests for core/distributed: sharded sketching with an unbiased
+// reducer-side combine (paper §5.5 map-reduce deployment).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distributed.h"
+#include "stats/welford.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(ShardedSketcherTest, RoutingCoversAllShards) {
+  ShardedSketcher sharded(4, 32, 1);
+  for (uint64_t i = 0; i < 10000; ++i) sharded.Update(i);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_GT(sharded.shard(s).TotalCount(), 0);
+  }
+  EXPECT_EQ(sharded.TotalCount(), 10000);
+}
+
+TEST(ShardedSketcherTest, HashRoutingIsConsistent) {
+  // The same item must always land on the same shard: per-shard counts of
+  // a repeated item live in exactly one shard.
+  ShardedSketcher sharded(8, 16, 2);
+  for (int i = 0; i < 1000; ++i) sharded.Update(42);
+  int shards_with_item = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    if (sharded.shard(s).Contains(42)) ++shards_with_item;
+  }
+  EXPECT_EQ(shards_with_item, 1);
+}
+
+TEST(ShardedSketcherTest, CombinePreservesTotal) {
+  ShardedSketcher sharded(5, 16, 3);
+  Rng rng(170);
+  for (int i = 0; i < 20000; ++i) sharded.Update(rng.NextBounded(400));
+  UnbiasedSpaceSaving combined = sharded.Combine(32, 4);
+  EXPECT_EQ(combined.TotalCount(), 20000);
+  EXPECT_LE(combined.size(), 32u);
+}
+
+TEST(ShardedSketcherTest, CombinedEstimatesAreUnbiased) {
+  std::vector<int64_t> counts{100, 50, 20, 10, 5, 5, 3, 2, 2, 1, 1, 1};
+  std::vector<Welford> est(counts.size());
+  const int kTrials = 8000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(240000 + t);
+    auto rows = PermutedStream(counts, rng);
+    ShardedSketcher sharded(4, 4, 250000 + t);
+    // Round-robin partitioning (worst case: shards see different mixes).
+    for (size_t i = 0; i < rows.size(); ++i) {
+      sharded.UpdateShard(i % 4, rows[i]);
+    }
+    UnbiasedSpaceSaving combined = sharded.Combine(6, 260000 + t);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(static_cast<double>(combined.EstimateCount(i)));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.1)
+        << "item " << i;
+  }
+}
+
+TEST(ShardedSketcherTest, HeavyHitterSurvivesCombine) {
+  ShardedSketcher sharded(4, 16, 5);
+  for (int i = 0; i < 10000; ++i) sharded.Update(7);
+  Rng rng(171);
+  for (int i = 0; i < 2000; ++i) sharded.Update(100 + rng.NextBounded(1000));
+  UnbiasedSpaceSaving combined = sharded.Combine(16, 6);
+  EXPECT_TRUE(combined.Contains(7));
+  EXPECT_GT(combined.EstimateCount(7), 9000);
+}
+
+TEST(ShardedSketcherTest, ExplicitShardRouting) {
+  ShardedSketcher sharded(3, 8, 7);
+  sharded.UpdateShard(0, 1);
+  sharded.UpdateShard(1, 1);
+  sharded.UpdateShard(2, 1);
+  EXPECT_EQ(sharded.shard(0).EstimateCount(1), 1);
+  EXPECT_EQ(sharded.shard(1).EstimateCount(1), 1);
+  EXPECT_EQ(sharded.shard(2).EstimateCount(1), 1);
+  UnbiasedSpaceSaving combined = sharded.Combine(8, 8);
+  EXPECT_EQ(combined.EstimateCount(1), 3);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,115 @@
+// Tests for hhh/: hierarchical heavy hitters over prefix hierarchies
+// (paper §3.1 network application).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hhh/hierarchical_heavy_hitters.h"
+#include "stats/welford.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+// Keys: 16-bit "addresses" = (subnet << 8) | host, 2 levels of 8 bits.
+uint64_t Addr(uint32_t subnet, uint32_t host) {
+  return (static_cast<uint64_t>(subnet) << 8) | host;
+}
+
+TEST(HierarchicalTest, TruncationLevels) {
+  HierarchicalHeavyHitters hhh(3, 8, 16, 1);
+  uint64_t key = 0xABCDEF;
+  EXPECT_EQ(hhh.Truncate(key, 0), 0xABCDEFu);
+  EXPECT_EQ(hhh.Truncate(key, 1), 0xABCD00u);
+  EXPECT_EQ(hhh.Truncate(key, 2), 0xAB0000u);
+}
+
+TEST(HierarchicalTest, PrefixEstimatesAggregateChildren) {
+  HierarchicalHeavyHitters hhh(2, 8, 64, 2);
+  // Subnet 3 hosts: 100 + 200 + 50; subnet 5: 30.
+  for (int i = 0; i < 100; ++i) hhh.Update(Addr(3, 1));
+  for (int i = 0; i < 200; ++i) hhh.Update(Addr(3, 2));
+  for (int i = 0; i < 50; ++i) hhh.Update(Addr(3, 9));
+  for (int i = 0; i < 30; ++i) hhh.Update(Addr(5, 7));
+  EXPECT_EQ(hhh.EstimatePrefix(Addr(3, 0), 1), 350);
+  EXPECT_EQ(hhh.EstimatePrefix(Addr(5, 0), 1), 30);
+  EXPECT_EQ(hhh.EstimatePrefix(Addr(3, 2), 0), 200);
+  EXPECT_EQ(hhh.TotalCount(), 380);
+}
+
+TEST(HierarchicalTest, QueryReportsHeavyHostAndShieldsParent) {
+  HierarchicalHeavyHitters hhh(2, 8, 64, 3);
+  // One dominant host inside subnet 1; subnet 1 has nothing else heavy.
+  for (int i = 0; i < 900; ++i) hhh.Update(Addr(1, 4));
+  Rng rng(300);
+  for (int i = 0; i < 100; ++i) {
+    hhh.Update(Addr(2 + rng.NextBounded(50), rng.NextBounded(200)));
+  }
+  auto result = hhh.Query(0.1);
+  // The host is reported at level 0.
+  bool host_reported = false, subnet_reported = false;
+  for (const auto& hp : result) {
+    if (hp.level == 0 && hp.prefix == Addr(1, 4)) host_reported = true;
+    if (hp.level == 1 && hp.prefix == Addr(1, 0)) subnet_reported = true;
+  }
+  EXPECT_TRUE(host_reported);
+  // Subnet 1's mass is fully explained by its heavy child: conditioned
+  // count ~0, so it is NOT reported again.
+  EXPECT_FALSE(subnet_reported);
+}
+
+TEST(HierarchicalTest, DiffuseSubnetReportedOnlyAtParentLevel) {
+  HierarchicalHeavyHitters hhh(2, 8, 128, 4);
+  // Subnet 9: 400 rows spread over 200 hosts (no heavy host);
+  // background: 600 rows spread over everything else.
+  Rng rng(301);
+  for (int i = 0; i < 400; ++i) hhh.Update(Addr(9, rng.NextBounded(200)));
+  for (int i = 0; i < 600; ++i) {
+    hhh.Update(Addr(20 + rng.NextBounded(100), rng.NextBounded(200)));
+  }
+  auto result = hhh.Query(0.2);  // threshold 200 rows
+  bool subnet9 = false;
+  for (const auto& hp : result) {
+    EXPECT_NE(hp.level, 0);  // no single host exceeds 200
+    if (hp.level == 1 && hp.prefix == Addr(9, 0)) subnet9 = true;
+  }
+  EXPECT_TRUE(subnet9);
+}
+
+TEST(HierarchicalTest, LevelSumsAreUnbiasedUnderPressure) {
+  // Sketch far smaller than the key universe: level-1 subset sums stay
+  // unbiased (each level is an independent USS sketch).
+  Welford est;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    HierarchicalHeavyHitters hhh(2, 8, 8, static_cast<uint64_t>(500 + t));
+    Rng rng(static_cast<uint64_t>(700 + t));
+    // 60 rows in subnet 9, 140 rows elsewhere (distinct hosts).
+    for (int i = 0; i < 60; ++i) hhh.Update(Addr(9, rng.NextBounded(250)));
+    for (int i = 0; i < 140; ++i) {
+      hhh.Update(Addr(10 + rng.NextBounded(40), rng.NextBounded(250)));
+    }
+    est.Add(static_cast<double>(hhh.EstimatePrefix(Addr(9, 0), 1)));
+  }
+  EXPECT_NEAR(est.mean(), 60.0, 5 * est.stderr_mean() + 0.1);
+}
+
+TEST(HierarchicalTest, RootLevelHoldsEverything) {
+  HierarchicalHeavyHitters hhh(3, 8, 4, 5);
+  Rng rng(302);
+  for (int i = 0; i < 1000; ++i) {
+    hhh.Update(Addr(rng.NextBounded(4), rng.NextBounded(256)) |
+               (rng.NextBounded(2) << 16));
+  }
+  // Level 2 truncates to the top byte: few distinct prefixes, so counts
+  // are exact and sum to the total.
+  int64_t sum = 0;
+  for (const SketchEntry& e : hhh.level_sketch(2).Entries()) sum += e.count;
+  EXPECT_EQ(sum, 1000);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,277 @@
+// Tests for core/merge: Theorem 2 unbiased reductions (pairwise PPS and
+// priority sampling), exact total preservation, the Misra-Gries reduction,
+// and end-to-end sketch merges.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/merge.h"
+#include "stats/welford.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+std::vector<SketchEntry> TestEntries() {
+  return {{1, 100}, {2, 50}, {3, 20}, {4, 10}, {5, 5},
+          {6, 3},   {7, 2},  {8, 1},  {9, 1},  {10, 1}};
+}
+
+TEST(CombineEntriesTest, SumsDuplicates) {
+  auto combined = CombineEntries({{1, 5}, {2, 3}}, {{2, 4}, {3, 1}});
+  std::unordered_map<uint64_t, int64_t> m;
+  for (const auto& e : combined) m[e.item] = e.count;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[1], 5);
+  EXPECT_EQ(m[2], 7);
+  EXPECT_EQ(m[3], 1);
+}
+
+TEST(ReducePairwiseTest, PreservesTotalExactly) {
+  Rng rng(150);
+  auto reduced = ReducePairwise(TestEntries(), 4, rng);
+  EXPECT_EQ(reduced.size(), 4u);
+  int64_t total = 0;
+  for (const auto& e : reduced) total += e.count;
+  EXPECT_EQ(total, 193);
+}
+
+TEST(ReducePairwiseTest, NoOpWhenUnderTarget) {
+  Rng rng(151);
+  auto entries = TestEntries();
+  auto reduced = ReducePairwise(entries, 20, rng);
+  EXPECT_EQ(reduced, entries);
+}
+
+TEST(ReducePairwiseTest, PerItemExpectationPreserved) {
+  // Theorem 2: E[post-reduction estimate] = pre-reduction estimate.
+  auto entries = TestEntries();
+  std::vector<Welford> est(11);
+  for (int t = 0; t < 60000; ++t) {
+    Rng rng(160000 + t);
+    auto reduced = ReducePairwise(entries, 3, rng);
+    std::unordered_map<uint64_t, int64_t> m;
+    for (const auto& e : reduced) m[e.item] = e.count;
+    for (uint64_t x = 1; x <= 10; ++x) {
+      auto it = m.find(x);
+      est[x].Add(it != m.end() ? static_cast<double>(it->second) : 0.0);
+    }
+  }
+  auto truth = TestEntries();
+  for (const auto& e : truth) {
+    EXPECT_NEAR(est[e.item].mean(), static_cast<double>(e.count),
+                5 * est[e.item].stderr_mean() + 0.05)
+        << "item " << e.item;
+  }
+}
+
+TEST(ReducePriorityTest, PerItemExpectationPreserved) {
+  auto entries = TestEntries();
+  std::vector<Welford> est(11);
+  for (int t = 0; t < 60000; ++t) {
+    Rng rng(170000 + t);
+    auto reduced = ReducePriority(entries, 5, rng);
+    EXPECT_EQ(reduced.size(), 5u);
+    std::unordered_map<uint64_t, double> m;
+    for (const auto& e : reduced) m[e.item] = e.weight;
+    for (uint64_t x = 1; x <= 10; ++x) {
+      auto it = m.find(x);
+      est[x].Add(it != m.end() ? it->second : 0.0);
+    }
+  }
+  for (const auto& e : entries) {
+    EXPECT_NEAR(est[e.item].mean(), static_cast<double>(e.count),
+                5 * est[e.item].stderr_mean() + 0.05)
+        << "item " << e.item;
+  }
+}
+
+TEST(ReducePriorityTest, PassthroughUnderTarget) {
+  Rng rng(152);
+  auto reduced = ReducePriority({{1, 7}, {2, 3}}, 5, rng);
+  ASSERT_EQ(reduced.size(), 2u);
+  std::unordered_map<uint64_t, double> m;
+  for (const auto& e : reduced) m[e.item] = e.weight;
+  EXPECT_EQ(m[1], 7.0);
+  EXPECT_EQ(m[2], 3.0);
+}
+
+TEST(ReduceMisraGriesTest, SoftThresholdByTargetPlusOneth) {
+  auto reduced = ReduceMisraGries(TestEntries(), 4);
+  // (4+1)-th largest of {100,50,20,10,5,...} is 5: counts shrink by 5.
+  std::unordered_map<uint64_t, int64_t> m;
+  for (const auto& e : reduced) m[e.item] = e.count;
+  EXPECT_LE(reduced.size(), 4u);
+  EXPECT_EQ(m[1], 95);
+  EXPECT_EQ(m[2], 45);
+  EXPECT_EQ(m[3], 15);
+  EXPECT_EQ(m[4], 5);
+  EXPECT_EQ(m.count(5), 0u);
+}
+
+TEST(MergeTest, UnbiasedMergePreservesCombinedTotal) {
+  UnbiasedSpaceSaving a(16, 1), b(16, 2);
+  Rng rng(153);
+  for (int i = 0; i < 5000; ++i) a.Update(rng.NextBounded(100));
+  for (int i = 0; i < 3000; ++i) b.Update(200 + rng.NextBounded(100));
+  UnbiasedSpaceSaving merged = Merge(a, b, 16, 3);
+  EXPECT_EQ(merged.TotalCount(), 8000);
+  EXPECT_LE(merged.size(), 16u);
+}
+
+TEST(MergeTest, UnbiasedMergeEstimatesAreUnbiased) {
+  // Split one stream across two sketches, merge, compare to truth.
+  std::vector<int64_t> counts{80, 40, 20, 10, 6, 4, 2, 2, 1, 1};
+  std::vector<Welford> est(counts.size());
+  const int kTrials = 15000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(180000 + t);
+    auto rows = PermutedStream(counts, rng);
+    UnbiasedSpaceSaving a(5, 190000 + t), b(5, 195000 + t);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (i % 2 == 0 ? a : b).Update(rows[i]);
+    }
+    UnbiasedSpaceSaving merged = Merge(a, b, 5, 198000 + t);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(static_cast<double>(merged.EstimateCount(i)));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.1)
+        << "item " << i;
+  }
+}
+
+TEST(MergeTest, DeterministicMergeKeepsHeavyHitters) {
+  DeterministicSpaceSaving a(8, 1), b(8, 2);
+  for (int i = 0; i < 1000; ++i) {
+    a.Update(1);
+    b.Update(2);
+  }
+  for (int i = 0; i < 50; ++i) {
+    a.Update(10 + static_cast<uint64_t>(i) % 20);
+    b.Update(40 + static_cast<uint64_t>(i) % 20);
+  }
+  DeterministicSpaceSaving merged = Merge(a, b, 8, 3);
+  EXPECT_TRUE(merged.Contains(1));
+  EXPECT_TRUE(merged.Contains(2));
+  EXPECT_GT(merged.EstimateCount(1), 900);
+  EXPECT_LE(merged.size(), 8u);
+}
+
+TEST(MergeTest, MergeAllCombinesManySketches) {
+  const int kShards = 6;
+  std::vector<UnbiasedSpaceSaving> shards;
+  for (int s = 0; s < kShards; ++s) shards.emplace_back(8, 100 + s);
+  Rng rng(154);
+  int64_t rows = 0;
+  for (int i = 0; i < 12000; ++i) {
+    shards[static_cast<size_t>(rng.NextBounded(kShards))].Update(
+        rng.NextBounded(300));
+    ++rows;
+  }
+  std::vector<const UnbiasedSpaceSaving*> ptrs;
+  for (const auto& s : shards) ptrs.push_back(&s);
+  UnbiasedSpaceSaving merged = MergeAll(ptrs, 12, 5);
+  EXPECT_EQ(merged.TotalCount(), rows);
+  EXPECT_LE(merged.size(), 12u);
+}
+
+TEST(ReducePairwiseWeightedTest, PreservesTotalAndExpectation) {
+  std::vector<WeightedEntry> entries{{1, 50.5}, {2, 20.25}, {3, 10.0},
+                                     {4, 5.5},  {5, 2.25},  {6, 1.5}};
+  double total = 0;
+  for (const auto& e : entries) total += e.weight;
+
+  std::vector<Welford> est(7);
+  for (int t = 0; t < 40000; ++t) {
+    Rng rng(600000 + t);
+    auto reduced = ReducePairwiseWeighted(entries, 3, rng);
+    EXPECT_EQ(reduced.size(), 3u);
+    double sum = 0;
+    std::unordered_map<uint64_t, double> m;
+    for (const auto& e : reduced) {
+      sum += e.weight;
+      m[e.item] = e.weight;
+    }
+    EXPECT_NEAR(sum, total, 1e-9);
+    for (uint64_t x = 1; x <= 6; ++x) {
+      auto it = m.find(x);
+      est[x].Add(it != m.end() ? it->second : 0.0);
+    }
+  }
+  for (const auto& e : entries) {
+    EXPECT_NEAR(est[e.item].mean(), e.weight,
+                5 * est[e.item].stderr_mean() + 0.01)
+        << "item " << e.item;
+  }
+}
+
+TEST(MergeTest, WeightedMergePreservesTotal) {
+  WeightedSpaceSaving a(8, 1), b(8, 2);
+  Rng rng(155);
+  double total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    double w = 0.5 + rng.NextDouble();
+    a.Update(rng.NextBounded(40), w);
+    total += w;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    double w = 0.5 + rng.NextDouble();
+    b.Update(50 + rng.NextBounded(40), w);
+    total += w;
+  }
+  WeightedSpaceSaving merged = Merge(a, b, 8, 3);
+  EXPECT_NEAR(merged.TotalWeight(), total, 1e-6 * total);
+  EXPECT_LE(merged.size(), 8u);
+  // The merged sketch keeps accepting rows.
+  merged.Update(999, 1.25);
+  EXPECT_NEAR(merged.TotalWeight(), total + 1.25, 1e-6 * total);
+}
+
+TEST(MergeTest, WeightedMergeEstimatesAreUnbiased) {
+  const std::vector<double> weights{30.0, 12.0, 6.0, 3.0, 1.5, 1.5, 0.75,
+                                    0.75};
+  std::vector<Welford> est(weights.size());
+  const int kTrials = 15000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng order(610000 + t);
+    WeightedSpaceSaving a(3, 620000 + t), b(3, 630000 + t);
+    std::vector<size_t> idx(weights.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    order.Shuffle(idx.data(), idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      (i % 2 == 0 ? a : b).Update(idx[i], weights[idx[i]]);
+    }
+    WeightedSpaceSaving merged = Merge(a, b, 3, 640000 + t);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      est[i].Add(merged.EstimateWeight(i));
+    }
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), weights[i], 5 * est[i].stderr_mean() + 0.02)
+        << "item " << i;
+  }
+}
+
+TEST(MergeTest, MergedSketchRemainsUsable) {
+  UnbiasedSpaceSaving a(8, 1), b(8, 2);
+  for (int i = 0; i < 500; ++i) {
+    a.Update(static_cast<uint64_t>(i % 10));
+    b.Update(static_cast<uint64_t>(i % 7));
+  }
+  UnbiasedSpaceSaving merged = Merge(a, b, 8, 3);
+  int64_t before = merged.TotalCount();
+  for (int i = 0; i < 100; ++i) merged.Update(999);
+  EXPECT_EQ(merged.TotalCount(), before + 100);
+  EXPECT_GE(merged.EstimateCount(999), 100);
+}
+
+}  // namespace
+}  // namespace dsketch

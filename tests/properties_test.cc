@@ -1,0 +1,250 @@
+// Parameterized property sweeps across distributions, stream orders, and
+// sketch sizes: unbiasedness (Theorem 1/2), exact total preservation, and
+// estimator sanity hold for *every* configuration, not just the defaults.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/merge.h"
+#include "core/subset_sum.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+#include "stats/welford.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+enum class Order { kPermuted, kAscending, kDescending, kTwoHalf };
+
+struct PropertyCase {
+  std::string name;
+  std::string dist;   // "weibull", "geometric", "zipf", "uniform"
+  size_t n_items;
+  size_t capacity;
+  Order order;
+};
+
+std::string CaseName(const testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.name;
+}
+
+std::vector<int64_t> MakeCounts(const PropertyCase& pc) {
+  if (pc.dist == "weibull") return WeibullCounts(pc.n_items, 30.0, 0.5);
+  if (pc.dist == "geometric") return GeometricCounts(pc.n_items, 0.08);
+  if (pc.dist == "zipf") return ZipfCounts(pc.n_items, 1.2, 60);
+  return std::vector<int64_t>(pc.n_items, 4);  // uniform
+}
+
+std::vector<uint64_t> MakeStream(const PropertyCase& pc,
+                                 const std::vector<int64_t>& counts,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  switch (pc.order) {
+    case Order::kPermuted:
+      return PermutedStream(counts, rng);
+    case Order::kAscending:
+      return SortedStream(counts, true);
+    case Order::kDescending:
+      return SortedStream(counts, false);
+    case Order::kTwoHalf: {
+      // Split item ids into two halves of the same count vector.
+      std::vector<int64_t> first(counts.begin(),
+                                 counts.begin() + counts.size() / 2);
+      std::vector<int64_t> second(counts.begin() + counts.size() / 2,
+                                  counts.end());
+      return TwoHalfStream(first, second, rng);
+    }
+  }
+  return {};
+}
+
+class UssPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(UssPropertyTest, TotalPreservedExactly) {
+  const PropertyCase& pc = GetParam();
+  auto counts = MakeCounts(pc);
+  auto rows = MakeStream(pc, counts, 300);
+  UnbiasedSpaceSaving sketch(pc.capacity, 301);
+  for (uint64_t item : rows) sketch.Update(item);
+  int64_t sum = 0;
+  for (const SketchEntry& e : sketch.Entries()) sum += e.count;
+  EXPECT_EQ(sum, static_cast<int64_t>(rows.size()));
+  EXPECT_EQ(sketch.TotalCount(), static_cast<int64_t>(rows.size()));
+}
+
+TEST_P(UssPropertyTest, SubsetSumUnbiased) {
+  const PropertyCase& pc = GetParam();
+  auto counts = MakeCounts(pc);
+  double truth = 0;
+  for (size_t i = 0; i < counts.size(); i += 2) {
+    truth += static_cast<double>(counts[i]);
+  }
+  Welford est;
+  const int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto rows = MakeStream(pc, counts, 400 + static_cast<uint64_t>(t));
+    UnbiasedSpaceSaving sketch(pc.capacity, 5000 + static_cast<uint64_t>(t));
+    for (uint64_t item : rows) sketch.Update(item);
+    est.Add(EstimateSubsetSum(sketch, [](uint64_t x) {
+              return x % 2 == 0;
+            }).estimate);
+  }
+  EXPECT_NEAR(est.mean(), truth, 5 * est.stderr_mean() + 1e-9)
+      << "bias z-score "
+      << (est.mean() - truth) / (est.stderr_mean() + 1e-12);
+}
+
+TEST_P(UssPropertyTest, MinCountNeverExceedsMeanBinLoad) {
+  const PropertyCase& pc = GetParam();
+  auto counts = MakeCounts(pc);
+  auto rows = MakeStream(pc, counts, 500);
+  UnbiasedSpaceSaving sketch(pc.capacity, 501);
+  for (uint64_t item : rows) sketch.Update(item);
+  EXPECT_LE(sketch.MinCount() * static_cast<int64_t>(pc.capacity),
+            sketch.TotalCount());
+}
+
+TEST_P(UssPropertyTest, EstimatesNonNegativeAndBoundedByTotal) {
+  const PropertyCase& pc = GetParam();
+  auto counts = MakeCounts(pc);
+  auto rows = MakeStream(pc, counts, 600);
+  UnbiasedSpaceSaving sketch(pc.capacity, 601);
+  for (uint64_t item : rows) sketch.Update(item);
+  for (const SketchEntry& e : sketch.Entries()) {
+    EXPECT_GT(e.count, 0);
+    EXPECT_LE(e.count, sketch.TotalCount());
+  }
+  EXPECT_LE(sketch.size(), pc.capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UssPropertyTest,
+    testing::Values(
+        PropertyCase{"WeibullPermutedM8", "weibull", 100, 8, Order::kPermuted},
+        PropertyCase{"WeibullPermutedM32", "weibull", 100, 32,
+                     Order::kPermuted},
+        PropertyCase{"WeibullAscendingM8", "weibull", 100, 8,
+                     Order::kAscending},
+        PropertyCase{"WeibullDescendingM8", "weibull", 100, 8,
+                     Order::kDescending},
+        PropertyCase{"WeibullTwoHalfM16", "weibull", 100, 16,
+                     Order::kTwoHalf},
+        PropertyCase{"GeometricPermutedM8", "geometric", 120, 8,
+                     Order::kPermuted},
+        PropertyCase{"GeometricAscendingM16", "geometric", 120, 16,
+                     Order::kAscending},
+        PropertyCase{"ZipfPermutedM8", "zipf", 80, 8, Order::kPermuted},
+        PropertyCase{"ZipfTwoHalfM8", "zipf", 80, 8, Order::kTwoHalf},
+        PropertyCase{"UniformPermutedM8", "uniform", 60, 8, Order::kPermuted},
+        PropertyCase{"UniformAscendingM8", "uniform", 60, 8,
+                     Order::kAscending}),
+    CaseName);
+
+// Capacity sweep: unbiasedness must hold when the sketch is barely 1 bin,
+// exactly the distinct count, or larger.
+class CapacitySweepTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(CapacitySweepTest, PerItemUnbiasedTinyUniverse) {
+  size_t capacity = GetParam();
+  std::vector<int64_t> counts{20, 10, 5, 2, 1};
+  std::vector<Welford> est(counts.size());
+  for (int t = 0; t < 6000; ++t) {
+    Rng rng(700 + static_cast<uint64_t>(t));
+    auto rows = PermutedStream(counts, rng);
+    UnbiasedSpaceSaving sketch(capacity, 90000 + static_cast<uint64_t>(t));
+    for (uint64_t item : rows) sketch.Update(item);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(static_cast<double>(sketch.EstimateCount(i)));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.05)
+        << "capacity " << capacity << " item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacitySweepTest,
+                         testing::Values(1, 2, 3, 5, 8),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "M" + std::to_string(info.param);
+                         });
+
+// Weight-scale sweep: the weighted sketch's unbiasedness must be scale
+// invariant (weights spanning many magnitudes exercise the PPS collapse
+// arithmetic differently).
+class WeightScaleSweepTest : public testing::TestWithParam<double> {};
+
+TEST_P(WeightScaleSweepTest, WeightedSketchUnbiasedAtScale) {
+  const double scale = GetParam();
+  const std::vector<double> base{16.0, 8.0, 4.0, 2.0, 1.0, 1.0, 0.5, 0.5};
+  std::vector<Welford> est(base.size());
+  for (int t = 0; t < 8000; ++t) {
+    Rng order(800 + static_cast<uint64_t>(t));
+    std::vector<size_t> idx(base.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    order.Shuffle(idx.data(), idx.size());
+    WeightedSpaceSaving sketch(3, 95000 + static_cast<uint64_t>(t));
+    for (size_t i : idx) sketch.Update(i, base[i] * scale);
+    for (size_t i = 0; i < base.size(); ++i) {
+      est[i].Add(sketch.EstimateWeight(i) / scale);
+    }
+  }
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), base[i], 5 * est[i].stderr_mean() + 0.01)
+        << "scale " << scale << " item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WeightScaleSweepTest,
+                         testing::Values(1e-6, 1.0, 1e6),
+                         [](const testing::TestParamInfo<double>& info) {
+                           if (info.param < 1.0) return std::string("Micro");
+                           if (info.param > 1.0) return std::string("Mega");
+                           return std::string("Unit");
+                         });
+
+// Merge-capacity sweep: the pairwise merge stays unbiased whether the
+// target capacity forces heavy reduction (2) or nearly none (16).
+class MergeCapacitySweepTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(MergeCapacitySweepTest, MergeUnbiasedAtCapacity) {
+  const size_t capacity = GetParam();
+  std::vector<int64_t> counts{40, 20, 10, 5, 3, 2, 1, 1};
+  std::vector<Welford> est(counts.size());
+  for (int t = 0; t < 8000; ++t) {
+    Rng rng(900 + static_cast<uint64_t>(t));
+    auto rows = PermutedStream(counts, rng);
+    UnbiasedSpaceSaving a(capacity, 96000 + static_cast<uint64_t>(t));
+    UnbiasedSpaceSaving b(capacity, 97000 + static_cast<uint64_t>(t));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (i % 2 == 0 ? a : b).Update(rows[i]);
+    }
+    UnbiasedSpaceSaving merged =
+        Merge(a, b, capacity, 98000 + static_cast<uint64_t>(t));
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(static_cast<double>(merged.EstimateCount(i)));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.05)
+        << "capacity " << capacity << " item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MergeCapacities, MergeCapacitySweepTest,
+                         testing::Values(2, 4, 8, 16),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "M" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,234 @@
+// Robustness and interaction tests: edge-of-domain keys, query-engine
+// fuzzing against ground truth, merge-of-decayed-sketches workflows,
+// long LoadEntries lifecycles, and distributional checks on the stream
+// substrate that other suites do not cover.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/decayed_space_saving.h"
+#include "core/merge.h"
+#include "core/space_saving_core.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+#include "hhh/hierarchical_heavy_hitters.h"
+#include "query/engine.h"
+#include "stats/welford.h"
+#include "stream/ad_click.h"
+#include "stream/generators.h"
+#include "util/flat_map.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(RobustnessTest, FlatMapHandlesBoundaryKeys) {
+  FlatMap<uint32_t> map;
+  // Everything except the reserved kEmpty sentinel must be storable.
+  std::vector<uint64_t> keys{0,          1,          0x7FFFFFFFFFFFFFFFull,
+                             1ull << 63, ~0ull - 1,  0xDEADBEEFull};
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    map.InsertOrAssign(keys[i], i);
+  }
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(map.Find(keys[i]), nullptr);
+    EXPECT_EQ(*map.Find(keys[i]), i);
+  }
+}
+
+TEST(RobustnessTest, SketchAcceptsExtremeItemIds) {
+  UnbiasedSpaceSaving sketch(4, 1);
+  // Item ids at the edges of the valid space (kNoLabel = ~0-1 and the
+  // FlatMap sentinel ~0 are reserved by contract).
+  std::vector<uint64_t> ids{0, 1, 0x8000000000000000ull, ~0ull - 2};
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t id : ids) sketch.Update(id);
+  }
+  for (uint64_t id : ids) EXPECT_EQ(sketch.EstimateCount(id), 10);
+}
+
+TEST(RobustnessTest, RngBoundOneAlwaysZero) {
+  Rng rng(500);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RobustnessTest, UrnStreamFirstDrawMatchesProportions) {
+  // The urn must draw its first row proportional to counts — this is what
+  // makes it interchangeable with PermutedStream for huge streams.
+  std::vector<int64_t> counts{70, 20, 10};
+  std::vector<int> first(3, 0);
+  const int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    UrnStream stream(counts, static_cast<uint64_t>(900 + t));
+    uint64_t item;
+    ASSERT_TRUE(stream.Next(&item));
+    ++first[item];
+  }
+  EXPECT_NEAR(first[0] / static_cast<double>(kTrials), 0.70, 0.012);
+  EXPECT_NEAR(first[1] / static_cast<double>(kTrials), 0.20, 0.012);
+  EXPECT_NEAR(first[2] / static_cast<double>(kTrials), 0.10, 0.012);
+}
+
+TEST(RobustnessTest, WeightedEntriesSortedDescending) {
+  WeightedSpaceSaving sketch(16, 2);
+  Rng rng(501);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Update(rng.NextBounded(100), 0.1 + rng.NextDouble());
+  }
+  auto entries = sketch.Entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].weight, entries[i].weight);
+  }
+}
+
+TEST(RobustnessTest, QueryEngineFuzzAgainstExact) {
+  // Exact-capacity sketch => the approximate engine must equal the exact
+  // engine on *every* conjunctive predicate.
+  AdClickConfig cfg;
+  cfg.num_ads = 500;
+  cfg.num_features = 5;
+  cfg.feature_cardinality = 7;
+  cfg.weibull_scale = 10.0;
+  AdClickGenerator gen(cfg, 502);
+  auto log = gen.GenerateLog(/*shuffled=*/false, 503);
+
+  UnbiasedSpaceSaving sketch(512, 3);  // >= 500 distinct ads: exact
+  ExactAggregator exact;
+  for (const AdImpression& row : log) {
+    sketch.Update(row.ad_id);
+    exact.Update(row.ad_id);
+  }
+  SketchQueryEngine approx_engine(&sketch, &gen.attributes());
+  ExactQueryEngine exact_engine(&exact, &gen.attributes());
+
+  Rng rng(504);
+  for (int q = 0; q < 300; ++q) {
+    Predicate pred;
+    int conditions = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int c = 0; c < conditions; ++c) {
+      size_t dim = rng.NextBounded(cfg.num_features);
+      if (rng.NextBernoulli(0.5)) {
+        pred.WhereEq(dim, static_cast<uint32_t>(
+                              rng.NextBounded(cfg.feature_cardinality)));
+      } else {
+        pred.WhereIn(dim,
+                     {static_cast<uint32_t>(
+                          rng.NextBounded(cfg.feature_cardinality)),
+                      static_cast<uint32_t>(
+                          rng.NextBounded(cfg.feature_cardinality))});
+      }
+    }
+    EXPECT_DOUBLE_EQ(approx_engine.Sum(pred).estimate,
+                     static_cast<double>(exact_engine.Sum(pred)))
+        << "query " << q;
+  }
+}
+
+TEST(RobustnessTest, TwoWayGroupByMatchesExactUnderExactSketch) {
+  AdClickConfig cfg;
+  cfg.num_ads = 300;
+  cfg.num_features = 4;
+  cfg.feature_cardinality = 5;
+  AdClickGenerator gen(cfg, 505);
+  auto log = gen.GenerateLog(/*shuffled=*/true, 506);
+
+  UnbiasedSpaceSaving sketch(512, 4);
+  ExactAggregator exact;
+  for (const AdImpression& row : log) {
+    sketch.Update(row.ad_id);
+    exact.Update(row.ad_id);
+  }
+  SketchQueryEngine approx_engine(&sketch, &gen.attributes());
+  ExactQueryEngine exact_engine(&exact, &gen.attributes());
+
+  auto approx = approx_engine.GroupBy2(1, 3);
+  auto truth = exact_engine.GroupBy2(1, 3);
+  EXPECT_EQ(approx.size(), truth.size());
+  for (const auto& [key, value] : truth) {
+    ASSERT_TRUE(approx.count(key)) << "missing group";
+    EXPECT_DOUBLE_EQ(approx[key].estimate, static_cast<double>(value));
+  }
+}
+
+TEST(RobustnessTest, MergedDecayedSketchesStayUnbiased) {
+  // Two sites sketch their own decayed streams; the reducer merges the
+  // decayed entries at a common query time via the weighted reduction.
+  const double kHalfLife = 100.0;
+  const double kQueryTime = 400.0;
+  Welford est;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    DecayedSpaceSaving site_a(4, kHalfLife, 700000 + t);
+    DecayedSpaceSaving site_b(4, kHalfLife, 710000 + t);
+    Rng rng(720000 + t);
+    double expected = 0;
+    for (int i = 0; i < 200; ++i) {
+      double ts = static_cast<double>(i);
+      uint64_t item = rng.NextBounded(30);
+      (i % 2 == 0 ? site_a : site_b).Update(item, ts);
+      if (item < 10) expected += std::exp2(-(kQueryTime - ts) / kHalfLife);
+    }
+    // Reducer: weighted sketches from decayed entries at query time.
+    WeightedSpaceSaving wa(4, 730000 + t), wb(4, 740000 + t);
+    wa.LoadEntries(site_a.DecayedEntries(kQueryTime));
+    wb.LoadEntries(site_b.DecayedEntries(kQueryTime));
+    WeightedSpaceSaving merged = Merge(wa, wb, 4, 750000 + t);
+    double subset = 0;
+    for (const WeightedEntry& e : merged.Entries()) {
+      if (e.item < 10) subset += e.weight;
+    }
+    est.Add(subset - expected);
+  }
+  EXPECT_NEAR(est.mean(), 0.0, 5 * est.stderr_mean() + 0.01);
+}
+
+TEST(RobustnessTest, RepeatedLoadEntriesLifecycle) {
+  // Merge-heavy deployments repeatedly load, update, extract: the range
+  // map must stay consistent across many cycles.
+  UnbiasedSpaceSaving sketch(16, 5);
+  Rng rng(507);
+  int64_t running_total = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 500; ++i) {
+      sketch.Update(rng.NextBounded(100) + cycle);
+    }
+    running_total += 500;
+    auto entries = sketch.Entries();
+    Rng reduce_rng(508 + cycle);
+    auto reduced = ReducePairwise(entries, 12, reduce_rng);
+    sketch.core().LoadEntries(reduced);
+    int64_t sum = 0;
+    for (const SketchEntry& e : sketch.Entries()) sum += e.count;
+    ASSERT_EQ(sum, running_total) << "cycle " << cycle;
+  }
+}
+
+TEST(RobustnessTest, HierarchicalContracts) {
+  EXPECT_DEATH(HierarchicalHeavyHitters(0, 8, 4), "CHECK failed");
+  EXPECT_DEATH(HierarchicalHeavyHitters(9, 8, 4), "CHECK failed");
+  HierarchicalHeavyHitters hhh(2, 8, 4);
+  hhh.Update(42);
+  EXPECT_DEATH(hhh.Query(0.0), "CHECK failed");
+  EXPECT_DEATH(hhh.EstimatePrefix(42, 5), "CHECK failed");
+}
+
+TEST(RobustnessTest, DistinctFloodThenHeavyRecovers) {
+  // After an all-distinct flood, a newly arriving heavy item must climb
+  // into the sketch quickly (Theorem 3's mechanism) — robustness against
+  // "cold cache" starts.
+  UnbiasedSpaceSaving sketch(32, 6);
+  for (uint64_t i = 0; i < 100000; ++i) sketch.Update(1000000 + i);
+  for (int i = 0; i < 50000; ++i) sketch.Update(7);
+  EXPECT_TRUE(sketch.Contains(7));
+  // The estimate remains unbiased-ish: within 25% for this single run.
+  EXPECT_NEAR(static_cast<double>(sketch.EstimateCount(7)), 50000.0,
+              12500.0);
+}
+
+}  // namespace
+}  // namespace dsketch

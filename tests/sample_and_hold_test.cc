@@ -1,0 +1,110 @@
+// Tests for sampling/sample_and_hold: unbiasedness of the adaptive and
+// step variants (Theorem 2 reductions) and their memory behavior.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sampling/sample_and_hold.h"
+#include "stats/welford.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(AdaptiveSampleAndHoldTest, ExactWhileUnderCapacity) {
+  AdaptiveSampleAndHold sketch(10, 80);
+  for (int i = 0; i < 5; ++i) sketch.Update(1);
+  for (int i = 0; i < 3; ++i) sketch.Update(2);
+  EXPECT_EQ(sketch.sampling_rate(), 1.0);
+  EXPECT_NEAR(sketch.EstimateCount(1), 5.0, 1e-12);
+  EXPECT_NEAR(sketch.EstimateCount(2), 3.0, 1e-12);
+  EXPECT_EQ(sketch.EstimateCount(3), 0.0);
+}
+
+TEST(AdaptiveSampleAndHoldTest, CapacityIsRespected) {
+  AdaptiveSampleAndHold sketch(16, 81);
+  for (uint64_t i = 0; i < 5000; ++i) sketch.Update(i % 200);
+  EXPECT_LE(sketch.size(), 16u);
+  EXPECT_LT(sketch.sampling_rate(), 1.0);
+}
+
+TEST(AdaptiveSampleAndHoldTest, PerItemEstimatesAreUnbiased) {
+  // Small universe, capacity below distinct count, permuted stream.
+  std::vector<int64_t> counts{60, 25, 10, 5, 5, 3, 2, 2, 1, 1};
+  std::vector<Welford> est(counts.size());
+  const int kTrials = 8000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng stream_rng(7000 + t);
+    auto rows = PermutedStream(counts, stream_rng);
+    AdaptiveSampleAndHold sketch(5, 90000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(sketch.EstimateCount(i));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.05)
+        << "item " << i;
+  }
+}
+
+TEST(AdaptiveSampleAndHoldTest, SubsetEstimateMatchesSum) {
+  AdaptiveSampleAndHold sketch(8, 82);
+  for (uint64_t i = 0; i < 1000; ++i) sketch.Update(i % 30);
+  double all = sketch.EstimateSubset([](uint64_t) { return true; });
+  double even = sketch.EstimateSubset([](uint64_t x) { return x % 2 == 0; });
+  double odd = sketch.EstimateSubset([](uint64_t x) { return x % 2 == 1; });
+  EXPECT_NEAR(all, even + odd, 1e-9);
+}
+
+TEST(StepSampleAndHoldTest, ExactWhileUnderCapacity) {
+  StepSampleAndHold sketch(10, 83);
+  for (int i = 0; i < 7; ++i) sketch.Update(42);
+  EXPECT_NEAR(sketch.EstimateCount(42), 7.0, 1e-12);
+  EXPECT_EQ(sketch.sampling_rate(), 1.0);
+}
+
+TEST(StepSampleAndHoldTest, SoftCapacityGrowsSlowly) {
+  StepSampleAndHold sketch(32, 84);
+  for (uint64_t i = 0; i < 20000; ++i) sketch.Update(i % 500);
+  // Every admission past capacity halves the entry rate, so overflow is
+  // logarithmic: far below the 500-item universe.
+  EXPECT_LE(sketch.size(), 64u);
+  EXPECT_LT(sketch.sampling_rate(), 1.0);
+}
+
+TEST(StepSampleAndHoldTest, PerItemEstimatesAreUnbiased) {
+  std::vector<int64_t> counts{60, 25, 10, 5, 5, 3, 2, 2, 1, 1};
+  std::vector<Welford> est(counts.size());
+  const int kTrials = 8000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng stream_rng(8000 + t);
+    auto rows = PermutedStream(counts, stream_rng);
+    StepSampleAndHold sketch(5, 91000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(sketch.EstimateCount(i));
+    }
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.05)
+        << "item " << i;
+  }
+}
+
+TEST(StepSampleAndHoldTest, EntriesCarryAdjustedWeights) {
+  StepSampleAndHold sketch(4, 85);
+  for (uint64_t i = 0; i < 400; ++i) sketch.Update(i % 20);
+  double total_from_entries = 0;
+  for (const auto& e : sketch.Entries()) total_from_entries += e.weight;
+  double total_from_subset = sketch.EstimateSubset([](uint64_t) { return true; });
+  EXPECT_NEAR(total_from_entries, total_from_subset, 1e-9);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,175 @@
+// Tests for core/serialization: round trips for all three sketch kinds,
+// network-merge workflows, and rejection of malformed/hostile inputs.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/merge.h"
+#include "core/serialization.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+// Canonical ordering for entry comparison: ties in count are ordered by
+// slot position, which serialization does not (and need not) preserve.
+std::vector<SketchEntry> Canonical(std::vector<SketchEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.item < b.item;
+            });
+  return entries;
+}
+
+TEST(SerializationTest, UnbiasedRoundTrip) {
+  UnbiasedSpaceSaving sketch(32, 1);
+  Rng rng(400);
+  for (int i = 0; i < 5000; ++i) sketch.Update(rng.NextBounded(200));
+
+  std::string bytes = Serialize(sketch);
+  auto restored = DeserializeUnbiased(bytes, 2);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->capacity(), sketch.capacity());
+  EXPECT_EQ(restored->size(), sketch.size());
+  EXPECT_EQ(restored->TotalCount(), sketch.TotalCount());
+  EXPECT_EQ(restored->MinCount(), sketch.MinCount());
+  EXPECT_EQ(Canonical(restored->Entries()), Canonical(sketch.Entries()));
+}
+
+TEST(SerializationTest, DeterministicRoundTrip) {
+  DeterministicSpaceSaving sketch(16, 3);
+  for (int i = 0; i < 3000; ++i) sketch.Update(i % 40);
+  std::string bytes = Serialize(sketch);
+  auto restored = DeserializeDeterministic(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(Canonical(restored->Entries()), Canonical(sketch.Entries()));
+}
+
+TEST(SerializationTest, WeightedRoundTrip) {
+  WeightedSpaceSaving sketch(8, 4);
+  Rng rng(401);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.Update(rng.NextBounded(50), 0.25 + rng.NextDouble());
+  }
+  std::string bytes = Serialize(sketch);
+  auto restored = DeserializeWeighted(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), sketch.size());
+  EXPECT_NEAR(restored->TotalWeight(), sketch.TotalWeight(),
+              1e-9 * sketch.TotalWeight());
+  for (const WeightedEntry& e : sketch.Entries()) {
+    EXPECT_DOUBLE_EQ(restored->EstimateWeight(e.item), e.weight);
+  }
+}
+
+TEST(SerializationTest, EmptySketchRoundTrip) {
+  UnbiasedSpaceSaving sketch(8, 5);
+  auto restored = DeserializeUnbiased(Serialize(sketch));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), 0u);
+  EXPECT_EQ(restored->TotalCount(), 0);
+}
+
+TEST(SerializationTest, RestoredSketchAcceptsUpdatesAndMerges) {
+  // The map-reduce workflow: mappers serialize, the reducer deserializes
+  // and merges.
+  UnbiasedSpaceSaving mapper1(16, 6), mapper2(16, 7);
+  for (int i = 0; i < 2000; ++i) {
+    mapper1.Update(i % 30);
+    mapper2.Update(100 + (i % 50));
+  }
+  auto r1 = DeserializeUnbiased(Serialize(mapper1), 8);
+  auto r2 = DeserializeUnbiased(Serialize(mapper2), 9);
+  ASSERT_TRUE(r1.has_value() && r2.has_value());
+  UnbiasedSpaceSaving merged = Merge(*r1, *r2, 16, 10);
+  EXPECT_EQ(merged.TotalCount(), 4000);
+  merged.Update(999);
+  EXPECT_EQ(merged.TotalCount(), 4001);
+}
+
+TEST(SerializationTest, RejectsWrongKind) {
+  UnbiasedSpaceSaving uss(8, 11);
+  uss.Update(1);
+  std::string bytes = Serialize(uss);
+  EXPECT_FALSE(DeserializeDeterministic(bytes).has_value());
+  EXPECT_FALSE(DeserializeWeighted(bytes).has_value());
+  EXPECT_TRUE(DeserializeUnbiased(bytes).has_value());
+}
+
+TEST(SerializationTest, RejectsTruncatedInput) {
+  UnbiasedSpaceSaving sketch(8, 12);
+  for (int i = 0; i < 100; ++i) sketch.Update(i % 10);
+  std::string bytes = Serialize(sketch);
+  for (size_t cut : {0ul, 1ul, 4ul, 10ul, bytes.size() - 1}) {
+    EXPECT_FALSE(
+        DeserializeUnbiased(std::string_view(bytes.data(), cut)).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  UnbiasedSpaceSaving sketch(8, 13);
+  sketch.Update(5);
+  std::string bytes = Serialize(sketch);
+  bytes.push_back('x');
+  EXPECT_FALSE(DeserializeUnbiased(bytes).has_value());
+}
+
+TEST(SerializationTest, RejectsBadMagicAndCorruptHeader) {
+  UnbiasedSpaceSaving sketch(8, 14);
+  sketch.Update(5);
+  std::string bytes = Serialize(sketch);
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeUnbiased(bad_magic).has_value());
+
+  // Corrupt entry count to exceed capacity.
+  std::string bad_count = bytes;
+  bad_count[16] = 'z';  // entry_count field
+  EXPECT_FALSE(DeserializeUnbiased(bad_count).has_value());
+}
+
+TEST(SerializationTest, RejectsNegativeCountsAndDuplicates) {
+  // Hand-craft: header for kUnbiased, capacity 4, 2 entries.
+  auto craft = [](int64_t count2, uint64_t item2) {
+    std::string out;
+    uint32_t magic = 0x44534B31;
+    uint8_t kind = 1, version = 1;
+    uint16_t reserved = 0;
+    uint64_t capacity = 4;
+    uint32_t n = 2;
+    out.append(reinterpret_cast<char*>(&magic), 4);
+    out.append(reinterpret_cast<char*>(&kind), 1);
+    out.append(reinterpret_cast<char*>(&version), 1);
+    out.append(reinterpret_cast<char*>(&reserved), 2);
+    out.append(reinterpret_cast<char*>(&capacity), 8);
+    out.append(reinterpret_cast<char*>(&n), 4);
+    uint64_t item1 = 7;
+    int64_t count1 = 5;
+    out.append(reinterpret_cast<char*>(&item1), 8);
+    out.append(reinterpret_cast<char*>(&count1), 8);
+    out.append(reinterpret_cast<char*>(&item2), 8);
+    out.append(reinterpret_cast<char*>(&count2), 8);
+    return out;
+  };
+  EXPECT_TRUE(DeserializeUnbiased(craft(3, 8)).has_value());
+  EXPECT_FALSE(DeserializeUnbiased(craft(-3, 8)).has_value());  // negative
+  EXPECT_FALSE(DeserializeUnbiased(craft(3, 7)).has_value());   // duplicate
+}
+
+TEST(SerializationTest, WireSizeIsCompact) {
+  UnbiasedSpaceSaving sketch(100, 15);
+  Rng rng(402);
+  for (int i = 0; i < 100000; ++i) sketch.Update(rng.NextBounded(10000));
+  std::string bytes = Serialize(sketch);
+  // Header (20B) + 100 entries x 16B.
+  EXPECT_EQ(bytes.size(), 20u + 100u * 16u);
+}
+
+}  // namespace
+}  // namespace dsketch

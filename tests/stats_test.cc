@@ -1,0 +1,150 @@
+// Tests for stats/: normal distribution functions, Welford accumulators,
+// error summaries, quantiles, and log-bucket curves.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/normal.h"
+#include "stats/summary.h"
+#include "stats/welford.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {1e-8, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                   0.9999, 1.0 - 1e-8}) {
+    double x = NormalQuantile(p);
+    EXPECT_NEAR(NormalCdf(x), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-9);
+}
+
+TEST(NormalTest, TwoSidedZ) {
+  EXPECT_NEAR(NormalTwoSidedZ(0.95), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalTwoSidedZ(0.99), 2.5758293035489004, 1e-9);
+}
+
+TEST(WelfordTest, MeanAndVarianceMatchClosedForm) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.Add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_NEAR(w.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(w.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(WelfordTest, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(WelfordTest, MergeEqualsSequential) {
+  Rng rng(50);
+  Welford all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian() * 3 + 1;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  Welford a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+}
+
+TEST(ErrorAccumulatorTest, BiasAndMse) {
+  ErrorAccumulator acc;
+  acc.Add(12.0, 10.0);  // error +2
+  acc.Add(8.0, 10.0);   // error -2
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_NEAR(acc.bias(), 0.0, 1e-12);
+  EXPECT_NEAR(acc.mse(), 4.0, 1e-12);
+  EXPECT_NEAR(acc.rmse(), 2.0, 1e-12);
+  EXPECT_NEAR(acc.rrmse(), 0.2, 1e-12);
+  EXPECT_NEAR(acc.mean_truth(), 10.0, 1e-12);
+}
+
+TEST(CoverageCounterTest, CountsContainment) {
+  CoverageCounter c;
+  c.Add(0.0, 1.0, 0.5);   // covered
+  c.Add(0.0, 1.0, 1.0);   // boundary counts as covered
+  c.Add(0.0, 1.0, 2.0);   // missed
+  c.Add(0.0, 1.0, -0.1);  // missed
+  EXPECT_EQ(c.count(), 4u);
+  EXPECT_NEAR(c.coverage(), 0.5, 1e-12);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(Quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.25), 2.0, 1e-12);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_NEAR(Quantile(v, 0.3), 3.0, 1e-12);
+}
+
+TEST(LogBucketCurveTest, BucketsByLogX) {
+  LogBucketCurve curve(1.0, 10000.0, 4);  // decades-ish buckets
+  curve.Add(2.0, 1.0);
+  curve.Add(3.0, 3.0);
+  curve.Add(200.0, 10.0);
+  auto pts = curve.Points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].count, 2u);
+  EXPECT_NEAR(pts[0].mean_y, 2.0, 1e-12);
+  EXPECT_EQ(pts[1].count, 1u);
+  EXPECT_NEAR(pts[1].mean_y, 10.0, 1e-12);
+  EXPECT_LT(pts[0].x_center, pts[1].x_center);
+}
+
+TEST(LogBucketCurveTest, ClampsOutOfRange) {
+  LogBucketCurve curve(1.0, 100.0, 2);
+  curve.Add(0.0, 5.0);      // clamps to first bucket
+  curve.Add(1e9, 7.0);      // clamps to last bucket
+  auto pts = curve.Points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NEAR(pts[0].mean_y, 5.0, 1e-12);
+  EXPECT_NEAR(pts[1].mean_y, 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dsketch

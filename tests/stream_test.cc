@@ -1,0 +1,220 @@
+// Tests for stream/: count distributions, row-stream generators, and the
+// synthetic ad-click workload.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/ad_click.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(WeibullCountsTest, AscendingAndNonNegative) {
+  auto counts = WeibullCounts(1000, 5e5, 0.15);
+  ASSERT_EQ(counts.size(), 1000u);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i - 1], counts[i]);
+  }
+  EXPECT_GE(counts.front(), 0);
+  EXPECT_GT(counts.back(), 0);
+}
+
+TEST(WeibullCountsTest, ShapeControlsSkew) {
+  auto light = WeibullCounts(1000, 1000.0, 1.0);
+  auto heavy = WeibullCounts(1000, 1000.0, 0.2);
+  // Heavier tail => larger max/median ratio.
+  double light_ratio =
+      static_cast<double>(light.back()) / static_cast<double>(light[500] + 1);
+  double heavy_ratio =
+      static_cast<double>(heavy.back()) / static_cast<double>(heavy[500] + 1);
+  EXPECT_GT(heavy_ratio, 10 * light_ratio);
+}
+
+TEST(GeometricCountsTest, MatchesInverseCdf) {
+  auto counts = GeometricCounts(4, 0.5);
+  // u = .125,.375,.625,.875 -> floor(log(1-u)/log(.5)) = 0,0,1,3
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 3);
+}
+
+TEST(ZipfCountsTest, MaxAtLastIndex) {
+  auto counts = ZipfCounts(100, 1.0, 1000);
+  EXPECT_EQ(counts.back(), 1000);
+  EXPECT_EQ(counts.front(), 10);  // 1000/100
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i - 1], counts[i]);
+  }
+}
+
+TEST(ScaleCountsToTotalTest, HitsTargetApproximately) {
+  auto counts = WeibullCounts(500, 1e4, 0.3);
+  auto scaled = ScaleCountsToTotal(counts, 100000);
+  int64_t total = TotalCount(scaled);
+  EXPECT_NEAR(static_cast<double>(total), 1e5, 0.02 * 1e5);
+  // Present items stay present.
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(scaled[i] > 0, counts[i] > 0);
+  }
+}
+
+TEST(ExpandRowsTest, MultisetMatchesCounts) {
+  std::vector<int64_t> counts{2, 0, 3};
+  auto rows = ExpandRows(counts);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(std::count(rows.begin(), rows.end(), 0u), 2);
+  EXPECT_EQ(std::count(rows.begin(), rows.end(), 1u), 0);
+  EXPECT_EQ(std::count(rows.begin(), rows.end(), 2u), 3);
+}
+
+TEST(PermutedStreamTest, PreservesMultiset) {
+  std::vector<int64_t> counts{5, 1, 7, 0, 2};
+  Rng rng(60);
+  auto rows = PermutedStream(counts, rng);
+  ASSERT_EQ(rows.size(), 15u);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(std::count(rows.begin(), rows.end(), i),
+              counts[i]);
+  }
+}
+
+TEST(SortedStreamTest, AscendingGroupsByFrequency) {
+  std::vector<int64_t> counts{3, 1, 2};
+  auto rows = SortedStream(counts, /*ascending=*/true);
+  // Items in frequency order: 1 (count 1), 2 (count 2), 0 (count 3).
+  std::vector<uint64_t> expected{1, 2, 2, 0, 0, 0};
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(SortedStreamTest, DescendingReverses) {
+  std::vector<int64_t> counts{3, 1, 2};
+  auto rows = SortedStream(counts, /*ascending=*/false);
+  std::vector<uint64_t> expected{0, 0, 0, 2, 2, 1};
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(TwoHalfStreamTest, HalvesDoNotMix) {
+  std::vector<int64_t> first{2, 2};
+  std::vector<int64_t> second{3};
+  Rng rng(61);
+  auto rows = TwoHalfStream(first, second, rng);
+  ASSERT_EQ(rows.size(), 7u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_LT(rows[i], 2u);
+  for (size_t i = 4; i < 7; ++i) EXPECT_EQ(rows[i], 2u);
+}
+
+TEST(AdversarialWipeoutStreamTest, StructureMatchesTheorem11) {
+  std::vector<int64_t> counts{2, 3};  // total 5
+  auto rows = AdversarialWipeoutStream(counts, 100);
+  ASSERT_EQ(rows.size(), 10u);
+  // Most frequent first: item 1 three times, then item 0 twice.
+  std::vector<uint64_t> head{1, 1, 1, 0, 0};
+  for (size_t i = 0; i < head.size(); ++i) EXPECT_EQ(rows[i], head[i]);
+  // Then 5 fresh distinct items.
+  std::set<uint64_t> fresh(rows.begin() + 5, rows.end());
+  EXPECT_EQ(fresh.size(), 5u);
+  for (uint64_t f : fresh) EXPECT_GE(f, 100u);
+}
+
+TEST(BurstyStreamTest, PeriodsAlternate) {
+  auto rows = BurstyStream(/*burst_item=*/7, /*burst_length=*/2,
+                           /*quiet_length=*/3, /*periods=*/2,
+                           /*fresh_start_id=*/100);
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows[0], 7u);
+  EXPECT_EQ(rows[1], 7u);
+  EXPECT_EQ(rows[2], 100u);
+  EXPECT_EQ(rows[4], 102u);
+  EXPECT_EQ(rows[5], 7u);
+  EXPECT_EQ(rows[9], 105u);
+}
+
+TEST(DistinctStreamTest, AllDistinct) {
+  auto rows = DistinctStream(100, 5);
+  std::set<uint64_t> s(rows.begin(), rows.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 5u);
+}
+
+TEST(UrnStreamTest, DrawsSameMultisetAsExpand) {
+  std::vector<int64_t> counts{4, 0, 1, 3};
+  UrnStream stream(counts, 62);
+  std::vector<int64_t> seen(counts.size(), 0);
+  uint64_t item;
+  while (stream.Next(&item)) ++seen[item];
+  for (size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(seen[i], counts[i]);
+  EXPECT_FALSE(stream.Next(&item));
+}
+
+TEST(AdClickGeneratorTest, LogMatchesPerAdCounts) {
+  AdClickConfig cfg;
+  cfg.num_ads = 200;
+  cfg.weibull_scale = 10.0;
+  AdClickGenerator gen(cfg, 63);
+  auto log = gen.GenerateLog(/*shuffled=*/true, 64);
+  EXPECT_EQ(static_cast<int64_t>(log.size()), gen.total_impressions());
+
+  std::vector<int64_t> imp(cfg.num_ads, 0), clk(cfg.num_ads, 0);
+  for (const AdImpression& row : log) {
+    ++imp[row.ad_id];
+    if (row.click) ++clk[row.ad_id];
+  }
+  for (size_t ad = 0; ad < cfg.num_ads; ++ad) {
+    EXPECT_EQ(imp[ad], gen.impressions_per_ad()[ad]);
+    EXPECT_EQ(clk[ad], gen.clicks_per_ad()[ad]);
+  }
+}
+
+TEST(AdClickGeneratorTest, AttributesCoverAllAds) {
+  AdClickConfig cfg;
+  cfg.num_ads = 100;
+  cfg.num_features = 4;
+  cfg.feature_cardinality = 8;
+  AdClickGenerator gen(cfg, 65);
+  EXPECT_EQ(gen.attributes().num_items(), 100u);
+  EXPECT_EQ(gen.attributes().num_dims(), 4u);
+  for (size_t ad = 0; ad < 100; ++ad) {
+    for (size_t f = 0; f < 4; ++f) {
+      EXPECT_LT(gen.attributes().Get(ad, f), 8u);
+    }
+  }
+}
+
+TEST(AdClickGeneratorTest, UnshuffledLogIsBlocked) {
+  AdClickConfig cfg;
+  cfg.num_ads = 50;
+  cfg.weibull_scale = 20.0;
+  AdClickGenerator gen(cfg, 66);
+  auto log = gen.GenerateLog(/*shuffled=*/false, 0);
+  // Ads appear in contiguous blocks: ad ids are non-decreasing.
+  for (size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].ad_id, log[i].ad_id);
+  }
+}
+
+TEST(AdClickGeneratorTest, CtrIsNearBase) {
+  AdClickConfig cfg;
+  cfg.num_ads = 2000;
+  cfg.weibull_scale = 30.0;
+  cfg.base_ctr = 0.05;
+  AdClickGenerator gen(cfg, 67);
+  int64_t clicks = 0;
+  for (int64_t c : gen.clicks_per_ad()) clicks += c;
+  double ctr = static_cast<double>(clicks) /
+               static_cast<double>(gen.total_impressions());
+  // Lognormal jitter with sigma 0.5 inflates the mean by exp(0.125)~1.13.
+  EXPECT_GT(ctr, 0.02);
+  EXPECT_LT(ctr, 0.12);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,147 @@
+// Tests for core/subset_sum: unbiased subset estimates, the eq. 5
+// variance estimator's upward bias, and confidence interval coverage
+// (paper §6.4-6.5, Figs. 8-9).
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/subset_sum.h"
+#include "core/unbiased_space_saving.h"
+#include "stats/normal.h"
+#include "stats/summary.h"
+#include "stats/welford.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(SubsetSumTest, AdditiveDecomposition) {
+  UnbiasedSpaceSaving sketch(16, 1);
+  Rng rng(140);
+  for (int i = 0; i < 10000; ++i) sketch.Update(rng.NextBounded(200));
+  auto all = EstimateSubsetSum(sketch, [](uint64_t) { return true; });
+  auto even = EstimateSubsetSum(sketch, [](uint64_t x) { return x % 2 == 0; });
+  auto odd = EstimateSubsetSum(sketch, [](uint64_t x) { return x % 2 == 1; });
+  EXPECT_NEAR(all.estimate, even.estimate + odd.estimate, 1e-9);
+  EXPECT_NEAR(all.estimate, 10000.0, 1e-9);  // total preserved
+}
+
+TEST(SubsetSumTest, SetOverloadMatchesPredicate) {
+  UnbiasedSpaceSaving sketch(8, 2);
+  for (int i = 0; i < 500; ++i) sketch.Update(i % 20);
+  std::unordered_set<uint64_t> subset{1, 3, 5};
+  auto a = EstimateSubsetSum(sketch, subset);
+  auto b = EstimateSubsetSum(
+      sketch, [](uint64_t x) { return x == 1 || x == 3 || x == 5; });
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.items_in_sample, b.items_in_sample);
+  EXPECT_EQ(a.variance, b.variance);
+}
+
+TEST(SubsetSumTest, VarianceFollowsEquationFive) {
+  UnbiasedSpaceSaving sketch(4, 3);
+  sketch.core().LoadEntries({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  // MinCount = 10; subset {2,3}: C_S = 2.
+  auto est = EstimateSubsetSum(
+      sketch, [](uint64_t x) { return x == 2 || x == 3; });
+  EXPECT_EQ(est.estimate, 50.0);
+  EXPECT_EQ(est.items_in_sample, 2u);
+  EXPECT_EQ(est.variance, 100.0 * 2);
+  // Empty subset: C_S floored at 1.
+  auto none = EstimateSubsetSum(sketch, [](uint64_t) { return false; });
+  EXPECT_EQ(none.estimate, 0.0);
+  EXPECT_EQ(none.variance, 100.0);
+}
+
+TEST(SubsetSumTest, ConfidenceIntervalWidthScalesWithZ) {
+  SubsetSumEstimate est;
+  est.estimate = 100.0;
+  est.variance = 25.0;
+  Interval ci95 = est.Confidence(0.95);
+  Interval ci99 = est.Confidence(0.99);
+  EXPECT_NEAR(ci95.Width(), 2 * 1.959963984540054 * 5.0, 1e-9);
+  EXPECT_GT(ci99.Width(), ci95.Width());
+  EXPECT_TRUE(ci95.Contains(100.0));
+  EXPECT_NEAR((ci95.lo + ci95.hi) / 2, 100.0, 1e-12);
+}
+
+TEST(SubsetSumTest, SubsetEstimatesUnbiasedOnSkewedStream) {
+  auto counts = WeibullCounts(150, 100.0, 0.45);
+  // Subset = every third item.
+  double truth = 0;
+  for (size_t i = 0; i < counts.size(); i += 3) {
+    truth += static_cast<double>(counts[i]);
+  }
+  Welford est;
+  for (int t = 0; t < 6000; ++t) {
+    Rng rng(60000 + t);
+    auto rows = PermutedStream(counts, rng);
+    UnbiasedSpaceSaving sketch(20, 70000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    est.Add(EstimateSubsetSum(sketch, [](uint64_t x) {
+              return x % 3 == 0;
+            }).estimate);
+  }
+  EXPECT_NEAR(est.mean(), truth, 5 * est.stderr_mean());
+}
+
+TEST(SubsetSumTest, VarianceEstimatorIsUpwardBiased) {
+  // Paper §6.4: the eq. 5 estimate is an overestimate, checked against the
+  // Monte Carlo variance on a pathological sorted stream.
+  auto counts = WeibullCounts(200, 50.0, 0.5);
+  auto rows = SortedStream(counts, /*ascending=*/true);
+  Welford est;
+  Welford var_estimates;
+  for (int t = 0; t < 4000; ++t) {
+    UnbiasedSpaceSaving sketch(25, 80000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    auto r = EstimateSubsetSum(sketch, [](uint64_t x) { return x < 100; });
+    est.Add(r.estimate);
+    var_estimates.Add(r.variance);
+  }
+  // Mean estimated variance should be at least the realized variance
+  // (allow 15% slack for Monte Carlo noise).
+  EXPECT_GE(var_estimates.mean(), 0.85 * est.variance());
+}
+
+TEST(SubsetSumTest, CoverageNearNominalOnLargeSubsets) {
+  // Paper Fig. 8: normal CIs achieve ~advertised coverage whenever the
+  // subset holds enough sampled items for the CLT.
+  auto counts = WeibullCounts(400, 40.0, 0.5);
+  double truth = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i % 2 == 0) truth += static_cast<double>(counts[i]);
+  }
+  CoverageCounter coverage;
+  for (int t = 0; t < 3000; ++t) {
+    Rng rng(90000 + t);
+    auto rows = PermutedStream(counts, rng);
+    UnbiasedSpaceSaving sketch(50, 95000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    auto r = EstimateSubsetSum(sketch, [](uint64_t x) { return x % 2 == 0; });
+    Interval ci = r.Confidence(0.95);
+    coverage.Add(ci.lo, ci.hi, truth);
+  }
+  // Upward-biased variance => coverage at or above ~0.95 (allow small dip).
+  EXPECT_GE(coverage.coverage(), 0.93);
+}
+
+TEST(SubsetSumTest, EntriesOverloadMatchesSketchOverload) {
+  UnbiasedSpaceSaving sketch(8, 4);
+  for (int i = 0; i < 3000; ++i) sketch.Update(i % 50);
+  auto direct = EstimateSubsetSum(sketch, [](uint64_t x) { return x < 25; });
+  auto via_entries = EstimateSubsetSumFromEntries(
+      sketch.Entries(), sketch.MinCount(),
+      [](uint64_t x) { return x < 25; });
+  EXPECT_EQ(direct.estimate, via_entries.estimate);
+  EXPECT_EQ(direct.variance, via_entries.variance);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,189 @@
+// Tests for the Unbiased Space Saving sketch: Theorem 1 unbiasedness on
+// i.i.d. and adversarial orders, Theorem 3 frequent-item stickiness,
+// Theorem 9 PPS-like inclusion probabilities, and Theorem 10's worst-case
+// inclusion bound.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/unbiased_space_saving.h"
+#include "sampling/pps.h"
+#include "stats/welford.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+// Runs `trials` sketches over fresh stream orders and returns per-item
+// estimate accumulators.
+std::vector<Welford> EstimateOverTrials(const std::vector<int64_t>& counts,
+                                        size_t capacity, int trials,
+                                        bool sorted_ascending,
+                                        uint64_t seed_base) {
+  std::vector<Welford> est(counts.size());
+  for (int t = 0; t < trials; ++t) {
+    std::vector<uint64_t> rows;
+    if (sorted_ascending) {
+      rows = SortedStream(counts, /*ascending=*/true);
+    } else {
+      Rng rng(seed_base + 2 * t);
+      rows = PermutedStream(counts, rng);
+    }
+    UnbiasedSpaceSaving sketch(capacity, seed_base + 2 * t + 1);
+    for (uint64_t item : rows) sketch.Update(item);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i].Add(static_cast<double>(sketch.EstimateCount(i)));
+    }
+  }
+  return est;
+}
+
+TEST(UnbiasedSpaceSavingTest, Theorem1UnbiasedOnPermutedStream) {
+  std::vector<int64_t> counts{50, 30, 10, 8, 8, 5, 3, 2, 2, 1, 1, 1};
+  auto est = EstimateOverTrials(counts, 4, 12000, /*sorted=*/false, 100);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.05)
+        << "item " << i;
+  }
+}
+
+TEST(UnbiasedSpaceSavingTest, Theorem1UnbiasedOnSortedStream) {
+  // Ascending-frequency order is the sketch's pathological case; the
+  // estimates must still be unbiased (only the variance grows).
+  std::vector<int64_t> counts{40, 20, 12, 6, 4, 3, 2, 2, 1, 1};
+  auto est = EstimateOverTrials(counts, 4, 12000, /*sorted=*/true, 200);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(est[i].mean(), static_cast<double>(counts[i]),
+                5 * est[i].stderr_mean() + 0.05)
+        << "item " << i;
+  }
+}
+
+TEST(UnbiasedSpaceSavingTest, TotalAlwaysExact) {
+  UnbiasedSpaceSaving sketch(32, 7);
+  Rng rng(101);
+  for (int i = 0; i < 30000; ++i) sketch.Update(rng.NextBounded(2000));
+  int64_t sum = 0;
+  for (const SketchEntry& e : sketch.Entries()) sum += e.count;
+  EXPECT_EQ(sum, 30000);
+  EXPECT_EQ(sketch.TotalCount(), 30000);
+}
+
+TEST(UnbiasedSpaceSavingTest, Theorem3FrequentItemSticks) {
+  // One item with p > 1/m on an i.i.d. stream must end up tracked with a
+  // near-exact proportion estimate (strong consistency, Corollary 5).
+  const size_t kM = 10;
+  const int kRows = 200000;
+  Rng rng(102);
+  // Item 0 has probability 0.3 > 1/10; the rest spread over 5000 items.
+  UnbiasedSpaceSaving sketch(kM, 8);
+  for (int i = 0; i < kRows; ++i) {
+    uint64_t item = rng.NextBernoulli(0.3) ? 0 : 1 + rng.NextBounded(5000);
+    sketch.Update(item);
+  }
+  EXPECT_TRUE(sketch.Contains(0));
+  double p_hat = static_cast<double>(sketch.EstimateCount(0)) / kRows;
+  EXPECT_NEAR(p_hat, 0.3, 0.02);
+}
+
+TEST(UnbiasedSpaceSavingTest, Theorem9InclusionMatchesPps) {
+  // Paper Fig. 2: empirical inclusion probabilities track thresholded PPS
+  // targets when no item dominates.
+  auto counts = WeibullCounts(300, 500.0, 0.5);
+  const size_t kM = 40;
+  std::vector<double> weights(counts.begin(), counts.end());
+  auto target = ThresholdedPpsProbabilities(weights, kM);
+
+  const int kTrials = 3000;
+  std::vector<int> included(counts.size(), 0);
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(10000 + t);
+    auto rows = PermutedStream(counts, rng);
+    UnbiasedSpaceSaving sketch(kM, 20000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (sketch.Contains(i)) ++included[i];
+    }
+  }
+  // Compare on aggregate: mean absolute deviation below a few percent.
+  double mad = 0;
+  int measured = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double freq = included[i] / static_cast<double>(kTrials);
+    mad += std::abs(freq - target[i]);
+    ++measured;
+  }
+  mad /= measured;
+  EXPECT_LT(mad, 0.04);
+}
+
+TEST(UnbiasedSpaceSavingTest, Theorem10WorstCaseInclusionBound) {
+  // The equality-achieving sequence: n-k distinct items then item X k
+  // times. pi_X >= 1 - (1 - k/n)^m, with equality for this stream.
+  const int64_t kNoise = 900;
+  const int64_t kX = 100;  // item of interest appears 100 times
+  const size_t kM = 20;
+  const double n_tot = static_cast<double>(kNoise + kX);
+  double lower = 1.0 - std::pow(1.0 - static_cast<double>(kX) / n_tot,
+                                static_cast<double>(kM));
+
+  const int kTrials = 4000;
+  int included = 0;
+  const uint64_t kItemX = 1000000;
+  for (int t = 0; t < kTrials; ++t) {
+    UnbiasedSpaceSaving sketch(kM, 30000 + t);
+    for (int64_t i = 0; i < kNoise; ++i) {
+      sketch.Update(static_cast<uint64_t>(i));
+    }
+    for (int64_t i = 0; i < kX; ++i) sketch.Update(kItemX);
+    if (sketch.Contains(kItemX)) ++included;
+  }
+  double pi = included / static_cast<double>(kTrials);
+  double se = std::sqrt(lower * (1 - lower) / kTrials);
+  EXPECT_GE(pi, lower - 5 * se);
+  // Equality case: should also not exceed the bound by much.
+  EXPECT_LE(pi, lower + 5 * se + 0.02);
+}
+
+TEST(UnbiasedSpaceSavingTest, DistinctStreamStillUnbiasedTotal) {
+  // All-distinct stream: every estimate is a tiny-probability lottery, but
+  // the bins must still sum to the total.
+  UnbiasedSpaceSaving sketch(16, 9);
+  auto rows = DistinctStream(5000, 0);
+  for (uint64_t item : rows) sketch.Update(item);
+  int64_t sum = 0;
+  for (const SketchEntry& e : sketch.Entries()) sum += e.count;
+  EXPECT_EQ(sum, 5000);
+}
+
+TEST(UnbiasedSpaceSavingTest, EstimateZeroForUntracked) {
+  UnbiasedSpaceSaving sketch(4, 10);
+  for (int i = 0; i < 100; ++i) sketch.Update(1);
+  EXPECT_EQ(sketch.EstimateCount(999), 0);
+  EXPECT_FALSE(sketch.Contains(999));
+}
+
+TEST(UnbiasedSpaceSavingTest, BurstyItemRemainsEstimable) {
+  // Periodic bursts (paper §6.3): the unbiased sketch keeps a handle on
+  // the bursty item's count on average.
+  const int64_t kBurst = 50, kQuiet = 200, kPeriods = 20;
+  Welford est;
+  for (int t = 0; t < 3000; ++t) {
+    auto rows = BurstyStream(7, kBurst, kQuiet, kPeriods, 1000000);
+    UnbiasedSpaceSaving sketch(32, 40000 + t);
+    for (uint64_t item : rows) sketch.Update(item);
+    est.Add(static_cast<double>(sketch.EstimateCount(7)));
+  }
+  double truth = static_cast<double>(kBurst * kPeriods);
+  EXPECT_NEAR(est.mean(), truth, 5 * est.stderr_mean() + 0.1);
+}
+
+}  // namespace
+}  // namespace dsketch
