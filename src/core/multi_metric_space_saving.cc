@@ -1,5 +1,6 @@
 #include "core/multi_metric_space_saving.h"
 
+#include <cmath>
 #include <utility>
 
 #include "util/logging.h"
@@ -52,8 +53,12 @@ void MultiMetricSpaceSaving::SiftDown(size_t i) {
 
 void MultiMetricSpaceSaving::Update(uint64_t item, double primary_weight,
                                     const std::vector<double>& metrics) {
-  DSKETCH_CHECK(primary_weight > 0.0);
+  DSKETCH_CHECK(primary_weight > 0.0 && std::isfinite(primary_weight));
   DSKETCH_CHECK(metrics.size() == num_metrics_);
+  // NaN or inf would poison the HT-scaled accumulators (inf - inf is
+  // NaN) and make a serialized snapshot unrestorable (the deserializer
+  // rejects non-finite payloads).
+  for (double v : metrics) DSKETCH_CHECK(std::isfinite(v));
   total_primary_ += primary_weight;
 
   if (uint32_t* pos = index_.Find(item)) {
@@ -104,6 +109,26 @@ void MultiMetricSpaceSaving::Update(uint64_t item, double primary_weight,
   scratch_.assign(num_metrics_, 0.0);
   scratch_[0] = metric0;
   Update(item, primary_weight, scratch_);
+}
+
+void MultiMetricSpaceSaving::LoadBins(std::vector<MultiMetricEntry> bins) {
+  DSKETCH_CHECK(bins.size() <= capacity_);
+  for (const MultiMetricEntry& b : bins) {
+    DSKETCH_CHECK(b.metrics.size() == num_metrics_);
+    DSKETCH_CHECK(b.primary >= 0.0 && std::isfinite(b.primary));
+    for (double v : b.metrics) DSKETCH_CHECK(std::isfinite(v));
+  }
+  heap_ = std::move(bins);
+  index_.Clear();
+  total_primary_ = 0.0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    total_primary_ += heap_[i].primary;
+    index_.InsertOrAssign(heap_[i].item, static_cast<uint32_t>(i));
+  }
+  DSKETCH_CHECK(index_.size() == heap_.size());  // labels were distinct
+  // Heapify bottom-up (leaves are already heaps); SetSlot keeps the
+  // index positions current as SiftDown moves entries.
+  for (size_t i = heap_.size() / 2; i > 0; --i) SiftDown(i - 1);
 }
 
 double MultiMetricSpaceSaving::EstimatePrimary(uint64_t item) const {

@@ -77,6 +77,11 @@ class MultiMetricSpaceSaving {
   /// All bins (unordered).
   const std::vector<MultiMetricEntry>& bins() const { return heap_; }
 
+  /// Replaces contents with `bins` (≤ capacity, distinct labels, each with
+  /// num_metrics() metric values). TotalPrimary() becomes the bin sum —
+  /// the quantity the sketch preserves exactly. Used by serialization.
+  void LoadBins(std::vector<MultiMetricEntry> bins);
+
  private:
   void SetSlot(size_t i, MultiMetricEntry e);
   void SiftUp(size_t i);

@@ -1,8 +1,12 @@
 #include "core/serialization.h"
 
+#include <cmath>
 #include <cstring>
 #include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace dsketch {
 namespace {
@@ -10,11 +14,30 @@ namespace {
 constexpr uint32_t kMagic = 0x44534B31;  // "DSK1"
 constexpr uint8_t kVersion = 1;
 
+// The public caps (serialization.h), enforced symmetrically on the
+// serialize and deserialize paths (part of the v1 format contract):
+// a sketch that can be serialized can always be restored, and a hostile
+// 20-byte header cannot force a huge allocation before the payload is
+// validated. Space-saving sketches are small by design (thousands of
+// bins; at 2^22 the worst-case restore footprint — slot array plus
+// FlatMap index tables — stays in the low hundreds of MB). CountMin
+// tables are flat i64 cells with no index, so they get a larger cap
+// (2^25 cells = 256 MiB).
+constexpr uint64_t kMaxCapacity = kMaxSerializableCapacity;
+constexpr uint64_t kMaxCountMinCells = kMaxSerializableCountMinCells;
+
 enum class SketchKind : uint8_t {
   kUnbiased = 1,
   kDeterministic = 2,
   kWeighted = 3,
+  kMultiMetric = 4,
+  kMisraGries = 5,
+  kCountMin = 6,
 };
+
+uint64_t MaxCapacityFor(SketchKind kind) {
+  return kind == SketchKind::kCountMin ? kMaxCountMinCells : kMaxCapacity;
+}
 
 void AppendRaw(std::string& out, const void* data, size_t n) {
   out.append(static_cast<const char*>(data), n);
@@ -44,10 +67,18 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// `payload_bytes` is everything the caller appends after the 20-byte
+// header (sub-header plus entries), reserved up front so appends never
+// reallocate.
 std::string SerializeHeader(SketchKind kind, uint64_t capacity,
-                            uint32_t entries) {
+                            uint32_t entries, size_t payload_bytes) {
+  // Fail loudly at write time rather than returning bytes that every
+  // deserializer would reject: a sketch that can be serialized can
+  // always be restored.
+  DSKETCH_CHECK(capacity > 0 && capacity <= MaxCapacityFor(kind));
+  DSKETCH_CHECK(entries <= capacity);
   std::string out;
-  out.reserve(20 + entries * 16);
+  out.reserve(20 + payload_bytes);
   AppendValue(out, kMagic);
   AppendValue(out, static_cast<uint8_t>(kind));
   AppendValue(out, kVersion);
@@ -70,7 +101,7 @@ bool ReadHeader(Reader& reader, SketchKind expected_kind, uint64_t* capacity,
   if (!reader.Read(&version) || version != kVersion) return false;
   if (!reader.Read(&reserved)) return false;
   if (!reader.Read(capacity) || *capacity == 0 ||
-      *capacity >= (1ULL << 32)) {
+      *capacity > MaxCapacityFor(expected_kind)) {
     return false;
   }
   if (!reader.Read(entries) || *entries > *capacity) return false;
@@ -81,7 +112,8 @@ template <typename Sketch>
 std::string SerializeInteger(SketchKind kind, const Sketch& sketch) {
   auto entries = sketch.Entries();
   std::string out = SerializeHeader(kind, sketch.capacity(),
-                                    static_cast<uint32_t>(entries.size()));
+                                    static_cast<uint32_t>(entries.size()),
+                                    entries.size() * 16);
   for (const SketchEntry& e : entries) {
     AppendValue(out, e.item);
     AppendValue(out, e.count);
@@ -126,7 +158,8 @@ std::string Serialize(const DeterministicSpaceSaving& sketch) {
 std::string Serialize(const WeightedSpaceSaving& sketch) {
   auto entries = sketch.Entries();
   std::string out = SerializeHeader(SketchKind::kWeighted, sketch.capacity(),
-                                    static_cast<uint32_t>(entries.size()));
+                                    static_cast<uint32_t>(entries.size()),
+                                    entries.size() * 16);
   for (const WeightedEntry& e : entries) {
     AppendValue(out, e.item);
     AppendValue(out, e.weight);
@@ -144,6 +177,62 @@ std::optional<DeterministicSpaceSaving> DeserializeDeterministic(
     std::string_view bytes, uint64_t seed) {
   return DeserializeInteger<DeterministicSpaceSaving>(
       SketchKind::kDeterministic, bytes, seed);
+}
+
+std::string Serialize(const MultiMetricSpaceSaving& sketch) {
+  const auto& bins = sketch.bins();
+  // Mirror of the deserializer's footprint bound so the bytes are always
+  // restorable (see DeserializeMultiMetric).
+  DSKETCH_CHECK(sketch.capacity() *
+                    (2 + static_cast<uint64_t>(sketch.num_metrics())) <=
+                kMaxCapacity);
+  std::string out = SerializeHeader(
+      SketchKind::kMultiMetric, sketch.capacity(),
+      static_cast<uint32_t>(bins.size()),
+      4 + bins.size() * (16 + 8 * sketch.num_metrics()));
+  AppendValue(out, static_cast<uint32_t>(sketch.num_metrics()));
+  for (const MultiMetricEntry& b : bins) {
+    // Fail loudly on non-finite state (HT scaling can overflow finite
+    // inputs to inf) rather than emit bytes the deserializer rejects.
+    DSKETCH_CHECK(std::isfinite(b.primary));
+    for (double v : b.metrics) DSKETCH_CHECK(std::isfinite(v));
+    AppendValue(out, b.item);
+    AppendValue(out, b.primary);
+    for (double v : b.metrics) AppendValue(out, v);
+  }
+  return out;
+}
+
+std::string Serialize(const MisraGries& sketch) {
+  auto entries = sketch.Entries();
+  std::string out = SerializeHeader(SketchKind::kMisraGries,
+                                    sketch.capacity(),
+                                    static_cast<uint32_t>(entries.size()),
+                                    16 + entries.size() * 16);
+  AppendValue(out, sketch.decrements());
+  AppendValue(out, sketch.TotalCount());
+  for (const SketchEntry& e : entries) {
+    AppendValue(out, e.item);
+    AppendValue(out, e.count);
+  }
+  return out;
+}
+
+std::string Serialize(const CountMin& sketch) {
+  // The header's capacity/entry_count describe the counter table (the
+  // sketch has no entry list); geometry and hashing live in the
+  // sub-header.
+  const std::vector<int64_t>& table = sketch.table();
+  std::string out = SerializeHeader(SketchKind::kCountMin, table.size(),
+                                    static_cast<uint32_t>(table.size()),
+                                    33 + table.size() * 8);
+  AppendValue(out, static_cast<uint64_t>(sketch.width()));
+  AppendValue(out, static_cast<uint64_t>(sketch.depth()));
+  AppendValue(out, sketch.seed());
+  AppendValue(out, static_cast<uint8_t>(sketch.conservative() ? 1 : 0));
+  AppendValue(out, sketch.TotalCount());
+  for (int64_t cell : table) AppendValue(out, cell);
+  return out;
 }
 
 std::optional<WeightedSpaceSaving> DeserializeWeighted(std::string_view bytes,
@@ -167,6 +256,132 @@ std::optional<WeightedSpaceSaving> DeserializeWeighted(std::string_view bytes,
   if (!reader.AtEnd()) return std::nullopt;
   WeightedSpaceSaving sketch(static_cast<size_t>(capacity), seed);
   sketch.LoadEntries(entries);
+  return sketch;
+}
+
+std::optional<MultiMetricSpaceSaving> DeserializeMultiMetric(
+    std::string_view bytes, uint64_t seed) {
+  Reader reader(bytes);
+  uint64_t capacity;
+  uint32_t count;
+  if (!ReadHeader(reader, SketchKind::kMultiMetric, &capacity, &count)) {
+    return std::nullopt;
+  }
+  uint32_t num_metrics;
+  if (!reader.Read(&num_metrics) || num_metrics == 0) return std::nullopt;
+  // Bound the restored footprint: ~(2 + K) doubles per bin plus per-bin
+  // vector overhead, capped well below the header-level capacity limit
+  // so a 24-byte hostile header cannot force a huge allocation. With
+  // capacity >= 1 this also caps num_metrics, and it is the exact bound
+  // Serialize CHECKs, so everything serializable restores.
+  if (capacity * (2 + static_cast<uint64_t>(num_metrics)) > kMaxCapacity) {
+    return std::nullopt;
+  }
+  std::vector<MultiMetricEntry> bins;
+  bins.reserve(count);
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t i = 0; i < count; ++i) {
+    MultiMetricEntry b;
+    if (!reader.Read(&b.item) || !reader.Read(&b.primary)) {
+      return std::nullopt;
+    }
+    // Rejects negatives, NaN, and inf (Serialize never emits them).
+    if (!(b.primary >= 0.0) || !std::isfinite(b.primary)) return std::nullopt;
+    b.metrics.resize(num_metrics);
+    for (uint32_t k = 0; k < num_metrics; ++k) {
+      if (!reader.Read(&b.metrics[k])) return std::nullopt;
+      if (!std::isfinite(b.metrics[k])) return std::nullopt;
+    }
+    if (!seen.insert(b.item).second) return std::nullopt;  // duplicate label
+    bins.push_back(std::move(b));
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  MultiMetricSpaceSaving sketch(static_cast<size_t>(capacity), num_metrics,
+                                seed);
+  sketch.LoadBins(std::move(bins));
+  return sketch;
+}
+
+std::optional<MisraGries> DeserializeMisraGries(std::string_view bytes) {
+  Reader reader(bytes);
+  uint64_t capacity;
+  uint32_t count;
+  if (!ReadHeader(reader, SketchKind::kMisraGries, &capacity, &count)) {
+    return std::nullopt;
+  }
+  int64_t decrements, total;
+  if (!reader.Read(&decrements) || decrements < 0) return std::nullopt;
+  if (!reader.Read(&total) || total < 0) return std::nullopt;
+  // Each decrement-all consumed one row that no counter accounts for.
+  if (decrements > total) return std::nullopt;
+  const int64_t estimate_budget = total - decrements;
+  std::vector<SketchEntry> entries;
+  entries.reserve(count);
+  std::unordered_set<uint64_t> seen;
+  int64_t estimate_sum = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    SketchEntry e;
+    if (!reader.Read(&e.item) || !reader.Read(&e.count)) return std::nullopt;
+    if (e.count <= 0) return std::nullopt;  // live counters only
+    if (!seen.insert(e.item).second) return std::nullopt;  // duplicate label
+    // Estimates never overcount: their sum is bounded by the rows not
+    // consumed by decrement-alls (an invariant both streaming updates
+    // and MergeFrom preserve). Checked incrementally so the accumulator
+    // cannot overflow, and it also rules out int64 overflow of the
+    // stored counter inside LoadState: count + decrements <= total.
+    if (e.count > estimate_budget - estimate_sum) return std::nullopt;
+    estimate_sum += e.count;
+    entries.push_back(e);
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  MisraGries sketch(static_cast<size_t>(capacity));
+  sketch.LoadState(entries, decrements, total);
+  return sketch;
+}
+
+std::optional<CountMin> DeserializeCountMin(std::string_view bytes) {
+  Reader reader(bytes);
+  uint64_t cells;
+  uint32_t count;
+  if (!ReadHeader(reader, SketchKind::kCountMin, &cells, &count)) {
+    return std::nullopt;
+  }
+  uint64_t width, depth, seed;
+  uint8_t conservative;
+  int64_t total;
+  if (!reader.Read(&width) || width == 0 || width > cells) {
+    return std::nullopt;
+  }
+  if (!reader.Read(&depth) || depth == 0 || depth > cells) {
+    return std::nullopt;
+  }
+  // width and depth are each <= cells <= kMaxCountMinCells (2^25), so
+  // the product below cannot wrap uint64.
+  if (width * depth != cells || cells != count) return std::nullopt;
+  if (!reader.Read(&seed)) return std::nullopt;
+  if (!reader.Read(&conservative) || conservative > 1) return std::nullopt;
+  if (!reader.Read(&total) || total < 0) return std::nullopt;
+  std::vector<int64_t> table(cells);
+  // Every table CountMin can produce sums each row to exactly `total`
+  // (a plain update adds its count to one cell per row) or to at most
+  // `total` (conservative update raises each row by at most the count).
+  // Enforcing that keeps EstimateCount <= TotalCount on restored
+  // sketches, and the incremental bound keeps the row accumulator from
+  // overflowing int64.
+  int64_t row_sum = 0;
+  for (uint64_t i = 0; i < cells; ++i) {
+    if (!reader.Read(&table[i]) || table[i] < 0) return std::nullopt;
+    if (table[i] > total - row_sum) return std::nullopt;
+    row_sum += table[i];
+    if ((i + 1) % width == 0) {
+      if (conservative == 0 && row_sum != total) return std::nullopt;
+      row_sum = 0;
+    }
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  CountMin sketch(static_cast<size_t>(width), static_cast<size_t>(depth),
+                  seed, conservative != 0);
+  sketch.LoadState(std::move(table), total);
   return sketch;
 }
 

@@ -1,14 +1,22 @@
 // Binary serialization for the mergeable sketches (paper §5.5: "in a
 // map-reduce framework ... only a set of small sketches needs to be sent
-// over the network"). The wire format is a little-endian header plus the
-// entry list:
+// over the network"). The wire format is a little-endian header, an
+// optional kind-specific sub-header, and the entry list:
 //
 //   [u32 magic][u8 kind][u8 version][u16 reserved]
 //   [u64 capacity][u32 entry_count]
-//   entries: kind-dependent (u64 item + i64 count, or u64 item + f64 weight)
+//   sub-header: kind-dependent (e.g. metric arity, decrement count,
+//               CountMin geometry)
+//   entries: kind-dependent (u64 item + i64 count, u64 item + f64 weight,
+//            multi-metric bins, or raw CountMin counters)
 //
 // Deserialization validates the header and sizes and returns nullopt on
 // any malformed input (never aborts) — inputs may come from the network.
+// Capacities are capped on both paths — 2^22 bins for the space-saving
+// kinds, 2^25 cells for CountMin tables (Serialize CHECK-fails beyond
+// the cap; Deserialize rejects) — so hostile headers cannot force huge
+// allocations and everything serializable restores. The caps are part
+// of the v1 format contract.
 
 #ifndef DSKETCH_CORE_SERIALIZATION_H_
 #define DSKETCH_CORE_SERIALIZATION_H_
@@ -19,10 +27,22 @@
 #include <string_view>
 
 #include "core/deterministic_space_saving.h"
+#include "core/multi_metric_space_saving.h"
 #include "core/unbiased_space_saving.h"
 #include "core/weighted_space_saving.h"
+#include "frequency/count_min.h"
+#include "frequency/misra_gries.h"
 
 namespace dsketch {
+
+/// Largest capacity Serialize accepts for the space-saving kinds (for
+/// MultiMetric the bound is capacity * (2 + num_metrics)). Part of the
+/// v1 format contract; Serialize CHECK-fails beyond it, so callers
+/// sizing sketches for snapshotting should stay within it.
+inline constexpr uint64_t kMaxSerializableCapacity = uint64_t{1} << 22;
+
+/// Largest CountMin table (width * depth cells) Serialize accepts.
+inline constexpr uint64_t kMaxSerializableCountMinCells = uint64_t{1} << 25;
 
 /// Serializes a sketch's state (capacity + entries) to bytes.
 std::string Serialize(const UnbiasedSpaceSaving& sketch);
@@ -32,6 +52,15 @@ std::string Serialize(const DeterministicSpaceSaving& sketch);
 
 /// Serializes a weighted sketch.
 std::string Serialize(const WeightedSpaceSaving& sketch);
+
+/// Serializes a multi-metric sketch (bins carry primary + K metrics).
+std::string Serialize(const MultiMetricSpaceSaving& sketch);
+
+/// Serializes a Misra-Gries summary (entries + decrement count + total).
+std::string Serialize(const MisraGries& sketch);
+
+/// Serializes a CountMin sketch (geometry + seed + raw counter table).
+std::string Serialize(const CountMin& sketch);
 
 /// Reconstructs an Unbiased Space Saving sketch; `seed` re-seeds the
 /// receiving side's randomness (the sample itself is in the entries).
@@ -46,6 +75,17 @@ std::optional<DeterministicSpaceSaving> DeserializeDeterministic(
 /// Reconstructs a weighted sketch.
 std::optional<WeightedSpaceSaving> DeserializeWeighted(std::string_view bytes,
                                                        uint64_t seed = 1);
+
+/// Reconstructs a multi-metric sketch.
+std::optional<MultiMetricSpaceSaving> DeserializeMultiMetric(
+    std::string_view bytes, uint64_t seed = 1);
+
+/// Reconstructs a Misra-Gries summary (fully deterministic; no seed).
+std::optional<MisraGries> DeserializeMisraGries(std::string_view bytes);
+
+/// Reconstructs a CountMin sketch. The hash functions are re-derived from
+/// the serialized seed, so estimates match the original bit-for-bit.
+std::optional<CountMin> DeserializeCountMin(std::string_view bytes);
 
 }  // namespace dsketch
 

@@ -8,12 +8,20 @@
 
 namespace dsketch {
 
+// The comparators are spelled out (not `= default`) so the headers stay
+// C++17-compatible; defaulted equality is a C++20 feature.
+
 /// One bin of an integer-count sketch.
 struct SketchEntry {
   uint64_t item = 0;  ///< item label (unit-of-analysis identifier)
   int64_t count = 0;  ///< estimated count for the label
 
-  friend bool operator==(const SketchEntry&, const SketchEntry&) = default;
+  friend bool operator==(const SketchEntry& a, const SketchEntry& b) {
+    return a.item == b.item && a.count == b.count;
+  }
+  friend bool operator!=(const SketchEntry& a, const SketchEntry& b) {
+    return !(a == b);
+  }
 };
 
 /// One bin of a real-valued (weighted) sketch.
@@ -21,7 +29,12 @@ struct WeightedEntry {
   uint64_t item = 0;   ///< item label
   double weight = 0.0; ///< estimated total weight for the label
 
-  friend bool operator==(const WeightedEntry&, const WeightedEntry&) = default;
+  friend bool operator==(const WeightedEntry& a, const WeightedEntry& b) {
+    return a.item == b.item && a.weight == b.weight;
+  }
+  friend bool operator!=(const WeightedEntry& a, const WeightedEntry& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace dsketch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -11,12 +12,21 @@ CountMin::CountMin(size_t width, size_t depth, uint64_t seed,
                    bool conservative)
     : width_(width),
       depth_(depth),
+      seed_(seed),
       conservative_(conservative),
       table_(width * depth, 0) {
   DSKETCH_CHECK(width > 0 && depth > 0);
   Rng rng(seed);
   hashes_.reserve(depth);
   for (size_t d = 0; d < depth; ++d) hashes_.emplace_back(/*k=*/2, rng);
+}
+
+void CountMin::LoadState(std::vector<int64_t> table, int64_t total) {
+  DSKETCH_CHECK(table.size() == width_ * depth_);
+  DSKETCH_CHECK(total >= 0);
+  for (int64_t cell : table) DSKETCH_CHECK(cell >= 0);
+  table_ = std::move(table);
+  total_ = total;
 }
 
 size_t CountMin::Cell(size_t row, uint64_t item) const {

@@ -40,11 +40,28 @@ class CountMin {
   /// Number of rows.
   size_t depth() const { return depth_; }
 
+  /// The seed the row hashes were derived from.
+  uint64_t seed() const { return seed_; }
+
+  /// True if conservative update is enabled.
+  bool conservative() const { return conservative_; }
+
+  /// The raw counter table (depth x width, row-major).
+  const std::vector<int64_t>& table() const { return table_; }
+
+  /// Replaces the counter table and row total. `table` must be
+  /// depth x width non-negative counters; the hashes stay those derived
+  /// from the constructor seed, so this only round-trips state between
+  /// sketches built with the same (width, depth, seed, conservative)
+  /// parameters. Used by serialization.
+  void LoadState(std::vector<int64_t> table, int64_t total);
+
  private:
   size_t Cell(size_t row, uint64_t item) const;
 
   size_t width_;
   size_t depth_;
+  uint64_t seed_;
   bool conservative_;
   std::vector<int64_t> table_;  // depth_ x width_, row-major
   std::vector<PolyHash> hashes_;

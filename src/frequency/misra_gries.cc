@@ -1,6 +1,7 @@
 #include "frequency/misra_gries.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -61,6 +62,23 @@ std::vector<SketchEntry> MisraGries::Entries() const {
               return a.count > b.count;
             });
   return out;
+}
+
+void MisraGries::LoadState(const std::vector<SketchEntry>& entries,
+                           int64_t decrements, int64_t total) {
+  DSKETCH_CHECK(entries.size() <= capacity_);
+  DSKETCH_CHECK(decrements >= 0);
+  DSKETCH_CHECK(total >= 0);
+  counters_.clear();
+  offset_ = decrements;
+  total_ = total;
+  for (const SketchEntry& e : entries) {
+    DSKETCH_CHECK(e.count > 0);
+    // Stored value = estimate + offset; the sum must not wrap.
+    DSKETCH_CHECK(e.count <= std::numeric_limits<int64_t>::max() - offset_);
+    bool inserted = counters_.emplace(e.item, e.count + offset_).second;
+    DSKETCH_CHECK(inserted);  // labels must be distinct
+  }
 }
 
 void MisraGries::MergeFrom(const MisraGries& other) {

@@ -68,6 +68,13 @@ class MisraGries {
   /// soft-threshold merge (deterministic guarantee preserved; biased).
   void MergeFrom(const MisraGries& other);
 
+  /// Replaces contents with `entries` (≤ capacity, distinct labels,
+  /// positive estimates) plus the global decrement count and row total.
+  /// Used by serialization; the restored sketch answers EstimateCount,
+  /// UpperBound, and TotalCount exactly as the original did.
+  void LoadState(const std::vector<SketchEntry>& entries, int64_t decrements,
+                 int64_t total);
+
  private:
   void DecrementAll();
 

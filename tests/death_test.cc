@@ -2,12 +2,15 @@
 // instead of corrupting sketch state. These document the library's
 // programmer-error surface.
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/adaptive_size_space_saving.h"
 #include "core/decayed_space_saving.h"
+#include "core/multi_metric_space_saving.h"
 #include "core/unbiased_space_saving.h"
 #include "core/weighted_space_saving.h"
 #include "frequency/count_min.h"
@@ -39,6 +42,15 @@ TEST(DeathTest, NonPositiveWeightAborts) {
   EXPECT_DEATH(sketch.Update(1, -1.0), "CHECK failed");
   PrioritySampler sampler(4);
   EXPECT_DEATH(sampler.Add(1, 0.0), "CHECK failed");
+}
+
+TEST(DeathTest, MultiMetricContracts) {
+  MultiMetricSpaceSaving sketch(4, 2);
+  EXPECT_DEATH(sketch.Update(1, 0.0, {1.0, 1.0}), "CHECK failed");
+  EXPECT_DEATH(sketch.Update(1, 1.0, std::vector<double>{1.0}),
+               "CHECK failed");  // arity
+  // NaN metrics would make a serialized snapshot unrestorable.
+  EXPECT_DEATH(sketch.Update(1, 1.0, {1.0, std::nan("")}), "CHECK failed");
 }
 
 TEST(DeathTest, DecayedSketchContracts) {

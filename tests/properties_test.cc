@@ -16,6 +16,7 @@
 #include "stats/welford.h"
 #include "stream/distributions.h"
 #include "stream/generators.h"
+#include "test_scale.h"
 #include "util/random.h"
 
 namespace dsketch {
@@ -87,7 +88,7 @@ TEST_P(UssPropertyTest, SubsetSumUnbiased) {
     truth += static_cast<double>(counts[i]);
   }
   Welford est;
-  const int kTrials = 3000;
+  const int kTrials = test::ScaledTrials(300);
   for (int t = 0; t < kTrials; ++t) {
     auto rows = MakeStream(pc, counts, 400 + static_cast<uint64_t>(t));
     UnbiasedSpaceSaving sketch(pc.capacity, 5000 + static_cast<uint64_t>(t));
@@ -155,7 +156,8 @@ TEST_P(CapacitySweepTest, PerItemUnbiasedTinyUniverse) {
   size_t capacity = GetParam();
   std::vector<int64_t> counts{20, 10, 5, 2, 1};
   std::vector<Welford> est(counts.size());
-  for (int t = 0; t < 6000; ++t) {
+  const int kTrials = test::ScaledTrials(600);
+  for (int t = 0; t < kTrials; ++t) {
     Rng rng(700 + static_cast<uint64_t>(t));
     auto rows = PermutedStream(counts, rng);
     UnbiasedSpaceSaving sketch(capacity, 90000 + static_cast<uint64_t>(t));
@@ -186,7 +188,8 @@ TEST_P(WeightScaleSweepTest, WeightedSketchUnbiasedAtScale) {
   const double scale = GetParam();
   const std::vector<double> base{16.0, 8.0, 4.0, 2.0, 1.0, 1.0, 0.5, 0.5};
   std::vector<Welford> est(base.size());
-  for (int t = 0; t < 8000; ++t) {
+  const int kTrials = test::ScaledTrials(800);
+  for (int t = 0; t < kTrials; ++t) {
     Rng order(800 + static_cast<uint64_t>(t));
     std::vector<size_t> idx(base.size());
     for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
@@ -219,7 +222,8 @@ TEST_P(MergeCapacitySweepTest, MergeUnbiasedAtCapacity) {
   const size_t capacity = GetParam();
   std::vector<int64_t> counts{40, 20, 10, 5, 3, 2, 1, 1};
   std::vector<Welford> est(counts.size());
-  for (int t = 0; t < 8000; ++t) {
+  const int kTrials = test::ScaledTrials(800);
+  for (int t = 0; t < kTrials; ++t) {
     Rng rng(900 + static_cast<uint64_t>(t));
     auto rows = PermutedStream(counts, rng);
     UnbiasedSpaceSaving a(capacity, 96000 + static_cast<uint64_t>(t));

@@ -21,6 +21,7 @@
 #include "stats/welford.h"
 #include "stream/ad_click.h"
 #include "stream/generators.h"
+#include "test_scale.h"
 #include "util/flat_map.h"
 #include "util/random.h"
 
@@ -62,16 +63,21 @@ TEST(RobustnessTest, UrnStreamFirstDrawMatchesProportions) {
   // makes it interchangeable with PermutedStream for huge streams.
   std::vector<int64_t> counts{70, 20, 10};
   std::vector<int> first(3, 0);
-  const int kTrials = 40000;
+  const int kTrials = test::ScaledTrials(4000);
   for (int t = 0; t < kTrials; ++t) {
     UrnStream stream(counts, static_cast<uint64_t>(900 + t));
     uint64_t item;
     ASSERT_TRUE(stream.Next(&item));
     ++first[item];
   }
-  EXPECT_NEAR(first[0] / static_cast<double>(kTrials), 0.70, 0.012);
-  EXPECT_NEAR(first[1] / static_cast<double>(kTrials), 0.20, 0.012);
-  EXPECT_NEAR(first[2] / static_cast<double>(kTrials), 0.10, 0.012);
+  // 5-sigma binomial bands; at the full-strength 40000 trials this is the
+  // seed's original ~0.012 tolerance for the 0.70 proportion.
+  auto tol = [kTrials](double p) {
+    return 5.0 * std::sqrt(p * (1.0 - p) / kTrials) + 0.001;
+  };
+  EXPECT_NEAR(first[0] / static_cast<double>(kTrials), 0.70, tol(0.70));
+  EXPECT_NEAR(first[1] / static_cast<double>(kTrials), 0.20, tol(0.20));
+  EXPECT_NEAR(first[2] / static_cast<double>(kTrials), 0.10, tol(0.10));
 }
 
 TEST(RobustnessTest, WeightedEntriesSortedDescending) {
@@ -161,7 +167,7 @@ TEST(RobustnessTest, MergedDecayedSketchesStayUnbiased) {
   const double kHalfLife = 100.0;
   const double kQueryTime = 400.0;
   Welford est;
-  const int kTrials = 4000;
+  const int kTrials = test::ScaledTrials(400);
   for (int t = 0; t < kTrials; ++t) {
     DecayedSpaceSaving site_a(4, kHalfLife, 700000 + t);
     DecayedSpaceSaving site_b(4, kHalfLife, 710000 + t);

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -92,20 +94,264 @@ TEST(SerializationTest, RestoredSketchAcceptsUpdatesAndMerges) {
   EXPECT_EQ(merged.TotalCount(), 4001);
 }
 
+TEST(SerializationTest, MultiMetricRoundTrip) {
+  // Primary + 3 auxiliary metrics; HT-scaled metric values survive the
+  // trip bit-for-bit.
+  MultiMetricSpaceSaving sketch(16, 3, 20);
+  Rng rng(403);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t item = rng.NextBounded(60);
+    sketch.Update(item, 0.5 + rng.NextDouble(),
+                  {rng.NextDouble(), 2.0 * rng.NextDouble(), 0.0});
+  }
+  std::string bytes = Serialize(sketch);
+  auto restored = DeserializeMultiMetric(bytes, 21);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->capacity(), sketch.capacity());
+  EXPECT_EQ(restored->num_metrics(), sketch.num_metrics());
+  EXPECT_EQ(restored->size(), sketch.size());
+  // The restored total is the bin sum; summation order differs from the
+  // original's running accumulation, so compare to fp rounding only.
+  EXPECT_NEAR(restored->TotalPrimary(), sketch.TotalPrimary(),
+              1e-9 * sketch.TotalPrimary());
+  for (const MultiMetricEntry& b : sketch.bins()) {
+    EXPECT_DOUBLE_EQ(restored->EstimatePrimary(b.item), b.primary);
+    for (size_t k = 0; k < sketch.num_metrics(); ++k) {
+      EXPECT_DOUBLE_EQ(restored->EstimateMetric(b.item, k), b.metrics[k]);
+    }
+  }
+  // The restored sketch keeps working.
+  double before = restored->TotalPrimary();
+  restored->Update(999, 1.0, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(restored->TotalPrimary(), before + 1.0);
+}
+
+TEST(SerializationTest, MisraGriesRoundTrip) {
+  MisraGries sketch(12);
+  Rng rng(404);
+  for (int i = 0; i < 8000; ++i) sketch.Update(rng.NextBounded(300));
+  ASSERT_GT(sketch.decrements(), 0);  // the stream forced decrements
+
+  std::string bytes = Serialize(sketch);
+  auto restored = DeserializeMisraGries(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->capacity(), sketch.capacity());
+  EXPECT_EQ(restored->size(), sketch.size());
+  EXPECT_EQ(restored->decrements(), sketch.decrements());
+  EXPECT_EQ(restored->TotalCount(), sketch.TotalCount());
+  EXPECT_EQ(Canonical(restored->Entries()), Canonical(sketch.Entries()));
+  for (const SketchEntry& e : sketch.Entries()) {
+    EXPECT_EQ(restored->EstimateCount(e.item), e.count);
+    EXPECT_EQ(restored->UpperBound(e.item), sketch.UpperBound(e.item));
+  }
+}
+
+TEST(SerializationTest, CountMinRoundTrip) {
+  for (bool conservative : {false, true}) {
+    CountMin sketch(64, 4, 17, conservative);
+    Rng rng(405);
+    for (int i = 0; i < 5000; ++i) {
+      sketch.Update(rng.NextBounded(500), 1 + rng.NextBounded(4));
+    }
+    std::string bytes = Serialize(sketch);
+    auto restored = DeserializeCountMin(bytes);
+    ASSERT_TRUE(restored.has_value()) << "conservative " << conservative;
+    EXPECT_EQ(restored->width(), sketch.width());
+    EXPECT_EQ(restored->depth(), sketch.depth());
+    EXPECT_EQ(restored->seed(), sketch.seed());
+    EXPECT_EQ(restored->conservative(), sketch.conservative());
+    EXPECT_EQ(restored->TotalCount(), sketch.TotalCount());
+    EXPECT_EQ(restored->table(), sketch.table());
+    // Hashes re-derived from the seed: estimates match bit-for-bit, and
+    // further updates land in the same cells.
+    for (uint64_t item = 0; item < 500; ++item) {
+      ASSERT_EQ(restored->EstimateCount(item), sketch.EstimateCount(item))
+          << "item " << item;
+    }
+    restored->Update(42, 7);
+    sketch.Update(42, 7);
+    EXPECT_EQ(restored->table(), sketch.table());
+  }
+}
+
+TEST(SerializationTest, EmptyFrequencySketchesRoundTrip) {
+  MisraGries mg(8);
+  auto mg_restored = DeserializeMisraGries(Serialize(mg));
+  ASSERT_TRUE(mg_restored.has_value());
+  EXPECT_EQ(mg_restored->size(), 0u);
+  EXPECT_EQ(mg_restored->TotalCount(), 0);
+
+  CountMin cm(32, 2, 9);
+  auto cm_restored = DeserializeCountMin(Serialize(cm));
+  ASSERT_TRUE(cm_restored.has_value());
+  EXPECT_EQ(cm_restored->TotalCount(), 0);
+  EXPECT_EQ(cm_restored->EstimateCount(123), 0);
+
+  MultiMetricSpaceSaving mm(8, 2, 10);
+  auto mm_restored = DeserializeMultiMetric(Serialize(mm));
+  ASSERT_TRUE(mm_restored.has_value());
+  EXPECT_EQ(mm_restored->size(), 0u);
+  EXPECT_DOUBLE_EQ(mm_restored->TotalPrimary(), 0.0);
+}
+
 TEST(SerializationTest, RejectsWrongKind) {
   UnbiasedSpaceSaving uss(8, 11);
   uss.Update(1);
   std::string bytes = Serialize(uss);
   EXPECT_FALSE(DeserializeDeterministic(bytes).has_value());
   EXPECT_FALSE(DeserializeWeighted(bytes).has_value());
+  EXPECT_FALSE(DeserializeMultiMetric(bytes).has_value());
+  EXPECT_FALSE(DeserializeMisraGries(bytes).has_value());
+  EXPECT_FALSE(DeserializeCountMin(bytes).has_value());
   EXPECT_TRUE(DeserializeUnbiased(bytes).has_value());
+
+  MisraGries mg(8);
+  mg.Update(1);
+  std::string mg_bytes = Serialize(mg);
+  EXPECT_FALSE(DeserializeUnbiased(mg_bytes).has_value());
+  EXPECT_FALSE(DeserializeCountMin(mg_bytes).has_value());
+  EXPECT_TRUE(DeserializeMisraGries(mg_bytes).has_value());
+}
+
+TEST(SerializationTest, RejectsTruncatedFrequencyInputs) {
+  MisraGries mg(8);
+  for (int i = 0; i < 100; ++i) mg.Update(i % 10);
+  std::string mg_bytes = Serialize(mg);
+  CountMin cm(16, 2, 3);
+  cm.Update(1);
+  std::string cm_bytes = Serialize(cm);
+  MultiMetricSpaceSaving mm(4, 2, 5);
+  mm.Update(1, 1.0, {1.0, 0.0});
+  std::string mm_bytes = Serialize(mm);
+  for (const std::string* bytes : {&mg_bytes, &cm_bytes, &mm_bytes}) {
+    for (size_t cut :
+         {size_t{0}, size_t{1}, size_t{4}, size_t{19}, bytes->size() - 1}) {
+      std::string_view view(bytes->data(), cut);
+      EXPECT_FALSE(DeserializeMisraGries(view).has_value());
+      EXPECT_FALSE(DeserializeCountMin(view).has_value());
+      EXPECT_FALSE(DeserializeMultiMetric(view).has_value());
+    }
+    std::string padded = *bytes;
+    padded.push_back('x');
+    EXPECT_FALSE(DeserializeMisraGries(padded).has_value());
+    EXPECT_FALSE(DeserializeCountMin(padded).has_value());
+    EXPECT_FALSE(DeserializeMultiMetric(padded).has_value());
+  }
+}
+
+TEST(SerializationTest, MultiMetricRejectsNonFinitePayloads) {
+  // Update and Serialize both CHECK finiteness, so non-finite values on
+  // the wire can only be tampering; NaN/inf would poison the restored
+  // accumulators and must be rejected.
+  MultiMetricSpaceSaving mm(4, 2, 5);
+  mm.Update(1, 1.0, {2.0, 3.0});
+  std::string bytes = Serialize(mm);
+  // Layout: 20-byte header, num_metrics u32 at 20, then the bin —
+  // item at 24, primary at 32, metrics at 40 and 48.
+  for (double evil : {std::numeric_limits<double>::quiet_NaN(),
+                      std::numeric_limits<double>::infinity()}) {
+    for (size_t offset : {size_t{32}, size_t{40}, size_t{48}}) {
+      std::string tampered = bytes;
+      std::memcpy(&tampered[offset], &evil, sizeof(evil));
+      EXPECT_FALSE(DeserializeMultiMetric(tampered).has_value())
+          << "value " << evil << " at offset " << offset;
+    }
+  }
+}
+
+TEST(SerializationTest, CountMinRejectsInconsistentGeometry) {
+  CountMin cm(3, 2, 5);  // 6 cells
+  cm.Update(1);
+  std::string bytes = Serialize(cm);
+  // width/depth live at offsets 20/28. A width beyond the cell count is
+  // rejected by the per-field bound (which also rules out uint64 wrap
+  // in the product check: width, depth <= cells <= 2^25)...
+  uint64_t huge_width = (1ULL << 63) + 3;
+  std::memcpy(&bytes[20], &huge_width, sizeof(huge_width));
+  EXPECT_FALSE(DeserializeCountMin(bytes).has_value());
+  // ...and in-range width/depth whose product is not the cell count
+  // (3 x 3 claimed, 6 cells present) by the consistency check.
+  uint64_t three = 3;
+  std::memcpy(&bytes[20], &three, sizeof(three));
+  std::memcpy(&bytes[28], &three, sizeof(three));
+  EXPECT_FALSE(DeserializeCountMin(bytes).has_value());
+}
+
+TEST(SerializationTest, CountMinRejectsInconsistentTotal) {
+  // No real CountMin has a row summing past `total` (or, without
+  // conservative update, to anything but `total`), so a tampered total
+  // would let EstimateCount exceed TotalCount and must be rejected.
+  CountMin cm(8, 2, /*seed=*/5);
+  cm.Update(1, 3);
+  std::string bytes = Serialize(cm);
+  // `total` lives at offset 45, after the 20-byte header and the
+  // width/depth/seed/conservative sub-header fields.
+  int64_t zero = 0;
+  std::memcpy(&bytes[45], &zero, sizeof(zero));
+  EXPECT_FALSE(DeserializeCountMin(bytes).has_value());
+}
+
+TEST(SerializationTest, MisraGriesRejectsCounterOverflow) {
+  MisraGries mg(4);
+  mg.Update(1);
+  std::string bytes = Serialize(mg);
+  // decrements at offset 20, total at 28, the entry's count at 44. A
+  // count + decrements sum that would wrap int64 must be rejected, not
+  // stored as a negative counter; the estimate-budget invariant
+  // (count <= total - decrements) already guarantees this.
+  int64_t huge = int64_t{1} << 62;
+  std::memcpy(&bytes[20], &huge, sizeof(huge));
+  std::memcpy(&bytes[28], &huge, sizeof(huge));
+  std::memcpy(&bytes[44], &huge, sizeof(huge));
+  EXPECT_FALSE(DeserializeMisraGries(bytes).has_value());
+}
+
+TEST(SerializationTest, RejectsImplausiblyLargeCapacity) {
+  // A hostile header must not force a multi-gigabyte allocation before
+  // payload validation; capacities beyond the documented cap are
+  // rejected outright.
+  UnbiasedSpaceSaving uss(8, 16);
+  uss.Update(1);
+  std::string bytes = Serialize(uss);
+  uint64_t evil_capacity = 0xFFFFFFF0ULL;  // capacity field at offset 8
+  std::memcpy(&bytes[8], &evil_capacity, sizeof(evil_capacity));
+  EXPECT_FALSE(DeserializeUnbiased(bytes).has_value());
+
+  MultiMetricSpaceSaving mm(4, 1024, 17);
+  std::string mm_bytes = Serialize(mm);
+  uint64_t big_capacity = 1ULL << 21;  // passes the header cap alone...
+  std::memcpy(&mm_bytes[8], &big_capacity, sizeof(big_capacity));
+  // ...but capacity x num_metrics exceeds the footprint bound.
+  EXPECT_FALSE(DeserializeMultiMetric(mm_bytes).has_value());
+}
+
+TEST(SerializationTest, MisraGriesRejectsInconsistentTotals) {
+  MisraGries mg(4);
+  for (int i = 0; i < 50; ++i) mg.Update(1);
+  std::string bytes = Serialize(mg);
+  // The total field sits after the header (20B) and decrements (8B);
+  // shrink it below the entry sum.
+  int64_t bogus_total = 3;
+  std::memcpy(&bytes[28], &bogus_total, sizeof(bogus_total));
+  EXPECT_FALSE(DeserializeMisraGries(bytes).has_value());
+
+  // Estimates must also fit within total - decrements: a blob claiming
+  // every row was both counted and decremented away is impossible and,
+  // if accepted, would merge into unserializable states.
+  MisraGries mg2(4);
+  for (int i = 0; i < 10; ++i) mg2.Update(1);  // one entry, count 10
+  std::string bytes2 = Serialize(mg2);
+  int64_t bogus_decrements = 10;  // total stays 10
+  std::memcpy(&bytes2[20], &bogus_decrements, sizeof(bogus_decrements));
+  EXPECT_FALSE(DeserializeMisraGries(bytes2).has_value());
 }
 
 TEST(SerializationTest, RejectsTruncatedInput) {
   UnbiasedSpaceSaving sketch(8, 12);
   for (int i = 0; i < 100; ++i) sketch.Update(i % 10);
   std::string bytes = Serialize(sketch);
-  for (size_t cut : {0ul, 1ul, 4ul, 10ul, bytes.size() - 1}) {
+  for (size_t cut :
+       {size_t{0}, size_t{1}, size_t{4}, size_t{10}, bytes.size() - 1}) {
     EXPECT_FALSE(
         DeserializeUnbiased(std::string_view(bytes.data(), cut)).has_value())
         << "cut at " << cut;

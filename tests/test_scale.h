@@ -1,0 +1,49 @@
+// Trial-count scaling for the statistical suites.
+//
+// DSKETCH_TEST_SCALE is a positive multiplier applied to the trial and
+// stream-size constants of the statistical tests. The default of 1 keeps
+// the tier-1 loop fast (each suite finishes in seconds at -O2); the CTest
+// `slow` label re-runs the same binaries with DSKETCH_TEST_SCALE=10,
+// which restores the seed's original full-strength trial counts.
+//
+// Tests whose tolerances are stderr-based adapt automatically; tests with
+// fixed tolerances should derive them from the scaled trial count (see
+// e.g. RobustnessTest.UrnStreamFirstDrawMatchesProportions).
+
+#ifndef DSKETCH_TESTS_TEST_SCALE_H_
+#define DSKETCH_TESTS_TEST_SCALE_H_
+
+#include <cstdlib>
+#include <limits>
+
+namespace dsketch {
+namespace test {
+
+/// The DSKETCH_TEST_SCALE multiplier (1.0 when unset or unparsable).
+inline double TestScale() {
+  static const double scale = [] {
+    const char* raw = std::getenv("DSKETCH_TEST_SCALE");
+    if (raw == nullptr) return 1.0;
+    char* end = nullptr;
+    double parsed = std::strtod(raw, &end);
+    if (end == raw || !(parsed > 0.0)) return 1.0;
+    return parsed;
+  }();
+  return scale;
+}
+
+/// `base` trials scaled by DSKETCH_TEST_SCALE, clamped to [1, INT_MAX]
+/// (an out-of-range double-to-int cast would be undefined behavior).
+inline int ScaledTrials(int base) {
+  double scaled = static_cast<double>(base) * TestScale();
+  if (scaled < 1.0) return 1;
+  if (scaled >= static_cast<double>(std::numeric_limits<int>::max())) {
+    return std::numeric_limits<int>::max();
+  }
+  return static_cast<int>(scaled);
+}
+
+}  // namespace test
+}  // namespace dsketch
+
+#endif  // DSKETCH_TESTS_TEST_SCALE_H_
