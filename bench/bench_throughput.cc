@@ -1,13 +1,33 @@
-// Microbenchmarks for the §6.7 cost claims: O(1) Space Saving updates
-// (unbiased and deterministic), amortized O(1) Misra-Gries, the O(log m)
-// weighted sketch, the disaggregated baselines, merge cost, and query
-// cost. Run with --benchmark_filter=... to narrow.
+// Ingestion-path throughput: the §6.7 cost claims (O(1) Space Saving
+// updates, amortized O(1) Misra-Gries, O(log m) weighted updates) plus
+// the two sweeps behind the batched/sharded ingestion pipeline:
+//
+//   * row_vs_batch   — per-row Update vs UpdateBatch across sketch sizes
+//                      and workload shapes (the batch path's software
+//                      pipelining pays off once the sketch outgrows the
+//                      cache hierarchy);
+//   * batch_size     — UpdateBatch throughput as a function of the batch
+//                      the caller hands over;
+//   * shard_scaling  — ShardedSketch ingest throughput vs shard count
+//                      (bounded by hardware_concurrency, recorded in the
+//                      output for interpretation);
+//   * micro          — per-sketch single-row update costs, merge cost,
+//                      and query cost.
+//
+// Flags: --rows=N stream length, --reps=N repetitions (max is reported),
+// --json=PATH writes machine-readable baselines (recorded as
+// BENCH_throughput.json by bench/record_baselines.sh). The
+// multi-million-bin configurations run by default (they are where the
+// batch pipeline pays off); pass --full=0 --rows=2000000 --reps=1 for a
+// quick smoke run.
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <thread>
 #include <vector>
 
-#include <benchmark/benchmark.h>
-
+#include "bench_util.h"
 #include "core/deterministic_space_saving.h"
 #include "core/merge.h"
 #include "core/subset_sum.h"
@@ -17,148 +37,259 @@
 #include "frequency/misra_gries.h"
 #include "sampling/bottom_k.h"
 #include "sampling/sample_and_hold.h"
+#include "shard/sharded_sketch.h"
 #include "stream/distributions.h"
 #include "stream/generators.h"
 #include "util/random.h"
+#include "util/span.h"
 
 namespace dsketch {
 namespace {
 
-// A reusable skewed row stream; Zipf-ish so sketches see realistic mixes
-// of tracked and untracked items.
-const std::vector<uint64_t>& SharedStream() {
-  static const std::vector<uint64_t>* stream = [] {
-    auto counts = ScaleCountsToTotal(WeibullCounts(100000, 5e5, 0.3),
-                                     2000000);
-    Rng rng(1);
-    return new std::vector<uint64_t>(PermutedStream(counts, rng));
-  }();
-  return *stream;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-void BM_UnbiasedSpaceSavingUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  UnbiasedSpaceSaving sketch(static_cast<size_t>(state.range(0)), 2);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i]);
-    if (++i == rows.size()) i = 0;
+/// Runs `fn` `reps` times and returns the best rows/s (in millions).
+template <typename Fn>
+double BestMrows(size_t rows, int reps, Fn&& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    fn();
+    double mrows = static_cast<double>(rows) / Seconds(t0) / 1e6;
+    if (mrows > best) best = mrows;
   }
-  state.SetItemsProcessed(state.iterations());
+  return best;
 }
-BENCHMARK(BM_UnbiasedSpaceSavingUpdate)->Arg(100)->Arg(1000)->Arg(10000);
 
-void BM_DeterministicSpaceSavingUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  DeterministicSpaceSaving sketch(static_cast<size_t>(state.range(0)), 3);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i]);
-    if (++i == rows.size()) i = 0;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_DeterministicSpaceSavingUpdate)->Arg(100)->Arg(1000)->Arg(10000);
+struct Workload {
+  const char* name;
+  std::vector<uint64_t> rows;
+};
 
-void BM_MisraGriesUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  MisraGries sketch(static_cast<size_t>(state.range(0)));
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i]);
-    if (++i == rows.size()) i = 0;
+void RowVsBatchSweep(const std::vector<Workload>& workloads,
+                     const std::vector<size_t>& sizes, int reps,
+                     bench::JsonSink& sink) {
+  std::printf("\n-- row_vs_batch: per-row Update vs UpdateBatch --\n");
+  std::printf("%-10s %-9s %12s %12s %9s\n", "workload", "m", "row Mrows/s",
+              "batch Mr/s", "speedup");
+  for (const Workload& w : workloads) {
+    for (size_t m : sizes) {
+      double row = BestMrows(w.rows.size(), reps, [&] {
+        UnbiasedSpaceSaving s(m, 2);
+        for (uint64_t x : w.rows) s.Update(x);
+      });
+      double batch = BestMrows(w.rows.size(), reps, [&] {
+        UnbiasedSpaceSaving s(m, 2);
+        s.UpdateBatch(w.rows);
+      });
+      std::printf("%-10s %-9zu %12.1f %12.1f %8.2fx\n", w.name, m, row,
+                  batch, batch / row);
+      if (sink.enabled()) {
+        sink.BeginRecord("row_vs_batch");
+        sink.Add("workload", w.name);
+        sink.Add("m", static_cast<int64_t>(m));
+        sink.Add("row_mrows", row);
+        sink.Add("batch_mrows", batch);
+        sink.Add("speedup", batch / row);
+      }
+    }
   }
-  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MisraGriesUpdate)->Arg(1000);
 
-void BM_WeightedSpaceSavingUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  WeightedSpaceSaving sketch(static_cast<size_t>(state.range(0)), 4);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i], 1.0);
-    if (++i == rows.size()) i = 0;
+void BatchSizeSweep(const Workload& w, size_t m, int reps,
+                    bench::JsonSink& sink) {
+  std::printf("\n-- batch_size: UpdateBatch chunk size (m=%zu, %s) --\n", m,
+              w.name);
+  std::printf("%-10s %12s\n", "batch", "Mrows/s");
+  for (size_t batch : {size_t{64}, size_t{256}, size_t{1024}, size_t{8192},
+                       size_t{65536}, w.rows.size()}) {
+    double mrows = BestMrows(w.rows.size(), reps, [&] {
+      UnbiasedSpaceSaving s(m, 2);
+      Span<const uint64_t> all(w.rows);
+      for (size_t pos = 0; pos < all.size(); pos += batch) {
+        s.UpdateBatch(all.subspan(pos, batch));
+      }
+    });
+    std::printf("%-10zu %12.1f\n", batch, mrows);
+    if (sink.enabled()) {
+      sink.BeginRecord("batch_size");
+      sink.Add("workload", w.name);
+      sink.Add("m", static_cast<int64_t>(m));
+      sink.Add("batch_size", static_cast<int64_t>(batch));
+      sink.Add("mrows", mrows);
+    }
   }
-  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_WeightedSpaceSavingUpdate)->Arg(1000);
 
-void BM_AdaptiveSampleAndHoldUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  AdaptiveSampleAndHold sketch(static_cast<size_t>(state.range(0)), 5);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i]);
-    if (++i == rows.size()) i = 0;
+void ShardScalingSweep(const Workload& w, size_t shard_capacity, int reps,
+                       bench::JsonSink& sink) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "\n-- shard_scaling: ShardedSketch ingest (%s, %u hardware threads;\n"
+      "   scaling is bounded by the hardware thread count) --\n",
+      w.name, hw);
+  std::printf("%-8s %12s %10s\n", "shards", "Mrows/s", "vs 1shard");
+  double base = 0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    double mrows = BestMrows(w.rows.size(), reps, [&] {
+      ShardedSketchOptions opt;
+      opt.num_shards = shards;
+      opt.shard_capacity = shard_capacity;
+      opt.queue_capacity = 1 << 16;
+      opt.batch_size = 4096;
+      opt.seed = 3;
+      ShardedSpaceSaving sharded(opt);
+      Span<const uint64_t> all(w.rows);
+      constexpr size_t kIngest = 1 << 15;
+      for (size_t pos = 0; pos < all.size(); pos += kIngest) {
+        sharded.Ingest(all.subspan(pos, kIngest));
+      }
+      sharded.Flush();
+    });
+    if (shards == 1) base = mrows;
+    std::printf("%-8zu %12.1f %9.2fx\n", shards, mrows, mrows / base);
+    if (sink.enabled()) {
+      sink.BeginRecord("shard_scaling");
+      sink.Add("workload", w.name);
+      sink.Add("shards", static_cast<int64_t>(shards));
+      sink.Add("shard_capacity", static_cast<int64_t>(shard_capacity));
+      sink.Add("mrows", mrows);
+      sink.Add("scaling_vs_1shard", mrows / base);
+      sink.Add("hardware_concurrency", static_cast<int64_t>(hw));
+    }
   }
-  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_AdaptiveSampleAndHoldUpdate)->Arg(1000);
 
-void BM_BottomKUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  BottomKSampler sketch(static_cast<size_t>(state.range(0)), 6);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i]);
-    if (++i == rows.size()) i = 0;
+void MicroBenches(const Workload& w, int reps, bench::JsonSink& sink) {
+  std::printf("\n-- micro: per-row update cost of every sketch --\n");
+  std::printf("%-24s %-8s %12s\n", "sketch", "m", "Mrows/s");
+  auto report = [&](const char* name, size_t m, double mrows) {
+    std::printf("%-24s %-8zu %12.1f\n", name, m, mrows);
+    if (sink.enabled()) {
+      sink.BeginRecord("micro");
+      sink.Add("name", name);
+      sink.Add("m", static_cast<int64_t>(m));
+      sink.Add("mrows", mrows);
+    }
+  };
+  const std::vector<uint64_t>& rows = w.rows;
+  for (size_t m : {size_t{100}, size_t{1000}, size_t{10000}}) {
+    report("unbiased_update", m, BestMrows(rows.size(), reps, [&] {
+             UnbiasedSpaceSaving s(m, 2);
+             for (uint64_t x : rows) s.Update(x);
+           }));
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BottomKUpdate)->Arg(1000);
+  report("deterministic_update", 1000, BestMrows(rows.size(), reps, [&] {
+           DeterministicSpaceSaving s(1000, 3);
+           for (uint64_t x : rows) s.Update(x);
+         }));
+  report("misra_gries_update", 1000, BestMrows(rows.size(), reps, [&] {
+           MisraGries s(1000);
+           for (uint64_t x : rows) s.Update(x);
+         }));
+  report("weighted_update", 1000, BestMrows(rows.size(), reps, [&] {
+           WeightedSpaceSaving s(1000, 4);
+           for (uint64_t x : rows) s.Update(x, 1.0);
+         }));
+  report("weighted_update_batch", 1000, BestMrows(rows.size(), reps, [&] {
+           WeightedSpaceSaving s(1000, 4);
+           s.UpdateBatch(rows, 1.0);
+         }));
+  report("sample_and_hold_update", 1000, BestMrows(rows.size(), reps, [&] {
+           AdaptiveSampleAndHold s(1000, 5);
+           for (uint64_t x : rows) s.Update(x);
+         }));
+  report("bottom_k_update", 1000, BestMrows(rows.size(), reps, [&] {
+           BottomKSampler s(1000, 6);
+           for (uint64_t x : rows) s.Update(x);
+         }));
+  report("count_min_update", 1024, BestMrows(rows.size(), reps, [&] {
+           CountMin s(1024, 4, 7);
+           for (uint64_t x : rows) s.Update(x);
+         }));
 
-void BM_CountMinUpdate(benchmark::State& state) {
-  const auto& rows = SharedStream();
-  CountMin sketch(static_cast<size_t>(state.range(0)), 4, 7);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Update(rows[i]);
-    if (++i == rows.size()) i = 0;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CountMinUpdate)->Arg(1024);
+  std::printf("\n-- micro: merge and query cost --\n");
+  for (size_t m : {size_t{1000}, size_t{10000}}) {
+    UnbiasedSpaceSaving a(m, 8), b(m, 9);
+    const size_t half = rows.size() / 2;
+    a.UpdateBatch(Span<const uint64_t>(rows.data(), half));
+    b.UpdateBatch(Span<const uint64_t>(rows.data() + half, half));
+    const int merges = 20;
+    uint64_t seed = 10;
+    auto t0 = Clock::now();
+    for (int i = 0; i < merges; ++i) {
+      UnbiasedSpaceSaving merged = Merge(a, b, m, seed++);
+      if (merged.TotalCount() < 0) std::abort();  // keep the work alive
+    }
+    double ms = Seconds(t0) * 1e3 / merges;
+    std::printf("%-24s %-8zu %10.2f ms\n", "unbiased_merge", m, ms);
+    if (sink.enabled()) {
+      sink.BeginRecord("micro");
+      sink.Add("name", "unbiased_merge_ms");
+      sink.Add("m", static_cast<int64_t>(m));
+      sink.Add("ms", ms);
+    }
 
-void BM_UnbiasedMerge(benchmark::State& state) {
-  const size_t m = static_cast<size_t>(state.range(0));
-  UnbiasedSpaceSaving a(m, 8), b(m, 9);
-  const auto& rows = SharedStream();
-  for (size_t i = 0; i < rows.size() / 2; ++i) {
-    a.Update(rows[i]);
-    b.Update(rows[rows.size() / 2 + i]);
-  }
-  uint64_t seed = 10;
-  for (auto _ : state) {
-    UnbiasedSpaceSaving merged = Merge(a, b, m, seed++);
-    benchmark::DoNotOptimize(merged.TotalCount());
-  }
-}
-BENCHMARK(BM_UnbiasedMerge)->Arg(100)->Arg(1000)->Arg(10000);
-
-void BM_SubsetSumQuery(benchmark::State& state) {
-  const size_t m = static_cast<size_t>(state.range(0));
-  UnbiasedSpaceSaving sketch(m, 11);
-  for (uint64_t item : SharedStream()) sketch.Update(item);
-  for (auto _ : state) {
-    auto r = EstimateSubsetSum(sketch,
-                               [](uint64_t item) { return item % 3 == 0; });
-    benchmark::DoNotOptimize(r.estimate);
+    const int queries = 200;
+    t0 = Clock::now();
+    double acc = 0;
+    for (int i = 0; i < queries; ++i) {
+      acc += EstimateSubsetSum(a, [](uint64_t item) {
+               return item % 3 == 0;
+             }).estimate;
+    }
+    double us = Seconds(t0) * 1e6 / queries;
+    std::printf("%-24s %-8zu %10.2f us  (acc %.0f)\n", "subset_sum_query", m,
+                us, acc);
+    if (sink.enabled()) {
+      sink.BeginRecord("micro");
+      sink.Add("name", "subset_sum_query_us");
+      sink.Add("m", static_cast<int64_t>(m));
+      sink.Add("us", us);
+    }
   }
 }
-BENCHMARK(BM_SubsetSumQuery)->Arg(1000)->Arg(10000);
-
-void BM_EstimateCountLookup(benchmark::State& state) {
-  UnbiasedSpaceSaving sketch(10000, 12);
-  for (uint64_t item : SharedStream()) sketch.Update(item);
-  uint64_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sketch.EstimateCount(i++ % 100000));
-  }
-}
-BENCHMARK(BM_EstimateCountLookup);
 
 }  // namespace
 }  // namespace dsketch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dsketch;
+  bench::Banner("ingestion throughput: batched + sharded pipeline",
+                "paper §6.7 cost claims; ROADMAP throughput/sharding items");
+  const int64_t rows = bench::FlagInt(argc, argv, "rows", 8000000);
+  const int reps = static_cast<int>(bench::FlagInt(argc, argv, "reps", 2));
+  const bool full = bench::FlagInt(argc, argv, "full", 1) != 0;
+  bench::JsonSink sink(argc, argv, "throughput");
+
+  std::printf("generating streams (%lld rows each)...\n",
+              static_cast<long long>(rows));
+  std::vector<Workload> workloads;
+  {
+    auto counts = ScaleCountsToTotal(
+        ZipfCounts(static_cast<size_t>(rows) / 2, 1.05, 1000000), rows);
+    Rng rng(1);
+    workloads.push_back({"zipf", PermutedStream(counts, rng)});
+  }
+  {
+    auto counts = ScaleCountsToTotal(
+        WeibullCounts(static_cast<size_t>(rows) / 4, 5e5, 0.3), rows);
+    Rng rng(1);
+    workloads.push_back({"weibull", PermutedStream(counts, rng)});
+  }
+
+  std::vector<size_t> sizes = {10000, 100000, 1000000};
+  if (full) sizes.push_back(4000000);
+
+  RowVsBatchSweep(workloads, sizes, reps, sink);
+  BatchSizeSweep(workloads[0], full ? 4000000 : 1000000, reps, sink);
+  ShardScalingSweep(workloads[0], 262144, reps, sink);
+  MicroBenches(workloads[1], reps, sink);
+
+  sink.Flush();
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Records machine-readable performance baselines for the perf trajectory.
+#
+# Usage: bench/record_baselines.sh [build_dir] [out_dir]
+#
+# Runs the throughput bench with its --json sink and stores the result as
+# BENCH_throughput.json in the repository root (or out_dir). Later PRs
+# compare their sweeps against these files to prove speedups / catch
+# regressions; the files also record hardware_concurrency so shard
+# scaling numbers are interpreted against the machine that produced them.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+if [ ! -x "${BUILD_DIR}/bench/bench_throughput" ]; then
+  echo "error: ${BUILD_DIR}/bench/bench_throughput not built" >&2
+  echo "build first: cmake --preset release && cmake --build build -j" >&2
+  exit 1
+fi
+
+"${BUILD_DIR}/bench/bench_throughput" \
+  --json="${OUT_DIR}/BENCH_throughput.json"
+
+echo ""
+echo "baselines written to ${OUT_DIR}/BENCH_throughput.json"

@@ -11,9 +11,16 @@
 //    filters* by joining the two samples' HT-adjusted entries — something
 //    AMS cannot do.
 //
-//   ./join_size
+//   ./join_size [--users=N]
+//
+// The AMS route touches every one of its 2800 counters per row, so the
+// runtime is proportional to --users (default 20000, the paper-sized
+// run); the CTest smoke test passes a smaller universe to keep tier-1
+// fast, and the full-sized run is registered under the `slow` label.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 #include "core/unbiased_space_saving.h"
@@ -22,11 +29,16 @@
 #include "stream/generators.h"
 #include "util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsketch;
 
-  // Universe of 20k users; stream A = page views, stream B = purchases.
-  const size_t kUsers = 20000;
+  // Universe of --users users; stream A = page views, stream B = purchases.
+  size_t kUsers = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--users=", 8) == 0) {
+      kUsers = static_cast<size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    }
+  }
   auto views_per_user = WeibullCounts(kUsers, 30.0, 0.5);
   auto buys_per_user = GeometricCounts(kUsers, 0.4);
   Rng rng(11);

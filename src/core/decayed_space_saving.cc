@@ -19,8 +19,7 @@ DecayedSpaceSaving::DecayedSpaceSaving(size_t capacity, double half_life,
   DSKETCH_CHECK(half_life > 0.0);
 }
 
-void DecayedSpaceSaving::Update(uint64_t item, double timestamp,
-                                double weight) {
+double DecayedSpaceSaving::ForwardFactor(double timestamp, double weight) {
   DSKETCH_CHECK(weight > 0.0);
   if (!started_) {
     landmark_ = timestamp;
@@ -39,7 +38,22 @@ void DecayedSpaceSaving::Update(uint64_t item, double timestamp,
     landmark_ = timestamp;
     forward = 1.0;
   }
-  inner_.Update(item, forward * weight);
+  return forward;
+}
+
+void DecayedSpaceSaving::Update(uint64_t item, double timestamp,
+                                double weight) {
+  inner_.Update(item, ForwardFactor(timestamp, weight) * weight);
+}
+
+void DecayedSpaceSaving::UpdateBatch(Span<const uint64_t> items,
+                                     double timestamp, double weight) {
+  if (items.empty()) return;
+  // All rows share the timestamp, so the forward factor (and any landmark
+  // renormalization) is computed once; per-row Update would recompute the
+  // same exp() and take the same renorm branch on the first row.
+  const double w = ForwardFactor(timestamp, weight) * weight;
+  inner_.UpdateBatch(items, w);
 }
 
 double DecayedSpaceSaving::DecayFactor(double query_time) const {

@@ -21,6 +21,7 @@
 
 #include "core/sketch_entry.h"
 #include "core/weighted_space_saving.h"
+#include "util/span.h"
 
 namespace dsketch {
 
@@ -33,6 +34,13 @@ class DecayedSpaceSaving {
   /// Processes a row for `item` observed at `timestamp` (non-decreasing
   /// across calls) carrying `weight` (> 0, default 1).
   void Update(uint64_t item, double timestamp, double weight = 1.0);
+
+  /// Processes `items` as rows sharing one `timestamp` (the common shape
+  /// for epoch/batch ingest) each carrying `weight`. Bit-for-bit identical
+  /// to per-row Update, and additionally amortizes the forward-decay
+  /// exp() over the whole batch.
+  void UpdateBatch(Span<const uint64_t> items, double timestamp,
+                   double weight = 1.0);
 
   /// Unbiased estimate of the decayed count of `item` as of `query_time`
   /// (>= the last update timestamp): sum over the item's rows of
@@ -58,6 +66,10 @@ class DecayedSpaceSaving {
   double lambda() const { return lambda_; }
 
  private:
+  // Registers `timestamp`, renormalizing the landmark if needed, and
+  // returns the forward factor g(timestamp - L) a row's weight carries.
+  double ForwardFactor(double timestamp, double weight);
+
   double DecayFactor(double query_time) const;
 
   WeightedSpaceSaving inner_;

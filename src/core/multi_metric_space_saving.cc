@@ -1,5 +1,6 @@
 #include "core/multi_metric_space_saving.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -53,6 +54,37 @@ void MultiMetricSpaceSaving::SiftDown(size_t i) {
 
 void MultiMetricSpaceSaving::Update(uint64_t item, double primary_weight,
                                     const std::vector<double>& metrics) {
+  UpdateHashed(item, FlatMap<uint32_t>::MixedHash(item), primary_weight,
+               metrics);
+}
+
+void MultiMetricSpaceSaving::UpdateBatch(Span<const uint64_t> items,
+                                         double primary_weight,
+                                         const std::vector<double>& metrics) {
+  // Same chunked pre-hash + prefetch scheme as SpaceSavingCore; the state
+  // transitions and RNG draws match per-row Update exactly.
+  constexpr size_t kChunk = 256;
+  constexpr size_t kAhead = 12;
+  uint64_t hashes[kChunk];
+  const uint64_t* data = items.data();
+  const size_t n = items.size();
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    for (size_t j = 0; j < len; ++j) {
+      hashes[j] = FlatMap<uint32_t>::MixedHash(data[base + j]);
+    }
+    const size_t lead = std::min(kAhead, len);
+    for (size_t j = 0; j < lead; ++j) index_.Prefetch(hashes[j]);
+    for (size_t j = 0; j < len; ++j) {
+      if (j + kAhead < len) index_.Prefetch(hashes[j + kAhead]);
+      UpdateHashed(data[base + j], hashes[j], primary_weight, metrics);
+    }
+  }
+}
+
+void MultiMetricSpaceSaving::UpdateHashed(uint64_t item, uint64_t hash,
+                                          double primary_weight,
+                                          const std::vector<double>& metrics) {
   DSKETCH_CHECK(primary_weight > 0.0 && std::isfinite(primary_weight));
   DSKETCH_CHECK(metrics.size() == num_metrics_);
   // NaN or inf would poison the HT-scaled accumulators (inf - inf is
@@ -61,7 +93,7 @@ void MultiMetricSpaceSaving::Update(uint64_t item, double primary_weight,
   for (double v : metrics) DSKETCH_CHECK(std::isfinite(v));
   total_primary_ += primary_weight;
 
-  if (uint32_t* pos = index_.Find(item)) {
+  if (uint32_t* pos = index_.FindHashed(item, hash)) {
     MultiMetricEntry& bin = heap_[*pos];
     bin.primary += primary_weight;
     for (size_t k = 0; k < num_metrics_; ++k) bin.metrics[k] += metrics[k];

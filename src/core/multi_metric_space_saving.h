@@ -21,6 +21,7 @@
 
 #include "util/flat_map.h"
 #include "util/random.h"
+#include "util/span.h"
 
 namespace dsketch {
 
@@ -45,6 +46,12 @@ class MultiMetricSpaceSaving {
 
   /// Convenience for count-like primaries with one auxiliary metric.
   void Update(uint64_t item, double primary_weight, double metric0);
+
+  /// Processes `items` as rows sharing one primary weight and metric
+  /// vector (the shape of pre-grouped ingest batches). Bit-for-bit
+  /// identical to per-row Update (pre-hashing + prefetch).
+  void UpdateBatch(Span<const uint64_t> items, double primary_weight,
+                   const std::vector<double>& metrics);
 
   /// Unbiased estimate of the item's primary weight (0 if untracked).
   double EstimatePrimary(uint64_t item) const;
@@ -83,6 +90,10 @@ class MultiMetricSpaceSaving {
   void LoadBins(std::vector<MultiMetricEntry> bins);
 
  private:
+  // Update body with the item's index hash precomputed (MixedHash(item)).
+  void UpdateHashed(uint64_t item, uint64_t hash, double primary_weight,
+                    const std::vector<double>& metrics);
+
   void SetSlot(size_t i, MultiMetricEntry e);
   void SiftUp(size_t i);
   void SiftDown(size_t i);

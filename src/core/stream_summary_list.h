@@ -11,8 +11,14 @@
 //
 // Tie-breaking among minimum bins: the group's bin list acts as a queue —
 // kFirstSlot picks the head; kRandom picks a uniformly random bin of the
-// minimum group in O(group size) (the array engine does this in O(1),
-// one of the reasons it is preferred).
+// minimum group by drawing an offset and walking the list, which is
+// expected O(group size / 2) and worst-case O(group size). A uniform
+// pick over a linked list cannot be O(1) without auxiliary random-access
+// state (a reservoir pass would walk the *whole* group, i.e. strictly
+// more than the offset walk used here), so the cost is documented rather
+// than hidden: bench_ablation_structure prints the caveat next to its
+// numbers. The array engine indexes a random slot of the minimum range
+// in O(1) — one of the reasons it is the engine the library prefers.
 
 #ifndef DSKETCH_CORE_STREAM_SUMMARY_LIST_H_
 #define DSKETCH_CORE_STREAM_SUMMARY_LIST_H_

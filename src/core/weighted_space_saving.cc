@@ -45,10 +45,52 @@ void WeightedSpaceSaving::SiftDown(size_t i) {
 }
 
 void WeightedSpaceSaving::Update(uint64_t item, double weight) {
+  UpdateHashed(item, FlatMap<uint32_t>::MixedHash(item), weight);
+}
+
+void WeightedSpaceSaving::UpdateBatch(Span<const uint64_t> items,
+                                      double weight) {
+  UpdateBatch(items, Span<const double>(nullptr, 0), weight);
+}
+
+void WeightedSpaceSaving::UpdateBatch(Span<const uint64_t> items,
+                                      Span<const double> weights) {
+  DSKETCH_CHECK(weights.size() == items.size());
+  UpdateBatch(items, weights, 0.0);
+}
+
+void WeightedSpaceSaving::UpdateBatch(Span<const uint64_t> items,
+                                      Span<const double> weights,
+                                      double shared_weight) {
+  // Same chunked pre-hash + prefetch scheme as SpaceSavingCore; the state
+  // transitions and RNG draws match per-row Update exactly.
+  constexpr size_t kChunk = 256;
+  constexpr size_t kAhead = 12;
+  uint64_t hashes[kChunk];
+  const uint64_t* data = items.data();
+  const size_t n = items.size();
+  const bool per_row = weights.size() == n && n > 0;
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t len = std::min(kChunk, n - base);
+    for (size_t j = 0; j < len; ++j) {
+      hashes[j] = FlatMap<uint32_t>::MixedHash(data[base + j]);
+    }
+    const size_t lead = std::min(kAhead, len);
+    for (size_t j = 0; j < lead; ++j) index_.Prefetch(hashes[j]);
+    for (size_t j = 0; j < len; ++j) {
+      if (j + kAhead < len) index_.Prefetch(hashes[j + kAhead]);
+      const double w = per_row ? weights[base + j] : shared_weight;
+      UpdateHashed(data[base + j], hashes[j], w);
+    }
+  }
+}
+
+void WeightedSpaceSaving::UpdateHashed(uint64_t item, uint64_t hash,
+                                       double weight) {
   DSKETCH_CHECK(weight > 0.0);
   total_ += weight;
 
-  if (uint32_t* pos = index_.Find(item)) {
+  if (uint32_t* pos = index_.FindHashed(item, hash)) {
     heap_[*pos].weight += weight;
     SiftDown(*pos);
     return;

@@ -20,6 +20,7 @@
 #include "core/sketch_entry.h"
 #include "util/flat_map.h"
 #include "util/random.h"
+#include "util/span.h"
 
 namespace dsketch {
 
@@ -31,6 +32,13 @@ class WeightedSpaceSaving {
 
   /// Processes one row carrying `weight` (> 0) for `item`.
   void Update(uint64_t item, double weight);
+
+  /// Processes `items` in stream order, each row carrying `weight`.
+  /// Bit-for-bit identical to per-row Update (pre-hashing + prefetch).
+  void UpdateBatch(Span<const uint64_t> items, double weight = 1.0);
+
+  /// Row-aligned batch: items[i] carries weights[i] (sizes must match).
+  void UpdateBatch(Span<const uint64_t> items, Span<const double> weights);
 
   /// Unbiased estimate of `item`'s total weight (0 when untracked).
   double EstimateWeight(uint64_t item) const;
@@ -61,6 +69,14 @@ class WeightedSpaceSaving {
   void LoadEntries(const std::vector<WeightedEntry>& entries);
 
  private:
+  // Shared batch loop: per-row weights when `weights` is row-aligned with
+  // `items`, otherwise `shared_weight` for every row.
+  void UpdateBatch(Span<const uint64_t> items, Span<const double> weights,
+                   double shared_weight);
+
+  // Update body with the item's index hash precomputed (MixedHash(item)).
+  void UpdateHashed(uint64_t item, uint64_t hash, double weight);
+
   // Min-heap by weight with index tracking for O(log m) weight increases.
   void SiftUp(size_t i);
   void SiftDown(size_t i);

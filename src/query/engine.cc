@@ -8,12 +8,22 @@ namespace dsketch {
 
 SketchQueryEngine::SketchQueryEngine(const UnbiasedSpaceSaving* sketch,
                                      const AttributeTable* attrs)
-    : sketch_(sketch), attrs_(attrs) {
+    : sketch_(sketch), source_(nullptr), attrs_(attrs) {
   DSKETCH_CHECK(sketch != nullptr && attrs != nullptr);
 }
 
+SketchQueryEngine::SketchQueryEngine(SketchSource* source,
+                                     const AttributeTable* attrs)
+    : sketch_(nullptr), source_(source), attrs_(attrs) {
+  DSKETCH_CHECK(source != nullptr && attrs != nullptr);
+}
+
+const UnbiasedSpaceSaving& SketchQueryEngine::QuerySketch() const {
+  return source_ != nullptr ? source_->View() : *sketch_;
+}
+
 SubsetSumEstimate SketchQueryEngine::Sum(const Predicate& where) const {
-  return EstimateSubsetSum(*sketch_, [&](uint64_t item) {
+  return EstimateSubsetSum(QuerySketch(), [&](uint64_t item) {
     return where.Matches(*attrs_, item);
   });
 }
@@ -24,14 +34,15 @@ std::unordered_map<uint32_t, SubsetSumEstimate> SketchQueryEngine::GroupBy1(
     double sum = 0.0;
     uint64_t items = 0;
   };
+  const UnbiasedSpaceSaving& sketch = QuerySketch();
   std::unordered_map<uint32_t, Acc> acc;
-  for (const SketchEntry& e : sketch_->Entries()) {
+  for (const SketchEntry& e : sketch.Entries()) {
     if (!where.Matches(*attrs_, e.item)) continue;
     Acc& a = acc[attrs_->Get(e.item, dim)];
     a.sum += static_cast<double>(e.count);
     ++a.items;
   }
-  double nmin = static_cast<double>(sketch_->MinCount());
+  double nmin = static_cast<double>(sketch.MinCount());
   std::unordered_map<uint32_t, SubsetSumEstimate> out;
   out.reserve(acc.size());
   for (const auto& [key, a] : acc) {
@@ -51,8 +62,9 @@ std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
     double sum = 0.0;
     uint64_t items = 0;
   };
+  const UnbiasedSpaceSaving& sketch = QuerySketch();
   std::unordered_map<uint64_t, Acc> acc;
-  for (const SketchEntry& e : sketch_->Entries()) {
+  for (const SketchEntry& e : sketch.Entries()) {
     if (!where.Matches(*attrs_, e.item)) continue;
     uint64_t key = PackGroupKey(attrs_->Get(e.item, d1),
                                 attrs_->Get(e.item, d2));
@@ -60,7 +72,7 @@ std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
     a.sum += static_cast<double>(e.count);
     ++a.items;
   }
-  double nmin = static_cast<double>(sketch_->MinCount());
+  double nmin = static_cast<double>(sketch.MinCount());
   std::unordered_map<uint64_t, SubsetSumEstimate> out;
   out.reserve(acc.size());
   for (const auto& [key, a] : acc) {

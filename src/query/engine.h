@@ -20,6 +20,7 @@
 #include "query/attribute_table.h"
 #include "query/exact_aggregator.h"
 #include "query/predicate.h"
+#include "query/sketch_source.h"
 
 namespace dsketch {
 
@@ -35,6 +36,11 @@ class SketchQueryEngine {
   SketchQueryEngine(const UnbiasedSpaceSaving* sketch,
                     const AttributeTable* attrs);
 
+  /// Engine over any ingestion source (plain or sharded); queries run
+  /// against source->View(), so they always see all flushed rows. Both
+  /// pointers must outlive the engine.
+  SketchQueryEngine(SketchSource* source, const AttributeTable* attrs);
+
   /// SELECT sum(1) WHERE `where`.
   SubsetSumEstimate Sum(const Predicate& where) const;
 
@@ -47,7 +53,12 @@ class SketchQueryEngine {
       size_t d1, size_t d2, const Predicate& where = Predicate()) const;
 
  private:
+  // The sketch queries run against: `sketch_` when constructed from a
+  // plain sketch, otherwise `source_->View()` resolved per query.
+  const UnbiasedSpaceSaving& QuerySketch() const;
+
   const UnbiasedSpaceSaving* sketch_;
+  SketchSource* source_;
   const AttributeTable* attrs_;
 };
 

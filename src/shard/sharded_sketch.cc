@@ -1,0 +1,34 @@
+#include "shard/sharded_sketch.h"
+
+#include "core/merge.h"
+
+namespace dsketch {
+
+UnbiasedSpaceSaving MergeShards(const std::vector<UnbiasedSpaceSaving>& shards,
+                                size_t capacity, uint64_t seed) {
+  DSKETCH_CHECK(!shards.empty());
+  std::vector<const UnbiasedSpaceSaving*> ptrs;
+  ptrs.reserve(shards.size());
+  for (const UnbiasedSpaceSaving& s : shards) ptrs.push_back(&s);
+  return MergeAll(ptrs, capacity, seed);
+}
+
+DeterministicSpaceSaving MergeShards(
+    const std::vector<DeterministicSpaceSaving>& shards, size_t capacity,
+    uint64_t seed) {
+  DSKETCH_CHECK(!shards.empty());
+  if (shards.size() == 1) {
+    // Still honor the requested capacity via the soft-threshold reduction.
+    DeterministicSpaceSaving out(capacity, seed);
+    out.core().LoadEntries(
+        ReduceMisraGries(shards.front().Entries(), capacity));
+    return out;
+  }
+  DeterministicSpaceSaving merged = Merge(shards[0], shards[1], capacity, seed);
+  for (size_t i = 2; i < shards.size(); ++i) {
+    merged = Merge(merged, shards[i], capacity, seed + i);
+  }
+  return merged;
+}
+
+}  // namespace dsketch

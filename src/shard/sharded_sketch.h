@@ -1,0 +1,210 @@
+// Sharded concurrent front-end for the Space Saving family.
+//
+// One ingest thread partitions rows by item hash across N shards; each
+// shard owns a core-local sketch fed through a bounded SPSC queue by a
+// dedicated worker thread that applies rows with the batched UpdateBatch
+// path. Because the hash partition sends every distinct item to exactly
+// one shard, and the §4/§5.3 merge is unbiased for arbitrary splits of
+// the stream (Theorem 2), Snapshot() — merge of the per-shard sketches —
+// gives unbiased subset-sum estimates over the full stream, and every
+// downstream estimator (subset sums, CIs, top-k, the query engine) works
+// on it unchanged.
+//
+// Determinism: with a fixed options.seed, the partition, the per-shard
+// streams (single producer preserves order within a shard), the per-shard
+// sketches, and the snapshot merge are all independent of thread timing,
+// so runs are reproducible despite the concurrency.
+//
+// Threading contract: one thread calls Ingest/Flush/Snapshot (single
+// producer); the destructor stops and joins the workers. Snapshot and
+// shard() are safe only after a Flush with no concurrent Ingest.
+
+#ifndef DSKETCH_SHARD_SHARDED_SKETCH_H_
+#define DSKETCH_SHARD_SHARDED_SKETCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deterministic_space_saving.h"
+#include "core/unbiased_space_saving.h"
+#include "shard/spsc_queue.h"
+#include "util/flat_map.h"
+#include "util/logging.h"
+#include "util/span.h"
+
+namespace dsketch {
+
+/// Unbiased merge of per-shard sketches (single final pairwise-PPS
+/// reduction over all entries, as in MergeAll).
+UnbiasedSpaceSaving MergeShards(const std::vector<UnbiasedSpaceSaving>& shards,
+                                size_t capacity, uint64_t seed);
+
+/// Misra-Gries style merge of deterministic per-shard sketches (biased,
+/// deterministic-guarantee preserving).
+DeterministicSpaceSaving MergeShards(
+    const std::vector<DeterministicSpaceSaving>& shards, size_t capacity,
+    uint64_t seed);
+
+/// Tuning knobs for ShardedSketch.
+struct ShardedSketchOptions {
+  size_t num_shards = 4;          ///< worker threads / core-local sketches
+  size_t shard_capacity = 4096;   ///< bins per shard sketch
+  size_t queue_capacity = 65536;  ///< per-shard SPSC queue length (rows)
+  size_t batch_size = 1024;       ///< rows a worker drains per UpdateBatch
+  uint64_t seed = 1;              ///< shard i seeds its sketch with seed+i
+};
+
+/// Concurrent sharded front-end over sketch type `S`. `S` must provide
+/// S(capacity, seed), UpdateBatch(Span<const uint64_t>), and a
+/// MergeShards(const std::vector<S>&, capacity, seed) overload.
+template <typename S>
+class ShardedSketch {
+ public:
+  explicit ShardedSketch(const ShardedSketchOptions& options)
+      : options_(options) {
+    DSKETCH_CHECK(options.num_shards > 0);
+    DSKETCH_CHECK(options.shard_capacity > 0);
+    DSKETCH_CHECK(options.batch_size > 0);
+    shards_.reserve(options.num_shards);
+    staging_.resize(options.num_shards);
+    for (size_t i = 0; i < options.num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(options, i));
+    }
+    for (auto& shard : shards_) {
+      shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+    }
+  }
+
+  ~ShardedSketch() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  }
+
+  ShardedSketch(const ShardedSketch&) = delete;
+  ShardedSketch& operator=(const ShardedSketch&) = delete;
+
+  /// Routes `items` to their shards and enqueues them (blocking with
+  /// backoff while a destination queue is full). Single producer.
+  void Ingest(Span<const uint64_t> items) {
+    for (uint64_t item : items) {
+      staging_[ShardOf(item)].push_back(item);
+    }
+    for (size_t s = 0; s < staging_.size(); ++s) {
+      std::vector<uint64_t>& rows = staging_[s];
+      if (rows.empty()) continue;
+      Shard& shard = *shards_[s];
+      size_t done = 0;
+      while (done < rows.size()) {
+        size_t pushed =
+            shard.queue.PushBulk(rows.data() + done, rows.size() - done);
+        if (pushed == 0) {
+          std::this_thread::yield();  // queue full: let the worker drain
+        }
+        done += pushed;
+      }
+      shard.enqueued.fetch_add(rows.size(), std::memory_order_release);
+      rows.clear();
+    }
+  }
+
+  /// Blocks until every enqueued row has been applied to its shard sketch.
+  void Flush() {
+    for (auto& shard : shards_) {
+      const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
+      while (shard->applied.load(std::memory_order_acquire) < target) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Flushes, then merges the per-shard sketches into one sketch with
+  /// `capacity` bins. Estimates from the result are unbiased (Theorem 2);
+  /// deterministic given the ingested stream and seeds.
+  S Snapshot(size_t capacity, uint64_t seed = 1) {
+    Flush();
+    std::vector<S> copies;
+    copies.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      copies.push_back(shard->sketch);
+    }
+    return MergeShards(copies, capacity, seed);
+  }
+
+  /// Rows handed to Ingest so far.
+  int64_t RowsIngested() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      total +=
+          static_cast<int64_t>(shard->enqueued.load(std::memory_order_acquire));
+    }
+    return total;
+  }
+
+  /// Number of shards.
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard sketch fed by partition `i`. Call only after Flush() with
+  /// no concurrent Ingest.
+  const S& shard(size_t i) const { return shards_[i]->sketch; }
+
+  /// The shard partition `item` routes to (exposed for tests).
+  size_t ShardOf(uint64_t item) const {
+    // High mixed bits, scaled: independent of the low bits FlatMap homes
+    // on, so shard-local hash tables stay uniformly filled.
+    const uint64_t h = FlatMap<uint32_t>::MixedHash(item) >> 32;
+    return static_cast<size_t>((h * shards_.size()) >> 32);
+  }
+
+ private:
+  struct Shard {
+    Shard(const ShardedSketchOptions& options, size_t i)
+        : queue(options.queue_capacity),
+          sketch(options.shard_capacity, options.seed + i) {}
+
+    SpscQueue<uint64_t> queue;
+    S sketch;
+    std::mutex mu;  // guards sketch between worker and Snapshot
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> applied{0};
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard& shard) {
+    std::vector<uint64_t> rows(options_.batch_size);
+    while (true) {
+      const size_t n = shard.queue.PopBulk(rows.data(), rows.size());
+      if (n == 0) {
+        if (stop_.load(std::memory_order_acquire) && shard.queue.Empty()) {
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.sketch.UpdateBatch(Span<const uint64_t>(rows.data(), n));
+      }
+      shard.applied.fetch_add(n, std::memory_order_release);
+    }
+  }
+
+  ShardedSketchOptions options_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<uint64_t>> staging_;  // per-shard routing buffers
+};
+
+/// The concurrent front-end for the paper's primary sketch.
+using ShardedSpaceSaving = ShardedSketch<UnbiasedSpaceSaving>;
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SHARD_SHARDED_SKETCH_H_

@@ -1,0 +1,93 @@
+// Bounded single-producer / single-consumer ring buffer used to feed the
+// per-shard ingestion workers. Lock-free: one producer thread calls
+// PushBulk, one consumer thread calls PopBulk; head and tail live on
+// separate cache lines and each side keeps a cached copy of the other's
+// position so the common case touches no shared line at all (the design
+// popularized by Rigtorp's SPSCQueue).
+
+#ifndef DSKETCH_SHARD_SPSC_QUEUE_H_
+#define DSKETCH_SHARD_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dsketch {
+
+/// Bounded SPSC queue of trivially-copyable `T` with bulk operations.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Queue holding up to `capacity` elements (rounded up to a power of
+  /// two; one slot is kept free to distinguish full from empty).
+  explicit SpscQueue(size_t capacity) {
+    DSKETCH_CHECK(capacity > 0);
+    size_t n = 2;
+    while (n < capacity + 1) n <<= 1;
+    buf_.resize(n);
+    mask_ = n - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer: enqueues up to `n` elements from `data`; returns how many
+  /// were accepted (0 when full). Never blocks.
+  size_t PushBulk(const T* data, size_t n) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free_slots = buf_.size() - 1 - (tail - cached_head_);
+    if (free_slots < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free_slots = buf_.size() - 1 - (tail - cached_head_);
+    }
+    const size_t count = n < free_slots ? n : free_slots;
+    for (size_t i = 0; i < count; ++i) {
+      buf_[(tail + i) & mask_] = data[i];
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer: dequeues up to `max` elements into `out`; returns how many
+  /// were taken (0 when empty). Never blocks.
+  size_t PopBulk(T* out, size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const size_t count = max < avail ? max : avail;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = buf_[(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// True when the queue held no elements at the time of the call. Safe
+  /// from any thread (approximate while the producer is active).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Capacity in elements.
+  size_t capacity() const { return buf_.size() - 1; }
+
+ private:
+  std::vector<T> buf_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer position
+  alignas(64) uint64_t cached_tail_ = 0;       // consumer's view of tail_
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer position
+  alignas(64) uint64_t cached_head_ = 0;       // producer's view of head_
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SHARD_SPSC_QUEUE_H_

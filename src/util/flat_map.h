@@ -5,10 +5,18 @@
 //  - Linear probing with a power-of-two table and a strong 64-bit mixer.
 //    Sketch workloads are read-mostly lookups over at most `capacity` keys,
 //    so probe sequences stay short at the 0.5 max load factor used here.
+//  - Keys and values live interleaved in one slot array, so a lookup that
+//    hits touches a single cache line for both (the batched ingestion path
+//    made this the layout that matters; probes past a slot waste a little
+//    bandwidth, but at 0.5 load the expected probe length is ~1).
 //  - Erase uses backward-shift deletion (no tombstones), keeping lookups
 //    O(1) even under the frequent label-replacement churn of Space Saving.
 //  - One reserved key (kEmpty) marks free slots; the sketches never store
 //    it because item ids are hashed upstream or offset by callers.
+//  - The batched ingestion path pre-mixes keys once (MixedHash) and reuses
+//    the mix across Find/Insert/Erase via the *Hashed overloads, and hides
+//    probe-line misses with Prefetch/FindBatch. A mixed hash stays valid
+//    across rehashes (only the mask applied to it changes).
 
 #ifndef DSKETCH_UTIL_FLAT_MAP_H_
 #define DSKETCH_UTIL_FLAT_MAP_H_
@@ -17,6 +25,13 @@
 #include <vector>
 
 #include "util/logging.h"
+
+#if defined(_MSC_VER) && !defined(__clang__)
+#include <intrin.h>
+#define DSKETCH_PREFETCH(addr) _mm_prefetch((const char*)(addr), _MM_HINT_T0)
+#else
+#define DSKETCH_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#endif
 
 namespace dsketch {
 
@@ -38,43 +53,91 @@ class FlatMap {
   /// True if no keys are stored.
   bool empty() const { return size_ == 0; }
 
+  /// The mixed (table-size independent) hash of `key`. Callers that touch
+  /// the same key several times can compute this once and use the *Hashed
+  /// overloads below.
+  static uint64_t MixedHash(uint64_t key) { return Mix(key); }
+
+  /// Prefetches the probe line a lookup for this mixed hash would start
+  /// at. Advisory only; issue it a handful of operations ahead.
+  void Prefetch(uint64_t mixed_hash) const {
+    DSKETCH_PREFETCH(&slots_[mixed_hash & (slots_.size() - 1)]);
+  }
+
   /// Inserts `key -> value` or overwrites the existing mapping.
   void InsertOrAssign(uint64_t key, Value value) {
+    InsertOrAssignHashed(key, Mix(key), value);
+  }
+
+  /// InsertOrAssign with a precomputed MixedHash(key).
+  void InsertOrAssignHashed(uint64_t key, uint64_t mixed_hash, Value value) {
     DSKETCH_DCHECK(key != kEmpty);
-    if ((size_ + 1) * 2 > keys_.size()) Rehash(keys_.size() * 2);
-    size_t i = FindSlot(key);
-    if (keys_[i] == kEmpty) {
-      keys_[i] = key;
+    DSKETCH_DCHECK(mixed_hash == Mix(key));
+    if ((size_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+    size_t i = FindSlotHashed(key, mixed_hash);
+    if (slots_[i].key == kEmpty) {
+      slots_[i].key = key;
       ++size_;
     }
-    values_[i] = value;
+    slots_[i].value = value;
   }
 
   /// Returns a pointer to the value for `key`, or nullptr if absent.
-  Value* Find(uint64_t key) {
-    size_t i = FindSlot(key);
-    return keys_[i] == key ? &values_[i] : nullptr;
-  }
+  Value* Find(uint64_t key) { return FindHashed(key, Mix(key)); }
 
   /// Const overload of Find.
-  const Value* Find(uint64_t key) const {
-    size_t i = FindSlot(key);
-    return keys_[i] == key ? &values_[i] : nullptr;
+  const Value* Find(uint64_t key) const { return FindHashed(key, Mix(key)); }
+
+  /// Find with a precomputed MixedHash(key).
+  Value* FindHashed(uint64_t key, uint64_t mixed_hash) {
+    DSKETCH_DCHECK(mixed_hash == Mix(key));
+    size_t i = FindSlotHashed(key, mixed_hash);
+    return slots_[i].key == key ? &slots_[i].value : nullptr;
+  }
+
+  /// Const overload of FindHashed.
+  const Value* FindHashed(uint64_t key, uint64_t mixed_hash) const {
+    DSKETCH_DCHECK(mixed_hash == Mix(key));
+    size_t i = FindSlotHashed(key, mixed_hash);
+    return slots_[i].key == key ? &slots_[i].value : nullptr;
+  }
+
+  /// Batched lookup: out[j] points at the value for keys[j] (nullptr when
+  /// absent). Prefetches every probe line before the first probe, so the
+  /// memory latencies of the n lookups overlap instead of serializing.
+  /// Pointers are valid until the next mutating call.
+  void FindBatch(const uint64_t* keys, size_t n, const Value** out) const {
+    constexpr size_t kChunk = 32;
+    uint64_t hashes[kChunk];
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t len = n - base < kChunk ? n - base : kChunk;
+      for (size_t j = 0; j < len; ++j) {
+        hashes[j] = Mix(keys[base + j]);
+        Prefetch(hashes[j]);
+      }
+      for (size_t j = 0; j < len; ++j) {
+        out[base + j] = FindHashed(keys[base + j], hashes[j]);
+      }
+    }
   }
 
   /// Removes `key` if present; returns true if a mapping was removed.
-  bool Erase(uint64_t key) {
-    size_t i = FindSlot(key);
-    if (keys_[i] != key) return false;
+  bool Erase(uint64_t key) { return EraseHashed(key, Mix(key)); }
+
+  /// Erase with a precomputed MixedHash(key).
+  bool EraseHashed(uint64_t key, uint64_t mixed_hash) {
+    DSKETCH_DCHECK(mixed_hash == Mix(key));
+    size_t i = FindSlotHashed(key, mixed_hash);
+    if (slots_[i].key != key) return false;
     // Backward-shift deletion: move subsequent cluster entries into the
     // hole while they are not at their home position.
-    size_t mask = keys_.size() - 1;
+    size_t mask = slots_.size() - 1;
     size_t hole = i;
     size_t j = i;
     while (true) {
       j = (j + 1) & mask;
-      if (keys_[j] == kEmpty) break;
-      size_t home = Home(keys_[j]);
+      if (slots_[j].key == kEmpty) break;
+      size_t home = Home(slots_[j].key);
       // Entry at j may move into the hole if its home position does not lie
       // (cyclically) strictly after the hole.
       bool movable;
@@ -84,23 +147,27 @@ class FlatMap {
         movable = home <= hole && home > j;
       }
       if (movable) {
-        keys_[hole] = keys_[j];
-        values_[hole] = values_[j];
+        slots_[hole] = slots_[j];
         hole = j;
       }
     }
-    keys_[hole] = kEmpty;
+    slots_[hole].key = kEmpty;
     --size_;
     return true;
   }
 
   /// Removes all keys, keeping the current capacity.
   void Clear() {
-    for (auto& k : keys_) k = kEmpty;
+    for (auto& s : slots_) s.key = kEmpty;
     size_ = 0;
   }
 
  private:
+  struct Slot {
+    uint64_t key;
+    Value value;
+  };
+
   static size_t TableSizeFor(size_t expected) {
     size_t n = 16;
     while (n < expected * 2) n <<= 1;
@@ -116,33 +183,31 @@ class FlatMap {
     return x;
   }
 
-  size_t Home(uint64_t key) const { return Mix(key) & (keys_.size() - 1); }
+  size_t Home(uint64_t key) const { return Mix(key) & (slots_.size() - 1); }
 
-  size_t FindSlot(uint64_t key) const {
-    size_t mask = keys_.size() - 1;
-    size_t i = Home(key);
-    while (keys_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask;
+  size_t FindSlotHashed(uint64_t key, uint64_t mixed_hash) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = mixed_hash & mask;
+    while (slots_[i].key != kEmpty && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
     return i;
   }
 
   void Rehash(size_t new_size) {
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    std::vector<Value> old_values = std::move(values_);
-    keys_.assign(new_size, kEmpty);
-    values_.assign(new_size, Value());
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_size, Slot{kEmpty, Value()});
     size_ = 0;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] != kEmpty) {
-        size_t j = FindSlot(old_keys[i]);
-        keys_[j] = old_keys[i];
-        values_[j] = old_values[i];
+    for (const Slot& s : old) {
+      if (s.key != kEmpty) {
+        size_t j = FindSlotHashed(s.key, Mix(s.key));
+        slots_[j] = s;
         ++size_;
       }
     }
   }
 
-  std::vector<uint64_t> keys_;
-  std::vector<Value> values_;
+  std::vector<Slot> slots_;
   size_t size_ = 0;
 };
 

@@ -1,0 +1,49 @@
+// Minimal read-only span for the batched ingestion APIs.
+//
+// The library targets C++17, which predates std::span; this is the small
+// subset the batch paths need (pointer + length view over contiguous
+// memory, implicitly constructible from std::vector and C arrays). When
+// the project moves to C++20 this can become an alias for std::span.
+
+#ifndef DSKETCH_UTIL_SPAN_H_
+#define DSKETCH_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace dsketch {
+
+/// Non-owning view over a contiguous sequence of `T`.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() : data_(nullptr), size_(0) {}
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<std::remove_cv_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+  template <size_t N>
+  constexpr Span(const T (&arr)[N]) : data_(arr), size_(N) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// Sub-view of `count` elements starting at `offset` (clamped to size).
+  constexpr Span subspan(size_t offset, size_t count) const {
+    if (offset > size_) offset = size_;
+    if (count > size_ - offset) count = size_ - offset;
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_UTIL_SPAN_H_

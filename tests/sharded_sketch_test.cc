@@ -1,0 +1,203 @@
+// Tests for the sharded concurrent front-end: the SPSC queue, routing,
+// exactness of totals, determinism despite threading, per-shard
+// equivalence with a sequentially-partitioned reference, and the
+// statistical contract — Snapshot() subset-sum estimates stay unbiased
+// because the hash partition + unbiased merge satisfy Theorem 2.
+
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/subset_sum.h"
+#include "core/unbiased_space_saving.h"
+#include "shard/sharded_sketch.h"
+#include "shard/spsc_queue.h"
+#include "stats/welford.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "test_scale.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(SpscQueueTest, BulkRoundTripSingleThread) {
+  SpscQueue<uint64_t> q(100);
+  EXPECT_GE(q.capacity(), 100u);
+  std::vector<uint64_t> in(70), out(200);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = i;
+  EXPECT_EQ(q.PushBulk(in.data(), in.size()), in.size());
+  EXPECT_EQ(q.PushBulk(in.data(), in.size()), q.capacity() - in.size());
+  EXPECT_EQ(q.PopBulk(out.data(), out.size()), q.capacity());
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.PopBulk(out.data(), out.size()), 0u);
+}
+
+TEST(SpscQueueTest, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  SpscQueue<uint64_t> q(256);
+  constexpr uint64_t kRows = 200000;
+  std::vector<uint64_t> got;
+  got.reserve(kRows);
+  std::thread consumer([&] {
+    uint64_t buf[64];
+    while (got.size() < kRows) {
+      size_t n = q.PopBulk(buf, 64);
+      for (size_t i = 0; i < n; ++i) got.push_back(buf[i]);
+      if (n == 0) std::this_thread::yield();
+    }
+  });
+  uint64_t next = 0;
+  while (next < kRows) {
+    uint64_t buf[64];
+    size_t len = 0;
+    while (len < 64 && next < kRows) buf[len++] = next++;
+    size_t done = 0;
+    while (done < len) {
+      done += q.PushBulk(buf + done, len - done);
+      if (done < len) std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  ASSERT_EQ(got.size(), kRows);
+  for (uint64_t i = 0; i < kRows; ++i) ASSERT_EQ(got[i], i);
+}
+
+ShardedSketchOptions SmallOptions(size_t shards) {
+  ShardedSketchOptions opt;
+  opt.num_shards = shards;
+  opt.shard_capacity = 64;
+  opt.queue_capacity = 4096;
+  opt.batch_size = 256;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(ShardedSketchTest, PreservesTotalCountExactly) {
+  auto counts = WeibullCounts(500, 40.0, 0.5);
+  Rng rng(21);
+  auto rows = PermutedStream(counts, rng);
+
+  ShardedSpaceSaving sharded(SmallOptions(4));
+  // Ingest in uneven chunks, as a streaming caller would.
+  size_t pos = 0;
+  while (pos < rows.size()) {
+    size_t len = std::min<size_t>(1000, rows.size() - pos);
+    sharded.Ingest(Span<const uint64_t>(rows.data() + pos, len));
+    pos += len;
+  }
+  sharded.Flush();
+
+  EXPECT_EQ(sharded.RowsIngested(), static_cast<int64_t>(rows.size()));
+  int64_t shard_total = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    shard_total += sharded.shard(s).TotalCount();
+  }
+  EXPECT_EQ(shard_total, static_cast<int64_t>(rows.size()));
+
+  // The unbiased merge preserves the total exactly as well.
+  UnbiasedSpaceSaving merged = sharded.Snapshot(128, 3);
+  EXPECT_EQ(merged.TotalCount(), static_cast<int64_t>(rows.size()));
+}
+
+TEST(ShardedSketchTest, ShardsMatchSequentiallyPartitionedReference) {
+  // Thread timing must not affect per-shard state: each shard sees its
+  // partition's rows in stream order, so a single-threaded partition of
+  // the same stream into per-shard sketches is bit-for-bit identical.
+  auto counts = WeibullCounts(800, 25.0, 0.5);
+  Rng rng(31);
+  auto rows = PermutedStream(counts, rng);
+
+  ShardedSketchOptions opt = SmallOptions(3);
+  ShardedSpaceSaving sharded(opt);
+  sharded.Ingest(rows);
+  sharded.Flush();
+
+  std::vector<UnbiasedSpaceSaving> reference;
+  for (size_t s = 0; s < opt.num_shards; ++s) {
+    reference.emplace_back(opt.shard_capacity, opt.seed + s);
+  }
+  for (uint64_t item : rows) {
+    reference[sharded.ShardOf(item)].Update(item);
+  }
+
+  for (size_t s = 0; s < opt.num_shards; ++s) {
+    auto got = sharded.shard(s).Entries();
+    auto want = reference[s].Entries();
+    ASSERT_EQ(got.size(), want.size()) << "shard " << s;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].item, want[i].item) << "shard " << s << " entry " << i;
+      EXPECT_EQ(got[i].count, want[i].count) << "shard " << s << " entry " << i;
+    }
+  }
+}
+
+TEST(ShardedSketchTest, SnapshotIsDeterministicAcrossRuns) {
+  auto counts = WeibullCounts(600, 20.0, 0.5);
+  Rng rng(41);
+  auto rows = PermutedStream(counts, rng);
+
+  auto run = [&rows] {
+    ShardedSpaceSaving sharded(SmallOptions(4));
+    sharded.Ingest(rows);
+    return sharded.Snapshot(96, 7);
+  };
+  UnbiasedSpaceSaving a = run();
+  UnbiasedSpaceSaving b = run();
+  auto ea = a.Entries(), eb = b.Entries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].item, eb[i].item);
+    EXPECT_EQ(ea[i].count, eb[i].count);
+  }
+}
+
+TEST(ShardedSketchTest, RoutingCoversAllShardsAndIsConsistent) {
+  ShardedSpaceSaving sharded(SmallOptions(4));
+  std::vector<int> hits(4, 0);
+  for (uint64_t item = 0; item < 10000; ++item) {
+    size_t s = sharded.ShardOf(item);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, sharded.ShardOf(item));  // stable
+    ++hits[s];
+  }
+  for (int h : hits) EXPECT_GT(h, 1500);  // roughly balanced
+}
+
+TEST(ShardedSketchTest, SnapshotSubsetSumsStayUnbiased) {
+  // Statistical contract: the mean Snapshot() subset-sum estimate over
+  // independently-seeded trials must match the true subset sum within a
+  // CI (the hash partition is fixed; the randomness is in the per-shard
+  // label draws and the merge reduction).
+  auto counts = WeibullCounts(300, 50.0, 0.45);
+  double truth = 0;
+  for (size_t i = 0; i < counts.size(); i += 3) {
+    truth += static_cast<double>(counts[i]);
+  }
+  const int trials = test::ScaledTrials(300);
+  Welford est;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(50000 + t);
+    auto rows = PermutedStream(counts, rng);
+    ShardedSketchOptions opt;
+    opt.num_shards = 4;
+    opt.shard_capacity = 24;
+    opt.queue_capacity = 8192;
+    opt.batch_size = 512;
+    opt.seed = 60000 + static_cast<uint64_t>(t) * 17;
+    ShardedSpaceSaving sharded(opt);
+    sharded.Ingest(rows);
+    UnbiasedSpaceSaving merged =
+        sharded.Snapshot(64, 70000 + static_cast<uint64_t>(t));
+    est.Add(EstimateSubsetSum(merged, [](uint64_t x) {
+              return x % 3 == 0;
+            }).estimate);
+  }
+  EXPECT_NEAR(est.mean(), truth, 5 * est.stderr_mean());
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -2,6 +2,7 @@
 // variance estimator's upward bias, and confidence interval coverage
 // (paper §6.4-6.5, Figs. 8-9).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <unordered_set>
@@ -16,6 +17,7 @@
 #include "stats/welford.h"
 #include "stream/distributions.h"
 #include "stream/generators.h"
+#include "test_scale.h"
 #include "util/random.h"
 
 namespace dsketch {
@@ -79,7 +81,8 @@ TEST(SubsetSumTest, SubsetEstimatesUnbiasedOnSkewedStream) {
     truth += static_cast<double>(counts[i]);
   }
   Welford est;
-  for (int t = 0; t < 6000; ++t) {
+  const int trials = test::ScaledTrials(600);  // 10x under the slow label
+  for (int t = 0; t < trials; ++t) {
     Rng rng(60000 + t);
     auto rows = PermutedStream(counts, rng);
     UnbiasedSpaceSaving sketch(20, 70000 + t);
@@ -98,16 +101,20 @@ TEST(SubsetSumTest, VarianceEstimatorIsUpwardBiased) {
   auto rows = SortedStream(counts, /*ascending=*/true);
   Welford est;
   Welford var_estimates;
-  for (int t = 0; t < 4000; ++t) {
+  const int trials = test::ScaledTrials(400);  // 10x under the slow label
+  for (int t = 0; t < trials; ++t) {
     UnbiasedSpaceSaving sketch(25, 80000 + t);
     for (uint64_t item : rows) sketch.Update(item);
     auto r = EstimateSubsetSum(sketch, [](uint64_t x) { return x < 100; });
     est.Add(r.estimate);
     var_estimates.Add(r.variance);
   }
-  // Mean estimated variance should be at least the realized variance
-  // (allow 15% slack for Monte Carlo noise).
-  EXPECT_GE(var_estimates.mean(), 0.85 * est.variance());
+  // Mean estimated variance should be at least the realized variance.
+  // The realized (sample) variance has relative sd ~ sqrt(2/(n-1)), so
+  // the slack scales with the trial count: ~15% at the full-strength
+  // 4000 trials (the seed's tolerance), wider at the fast default.
+  const double slack = std::max(0.15, 0.05 + 3 * std::sqrt(2.0 / (trials - 1)));
+  EXPECT_GE(var_estimates.mean(), (1.0 - slack) * est.variance());
 }
 
 TEST(SubsetSumTest, CoverageNearNominalOnLargeSubsets) {
@@ -119,7 +126,8 @@ TEST(SubsetSumTest, CoverageNearNominalOnLargeSubsets) {
     if (i % 2 == 0) truth += static_cast<double>(counts[i]);
   }
   CoverageCounter coverage;
-  for (int t = 0; t < 3000; ++t) {
+  const int trials = test::ScaledTrials(300);  // 10x under the slow label
+  for (int t = 0; t < trials; ++t) {
     Rng rng(90000 + t);
     auto rows = PermutedStream(counts, rng);
     UnbiasedSpaceSaving sketch(50, 95000 + t);
@@ -128,8 +136,11 @@ TEST(SubsetSumTest, CoverageNearNominalOnLargeSubsets) {
     Interval ci = r.Confidence(0.95);
     coverage.Add(ci.lo, ci.hi, truth);
   }
-  // Upward-biased variance => coverage at or above ~0.95 (allow small dip).
-  EXPECT_GE(coverage.coverage(), 0.93);
+  // Upward-biased variance => coverage at or above ~0.95. The threshold
+  // allows 3 binomial sigmas below nominal, which reproduces the seed's
+  // 0.93 at the full-strength 3000 trials and widens at the fast default.
+  EXPECT_GE(coverage.coverage(),
+            0.942 - 3 * std::sqrt(0.95 * 0.05 / trials));
 }
 
 TEST(SubsetSumTest, EntriesOverloadMatchesSketchOverload) {

@@ -319,5 +319,49 @@ TEST(FlatMapTest, ClearRemovesEverything) {
   for (uint64_t k = 1; k <= 50; ++k) EXPECT_EQ(map.Find(k), nullptr);
 }
 
+TEST(FlatMapTest, HashedOverloadsMatchPlainOnes) {
+  // The batched ingestion path pre-mixes keys once and reuses the hash
+  // across Find/Insert/Erase; the *Hashed overloads must behave exactly
+  // like the plain calls (the hash survives rehashes by construction).
+  FlatMap<uint32_t> map(4);  // small: forces growth + rehash
+  for (uint64_t k = 1; k <= 200; ++k) {
+    map.InsertOrAssignHashed(k, FlatMap<uint32_t>::MixedHash(k),
+                             static_cast<uint32_t>(k * 3));
+  }
+  for (uint64_t k = 1; k <= 200; ++k) {
+    const uint64_t h = FlatMap<uint32_t>::MixedHash(k);
+    map.Prefetch(h);  // advisory only; must be safe anywhere
+    uint32_t* v = map.FindHashed(k, h);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k * 3);
+    EXPECT_EQ(map.Find(k), v);
+  }
+  for (uint64_t k = 1; k <= 200; k += 2) {
+    EXPECT_TRUE(map.EraseHashed(k, FlatMap<uint32_t>::MixedHash(k)));
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (uint64_t k = 1; k <= 200; ++k) {
+    EXPECT_EQ(map.Find(k) != nullptr, k % 2 == 0) << k;
+  }
+}
+
+TEST(FlatMapTest, FindBatchMatchesScalarFind) {
+  FlatMap<uint32_t> map(64);
+  for (uint64_t k = 0; k < 300; k += 3) {
+    map.InsertOrAssign(k + 1, static_cast<uint32_t>(k));
+  }
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 300; ++k) keys.push_back(k);
+  std::vector<const uint32_t*> got(keys.size());
+  map.FindBatch(keys.data(), keys.size(), got.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint32_t* want = map.Find(keys[i]);
+    EXPECT_EQ(got[i], want) << "key " << keys[i];
+    if (want != nullptr) {
+      EXPECT_EQ(*got[i], *want);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dsketch
