@@ -1,0 +1,150 @@
+// Wire-format benchmark: encode/decode throughput and bytes-per-entry
+// for wire v1 (fixed 16 B/entry) vs v2 (varint/delta) across sketch
+// capacities, on the Zipf(1.1) workload the v2 layout targets (small
+// item ids, long near-minimum count tail). Records machine-readable
+// baselines with --json=PATH (see bench/record_baselines.sh).
+//
+// Flags: --zipf_s=1.1 --max_cap=65536 --reps=0 (0 = auto-scale so each
+// timed loop processes a few million entries).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/serialization.h"
+#include "core/unbiased_space_saving.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/span.h"
+
+namespace dsketch {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Builds a full sketch over a Zipf(s) stream with ~2x capacity distinct
+// items, so every bin is labeled (the worst case for v2's delta tail).
+UnbiasedSpaceSaving BuildSketch(size_t capacity, double s) {
+  std::vector<int64_t> counts =
+      ZipfCounts(2 * capacity, s, static_cast<int64_t>(8 * capacity));
+  std::vector<uint64_t> stream = SortedStream(counts, /*ascending=*/false);
+  UnbiasedSpaceSaving sketch(capacity, 7);
+  sketch.UpdateBatch(Span<const uint64_t>(stream.data(), stream.size()));
+  return sketch;
+}
+
+struct OpStats {
+  double mb_per_s = 0.0;
+  double entries_per_s = 0.0;
+};
+
+template <typename Fn>
+OpStats Time(int64_t reps, size_t bytes, size_t entries, Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t r = 0; r < reps; ++r) fn();
+  const double secs = SecondsSince(start);
+  OpStats out;
+  if (secs > 0.0) {
+    out.mb_per_s = static_cast<double>(bytes) * static_cast<double>(reps) /
+                   secs / 1e6;
+    out.entries_per_s = static_cast<double>(entries) *
+                        static_cast<double>(reps) / secs;
+  }
+  return out;
+}
+
+void Run(int argc, char** argv) {
+  const double s = bench::FlagDouble(argc, argv, "zipf_s", 1.1);
+  const int64_t max_cap = bench::FlagInt(argc, argv, "max_cap", 65536);
+  const int64_t reps_flag = bench::FlagInt(argc, argv, "reps", 0);
+  bench::JsonSink json(argc, argv, "wire");
+
+  bench::Banner("Wire format: v1 (fixed-width) vs v2 (varint/delta)",
+                "paper §5.5 (sketches shipped over the network)");
+  std::printf("\n%-9s %9s %9s %7s | %-9s %11s %11s\n", "capacity",
+              "v1_B/ent", "v2_B/ent", "v2/v1", "op", "v1_MB/s", "v2_MB/s");
+
+  for (size_t capacity = 1024; capacity <= static_cast<size_t>(max_cap);
+       capacity *= 4) {
+    UnbiasedSpaceSaving sketch = BuildSketch(capacity, s);
+    const size_t entries = sketch.size();
+    const std::string v1 = SerializeV1(sketch);
+    const std::string v2 = Serialize(sketch);
+    const double v1_per_entry =
+        static_cast<double>(v1.size()) / static_cast<double>(entries);
+    const double v2_per_entry =
+        static_cast<double>(v2.size()) / static_cast<double>(entries);
+    const double ratio =
+        static_cast<double>(v2.size()) / static_cast<double>(v1.size());
+
+    const int64_t reps =
+        reps_flag > 0 ? reps_flag
+                      : std::max<int64_t>(3, 2000000 / static_cast<int64_t>(
+                                                           capacity));
+    size_t sink = 0;  // keeps the timed loops observable
+    OpStats enc_v1 = Time(reps, v1.size(), entries,
+                          [&] { sink += SerializeV1(sketch).size(); });
+    OpStats enc_v2 = Time(reps, v2.size(), entries,
+                          [&] { sink += Serialize(sketch).size(); });
+    OpStats dec_v1 = Time(reps, v1.size(), entries, [&] {
+      sink += DeserializeUnbiased(v1, 3).has_value() ? 1 : 0;
+    });
+    OpStats dec_v2 = Time(reps, v2.size(), entries, [&] {
+      sink += DeserializeUnbiased(v2, 3).has_value() ? 1 : 0;
+    });
+
+    std::printf("%-9zu %9.2f %9.2f %6.0f%% | %-9s %11.1f %11.1f\n", capacity,
+                v1_per_entry, v2_per_entry, 100.0 * ratio, "encode",
+                enc_v1.mb_per_s, enc_v2.mb_per_s);
+    std::printf("%-9s %9s %9s %7s | %-9s %11.1f %11.1f\n", "", "", "", "",
+                "decode", dec_v1.mb_per_s, dec_v2.mb_per_s);
+    if (sink == 0) std::printf("(unreachable)\n");
+
+    if (json.enabled()) {
+      json.BeginRecord("size");
+      json.Add("capacity", static_cast<int64_t>(capacity));
+      json.Add("entries", static_cast<int64_t>(entries));
+      json.Add("zipf_s", s);
+      json.Add("v1_bytes", static_cast<int64_t>(v1.size()));
+      json.Add("v2_bytes", static_cast<int64_t>(v2.size()));
+      json.Add("v1_bytes_per_entry", v1_per_entry);
+      json.Add("v2_bytes_per_entry", v2_per_entry);
+      json.Add("v2_over_v1", ratio);
+      for (const auto& [op, st_v1, st_v2] :
+           {std::tuple<const char*, OpStats, OpStats>{"encode", enc_v1,
+                                                      enc_v2},
+            std::tuple<const char*, OpStats, OpStats>{"decode", dec_v1,
+                                                      dec_v2}}) {
+        json.BeginRecord("throughput");
+        json.Add("capacity", static_cast<int64_t>(capacity));
+        json.Add("op", std::string(op));
+        json.Add("reps", reps);
+        json.Add("v1_mb_per_s", st_v1.mb_per_s);
+        json.Add("v1_entries_per_s", st_v1.entries_per_s);
+        json.Add("v2_mb_per_s", st_v2.mb_per_s);
+        json.Add("v2_entries_per_s", st_v2.entries_per_s);
+      }
+    }
+  }
+
+  std::printf(
+      "\n(v2 targets the entry lists the distributed merge ships: varint\n"
+      " items + delta-encoded descending counts; weights stay fixed64)\n");
+}
+
+}  // namespace
+}  // namespace dsketch
+
+int main(int argc, char** argv) {
+  dsketch::Run(argc, argv);
+  return 0;
+}

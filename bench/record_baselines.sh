@@ -3,25 +3,37 @@
 #
 # Usage: bench/record_baselines.sh [build_dir] [out_dir]
 #
-# Runs the throughput bench with its --json sink and stores the result as
-# BENCH_throughput.json in the repository root (or out_dir). Later PRs
-# compare their sweeps against these files to prove speedups / catch
-# regressions; the files also record hardware_concurrency so shard
-# scaling numbers are interpreted against the machine that produced them.
+# Runs each bench that has a --json sink and stores the results as
+# BENCH_*.json in the repository root (or out_dir):
+#   BENCH_throughput.json  — row-vs-batch / batch-size / shard sweeps
+#   BENCH_wire.json        — wire v1 vs v2 size + encode/decode throughput
+#   BENCH_fig10_epoch.json — per-epoch %RRMSE: USS/DSS, decayed, window
+# Later PRs compare their sweeps against these files to prove speedups /
+# catch regressions; the files also record hardware_concurrency (where
+# relevant) so scaling numbers are interpreted against the machine that
+# produced them.
 
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 
-if [ ! -x "${BUILD_DIR}/bench/bench_throughput" ]; then
-  echo "error: ${BUILD_DIR}/bench/bench_throughput not built" >&2
-  echo "build first: cmake --preset release && cmake --build build -j" >&2
-  exit 1
-fi
+for bench in bench_throughput bench_wire bench_fig10_epoch_rrmse; do
+  if [ ! -x "${BUILD_DIR}/bench/${bench}" ]; then
+    echo "error: ${BUILD_DIR}/bench/${bench} not built" >&2
+    echo "build first: cmake --preset release && cmake --build build -j" >&2
+    exit 1
+  fi
+done
 
 "${BUILD_DIR}/bench/bench_throughput" \
   --json="${OUT_DIR}/BENCH_throughput.json"
 
+"${BUILD_DIR}/bench/bench_wire" \
+  --json="${OUT_DIR}/BENCH_wire.json"
+
+"${BUILD_DIR}/bench/bench_fig10_epoch_rrmse" \
+  --json="${OUT_DIR}/BENCH_fig10_epoch.json"
+
 echo ""
-echo "baselines written to ${OUT_DIR}/BENCH_throughput.json"
+echo "baselines written to ${OUT_DIR}/BENCH_{throughput,wire,fig10_epoch}.json"

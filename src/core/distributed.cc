@@ -1,10 +1,30 @@
 #include "core/distributed.h"
 
+#include <utility>
+
 #include "core/merge.h"
+#include "core/serialization.h"
 #include "hashing/hash.h"
 #include "util/logging.h"
 
 namespace dsketch {
+
+std::optional<UnbiasedSpaceSaving> CombineSerialized(
+    const std::vector<std::string>& blobs, size_t capacity, uint64_t seed) {
+  if (blobs.empty()) return UnbiasedSpaceSaving(capacity, seed);
+  std::vector<UnbiasedSpaceSaving> restored;
+  restored.reserve(blobs.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    std::optional<UnbiasedSpaceSaving> sketch =
+        DeserializeUnbiased(blobs[i], seed + i + 1);
+    if (!sketch.has_value()) return std::nullopt;
+    restored.push_back(std::move(*sketch));
+  }
+  std::vector<const UnbiasedSpaceSaving*> ptrs;
+  ptrs.reserve(restored.size());
+  for (const auto& s : restored) ptrs.push_back(&s);
+  return MergeAll(ptrs, capacity, seed);
+}
 
 ShardedSketcher::ShardedSketcher(size_t num_shards, size_t shard_capacity,
                                  uint64_t seed)
@@ -32,6 +52,13 @@ UnbiasedSpaceSaving ShardedSketcher::Combine(size_t capacity,
   ptrs.reserve(shards_.size());
   for (const auto& s : shards_) ptrs.push_back(&s);
   return MergeAll(ptrs, capacity, seed);
+}
+
+std::vector<std::string> ShardedSketcher::SerializeShards() const {
+  std::vector<std::string> blobs;
+  blobs.reserve(shards_.size());
+  for (const auto& s : shards_) blobs.push_back(Serialize(s));
+  return blobs;
 }
 
 int64_t ShardedSketcher::TotalCount() const {

@@ -12,11 +12,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/unbiased_space_saving.h"
 
 namespace dsketch {
+
+/// Reducer over serialized mapper sketches: deserializes every blob
+/// (accepting any mix of wire versions — v1 from old writers, v2 from
+/// new ones, as during a rolling upgrade) and combines them with the
+/// unbiased merge into `capacity` bins. Returns nullopt if any blob is
+/// malformed or not an Unbiased Space Saving sketch.
+std::optional<UnbiasedSpaceSaving> CombineSerialized(
+    const std::vector<std::string>& blobs, size_t capacity,
+    uint64_t seed = 1);
 
 /// A fleet of per-shard Unbiased Space Saving sketches with an unbiased
 /// reducer-side combine.
@@ -35,6 +47,11 @@ class ShardedSketcher {
 
   /// Reducer: unbiased merge of all shards into `capacity` bins.
   UnbiasedSpaceSaving Combine(size_t capacity, uint64_t seed = 1) const;
+
+  /// Mapper side of the network deployment: every shard serialized with
+  /// the current wire format, ready to ship to a CombineSerialized
+  /// reducer.
+  std::vector<std::string> SerializeShards() const;
 
   /// Read access to an individual shard sketch.
   const UnbiasedSpaceSaving& shard(size_t i) const { return shards_[i]; }

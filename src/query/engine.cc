@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/serialization.h"
 #include "util/logging.h"
 
 namespace dsketch {
@@ -20,6 +21,14 @@ SketchQueryEngine::SketchQueryEngine(SketchSource* source,
 
 const UnbiasedSpaceSaving& SketchQueryEngine::QuerySketch() const {
   return source_ != nullptr ? source_->View() : *sketch_;
+}
+
+std::string SketchQueryEngine::SaveState() const {
+  return source_ != nullptr ? source_->SaveSnapshot() : Serialize(*sketch_);
+}
+
+bool SketchQueryEngine::RestoreState(std::string_view bytes) {
+  return source_ != nullptr && source_->RestoreSnapshot(bytes);
 }
 
 SubsetSumEstimate SketchQueryEngine::Sum(const Predicate& where) const {

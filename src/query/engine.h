@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +53,15 @@ class SketchQueryEngine {
   /// Two-dimensional group-by; key = PackGroupKey(attr[d1], attr[d2]).
   std::unordered_map<uint64_t, SubsetSumEstimate> GroupBy2(
       size_t d1, size_t d2, const Predicate& where = Predicate()) const;
+
+  /// Serializes the engine's sketch state (wire format, current
+  /// version); restorable into another engine with RestoreState.
+  std::string SaveState() const;
+
+  /// Absorbs saved state into the engine's source (any supported wire
+  /// version). Returns false when the engine wraps a borrowed const
+  /// sketch (no source to restore into) or the bytes are malformed.
+  bool RestoreState(std::string_view bytes);
 
  private:
   // The sketch queries run against: `sketch_` when constructed from a

@@ -7,13 +7,22 @@
 // layer no longer cares about. Both implementations expose the stream as
 // an UnbiasedSpaceSaving view, so every estimator downstream of the
 // engine (subset sums, variances, CIs, top-k) behaves identically.
+//
+// Sources also save/restore state as wire-format bytes (SaveSnapshot /
+// RestoreSnapshot), so engine state survives process restarts and
+// replicates between deployments — including across wire versions.
 
 #ifndef DSKETCH_QUERY_SKETCH_SOURCE_H_
 #define DSKETCH_QUERY_SKETCH_SOURCE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
 
+#include "core/merge.h"
+#include "core/serialization.h"
 #include "core/unbiased_space_saving.h"
 #include "shard/sharded_sketch.h"
 #include "util/span.h"
@@ -34,6 +43,20 @@ class SketchSource {
   /// Sketch over everything ingested so far. The reference stays valid
   /// until the next Ingest/Flush call on this source.
   virtual const UnbiasedSpaceSaving& View() = 0;
+
+  /// Serializes the source's state (wire format, current version):
+  /// flushes, then encodes View(). The bytes restore through
+  /// RestoreSnapshot on any SketchSource implementation.
+  std::string SaveSnapshot() {
+    Flush();
+    return Serialize(View());
+  }
+
+  /// Absorbs a serialized snapshot (any supported wire version) into
+  /// this source's state, merging with whatever was already ingested; on
+  /// a fresh source this restores the saved estimates exactly. Returns
+  /// false — leaving the state untouched — on malformed bytes.
+  virtual bool RestoreSnapshot(std::string_view bytes) = 0;
 };
 
 /// Single-threaded source: rows go straight into one sketch via the
@@ -42,7 +65,7 @@ class PlainSketchSource : public SketchSource {
  public:
   /// Sketch with `capacity` bins; `seed` makes runs reproducible.
   explicit PlainSketchSource(size_t capacity, uint64_t seed = 1)
-      : sketch_(capacity, seed) {}
+      : sketch_(capacity, seed), seed_(seed) {}
 
   void Ingest(Span<const uint64_t> items) override {
     sketch_.UpdateBatch(items);
@@ -50,8 +73,24 @@ class PlainSketchSource : public SketchSource {
 
   const UnbiasedSpaceSaving& View() override { return sketch_; }
 
+  /// Fresh source: adopts the decoded sketch verbatim (exact restore,
+  /// capacity taken from the bytes). Non-empty source: unbiased-merges
+  /// the decoded entries in at the current capacity.
+  bool RestoreSnapshot(std::string_view bytes) override {
+    std::optional<UnbiasedSpaceSaving> restored =
+        DeserializeUnbiased(bytes, seed_ + 1);
+    if (!restored.has_value()) return false;
+    if (sketch_.TotalCount() == 0) {
+      sketch_ = std::move(*restored);
+    } else {
+      sketch_ = Merge(sketch_, *restored, sketch_.capacity(), seed_ + 2);
+    }
+    return true;
+  }
+
  private:
   UnbiasedSpaceSaving sketch_;
+  uint64_t seed_;
 };
 
 /// Concurrent source: rows fan out across a ShardedSketch; View() merges
@@ -81,6 +120,15 @@ class ShardedSketchSource : public SketchSource {
       dirty_ = false;
     }
     return snapshot_;
+  }
+
+  /// Routes the snapshot into the shard fleet as an absorbed remote
+  /// sketch (ShardedSketch::IngestSerialized); the next View() merges it
+  /// with the locally ingested rows.
+  bool RestoreSnapshot(std::string_view bytes) override {
+    if (!sharded_.IngestSerialized(bytes)) return false;
+    dirty_ = true;
+    return true;
   }
 
   /// The underlying shard fleet (e.g. to inspect per-shard sketches).

@@ -4,29 +4,51 @@
 
 namespace dsketch {
 
+namespace {
+
+template <typename S>
+std::vector<const S*> Pointers(const std::vector<S>& shards) {
+  std::vector<const S*> ptrs;
+  ptrs.reserve(shards.size());
+  for (const S& s : shards) ptrs.push_back(&s);
+  return ptrs;
+}
+
+}  // namespace
+
 UnbiasedSpaceSaving MergeShards(const std::vector<UnbiasedSpaceSaving>& shards,
                                 size_t capacity, uint64_t seed) {
+  return MergeShards(Pointers(shards), capacity, seed);
+}
+
+UnbiasedSpaceSaving MergeShards(
+    const std::vector<const UnbiasedSpaceSaving*>& shards, size_t capacity,
+    uint64_t seed) {
   DSKETCH_CHECK(!shards.empty());
-  std::vector<const UnbiasedSpaceSaving*> ptrs;
-  ptrs.reserve(shards.size());
-  for (const UnbiasedSpaceSaving& s : shards) ptrs.push_back(&s);
-  return MergeAll(ptrs, capacity, seed);
+  return MergeAll(shards, capacity, seed);
 }
 
 DeterministicSpaceSaving MergeShards(
     const std::vector<DeterministicSpaceSaving>& shards, size_t capacity,
     uint64_t seed) {
+  return MergeShards(Pointers(shards), capacity, seed);
+}
+
+DeterministicSpaceSaving MergeShards(
+    const std::vector<const DeterministicSpaceSaving*>& shards,
+    size_t capacity, uint64_t seed) {
   DSKETCH_CHECK(!shards.empty());
   if (shards.size() == 1) {
     // Still honor the requested capacity via the soft-threshold reduction.
     DeterministicSpaceSaving out(capacity, seed);
     out.core().LoadEntries(
-        ReduceMisraGries(shards.front().Entries(), capacity));
+        ReduceMisraGries(shards.front()->Entries(), capacity));
     return out;
   }
-  DeterministicSpaceSaving merged = Merge(shards[0], shards[1], capacity, seed);
+  DeterministicSpaceSaving merged =
+      Merge(*shards[0], *shards[1], capacity, seed);
   for (size_t i = 2; i < shards.size(); ++i) {
-    merged = Merge(merged, shards[i], capacity, seed + i);
+    merged = Merge(merged, *shards[i], capacity, seed + i);
   }
   return merged;
 }

@@ -15,9 +15,16 @@
 // sketches, and the snapshot merge are all independent of thread timing,
 // so runs are reproducible despite the concurrency.
 //
-// Threading contract: one thread calls Ingest/Flush/Snapshot (single
-// producer); the destructor stops and joins the workers. Snapshot and
-// shard() are safe only after a Flush with no concurrent Ingest.
+// Threading contract: one thread calls Ingest/IngestSerialized/Flush/
+// Snapshot (single producer); the destructor stops and joins the
+// workers. Snapshot and shard() are safe only after a Flush with no
+// concurrent Ingest.
+//
+// Replication: SerializeSnapshot() ships the merged state as wire-format
+// bytes and IngestSerialized() absorbs a peer's bytes (any supported
+// wire version) as an extra shard, so sharded fleets exchange state as
+// byte payloads — the primitive the streaming-service layer replicates
+// with.
 
 #ifndef DSKETCH_SHARD_SHARDED_SKETCH_H_
 #define DSKETCH_SHARD_SHARDED_SKETCH_H_
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "core/deterministic_space_saving.h"
+#include "core/serialization.h"
 #include "core/unbiased_space_saving.h"
 #include "shard/spsc_queue.h"
 #include "util/flat_map.h"
@@ -44,11 +52,22 @@ namespace dsketch {
 UnbiasedSpaceSaving MergeShards(const std::vector<UnbiasedSpaceSaving>& shards,
                                 size_t capacity, uint64_t seed);
 
+/// Pointer form of the above (lets callers merge sketches they cannot or
+/// need not copy, e.g. ShardedSketch's absorbed remote snapshots).
+UnbiasedSpaceSaving MergeShards(
+    const std::vector<const UnbiasedSpaceSaving*>& shards, size_t capacity,
+    uint64_t seed);
+
 /// Misra-Gries style merge of deterministic per-shard sketches (biased,
 /// deterministic-guarantee preserving).
 DeterministicSpaceSaving MergeShards(
     const std::vector<DeterministicSpaceSaving>& shards, size_t capacity,
     uint64_t seed);
+
+/// Pointer form of the deterministic merge.
+DeterministicSpaceSaving MergeShards(
+    const std::vector<const DeterministicSpaceSaving*>& shards,
+    size_t capacity, uint64_t seed);
 
 /// Tuning knobs for ShardedSketch.
 struct ShardedSketchOptions {
@@ -61,7 +80,7 @@ struct ShardedSketchOptions {
 
 /// Concurrent sharded front-end over sketch type `S`. `S` must provide
 /// S(capacity, seed), UpdateBatch(Span<const uint64_t>), and a
-/// MergeShards(const std::vector<S>&, capacity, seed) overload.
+/// MergeShards(const std::vector<const S*>&, capacity, seed) overload.
 template <typename S>
 class ShardedSketch {
  public:
@@ -129,16 +148,47 @@ class ShardedSketch {
   /// deterministic given the ingested stream and seeds.
   S Snapshot(size_t capacity, uint64_t seed = 1) {
     Flush();
+    // Shard sketches are copied under their locks (workers may still be
+    // alive); absorbed remotes are producer-thread-only and immutable,
+    // so they join the merge by pointer.
     std::vector<S> copies;
     copies.reserve(shards_.size());
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
       copies.push_back(shard->sketch);
     }
-    return MergeShards(copies, capacity, seed);
+    std::vector<const S*> parts;
+    parts.reserve(copies.size() + remotes_.size());
+    for (const S& copy : copies) parts.push_back(&copy);
+    for (const S& remote : remotes_) parts.push_back(&remote);
+    return MergeShards(parts, capacity, seed);
   }
 
-  /// Rows handed to Ingest so far.
+  /// Serializes Snapshot(capacity, seed) with the current wire format —
+  /// the replication payload a peer absorbs with IngestSerialized().
+  std::string SerializeSnapshot(size_t capacity, uint64_t seed = 1) {
+    return SketchWire<S>::Serialize(Snapshot(capacity, seed));
+  }
+
+  /// Absorbs a serialized sketch (any supported wire version — e.g. a
+  /// peer's SerializeSnapshot or a v1 blob from an old writer) into this
+  /// sketch's state: the decoded sketch joins the shard set, and
+  /// Snapshot() merges it with the locally ingested rows under the same
+  /// unbiased reduction. Call from the producer thread only. Returns
+  /// false (leaving the state untouched) on malformed bytes.
+  bool IngestSerialized(std::string_view bytes) {
+    std::optional<S> restored = SketchWire<S>::Deserialize(
+        bytes, options_.seed + num_shards() + remotes_.size());
+    if (!restored.has_value()) return false;
+    remotes_.push_back(std::move(*restored));
+    return true;
+  }
+
+  /// Sketches absorbed via IngestSerialized so far.
+  size_t num_absorbed() const { return remotes_.size(); }
+
+  /// Rows handed to Ingest so far (rows inside absorbed serialized
+  /// sketches are not included; see num_absorbed()).
   int64_t RowsIngested() const {
     int64_t total = 0;
     for (const auto& shard : shards_) {
@@ -200,6 +250,7 @@ class ShardedSketch {
   std::atomic<bool> stop_{false};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::vector<uint64_t>> staging_;  // per-shard routing buffers
+  std::vector<S> remotes_;  // sketches absorbed via IngestSerialized
 };
 
 /// The concurrent front-end for the paper's primary sketch.

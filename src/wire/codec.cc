@@ -1,0 +1,93 @@
+#include "wire/codec.h"
+
+#include "util/logging.h"
+
+namespace dsketch {
+namespace wire {
+namespace {
+
+constexpr size_t kMaxKinds = 64;
+
+// Fixed-size table indexed by kind byte, seeded with the built-in kinds
+// on first access (a function-local static, so lookups like DescribeWire
+// see the built-ins in every link configuration — a self-registering
+// static in another archive member could be dropped by the linker).
+// RegisterCodec may still overwrite or extend entries during static
+// initialization; the table is read-only after main starts, so no
+// locking is needed.
+CodecInfo* RegistryTable() {
+  static CodecInfo table[kMaxKinds];
+  static const bool seeded = [] {
+    const CodecInfo builtins[] = {
+        {1, "unbiased_space_saving", kVersionLegacy, kVersionCurrent},
+        {2, "deterministic_space_saving", kVersionLegacy, kVersionCurrent},
+        {3, "weighted_space_saving", kVersionLegacy, kVersionCurrent},
+        {4, "multi_metric_space_saving", kVersionLegacy, kVersionCurrent},
+        {5, "misra_gries", kVersionLegacy, kVersionCurrent},
+        {6, "count_min", kVersionLegacy, kVersionCurrent},
+    };
+    for (const CodecInfo& info : builtins) table[info.kind] = info;
+    return true;
+  }();
+  (void)seeded;
+  return table;
+}
+
+}  // namespace
+
+void WriteEnvelope(std::string& out, uint8_t kind, uint8_t version) {
+  VarintWriter w(out);
+  w.PutValue(kMagic);
+  w.PutByte(kind);
+  w.PutByte(version);
+  w.PutValue(static_cast<uint16_t>(0));
+}
+
+std::optional<Envelope> ReadEnvelope(VarintReader& reader) {
+  uint32_t magic;
+  uint16_t reserved;
+  Envelope env;
+  if (!reader.ReadValue(&magic) || magic != kMagic) return std::nullopt;
+  if (!reader.ReadByte(&env.kind)) return std::nullopt;
+  if (!reader.ReadByte(&env.version)) return std::nullopt;
+  if (!reader.ReadValue(&reserved)) return std::nullopt;
+  return env;
+}
+
+void RegisterCodec(const CodecInfo& info) {
+  DSKETCH_CHECK(info.kind > 0 && info.kind < kMaxKinds);
+  DSKETCH_CHECK(info.min_version <= info.max_version);
+  RegistryTable()[info.kind] = info;
+}
+
+const CodecInfo* FindCodec(uint8_t kind) {
+  if (kind >= kMaxKinds) return nullptr;
+  const CodecInfo* info = &RegistryTable()[kind];
+  return info->kind == kind ? info : nullptr;
+}
+
+bool VersionSupported(uint8_t kind, uint8_t version) {
+  const CodecInfo* info = FindCodec(kind);
+  return info != nullptr && version >= info->min_version &&
+         version <= info->max_version;
+}
+
+std::optional<WireInfo> DescribeWire(std::string_view bytes) {
+  VarintReader reader(bytes);
+  std::optional<Envelope> env = ReadEnvelope(reader);
+  if (!env) return std::nullopt;
+  const CodecInfo* info = FindCodec(env->kind);
+  if (info == nullptr || env->version < info->min_version ||
+      env->version > info->max_version) {
+    return std::nullopt;
+  }
+  WireInfo out;
+  out.kind = env->kind;
+  out.version = env->version;
+  out.kind_name = info->name;
+  out.payload_bytes = reader.remaining();
+  return out;
+}
+
+}  // namespace wire
+}  // namespace dsketch

@@ -1,0 +1,100 @@
+// Versioned wire envelope and the kind-codec registry.
+//
+// Every serialized sketch starts with the same 8-byte envelope,
+// regardless of wire version:
+//
+//   [u32 magic = "DSK1"][u8 kind][u8 version][u16 reserved = 0]
+//
+// What follows is the kind- and version-specific payload. Version 1 (the
+// legacy format) continues with fixed-width [u64 capacity][u32 entries];
+// version 2 payloads are varint/delta encoded (see core/serialization.h
+// for the per-kind layouts). Readers negotiate by version byte: a decoder
+// accepts every version in the kind's registered [min, max] range and
+// rejects the rest, so old blobs keep decoding while new encoders emit
+// the current version only.
+//
+// The registry maps each kind byte to a CodecInfo (name + supported
+// version range). The built-in sketch kinds are seeded by the wire layer
+// itself (codec.cc), so classification works in every link
+// configuration; RegisterCodec lets additional families extend the
+// table at static-initialization time. DescribeWire uses the registry to
+// classify a blob without decoding it, and decoders use it to gate
+// version dispatch in one place.
+
+#ifndef DSKETCH_WIRE_CODEC_H_
+#define DSKETCH_WIRE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wire/varint.h"
+
+namespace dsketch {
+namespace wire {
+
+/// Shared magic ("DSK1" little-endian) across all wire versions.
+inline constexpr uint32_t kMagic = 0x44534B31;
+
+/// The legacy fixed-width format (decode-only on current builds).
+inline constexpr uint8_t kVersionLegacy = 1;
+
+/// The current varint/delta format; what Serialize emits.
+inline constexpr uint8_t kVersionCurrent = 2;
+
+/// Envelope size in bytes (same for every version).
+inline constexpr size_t kEnvelopeBytes = 8;
+
+/// The parsed envelope of a wire blob.
+struct Envelope {
+  uint8_t kind = 0;
+  uint8_t version = 0;
+};
+
+/// Appends the 8-byte envelope for (`kind`, `version`).
+void WriteEnvelope(std::string& out, uint8_t kind, uint8_t version);
+
+/// Parses the envelope, validating the magic; the reader is left
+/// positioned at the first payload byte. Returns nullopt on truncated or
+/// foreign input. (The reserved field is not validated: v1 never checked
+/// it, and rejecting it now would refuse blobs old writers produced.)
+std::optional<Envelope> ReadEnvelope(VarintReader& reader);
+
+/// Registry metadata one sketch family contributes for its kind byte.
+struct CodecInfo {
+  uint8_t kind = 0;
+  const char* name = "";
+  uint8_t min_version = kVersionLegacy;
+  uint8_t max_version = kVersionCurrent;
+};
+
+/// Registers `info` for its kind byte (static-init time; re-registration
+/// overwrites, including the built-ins). Kind bytes must be in [1, 63];
+/// 1-6 are reserved for the built-in sketch kinds (see codec.cc).
+void RegisterCodec(const CodecInfo& info);
+
+/// Looks up the registered codec for `kind`; nullptr when unknown.
+const CodecInfo* FindCodec(uint8_t kind);
+
+/// True when `version` is one the registered codec for `kind` decodes.
+bool VersionSupported(uint8_t kind, uint8_t version);
+
+/// What DescribeWire reports about a blob without decoding its payload.
+struct WireInfo {
+  uint8_t kind = 0;
+  uint8_t version = 0;
+  const char* kind_name = "";   ///< registered codec name
+  size_t payload_bytes = 0;     ///< bytes after the envelope
+};
+
+/// Classifies a wire blob: parses the envelope and resolves the kind
+/// against the registry. Returns nullopt for foreign bytes, unknown
+/// kinds, or versions outside the kind's supported range.
+std::optional<WireInfo> DescribeWire(std::string_view bytes);
+
+}  // namespace wire
+}  // namespace dsketch
+
+#endif  // DSKETCH_WIRE_CODEC_H_

@@ -1,0 +1,147 @@
+// Byte-level wire primitives shared by every sketch codec: LEB128
+// varints, zigzag mapping for signed values, and fixed-width little-
+// endian scalars (doubles and legacy v1 fields travel fixed-width).
+//
+// VarintWriter appends to a caller-owned std::string; VarintReader walks
+// a string_view and returns false on any truncation or malformed varint
+// instead of reading past the end — decoders built on it can simply
+// propagate the failure as nullopt. A varint is at most 10 bytes; the
+// reader rejects encodings that overflow 64 bits or carry a continuation
+// bit into an 11th byte (overlong-but-in-range encodings such as
+// 0x80 0x00 are accepted).
+
+#ifndef DSKETCH_WIRE_VARINT_H_
+#define DSKETCH_WIRE_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dsketch {
+namespace wire {
+
+/// Maps signed to unsigned so small-magnitude values stay short on the
+/// wire: 0 -> 0, -1 -> 1, 1 -> 2, ...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends wire primitives to a caller-owned byte string.
+class VarintWriter {
+ public:
+  explicit VarintWriter(std::string& out) : out_(out) {}
+
+  /// Appends `v` as an LEB128 varint (1-10 bytes).
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<char>(v | 0x80));
+      v >>= 7;
+    }
+    out_.push_back(static_cast<char>(v));
+  }
+
+  /// Appends a signed value as zigzag varint.
+  void PutVarintSigned(int64_t v) { PutVarint(ZigZagEncode(v)); }
+
+  /// Appends one raw byte.
+  void PutByte(uint8_t b) { out_.push_back(static_cast<char>(b)); }
+
+  /// Appends a fixed-width little-endian scalar (doubles, legacy fields).
+  template <typename T>
+  void PutValue(T value) {
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out_.append(buf, sizeof(T));
+  }
+
+  /// Appends a double as its 8 IEEE-754 bytes.
+  void PutDouble(double d) { PutValue(d); }
+
+  /// Bytes written so far (to the underlying string).
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string& out_;
+};
+
+/// Reads wire primitives from a byte view; every method returns false on
+/// truncated or malformed input and never reads out of bounds.
+class VarintReader {
+ public:
+  explicit VarintReader(std::string_view bytes) : bytes_(bytes) {}
+
+  /// Reads an LEB128 varint; false on truncation, 64-bit overflow, or a
+  /// continuation bit in the 10th byte.
+  bool ReadVarint(uint64_t* out) {
+    uint64_t result = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= bytes_.size()) return false;
+      const uint8_t b = static_cast<uint8_t>(bytes_[pos_++]);
+      if (shift == 63 && b > 1) return false;  // would overflow 64 bits
+      result |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        *out = result;
+        return true;
+      }
+    }
+    return false;  // continuation bit past the 10th byte
+  }
+
+  /// Reads a varint that must fit a non-negative int64.
+  bool ReadVarintInt64(int64_t* out) {
+    uint64_t v;
+    if (!ReadVarint(&v) || v > static_cast<uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(v);
+    return true;
+  }
+
+  /// Reads a zigzag-encoded signed varint.
+  bool ReadVarintSigned(int64_t* out) {
+    uint64_t v;
+    if (!ReadVarint(&v)) return false;
+    *out = ZigZagDecode(v);
+    return true;
+  }
+
+  /// Reads one raw byte.
+  bool ReadByte(uint8_t* out) {
+    if (pos_ >= bytes_.size()) return false;
+    *out = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  /// Reads a fixed-width little-endian scalar.
+  template <typename T>
+  bool ReadValue(T* out) {
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads a double from its 8 IEEE-754 bytes.
+  bool ReadDouble(double* out) { return ReadValue(out); }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// True when every byte has been consumed (decoders require this so
+  /// trailing garbage is rejected).
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+}  // namespace dsketch
+
+#endif  // DSKETCH_WIRE_VARINT_H_

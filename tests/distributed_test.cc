@@ -2,11 +2,14 @@
 // reducer-side combine (paper §5.5 map-reduce deployment).
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/distributed.h"
+#include "core/serialization.h"
 #include "stats/welford.h"
 #include "stream/generators.h"
 #include "util/random.h"
@@ -88,6 +91,33 @@ TEST(ShardedSketcherTest, ExplicitShardRouting) {
   EXPECT_EQ(sharded.shard(2).EstimateCount(1), 1);
   UnbiasedSpaceSaving combined = sharded.Combine(8, 8);
   EXPECT_EQ(combined.EstimateCount(1), 3);
+}
+
+TEST(ShardedSketcherTest, CombineSerializedAcceptsMixedWireVersions) {
+  // Rolling-upgrade reduce: two mappers ship v2 blobs, one still ships
+  // v1. With shard capacity >= per-shard distinct items and reducer
+  // capacity >= the combined entry count, no reduction happens, so the
+  // network combine must match the in-process Combine exactly.
+  ShardedSketcher fleet(3, 64, 5);
+  Rng rng(31);
+  for (int i = 0; i < 20000; ++i) fleet.Update(rng.NextBounded(150));
+
+  std::vector<std::string> blobs = fleet.SerializeShards();
+  ASSERT_EQ(blobs.size(), 3u);
+  blobs[0] = SerializeV1(fleet.shard(0));  // the not-yet-upgraded mapper
+
+  std::optional<UnbiasedSpaceSaving> combined =
+      CombineSerialized(blobs, 256, 6);
+  ASSERT_TRUE(combined.has_value());
+  EXPECT_EQ(combined->TotalCount(), fleet.TotalCount());
+  UnbiasedSpaceSaving reference = fleet.Combine(256, 6);
+  for (const SketchEntry& e : reference.Entries()) {
+    EXPECT_EQ(combined->EstimateCount(e.item), e.count);
+  }
+
+  // One malformed blob poisons the whole reduce (no partial merges).
+  blobs[1].resize(blobs[1].size() / 2);
+  EXPECT_FALSE(CombineSerialized(blobs, 256, 6).has_value());
 }
 
 }  // namespace

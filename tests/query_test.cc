@@ -241,5 +241,55 @@ TEST(SketchEngineTest, GroupByVarianceMatchesSubsetFormula) {
   EXPECT_DOUBLE_EQ(groups[0].variance, 200.0);
 }
 
+TEST(SketchEngineTest, SaveAndRestoreEngineState) {
+  AttributeTable table = SmallTable();
+  std::vector<uint64_t> rows;
+  Rng rng(190);
+  for (int i = 0; i < 2000; ++i) rows.push_back(rng.NextBounded(4));
+
+  PlainSketchSource source(8, 5);
+  source.Ingest(rows);
+  SketchQueryEngine engine(&source, &table);
+  const std::string state = engine.SaveState();
+
+  // A fresh plain-source engine restores the saved estimates exactly
+  // (capacity 8 >= 4 distinct items, so every estimate is exact).
+  PlainSketchSource restored_source(8, 9);
+  SketchQueryEngine restored(&restored_source, &table);
+  ASSERT_TRUE(restored.RestoreState(state));
+  Predicate red = Predicate().WhereEq(0, 0);
+  EXPECT_DOUBLE_EQ(restored.Sum(Predicate()).estimate,
+                   engine.Sum(Predicate()).estimate);
+  EXPECT_DOUBLE_EQ(restored.Sum(red).estimate, engine.Sum(red).estimate);
+  auto ga = engine.GroupBy1(1), gb = restored.GroupBy1(1);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (const auto& [key, est] : ga) {
+    EXPECT_DOUBLE_EQ(est.estimate, gb[key].estimate);
+  }
+
+  // The restored engine keeps ingesting.
+  restored_source.Ingest(rows);
+  EXPECT_DOUBLE_EQ(restored.Sum(Predicate()).estimate, 4000.0);
+
+  // A sharded-source engine absorbs the same bytes.
+  ShardedSketchOptions opts;
+  opts.num_shards = 2;
+  opts.shard_capacity = 64;
+  opts.seed = 11;
+  ShardedSketchSource sharded_source(opts, 64, 12);
+  SketchQueryEngine sharded_engine(&sharded_source, &table);
+  ASSERT_TRUE(sharded_engine.RestoreState(state));
+  EXPECT_DOUBLE_EQ(sharded_engine.Sum(Predicate()).estimate,
+                   engine.Sum(Predicate()).estimate);
+
+  // Engines over a borrowed const sketch have no source to restore
+  // into; malformed bytes are rejected without touching state.
+  UnbiasedSpaceSaving direct(8, 1);
+  SketchQueryEngine borrowed(&direct, &table);
+  EXPECT_FALSE(borrowed.RestoreState(state));
+  EXPECT_FALSE(restored.RestoreState("garbage"));
+  EXPECT_DOUBLE_EQ(restored.Sum(Predicate()).estimate, 4000.0);
+}
+
 }  // namespace
 }  // namespace dsketch

@@ -1,5 +1,8 @@
-// Tests for core/serialization: round trips for all three sketch kinds,
-// network-merge workflows, and rejection of malformed/hostile inputs.
+// Tests for core/serialization: v2 round trips for every serializable
+// kind, v1 cross-version decoding, network-merge workflows, per-version
+// wire-size budgets, and rejection of malformed/hostile inputs. The
+// offset-based tampering tests target the fixed-width v1 layout via
+// SerializeV1; wire_adversarial_test sweeps both versions exhaustively.
 
 #include <algorithm>
 #include <cstdint>
@@ -12,21 +15,16 @@
 
 #include "core/merge.h"
 #include "core/serialization.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
 #include "util/random.h"
+#include "util/span.h"
+#include "wire_golden_common.h"
 
 namespace dsketch {
 namespace {
 
-// Canonical ordering for entry comparison: ties in count are ordered by
-// slot position, which serialization does not (and need not) preserve.
-std::vector<SketchEntry> Canonical(std::vector<SketchEntry> entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const SketchEntry& a, const SketchEntry& b) {
-              if (a.count != b.count) return a.count > b.count;
-              return a.item < b.item;
-            });
-  return entries;
-}
+using golden::Canonical;
 
 TEST(SerializationTest, UnbiasedRoundTrip) {
   UnbiasedSpaceSaving sketch(32, 1);
@@ -245,8 +243,8 @@ TEST(SerializationTest, MultiMetricRejectsNonFinitePayloads) {
   // accumulators and must be rejected.
   MultiMetricSpaceSaving mm(4, 2, 5);
   mm.Update(1, 1.0, {2.0, 3.0});
-  std::string bytes = Serialize(mm);
-  // Layout: 20-byte header, num_metrics u32 at 20, then the bin —
+  std::string bytes = SerializeV1(mm);
+  // v1 layout: 20-byte header, num_metrics u32 at 20, then the bin —
   // item at 24, primary at 32, metrics at 40 and 48.
   for (double evil : {std::numeric_limits<double>::quiet_NaN(),
                       std::numeric_limits<double>::infinity()}) {
@@ -256,14 +254,19 @@ TEST(SerializationTest, MultiMetricRejectsNonFinitePayloads) {
       EXPECT_FALSE(DeserializeMultiMetric(tampered).has_value())
           << "value " << evil << " at offset " << offset;
     }
+    // In v2 the doubles sit at the end of the blob (varint item, then
+    // fixed-width primary + metrics); tamper the final metric.
+    std::string v2 = Serialize(mm);
+    std::memcpy(&v2[v2.size() - sizeof(evil)], &evil, sizeof(evil));
+    EXPECT_FALSE(DeserializeMultiMetric(v2).has_value()) << "v2 " << evil;
   }
 }
 
 TEST(SerializationTest, CountMinRejectsInconsistentGeometry) {
   CountMin cm(3, 2, 5);  // 6 cells
   cm.Update(1);
-  std::string bytes = Serialize(cm);
-  // width/depth live at offsets 20/28. A width beyond the cell count is
+  std::string bytes = SerializeV1(cm);
+  // v1 width/depth live at offsets 20/28. A width beyond the cell count is
   // rejected by the per-field bound (which also rules out uint64 wrap
   // in the product check: width, depth <= cells <= 2^25)...
   uint64_t huge_width = (1ULL << 63) + 3;
@@ -283,8 +286,8 @@ TEST(SerializationTest, CountMinRejectsInconsistentTotal) {
   // would let EstimateCount exceed TotalCount and must be rejected.
   CountMin cm(8, 2, /*seed=*/5);
   cm.Update(1, 3);
-  std::string bytes = Serialize(cm);
-  // `total` lives at offset 45, after the 20-byte header and the
+  std::string bytes = SerializeV1(cm);
+  // In v1, `total` lives at offset 45, after the 20-byte header and the
   // width/depth/seed/conservative sub-header fields.
   int64_t zero = 0;
   std::memcpy(&bytes[45], &zero, sizeof(zero));
@@ -294,8 +297,8 @@ TEST(SerializationTest, CountMinRejectsInconsistentTotal) {
 TEST(SerializationTest, MisraGriesRejectsCounterOverflow) {
   MisraGries mg(4);
   mg.Update(1);
-  std::string bytes = Serialize(mg);
-  // decrements at offset 20, total at 28, the entry's count at 44. A
+  std::string bytes = SerializeV1(mg);
+  // v1: decrements at offset 20, total at 28, the entry's count at 44. A
   // count + decrements sum that would wrap int64 must be rejected, not
   // stored as a negative counter; the estimate-budget invariant
   // (count <= total - decrements) already guarantees this.
@@ -312,13 +315,13 @@ TEST(SerializationTest, RejectsImplausiblyLargeCapacity) {
   // rejected outright.
   UnbiasedSpaceSaving uss(8, 16);
   uss.Update(1);
-  std::string bytes = Serialize(uss);
-  uint64_t evil_capacity = 0xFFFFFFF0ULL;  // capacity field at offset 8
+  std::string bytes = SerializeV1(uss);
+  uint64_t evil_capacity = 0xFFFFFFF0ULL;  // v1 capacity field at offset 8
   std::memcpy(&bytes[8], &evil_capacity, sizeof(evil_capacity));
   EXPECT_FALSE(DeserializeUnbiased(bytes).has_value());
 
   MultiMetricSpaceSaving mm(4, 1024, 17);
-  std::string mm_bytes = Serialize(mm);
+  std::string mm_bytes = SerializeV1(mm);
   uint64_t big_capacity = 1ULL << 21;  // passes the header cap alone...
   std::memcpy(&mm_bytes[8], &big_capacity, sizeof(big_capacity));
   // ...but capacity x num_metrics exceeds the footprint bound.
@@ -328,8 +331,8 @@ TEST(SerializationTest, RejectsImplausiblyLargeCapacity) {
 TEST(SerializationTest, MisraGriesRejectsInconsistentTotals) {
   MisraGries mg(4);
   for (int i = 0; i < 50; ++i) mg.Update(1);
-  std::string bytes = Serialize(mg);
-  // The total field sits after the header (20B) and decrements (8B);
+  std::string bytes = SerializeV1(mg);
+  // The v1 total field sits after the header (20B) and decrements (8B);
   // shrink it below the entry sum.
   int64_t bogus_total = 3;
   std::memcpy(&bytes[28], &bogus_total, sizeof(bogus_total));
@@ -340,7 +343,7 @@ TEST(SerializationTest, MisraGriesRejectsInconsistentTotals) {
   // if accepted, would merge into unserializable states.
   MisraGries mg2(4);
   for (int i = 0; i < 10; ++i) mg2.Update(1);  // one entry, count 10
-  std::string bytes2 = Serialize(mg2);
+  std::string bytes2 = SerializeV1(mg2);
   int64_t bogus_decrements = 10;  // total stays 10
   std::memcpy(&bytes2[20], &bogus_decrements, sizeof(bogus_decrements));
   EXPECT_FALSE(DeserializeMisraGries(bytes2).has_value());
@@ -369,15 +372,27 @@ TEST(SerializationTest, RejectsTrailingGarbage) {
 TEST(SerializationTest, RejectsBadMagicAndCorruptHeader) {
   UnbiasedSpaceSaving sketch(8, 14);
   sketch.Update(5);
-  std::string bytes = Serialize(sketch);
-  std::string bad_magic = bytes;
-  bad_magic[0] ^= 0xFF;
-  EXPECT_FALSE(DeserializeUnbiased(bad_magic).has_value());
+  for (std::string bytes : {Serialize(sketch), SerializeV1(sketch)}) {
+    std::string bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_FALSE(DeserializeUnbiased(bad_magic).has_value());
 
-  // Corrupt entry count to exceed capacity.
-  std::string bad_count = bytes;
-  bad_count[16] = 'z';  // entry_count field
+    std::string bad_version = bytes;
+    bad_version[5] = 99;  // version byte outside the supported range
+    EXPECT_FALSE(DeserializeUnbiased(bad_version).has_value());
+  }
+
+  // Corrupt the v1 entry count to exceed capacity (u32 at offset 16).
+  std::string bad_count = SerializeV1(sketch);
+  bad_count[16] = 'z';
   EXPECT_FALSE(DeserializeUnbiased(bad_count).has_value());
+
+  // The v2 equivalent: single-byte varints, capacity 8 at offset 8 and
+  // entry count at offset 9 — claim 9 entries in an 8-bin sketch.
+  std::string bad_count2 = Serialize(sketch);
+  ASSERT_EQ(bad_count2[8], 8);
+  bad_count2[9] = 9;
+  EXPECT_FALSE(DeserializeUnbiased(bad_count2).has_value());
 }
 
 TEST(SerializationTest, RejectsNegativeCountsAndDuplicates) {
@@ -408,13 +423,79 @@ TEST(SerializationTest, RejectsNegativeCountsAndDuplicates) {
   EXPECT_FALSE(DeserializeUnbiased(craft(3, 7)).has_value());   // duplicate
 }
 
-TEST(SerializationTest, WireSizeIsCompact) {
-  UnbiasedSpaceSaving sketch(100, 15);
+// Per-version wire-size budgets. The v1 layout is pinned exactly (part
+// of the legacy decode contract); v2 must beat it by at least 30% on a
+// Zipf(1.1) stream at 2^16 capacity (the varint/delta layout's target
+// workload: small item ids, long near-minimum count tail).
+TEST(SerializationTest, WireSizeBudgets) {
+  UnbiasedSpaceSaving small(100, 15);
   Rng rng(402);
-  for (int i = 0; i < 100000; ++i) sketch.Update(rng.NextBounded(10000));
-  std::string bytes = Serialize(sketch);
-  // Header (20B) + 100 entries x 16B.
-  EXPECT_EQ(bytes.size(), 20u + 100u * 16u);
+  for (int i = 0; i < 100000; ++i) small.Update(rng.NextBounded(10000));
+  // v1: header (20B) + 100 entries x 16B, byte-exact.
+  EXPECT_EQ(SerializeV1(small).size(), 20u + 100u * 16u);
+  // v2 never exceeds the v1 footprint, even on this uniform stream.
+  EXPECT_LE(Serialize(small).size(), SerializeV1(small).size());
+
+  const size_t capacity = size_t{1} << 16;
+  UnbiasedSpaceSaving sketch(capacity, 16);
+  std::vector<int64_t> counts =
+      ZipfCounts(2 * capacity, 1.1, /*max_count=*/1 << 18);
+  std::vector<uint64_t> stream = SortedStream(counts, /*ascending=*/false);
+  sketch.UpdateBatch(Span<const uint64_t>(stream.data(), stream.size()));
+  ASSERT_EQ(sketch.size(), capacity);  // full sketch: worst case for v2
+
+  const std::string v1 = SerializeV1(sketch);
+  const std::string v2 = Serialize(sketch);
+  EXPECT_EQ(v1.size(), 20u + capacity * 16u);
+  EXPECT_LE(v2.size(), (v1.size() * 7) / 10)
+      << "v2 bytes/entry: "
+      << static_cast<double>(v2.size()) / static_cast<double>(capacity);
+}
+
+TEST(SerializationTest, V1BlobsStillDecode) {
+  // Cross-version compatibility: every kind's v1 encoding decodes into
+  // the same state the v2 round trip produces.
+  UnbiasedSpaceSaving uss(32, 21);
+  Rng rng(406);
+  for (int i = 0; i < 5000; ++i) uss.Update(rng.NextBounded(200));
+  auto from_v1 = DeserializeUnbiased(SerializeV1(uss), 2);
+  ASSERT_TRUE(from_v1.has_value());
+  EXPECT_EQ(Canonical(from_v1->Entries()), Canonical(uss.Entries()));
+  EXPECT_EQ(from_v1->TotalCount(), uss.TotalCount());
+
+  MisraGries mg(12);
+  for (int i = 0; i < 8000; ++i) mg.Update(rng.NextBounded(300));
+  auto mg_v1 = DeserializeMisraGries(SerializeV1(mg));
+  ASSERT_TRUE(mg_v1.has_value());
+  EXPECT_EQ(Canonical(mg_v1->Entries()), Canonical(mg.Entries()));
+  EXPECT_EQ(mg_v1->decrements(), mg.decrements());
+
+  CountMin cm(64, 4, 17, /*conservative=*/true);
+  for (int i = 0; i < 3000; ++i) cm.Update(rng.NextBounded(500), 2);
+  auto cm_v1 = DeserializeCountMin(SerializeV1(cm));
+  ASSERT_TRUE(cm_v1.has_value());
+  EXPECT_EQ(cm_v1->table(), cm.table());
+}
+
+TEST(SerializationTest, DescribeWireClassifiesBothVersions) {
+  UnbiasedSpaceSaving uss(8, 22);
+  uss.Update(1);
+  auto v2 = wire::DescribeWire(Serialize(uss));
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->version, wire::kVersionCurrent);
+  EXPECT_STREQ(v2->kind_name, "unbiased_space_saving");
+
+  auto v1 = wire::DescribeWire(SerializeV1(uss));
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->version, wire::kVersionLegacy);
+  EXPECT_EQ(v1->kind, v2->kind);
+
+  MisraGries mg(4);
+  auto mg_info = wire::DescribeWire(Serialize(mg));
+  ASSERT_TRUE(mg_info.has_value());
+  EXPECT_STREQ(mg_info->kind_name, "misra_gries");
+
+  EXPECT_FALSE(wire::DescribeWire("not a sketch").has_value());
 }
 
 }  // namespace

@@ -1,0 +1,285 @@
+// Adversarial decoder hardening across every sketch kind and both wire
+// versions: truncation at every byte boundary, trailing garbage, an
+// exhaustive single-bit-flip sweep, and hand-crafted hostile headers
+// (huge capacities/arity/geometry, varint overflow, delta underflow).
+// The contract under attack: Deserialize* returns nullopt on anything it
+// rejects and never aborts, over-reads, or force-allocates — CI runs
+// this suite under asan+ubsan, where any violation is fatal.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "util/random.h"
+#include "wire/codec.h"
+#include "wire/varint.h"
+
+namespace dsketch {
+namespace {
+
+// Kind bytes, part of the wire contract (see core/serialization.cc).
+constexpr uint8_t kKindUnbiased = 1;
+constexpr uint8_t kKindMultiMetric = 4;
+constexpr uint8_t kKindMisraGries = 5;
+constexpr uint8_t kKindCountMin = 6;
+
+struct Blob {
+  std::string label;
+  std::string bytes;
+};
+
+// Small-but-nonempty sketches of every kind, encoded at both versions.
+std::vector<Blob> AllBlobs() {
+  std::vector<Blob> blobs;
+  auto add = [&](const std::string& label, std::string v2, std::string v1) {
+    blobs.push_back({label + "/v2", std::move(v2)});
+    blobs.push_back({label + "/v1", std::move(v1)});
+  };
+
+  UnbiasedSpaceSaving uss(8, 11);
+  Rng rng(500);
+  for (int i = 0; i < 400; ++i) uss.Update(rng.NextBounded(30));
+  add("unbiased", Serialize(uss), SerializeV1(uss));
+
+  DeterministicSpaceSaving dss(8, 12);
+  for (int i = 0; i < 400; ++i) dss.Update(i % 30);
+  add("deterministic", Serialize(dss), SerializeV1(dss));
+
+  WeightedSpaceSaving wss(8, 13);
+  for (int i = 0; i < 300; ++i) {
+    wss.Update(rng.NextBounded(30), 0.5 + rng.NextDouble());
+  }
+  add("weighted", Serialize(wss), SerializeV1(wss));
+
+  MultiMetricSpaceSaving mm(6, 2, 14);
+  for (int i = 0; i < 300; ++i) {
+    mm.Update(rng.NextBounded(25), 1.0, {rng.NextDouble(), 2.0});
+  }
+  add("multimetric", Serialize(mm), SerializeV1(mm));
+
+  MisraGries mg(6);
+  for (int i = 0; i < 500; ++i) mg.Update(rng.NextBounded(40));
+  add("misragries", Serialize(mg), SerializeV1(mg));
+
+  CountMin cm(16, 2, 15, /*conservative=*/false);
+  for (int i = 0; i < 300; ++i) cm.Update(rng.NextBounded(50), 2);
+  add("countmin", Serialize(cm), SerializeV1(cm));
+
+  return blobs;
+}
+
+// Runs every deserializer over the bytes; returns how many accepted.
+// The hard requirement is simply surviving the call — rejection paths
+// must bail with nullopt, not abort or over-read.
+size_t DecodeAll(std::string_view bytes) {
+  size_t accepted = 0;
+  if (DeserializeUnbiased(bytes, 3).has_value()) ++accepted;
+  if (DeserializeDeterministic(bytes, 3).has_value()) ++accepted;
+  if (DeserializeWeighted(bytes, 3).has_value()) ++accepted;
+  if (DeserializeMultiMetric(bytes, 3).has_value()) ++accepted;
+  if (DeserializeMisraGries(bytes).has_value()) ++accepted;
+  if (DeserializeCountMin(bytes).has_value()) ++accepted;
+  return accepted;
+}
+
+TEST(WireAdversarialTest, IntactBlobsDecodeExactlyOnce) {
+  for (const Blob& blob : AllBlobs()) {
+    EXPECT_EQ(DecodeAll(blob.bytes), 1u) << blob.label;
+  }
+}
+
+TEST(WireAdversarialTest, EveryTruncationIsRejected) {
+  // Entry counts travel before the payload, so no strict prefix of a
+  // valid blob can itself be valid.
+  for (const Blob& blob : AllBlobs()) {
+    for (size_t cut = 0; cut < blob.bytes.size(); ++cut) {
+      EXPECT_EQ(DecodeAll(std::string_view(blob.bytes.data(), cut)), 0u)
+          << blob.label << " cut at " << cut;
+    }
+  }
+}
+
+TEST(WireAdversarialTest, TrailingGarbageIsRejected) {
+  for (const Blob& blob : AllBlobs()) {
+    std::string padded = blob.bytes;
+    padded.push_back('\0');
+    EXPECT_EQ(DecodeAll(padded), 0u) << blob.label;
+    padded.back() = '\x7f';
+    EXPECT_EQ(DecodeAll(padded), 0u) << blob.label;
+  }
+}
+
+TEST(WireAdversarialTest, SingleBitFlipsNeverAbort) {
+  // A flipped bit may still decode (e.g. inside an item label); the
+  // contract is that every outcome is a clean nullopt-or-value with no
+  // aborts, out-of-bounds reads, or hostile allocations.
+  size_t survived = 0;
+  for (const Blob& blob : AllBlobs()) {
+    std::string tampered = blob.bytes;
+    for (size_t i = 0; i < tampered.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        tampered[i] = static_cast<char>(tampered[i] ^ (1 << bit));
+        survived += DecodeAll(tampered);
+        tampered[i] = blob.bytes[i];  // restore
+      }
+    }
+  }
+  // Some flips (item-label bits) legitimately still decode; the count
+  // only has to be finite and the loop alive to get here.
+  SUCCEED() << survived << " tampered blobs still decoded cleanly";
+}
+
+// ---------------------------------------------------------------------
+// Hand-crafted hostile v2 payloads.
+// ---------------------------------------------------------------------
+
+std::string V2Blob(uint8_t kind,
+                   const std::function<void(wire::VarintWriter&)>& payload) {
+  std::string out;
+  wire::WriteEnvelope(out, kind, wire::kVersionCurrent);
+  wire::VarintWriter writer(out);
+  payload(writer);
+  return out;
+}
+
+TEST(WireAdversarialTest, HostileCapacityHeadersAreRejected) {
+  // Capacity beyond the documented cap.
+  std::string over_cap = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    w.PutVarint(kMaxSerializableCapacity + 1);
+    w.PutVarint(0);
+  });
+  EXPECT_EQ(DecodeAll(over_cap), 0u);
+
+  // Zero capacity.
+  std::string zero_cap = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    w.PutVarint(0);
+    w.PutVarint(0);
+  });
+  EXPECT_EQ(DecodeAll(zero_cap), 0u);
+
+  // Entry count beyond capacity.
+  std::string over_count = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    w.PutVarint(4);
+    w.PutVarint(5);
+  });
+  EXPECT_EQ(DecodeAll(over_count), 0u);
+
+  // A maximal claimed count with a near-empty payload: the byte-budget
+  // bound must reject before any large reserve.
+  std::string alloc_bomb = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    w.PutVarint(kMaxSerializableCapacity);
+    w.PutVarint(kMaxSerializableCapacity);
+    w.PutVarint(1);  // one lonely byte where 2^22 entries were claimed
+  });
+  EXPECT_EQ(DecodeAll(alloc_bomb), 0u);
+}
+
+TEST(WireAdversarialTest, VarintOverflowAndDeltaUnderflowAreRejected) {
+  // An 11-byte varint (continuation bit never clears within 10 bytes).
+  std::string overlong = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    for (int i = 0; i < 11; ++i) w.PutByte(0x80);
+  });
+  EXPECT_EQ(DecodeAll(overlong), 0u);
+
+  // A first count that exceeds int64.
+  std::string count_overflow =
+      V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+        w.PutVarint(4);
+        w.PutVarint(1);
+        w.PutVarint(7);                    // item
+        w.PutVarint(uint64_t{1} << 63);    // count > INT64_MAX
+      });
+  EXPECT_EQ(DecodeAll(count_overflow), 0u);
+
+  // A delta larger than the running count (would drive counts negative).
+  std::string underflow = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    w.PutVarint(4);
+    w.PutVarint(2);
+    w.PutVarint(7);   // item 0
+    w.PutVarint(5);   // first count 5
+    w.PutVarint(8);   // item 1
+    w.PutVarint(9);   // delta 9 > 5
+  });
+  EXPECT_EQ(DecodeAll(underflow), 0u);
+
+  // Two near-INT64_MAX counts whose sum would wrap the restored
+  // TotalCount (the overflow the bit-flip sweep first caught under
+  // ubsan: each count is individually valid, the sum is not).
+  std::string total_overflow =
+      V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+        w.PutVarint(4);
+        w.PutVarint(2);
+        w.PutVarint(7);
+        w.PutVarint(static_cast<uint64_t>(INT64_MAX));  // count 1
+        w.PutVarint(8);
+        w.PutVarint(0);  // delta 0: count 2 also INT64_MAX
+      });
+  EXPECT_EQ(DecodeAll(total_overflow), 0u);
+
+  // Duplicate labels.
+  std::string duplicate = V2Blob(kKindUnbiased, [](wire::VarintWriter& w) {
+    w.PutVarint(4);
+    w.PutVarint(2);
+    w.PutVarint(7);
+    w.PutVarint(5);
+    w.PutVarint(7);  // same label again
+    w.PutVarint(0);
+  });
+  EXPECT_EQ(DecodeAll(duplicate), 0u);
+}
+
+TEST(WireAdversarialTest, HostileArityAndGeometryAreRejected) {
+  // MultiMetric arity blowing the footprint bound.
+  std::string huge_arity =
+      V2Blob(kKindMultiMetric, [](wire::VarintWriter& w) {
+        w.PutVarint(1 << 20);  // capacity passes the header cap alone
+        w.PutVarint(0);
+        w.PutVarint(1 << 20);  // capacity * (2 + K) >> cap
+      });
+  EXPECT_EQ(DecodeAll(huge_arity), 0u);
+
+  // CountMin geometry: zero width, oversized width, and a product that
+  // overflows the cell cap.
+  for (auto [width, depth] :
+       std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 2},
+           {kMaxSerializableCountMinCells + 1, 1},
+           {uint64_t{1} << 24, uint64_t{1} << 24}}) {
+    std::string bad = V2Blob(kKindCountMin, [&](wire::VarintWriter& w) {
+      w.PutVarint(width);
+      w.PutVarint(depth);
+      w.PutValue(uint64_t{9});  // seed
+      w.PutByte(0);
+      w.PutVarint(0);  // total
+    });
+    EXPECT_EQ(DecodeAll(bad), 0u) << width << "x" << depth;
+  }
+
+  // CountMin claiming a maximal table with no cell bytes behind it.
+  std::string cm_bomb = V2Blob(kKindCountMin, [](wire::VarintWriter& w) {
+    w.PutVarint(kMaxSerializableCountMinCells / 2);
+    w.PutVarint(2);
+    w.PutValue(uint64_t{9});
+    w.PutByte(0);
+    w.PutVarint(0);
+  });
+  EXPECT_EQ(DecodeAll(cm_bomb), 0u);
+
+  // MisraGries claiming more decrements than rows.
+  std::string mg_bad = V2Blob(kKindMisraGries, [](wire::VarintWriter& w) {
+    w.PutVarint(4);
+    w.PutVarint(0);
+    w.PutVarint(10);  // decrements
+    w.PutVarint(3);   // total < decrements
+  });
+  EXPECT_EQ(DecodeAll(mg_bad), 0u);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,154 @@
+// Cross-version wire compatibility against the checked-in v1 golden
+// fixtures (tests/golden/): the legacy encoder still produces the golden
+// bytes byte-for-byte, the goldens decode into the same state as the
+// reference recipes, and the v2 round trip of every kind preserves the
+// downstream estimates bit-exactly while never exceeding the v1
+// footprint. DSKETCH_GOLDEN_DIR is injected by tests/CMakeLists.txt.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire_golden_common.h"
+
+namespace dsketch {
+namespace {
+
+std::string ReadFixture(const char* name) {
+  const std::string path = std::string(DSKETCH_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+using golden::Canonical;
+
+TEST(WireCompatTest, LegacyEncoderStillProducesGoldenBytes) {
+  EXPECT_EQ(SerializeV1(golden::Unbiased()), ReadFixture("v1_unbiased.bin"));
+  EXPECT_EQ(SerializeV1(golden::Deterministic()),
+            ReadFixture("v1_deterministic.bin"));
+  EXPECT_EQ(SerializeV1(golden::Weighted()), ReadFixture("v1_weighted.bin"));
+  EXPECT_EQ(SerializeV1(golden::MultiMetric()),
+            ReadFixture("v1_multimetric.bin"));
+  EXPECT_EQ(SerializeV1(golden::MisraGriesSketch()),
+            ReadFixture("v1_misragries.bin"));
+  EXPECT_EQ(SerializeV1(golden::CountMinSketch()),
+            ReadFixture("v1_countmin.bin"));
+}
+
+TEST(WireCompatTest, GoldenV1BlobsDecodeIntoReferenceState) {
+  auto uss = DeserializeUnbiased(ReadFixture("v1_unbiased.bin"), 2);
+  ASSERT_TRUE(uss.has_value());
+  UnbiasedSpaceSaving uss_ref = golden::Unbiased();
+  EXPECT_EQ(uss->TotalCount(), uss_ref.TotalCount());
+  EXPECT_EQ(Canonical(uss->Entries()), Canonical(uss_ref.Entries()));
+
+  auto dss = DeserializeDeterministic(ReadFixture("v1_deterministic.bin"));
+  ASSERT_TRUE(dss.has_value());
+  EXPECT_EQ(Canonical(dss->Entries()),
+            Canonical(golden::Deterministic().Entries()));
+
+  auto wss = DeserializeWeighted(ReadFixture("v1_weighted.bin"));
+  ASSERT_TRUE(wss.has_value());
+  WeightedSpaceSaving wss_ref = golden::Weighted();
+  for (const WeightedEntry& e : wss_ref.Entries()) {
+    EXPECT_DOUBLE_EQ(wss->EstimateWeight(e.item), e.weight);
+  }
+
+  auto mm = DeserializeMultiMetric(ReadFixture("v1_multimetric.bin"));
+  ASSERT_TRUE(mm.has_value());
+  MultiMetricSpaceSaving mm_ref = golden::MultiMetric();
+  for (const MultiMetricEntry& b : mm_ref.bins()) {
+    EXPECT_DOUBLE_EQ(mm->EstimatePrimary(b.item), b.primary);
+    for (size_t k = 0; k < mm_ref.num_metrics(); ++k) {
+      EXPECT_DOUBLE_EQ(mm->EstimateMetric(b.item, k), b.metrics[k]);
+    }
+  }
+
+  auto mg = DeserializeMisraGries(ReadFixture("v1_misragries.bin"));
+  ASSERT_TRUE(mg.has_value());
+  MisraGries mg_ref = golden::MisraGriesSketch();
+  EXPECT_EQ(mg->decrements(), mg_ref.decrements());
+  EXPECT_EQ(mg->TotalCount(), mg_ref.TotalCount());
+  EXPECT_EQ(Canonical(mg->Entries()), Canonical(mg_ref.Entries()));
+
+  auto cm = DeserializeCountMin(ReadFixture("v1_countmin.bin"));
+  ASSERT_TRUE(cm.has_value());
+  CountMin cm_ref = golden::CountMinSketch();
+  EXPECT_EQ(cm->table(), cm_ref.table());
+  EXPECT_EQ(cm->seed(), cm_ref.seed());
+  for (uint64_t item = 0; item < 100; ++item) {
+    ASSERT_EQ(cm->EstimateCount(item), cm_ref.EstimateCount(item));
+  }
+}
+
+TEST(WireCompatTest, V2RoundTripMatchesGoldenState) {
+  // The v2 encoding of each reference sketch restores bit-exactly the
+  // same estimates the v1 golden carries — the two versions describe
+  // identical states.
+  UnbiasedSpaceSaving uss_ref = golden::Unbiased();
+  auto uss = DeserializeUnbiased(Serialize(uss_ref), 2);
+  ASSERT_TRUE(uss.has_value());
+  EXPECT_EQ(Canonical(uss->Entries()), Canonical(uss_ref.Entries()));
+
+  MisraGries mg_ref = golden::MisraGriesSketch();
+  auto mg = DeserializeMisraGries(Serialize(mg_ref));
+  ASSERT_TRUE(mg.has_value());
+  EXPECT_EQ(Canonical(mg->Entries()), Canonical(mg_ref.Entries()));
+  EXPECT_EQ(mg->decrements(), mg_ref.decrements());
+
+  CountMin cm_ref = golden::CountMinSketch();
+  auto cm = DeserializeCountMin(Serialize(cm_ref));
+  ASSERT_TRUE(cm.has_value());
+  EXPECT_EQ(cm->table(), cm_ref.table());
+
+  WeightedSpaceSaving wss_ref = golden::Weighted();
+  auto wss = DeserializeWeighted(Serialize(wss_ref));
+  ASSERT_TRUE(wss.has_value());
+  for (const WeightedEntry& e : wss_ref.Entries()) {
+    EXPECT_DOUBLE_EQ(wss->EstimateWeight(e.item), e.weight);
+  }
+
+  MultiMetricSpaceSaving mm_ref = golden::MultiMetric();
+  auto mm = DeserializeMultiMetric(Serialize(mm_ref));
+  ASSERT_TRUE(mm.has_value());
+  for (const MultiMetricEntry& b : mm_ref.bins()) {
+    EXPECT_DOUBLE_EQ(mm->EstimatePrimary(b.item), b.primary);
+  }
+
+  DeterministicSpaceSaving dss_ref = golden::Deterministic();
+  auto dss = DeserializeDeterministic(Serialize(dss_ref));
+  ASSERT_TRUE(dss.has_value());
+  EXPECT_EQ(Canonical(dss->Entries()), Canonical(dss_ref.Entries()));
+}
+
+TEST(WireCompatTest, V2NeverExceedsV1Footprint) {
+  EXPECT_LE(Serialize(golden::Unbiased()).size(),
+            ReadFixture("v1_unbiased.bin").size());
+  EXPECT_LE(Serialize(golden::Deterministic()).size(),
+            ReadFixture("v1_deterministic.bin").size());
+  EXPECT_LE(Serialize(golden::Weighted()).size(),
+            ReadFixture("v1_weighted.bin").size());
+  EXPECT_LE(Serialize(golden::MultiMetric()).size(),
+            ReadFixture("v1_multimetric.bin").size());
+  EXPECT_LE(Serialize(golden::MisraGriesSketch()).size(),
+            ReadFixture("v1_misragries.bin").size());
+  EXPECT_LE(Serialize(golden::CountMinSketch()).size(),
+            ReadFixture("v1_countmin.bin").size());
+}
+
+TEST(WireCompatTest, GoldenBlobsClassifyAsLegacyVersion) {
+  for (const char* name : golden::kFixtureNames) {
+    auto info = wire::DescribeWire(ReadFixture(name));
+    ASSERT_TRUE(info.has_value()) << name;
+    EXPECT_EQ(info->version, wire::kVersionLegacy) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dsketch

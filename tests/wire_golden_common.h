@@ -1,0 +1,91 @@
+// Deterministic reference sketches behind the checked-in v1 golden
+// fixtures in tests/golden/. The generator (wire_golden_gen.cc) encodes
+// these with SerializeV1 and writes the .bin files; wire_compat_test
+// rebuilds the same sketches and asserts (a) the legacy encoder still
+// produces the golden bytes byte-for-byte and (b) the goldens decode
+// into the same state. Never change these recipes without regenerating
+// the fixtures — they pin the v1 wire contract.
+
+#ifndef DSKETCH_TESTS_WIRE_GOLDEN_COMMON_H_
+#define DSKETCH_TESTS_WIRE_GOLDEN_COMMON_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/serialization.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace golden {
+
+/// Canonical ordering for entry comparison across serialization tests:
+/// ties in count are ordered by item, which the wire formats do not (and
+/// need not) preserve.
+inline std::vector<SketchEntry> Canonical(std::vector<SketchEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.item < b.item;
+            });
+  return entries;
+}
+
+inline UnbiasedSpaceSaving Unbiased() {
+  UnbiasedSpaceSaving sketch(32, 1001);
+  Rng rng(2001);
+  for (int i = 0; i < 5000; ++i) sketch.Update(rng.NextBounded(200));
+  return sketch;
+}
+
+inline DeterministicSpaceSaving Deterministic() {
+  DeterministicSpaceSaving sketch(16, 1002);
+  for (int i = 0; i < 3000; ++i) sketch.Update(i % 40);
+  return sketch;
+}
+
+inline WeightedSpaceSaving Weighted() {
+  WeightedSpaceSaving sketch(8, 1003);
+  Rng rng(2003);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.Update(rng.NextBounded(50), 0.25 + rng.NextDouble());
+  }
+  return sketch;
+}
+
+inline MultiMetricSpaceSaving MultiMetric() {
+  MultiMetricSpaceSaving sketch(16, 3, 1004);
+  Rng rng(2004);
+  for (int i = 0; i < 4000; ++i) {
+    sketch.Update(rng.NextBounded(60), 0.5 + rng.NextDouble(),
+                  {rng.NextDouble(), 2.0 * rng.NextDouble(), 0.0});
+  }
+  return sketch;
+}
+
+inline MisraGries MisraGriesSketch() {
+  MisraGries sketch(12);
+  Rng rng(2005);
+  for (int i = 0; i < 8000; ++i) sketch.Update(rng.NextBounded(300));
+  return sketch;
+}
+
+inline CountMin CountMinSketch() {
+  CountMin sketch(16, 2, 1006, /*conservative=*/true);
+  Rng rng(2006);
+  for (int i = 0; i < 3000; ++i) {
+    sketch.Update(rng.NextBounded(100), 1 + rng.NextBounded(4));
+  }
+  return sketch;
+}
+
+/// File names of the v1 fixtures, index-aligned with the kinds above.
+inline constexpr const char* kFixtureNames[] = {
+    "v1_unbiased.bin",    "v1_deterministic.bin", "v1_weighted.bin",
+    "v1_multimetric.bin", "v1_misragries.bin",    "v1_countmin.bin",
+};
+
+}  // namespace golden
+}  // namespace dsketch
+
+#endif  // DSKETCH_TESTS_WIRE_GOLDEN_COMMON_H_

@@ -1,0 +1,58 @@
+// Regenerates the checked-in v1 golden fixtures:
+//
+//   ./wire_golden_gen <output_dir>
+//
+// Run only when intentionally re-pinning the legacy wire contract (the
+// fixtures exist to catch accidental drift, so regeneration should be a
+// deliberate, reviewed act); wire_compat_test verifies the checked-in
+// bytes against the recipes in wire_golden_common.h.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "wire_golden_common.h"
+
+namespace dsketch {
+namespace {
+
+int WriteFixture(const std::string& dir, const char* name,
+                 const std::string& bytes) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  std::printf("%s: %zu bytes\n", path.c_str(), bytes.size());
+  return 0;
+}
+
+int Run(const std::string& dir) {
+  int failures = 0;
+  failures += WriteFixture(dir, golden::kFixtureNames[0],
+                           SerializeV1(golden::Unbiased()));
+  failures += WriteFixture(dir, golden::kFixtureNames[1],
+                           SerializeV1(golden::Deterministic()));
+  failures += WriteFixture(dir, golden::kFixtureNames[2],
+                           SerializeV1(golden::Weighted()));
+  failures += WriteFixture(dir, golden::kFixtureNames[3],
+                           SerializeV1(golden::MultiMetric()));
+  failures += WriteFixture(dir, golden::kFixtureNames[4],
+                           SerializeV1(golden::MisraGriesSketch()));
+  failures += WriteFixture(dir, golden::kFixtureNames[5],
+                           SerializeV1(golden::CountMinSketch()));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dsketch
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output_dir>\n", argv[0]);
+    return 2;
+  }
+  return dsketch::Run(argv[1]);
+}
