@@ -7,7 +7,9 @@
 # BENCH_*.json in the repository root (or out_dir):
 #   BENCH_throughput.json  — row-vs-batch / batch-size / shard sweeps
 #   BENCH_wire.json        — wire v1 vs v2 size + encode/decode throughput
-#   BENCH_fig10_epoch.json — per-epoch %RRMSE: USS/DSS, decayed, window
+#   BENCH_fig10_epoch.json — per-epoch %RRMSE: USS/DSS, decayed, window,
+#                            plus the §6.3 bursty / all-distinct patterns
+#   BENCH_service.json     — framed ingest + query round-trip throughput
 # Later PRs compare their sweeps against these files to prove speedups /
 # catch regressions; the files also record hardware_concurrency (where
 # relevant) so scaling numbers are interpreted against the machine that
@@ -18,7 +20,8 @@ set -eu
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 
-for bench in bench_throughput bench_wire bench_fig10_epoch_rrmse; do
+for bench in bench_throughput bench_wire bench_fig10_epoch_rrmse \
+             bench_service; do
   if [ ! -x "${BUILD_DIR}/bench/${bench}" ]; then
     echo "error: ${BUILD_DIR}/bench/${bench} not built" >&2
     echo "build first: cmake --preset release && cmake --build build -j" >&2
@@ -35,5 +38,8 @@ done
 "${BUILD_DIR}/bench/bench_fig10_epoch_rrmse" \
   --json="${OUT_DIR}/BENCH_fig10_epoch.json"
 
+"${BUILD_DIR}/bench/bench_service" \
+  --json="${OUT_DIR}/BENCH_service.json"
+
 echo ""
-echo "baselines written to ${OUT_DIR}/BENCH_{throughput,wire,fig10_epoch}.json"
+echo "baselines written to ${OUT_DIR}/BENCH_{throughput,wire,fig10_epoch,service}.json"

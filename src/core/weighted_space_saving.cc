@@ -59,6 +59,23 @@ void WeightedSpaceSaving::UpdateBatch(Span<const uint64_t> items,
   UpdateBatch(items, weights, 0.0);
 }
 
+void WeightedSpaceSaving::UpdateBatch(Span<const WeightedEntry> rows) {
+  // Deinterleave into the aligned-array form chunk by chunk so the rows
+  // reuse the pre-hash + prefetch pipeline below.
+  constexpr size_t kChunk = 256;
+  uint64_t items[kChunk];
+  double weights[kChunk];
+  for (size_t base = 0; base < rows.size(); base += kChunk) {
+    const size_t len = std::min(kChunk, rows.size() - base);
+    for (size_t j = 0; j < len; ++j) {
+      items[j] = rows[base + j].item;
+      weights[j] = rows[base + j].weight;
+    }
+    UpdateBatch(Span<const uint64_t>(items, len),
+                Span<const double>(weights, len), 0.0);
+  }
+}
+
 void WeightedSpaceSaving::UpdateBatch(Span<const uint64_t> items,
                                       Span<const double> weights,
                                       double shared_weight) {

@@ -40,6 +40,10 @@ class WeightedSpaceSaving {
   /// Row-aligned batch: items[i] carries weights[i] (sizes must match).
   void UpdateBatch(Span<const uint64_t> items, Span<const double> weights);
 
+  /// Batch of (item, weight) rows, as shipped through the sharded
+  /// front-end's queues. Bit-for-bit identical to per-row Update.
+  void UpdateBatch(Span<const WeightedEntry> rows);
+
   /// Unbiased estimate of `item`'s total weight (0 when untracked).
   double EstimateWeight(uint64_t item) const;
 

@@ -46,6 +46,8 @@ std::unordered_map<uint32_t, SubsetSumEstimate> SketchQueryEngine::GroupBy1(
   const UnbiasedSpaceSaving& sketch = QuerySketch();
   std::unordered_map<uint32_t, Acc> acc;
   for (const SketchEntry& e : sketch.Entries()) {
+    // Items the table does not describe belong to no group.
+    if (e.item >= attrs_->num_items()) continue;
     if (!where.Matches(*attrs_, e.item)) continue;
     Acc& a = acc[attrs_->Get(e.item, dim)];
     a.sum += static_cast<double>(e.count);
@@ -74,6 +76,7 @@ std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
   const UnbiasedSpaceSaving& sketch = QuerySketch();
   std::unordered_map<uint64_t, Acc> acc;
   for (const SketchEntry& e : sketch.Entries()) {
+    if (e.item >= attrs_->num_items()) continue;
     if (!where.Matches(*attrs_, e.item)) continue;
     uint64_t key = PackGroupKey(attrs_->Get(e.item, d1),
                                 attrs_->Get(e.item, d2));
@@ -113,6 +116,7 @@ std::unordered_map<uint32_t, int64_t> ExactQueryEngine::GroupBy1(
     size_t dim, const Predicate& where) const {
   std::unordered_map<uint32_t, int64_t> out;
   for (const auto& [item, count] : agg_->counts()) {
+    if (item >= attrs_->num_items()) continue;
     if (!where.Matches(*attrs_, item)) continue;
     out[attrs_->Get(item, dim)] += count;
   }
@@ -123,6 +127,7 @@ std::unordered_map<uint64_t, int64_t> ExactQueryEngine::GroupBy2(
     size_t d1, size_t d2, const Predicate& where) const {
   std::unordered_map<uint64_t, int64_t> out;
   for (const auto& [item, count] : agg_->counts()) {
+    if (item >= attrs_->num_items()) continue;
     if (!where.Matches(*attrs_, item)) continue;
     out[PackGroupKey(attrs_->Get(item, d1), attrs_->Get(item, d2))] += count;
   }

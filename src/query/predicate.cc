@@ -19,6 +19,10 @@ Predicate& Predicate::WhereIn(size_t dim, std::vector<uint32_t> values) {
 }
 
 bool Predicate::Matches(const AttributeTable& table, uint64_t item) const {
+  // Items the table does not describe satisfy no condition (they can
+  // reach a query when sketch ids arrive from remote producers ahead of
+  // the dimension load); the empty predicate still matches them.
+  if (!conditions_.empty() && item >= table.num_items()) return false;
   for (const Condition& c : conditions_) {
     uint32_t v = table.Get(item, c.dim);
     if (c.values.size() == 1) {

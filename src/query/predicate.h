@@ -25,7 +25,9 @@ class Predicate {
   /// Adds the condition attr[dim] IN values; returns *this for chaining.
   Predicate& WhereIn(size_t dim, std::vector<uint32_t> values);
 
-  /// True if `item`'s attributes satisfy every condition.
+  /// True if `item`'s attributes satisfy every condition. Items beyond
+  /// the table (unknown unit ids, e.g. from remote producers) satisfy no
+  /// condition; the empty predicate matches them regardless.
   bool Matches(const AttributeTable& table, uint64_t item) const;
 
   /// Number of conditions.

@@ -1,0 +1,162 @@
+#include "service/client.h"
+
+#include "service/frame.h"
+#include "util/logging.h"
+
+namespace dsketch {
+
+std::optional<std::string> SketchClient::RoundTrip(Opcode opcode,
+                                                   uint64_t request_id,
+                                                   const std::string& request) {
+  last_status_ = kTransportError;
+  if (!WriteFrame(transport_, request)) return std::nullopt;
+  std::string payload;
+  if (ReadFrame(transport_, &payload) != FrameStatus::kOk) return std::nullopt;
+  wire::VarintReader reader(payload);
+  ResponseHeader header;
+  if (!DecodeResponseHeader(reader, &header)) return std::nullopt;
+  if (header.version != kProtocolVersion || header.opcode != opcode ||
+      header.request_id != request_id) {
+    return std::nullopt;
+  }
+  last_status_ = static_cast<uint8_t>(header.status);
+  if (header.status != Status::kOk) return std::nullopt;
+  return payload.substr(payload.size() - reader.remaining());
+}
+
+bool SketchClient::IngestBatch(Span<const uint64_t> items) {
+  IngestBatchRequest req;
+  req.items.assign(items.begin(), items.end());
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kIngestBatch, id, EncodeIngestBatchRequest(id, req));
+  if (!body.has_value()) return false;
+  wire::VarintReader reader(*body);
+  IngestBatchResponse rsp;
+  return DecodeIngestBatchResponse(reader, &rsp) &&
+         rsp.rows_accepted == items.size();
+}
+
+bool SketchClient::IngestWeighted(Span<const uint64_t> items,
+                                  Span<const double> weights) {
+  DSKETCH_CHECK(items.size() == weights.size());
+  IngestBatchRequest req;
+  req.items.assign(items.begin(), items.end());
+  req.weights.assign(weights.begin(), weights.end());
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kIngestBatch, id, EncodeIngestBatchRequest(id, req));
+  if (!body.has_value()) return false;
+  wire::VarintReader reader(*body);
+  IngestBatchResponse rsp;
+  return DecodeIngestBatchResponse(reader, &rsp) &&
+         rsp.rows_accepted == items.size();
+}
+
+std::optional<QuerySumResponse> SketchClient::QuerySum(
+    const PredicateSpec& where, QueryScope scope) {
+  QuerySumRequest req;
+  req.scope = scope;
+  req.where = where;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kQuerySum, id, EncodeQuerySumRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  QuerySumResponse rsp;
+  if (!DecodeQuerySumResponse(reader, &rsp)) return std::nullopt;
+  return rsp;
+}
+
+std::optional<QueryTopKResponse> SketchClient::QueryTopK(uint64_t k,
+                                                         QueryScope scope) {
+  QueryTopKRequest req;
+  req.scope = scope;
+  req.k = k;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kQueryTopK, id, EncodeQueryTopKRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  QueryTopKResponse rsp;
+  if (!DecodeQueryTopKResponse(reader, &rsp)) return std::nullopt;
+  return rsp;
+}
+
+std::optional<QueryGroupByResponse> SketchClient::QueryGroupBy(
+    uint64_t dim, const PredicateSpec& where) {
+  QueryGroupByRequest req;
+  req.dim1 = dim;
+  req.where = where;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kQueryGroupBy, id, EncodeQueryGroupByRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  QueryGroupByResponse rsp;
+  if (!DecodeQueryGroupByResponse(reader, &rsp)) return std::nullopt;
+  return rsp;
+}
+
+std::optional<QueryGroupByResponse> SketchClient::QueryGroupBy2(
+    uint64_t dim1, uint64_t dim2, const PredicateSpec& where) {
+  QueryGroupByRequest req;
+  req.dim1 = dim1;
+  req.has_dim2 = true;
+  req.dim2 = dim2;
+  req.where = where;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kQueryGroupBy, id, EncodeQueryGroupByRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  QueryGroupByResponse rsp;
+  if (!DecodeQueryGroupByResponse(reader, &rsp)) return std::nullopt;
+  return rsp;
+}
+
+std::optional<std::string> SketchClient::Snapshot(QueryScope scope) {
+  SnapshotRequest req;
+  req.scope = scope;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kSnapshot, id, EncodeSnapshotRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  SnapshotResponse rsp;
+  if (!DecodeSnapshotResponse(reader, &rsp)) return std::nullopt;
+  return std::move(rsp.blob);
+}
+
+bool SketchClient::Restore(std::string_view blob, QueryScope scope) {
+  RestoreRequest req;
+  req.scope = scope;
+  req.blob.assign(blob.data(), blob.size());
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kRestore, id, EncodeRestoreRequest(id, req));
+  if (!body.has_value()) return false;
+  wire::VarintReader reader(*body);
+  RestoreResponse rsp;
+  return DecodeRestoreResponse(reader, &rsp);
+}
+
+std::optional<StatsResponse> SketchClient::Stats() {
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kStats, id, EncodeStatsRequest(id));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  StatsResponse rsp;
+  if (!DecodeStatsResponse(reader, &rsp)) return std::nullopt;
+  return rsp;
+}
+
+bool SketchClient::Shutdown() {
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kShutdown, id, EncodeShutdownRequest(id));
+  return body.has_value() && body->empty();
+}
+
+}  // namespace dsketch

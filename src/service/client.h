@@ -1,0 +1,101 @@
+// SketchClient: typed request/response calls over a framed transport.
+//
+// One client drives one connection to a SketchServer: each method
+// encodes a request, writes it as a frame, blocks for the response
+// frame, and decodes it. Calls return nullopt/false on transport
+// failure, malformed responses, or a non-OK status — last_status()
+// distinguishes the server-reported cause (kTransportError when the
+// connection itself failed).
+//
+// Replication between two servers is two clients and a byte string:
+//
+//   std::optional<std::string> blob = client_a.Snapshot();
+//   client_b.Restore(*blob);    // B now answers for A's rows too
+//
+// Not thread-safe: one client per thread (requests are matched to
+// responses by id on a strictly serial connection).
+
+#ifndef DSKETCH_SERVICE_CLIENT_H_
+#define DSKETCH_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/transport.h"
+#include "util/span.h"
+
+namespace dsketch {
+
+/// Client-side status after the last call: a protocol Status from the
+/// server, or kTransportError when no well-formed response arrived.
+inline constexpr uint8_t kTransportError = 0xFF;
+
+/// Typed client over a framed transport (see SketchServer for the
+/// server side).
+class SketchClient {
+ public:
+  /// The transport must outlive the client.
+  explicit SketchClient(Transport& transport) : transport_(transport) {}
+
+  /// Streams a batch of unit rows; true when the server accepted it.
+  bool IngestBatch(Span<const uint64_t> items);
+
+  /// Streams a batch of (item, weight) rows (sizes must match; weights
+  /// must be positive).
+  bool IngestWeighted(Span<const uint64_t> items, Span<const double> weights);
+
+  /// SELECT sum(1) WHERE `where` against the chosen scope.
+  std::optional<QuerySumResponse> QuerySum(
+      const PredicateSpec& where = PredicateSpec(),
+      QueryScope scope = QueryScope::kCounts);
+
+  /// Top-k heavy hitters of the chosen scope.
+  std::optional<QueryTopKResponse> QueryTopK(
+      uint64_t k, QueryScope scope = QueryScope::kCounts);
+
+  /// 1-way group-by over attribute dimension `dim`.
+  std::optional<QueryGroupByResponse> QueryGroupBy(
+      uint64_t dim, const PredicateSpec& where = PredicateSpec());
+
+  /// 2-way group-by (keys packed as PackGroupKey(attr[d1], attr[d2])).
+  std::optional<QueryGroupByResponse> QueryGroupBy2(
+      uint64_t dim1, uint64_t dim2,
+      const PredicateSpec& where = PredicateSpec());
+
+  /// Serialized snapshot of the server's state — the replication payload
+  /// a peer's Restore absorbs.
+  std::optional<std::string> Snapshot(QueryScope scope = QueryScope::kCounts);
+
+  /// Feeds a peer snapshot into the server's state; true on success.
+  bool Restore(std::string_view blob, QueryScope scope = QueryScope::kCounts);
+
+  /// Server-side counters.
+  std::optional<StatsResponse> Stats();
+
+  /// Asks the server to stop serving after replying; true when
+  /// acknowledged.
+  bool Shutdown();
+
+  /// Status of the last call: a protocol Status byte, or
+  /// kTransportError when the transport/framing failed.
+  uint8_t last_status() const { return last_status_; }
+
+ private:
+  // Writes `request` as a frame, reads one response frame, validates the
+  // header (opcode + id echo, status kOk) and returns a reader positioned
+  // at the response body; nullopt on any failure.
+  std::optional<std::string> RoundTrip(Opcode opcode, uint64_t request_id,
+                                       const std::string& request);
+
+  Transport& transport_;
+  uint64_t next_request_id_ = 1;
+  uint8_t last_status_ = static_cast<uint8_t>(Status::kOk);
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SERVICE_CLIENT_H_

@@ -1,0 +1,60 @@
+#include "service/frame.h"
+
+#include <cstring>
+
+namespace dsketch {
+
+namespace {
+
+// Fills `buf` with exactly `n` bytes. Returns how many arrived (< n only
+// on EOF mid-read).
+size_t ReadFully(Transport& transport, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    size_t got = transport.Read(buf + done, n - done);
+    if (got == 0) break;
+    done += got;
+  }
+  return done;
+}
+
+}  // namespace
+
+bool WriteFrame(Transport& transport, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  char prefix[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(prefix, &len, sizeof(len));
+  // One buffered write keeps the frame contiguous on the wire (and one
+  // syscall on fd transports).
+  std::string frame;
+  frame.reserve(sizeof(prefix) + payload.size());
+  frame.append(prefix, sizeof(prefix));
+  frame.append(payload.data(), payload.size());
+  return transport.Write(frame);
+}
+
+FrameStatus ReadFrame(Transport& transport, std::string* payload) {
+  char prefix[4];
+  size_t got = ReadFully(transport, prefix, sizeof(prefix));
+  if (got == 0) return FrameStatus::kEof;
+  if (got < sizeof(prefix)) return FrameStatus::kMalformed;
+  uint32_t len;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len > kMaxFramePayload) return FrameStatus::kMalformed;
+  payload->clear();
+  // Grow with the bytes that actually arrive (bounded chunks), so a
+  // hostile length claim never drives the allocation.
+  char chunk[4096];
+  size_t remaining = len;
+  while (remaining > 0) {
+    size_t want = remaining < sizeof(chunk) ? remaining : sizeof(chunk);
+    size_t n = ReadFully(transport, chunk, want);
+    payload->append(chunk, n);
+    if (n < want) return FrameStatus::kMalformed;  // EOF mid-frame
+    remaining -= n;
+  }
+  return FrameStatus::kOk;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,51 @@
+// Length-prefixed frame layer of the sketch service protocol.
+//
+// Every protocol message — request or response — travels as one frame:
+//
+//   [u32 length LE][payload: length bytes]
+//
+// The length counts payload bytes only and is capped at kMaxFramePayload;
+// a peer claiming more is treated as hostile and the connection is torn
+// down (there is no way to resynchronize a byte stream after a corrupt
+// length). Reads allocate as bytes actually arrive, never up front from
+// the claimed length, so a hostile prefix cannot force a large
+// allocation. What the payload means is the next layer's business
+// (service/protocol.h).
+
+#ifndef DSKETCH_SERVICE_FRAME_H_
+#define DSKETCH_SERVICE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/transport.h"
+
+namespace dsketch {
+
+/// Largest payload a frame may carry (16 MiB). Bounds both sides: writers
+/// refuse to send more, readers reject length prefixes beyond it before
+/// allocating anything.
+inline constexpr size_t kMaxFramePayload = size_t{1} << 24;
+
+/// Outcome of reading one frame off a transport.
+enum class FrameStatus : uint8_t {
+  kOk = 0,        ///< a whole frame arrived
+  kEof = 1,       ///< clean end of stream at a frame boundary
+  kMalformed = 2  ///< oversized length prefix or mid-frame EOF
+};
+
+/// Writes `payload` as one frame. Returns false if the payload exceeds
+/// kMaxFramePayload or the transport rejects the write.
+bool WriteFrame(Transport& transport, std::string_view payload);
+
+/// Reads one frame into `payload` (replacing its contents). Returns kEof
+/// only when the stream ends exactly at a frame boundary; a truncated
+/// prefix or body, or a length above kMaxFramePayload, is kMalformed and
+/// the caller must drop the connection.
+FrameStatus ReadFrame(Transport& transport, std::string* payload);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SERVICE_FRAME_H_

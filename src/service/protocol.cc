@@ -1,0 +1,458 @@
+#include "service/protocol.h"
+
+#include <limits>
+
+namespace dsketch {
+
+namespace {
+
+void PutRequestHeader(wire::VarintWriter& w, Opcode opcode,
+                      uint64_t request_id) {
+  w.PutByte(kProtocolVersion);
+  w.PutByte(static_cast<uint8_t>(opcode));
+  w.PutVarint(request_id);
+}
+
+void PutResponseHeader(wire::VarintWriter& w, Opcode opcode,
+                       uint64_t request_id, Status status) {
+  w.PutByte(kProtocolVersion);
+  w.PutByte(static_cast<uint8_t>(opcode));
+  w.PutVarint(request_id);
+  w.PutByte(static_cast<uint8_t>(status));
+}
+
+void PutPredicate(wire::VarintWriter& w, const PredicateSpec& pred) {
+  w.PutVarint(pred.conditions.size());
+  for (const PredicateSpec::Condition& c : pred.conditions) {
+    w.PutVarint(c.dim);
+    w.PutVarint(c.values.size());
+    for (uint32_t v : c.values) w.PutVarint(v);
+  }
+}
+
+bool ReadPredicate(wire::VarintReader& reader, PredicateSpec* out) {
+  uint64_t n_conditions;
+  if (!reader.ReadVarint(&n_conditions)) return false;
+  if (n_conditions > kMaxPredicateConditions) return false;
+  out->conditions.clear();
+  out->conditions.reserve(static_cast<size_t>(n_conditions));
+  for (uint64_t i = 0; i < n_conditions; ++i) {
+    PredicateSpec::Condition cond;
+    uint64_t n_values;
+    if (!reader.ReadVarint(&cond.dim)) return false;
+    if (!reader.ReadVarint(&n_values)) return false;
+    // Byte budget: each value takes at least one byte on the wire.
+    if (n_values > kMaxPredicateValues || n_values > reader.remaining()) {
+      return false;
+    }
+    cond.values.reserve(static_cast<size_t>(n_values));
+    for (uint64_t v = 0; v < n_values; ++v) {
+      uint64_t value;
+      if (!reader.ReadVarint(&value)) return false;
+      if (value > std::numeric_limits<uint32_t>::max()) return false;
+      cond.values.push_back(static_cast<uint32_t>(value));
+    }
+    out->conditions.push_back(std::move(cond));
+  }
+  return true;
+}
+
+bool ReadScope(wire::VarintReader& reader, QueryScope* out) {
+  uint8_t scope;
+  if (!reader.ReadByte(&scope)) return false;
+  if (scope > static_cast<uint8_t>(QueryScope::kWeighted)) return false;
+  *out = static_cast<QueryScope>(scope);
+  return true;
+}
+
+}  // namespace
+
+// --- request encoders -------------------------------------------------
+
+std::string EncodeIngestBatchRequest(uint64_t request_id,
+                                     const IngestBatchRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kIngestBatch, request_id);
+  const bool weighted = !msg.weights.empty();
+  w.PutByte(weighted ? 1 : 0);
+  w.PutVarint(msg.items.size());
+  for (uint64_t item : msg.items) w.PutVarint(item);
+  if (weighted) {
+    for (double weight : msg.weights) w.PutDouble(weight);
+  }
+  return out;
+}
+
+std::string EncodeQuerySumRequest(uint64_t request_id,
+                                  const QuerySumRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kQuerySum, request_id);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
+  PutPredicate(w, msg.where);
+  return out;
+}
+
+std::string EncodeQueryTopKRequest(uint64_t request_id,
+                                   const QueryTopKRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kQueryTopK, request_id);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
+  w.PutVarint(msg.k);
+  return out;
+}
+
+std::string EncodeQueryGroupByRequest(uint64_t request_id,
+                                      const QueryGroupByRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kQueryGroupBy, request_id);
+  w.PutVarint(msg.dim1);
+  w.PutByte(msg.has_dim2 ? 1 : 0);
+  w.PutVarint(msg.dim2);
+  PutPredicate(w, msg.where);
+  return out;
+}
+
+std::string EncodeSnapshotRequest(uint64_t request_id,
+                                  const SnapshotRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kSnapshot, request_id);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
+  return out;
+}
+
+std::string EncodeRestoreRequest(uint64_t request_id,
+                                 const RestoreRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kRestore, request_id);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
+  w.PutVarint(msg.blob.size());
+  out.append(msg.blob);
+  return out;
+}
+
+std::string EncodeStatsRequest(uint64_t request_id) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kStats, request_id);
+  return out;
+}
+
+std::string EncodeShutdownRequest(uint64_t request_id) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kShutdown, request_id);
+  return out;
+}
+
+// --- response encoders ------------------------------------------------
+
+std::string EncodeErrorResponse(Opcode opcode, uint64_t request_id,
+                                Status status) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, opcode, request_id, status);
+  return out;
+}
+
+std::string EncodeIngestBatchResponse(uint64_t request_id,
+                                      const IngestBatchResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kIngestBatch, request_id, Status::kOk);
+  w.PutVarint(msg.rows_accepted);
+  return out;
+}
+
+std::string EncodeQuerySumResponse(uint64_t request_id,
+                                   const QuerySumResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kQuerySum, request_id, Status::kOk);
+  w.PutDouble(msg.estimate);
+  w.PutDouble(msg.variance);
+  w.PutVarint(msg.items_in_sample);
+  return out;
+}
+
+std::string EncodeQueryTopKResponse(uint64_t request_id,
+                                    const QueryTopKResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kQueryTopK, request_id, Status::kOk);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
+  if (msg.scope == QueryScope::kCounts) {
+    w.PutVarint(msg.counts.size());
+    for (const SketchEntry& e : msg.counts) {
+      w.PutVarint(e.item);
+      w.PutVarint(static_cast<uint64_t>(e.count));
+    }
+  } else {
+    w.PutVarint(msg.weighted.size());
+    for (const WeightedEntry& e : msg.weighted) {
+      w.PutVarint(e.item);
+      w.PutDouble(e.weight);
+    }
+  }
+  return out;
+}
+
+std::string EncodeQueryGroupByResponse(uint64_t request_id,
+                                       const QueryGroupByResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kQueryGroupBy, request_id, Status::kOk);
+  w.PutVarint(msg.groups.size());
+  for (const GroupRow& g : msg.groups) {
+    w.PutVarint(g.key);
+    w.PutDouble(g.estimate);
+    w.PutDouble(g.variance);
+    w.PutVarint(g.items_in_sample);
+  }
+  return out;
+}
+
+std::string EncodeSnapshotResponse(uint64_t request_id,
+                                   const SnapshotResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kSnapshot, request_id, Status::kOk);
+  w.PutVarint(msg.blob.size());
+  out.append(msg.blob);
+  return out;
+}
+
+std::string EncodeRestoreResponse(uint64_t request_id,
+                                  const RestoreResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kRestore, request_id, Status::kOk);
+  w.PutVarint(msg.num_absorbed);
+  return out;
+}
+
+std::string EncodeStatsResponse(uint64_t request_id,
+                                const StatsResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kStats, request_id, Status::kOk);
+  w.PutVarint(msg.rows_ingested);
+  w.PutVarint(msg.weighted_rows_ingested);
+  w.PutVarint(msg.batches);
+  w.PutVarint(msg.queries);
+  w.PutVarint(msg.snapshots);
+  w.PutVarint(msg.restores);
+  w.PutVarint(msg.errors);
+  w.PutVarint(msg.num_shards);
+  w.PutVarintSigned(msg.total_count);
+  w.PutDouble(msg.total_weight);
+  return out;
+}
+
+std::string EncodeShutdownResponse(uint64_t request_id) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kShutdown, request_id, Status::kOk);
+  return out;
+}
+
+// --- decoders ---------------------------------------------------------
+
+bool DecodeRequestHeader(wire::VarintReader& reader, RequestHeader* out) {
+  uint8_t opcode;
+  if (!reader.ReadByte(&out->version)) return false;
+  if (!reader.ReadByte(&opcode)) return false;
+  if (!reader.ReadVarint(&out->request_id)) return false;
+  out->opcode = static_cast<Opcode>(opcode);
+  return true;
+}
+
+bool DecodeResponseHeader(wire::VarintReader& reader, ResponseHeader* out) {
+  uint8_t opcode;
+  uint8_t status;
+  if (!reader.ReadByte(&out->version)) return false;
+  if (!reader.ReadByte(&opcode)) return false;
+  if (!reader.ReadVarint(&out->request_id)) return false;
+  if (!reader.ReadByte(&status)) return false;
+  if (status > static_cast<uint8_t>(Status::kBadState)) return false;
+  out->opcode = static_cast<Opcode>(opcode);
+  out->status = static_cast<Status>(status);
+  return true;
+}
+
+bool DecodeIngestBatchRequest(wire::VarintReader& reader,
+                              IngestBatchRequest* out) {
+  uint8_t flags;
+  uint64_t n;
+  if (!reader.ReadByte(&flags)) return false;
+  if (flags > 1) return false;
+  if (!reader.ReadVarint(&n)) return false;
+  // Byte budget: every item takes >= 1 byte, every weight exactly 8, so
+  // a hostile row count fails here before any allocation.
+  const uint64_t min_bytes = flags == 1 ? n * 9 : n;
+  if (n > kMaxBatchRows || min_bytes > reader.remaining()) return false;
+  out->items.clear();
+  out->weights.clear();
+  out->items.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t item;
+    if (!reader.ReadVarint(&item)) return false;
+    out->items.push_back(item);
+  }
+  if (flags == 1) {
+    out->weights.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      double weight;
+      if (!reader.ReadDouble(&weight)) return false;
+      // Reject weights the sketches would CHECK-fail on.
+      if (!(weight > 0.0) || weight > std::numeric_limits<double>::max()) {
+        return false;
+      }
+      out->weights.push_back(weight);
+    }
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeQuerySumRequest(wire::VarintReader& reader, QuerySumRequest* out) {
+  if (!ReadScope(reader, &out->scope)) return false;
+  if (!ReadPredicate(reader, &out->where)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeQueryTopKRequest(wire::VarintReader& reader,
+                            QueryTopKRequest* out) {
+  if (!ReadScope(reader, &out->scope)) return false;
+  if (!reader.ReadVarint(&out->k)) return false;
+  if (out->k == 0 || out->k > kMaxTopK) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeQueryGroupByRequest(wire::VarintReader& reader,
+                               QueryGroupByRequest* out) {
+  uint8_t has_dim2;
+  if (!reader.ReadVarint(&out->dim1)) return false;
+  if (!reader.ReadByte(&has_dim2)) return false;
+  if (has_dim2 > 1) return false;
+  out->has_dim2 = has_dim2 == 1;
+  if (!reader.ReadVarint(&out->dim2)) return false;
+  if (!ReadPredicate(reader, &out->where)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeSnapshotRequest(wire::VarintReader& reader, SnapshotRequest* out) {
+  if (!ReadScope(reader, &out->scope)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeRestoreRequest(wire::VarintReader& reader, RestoreRequest* out) {
+  uint64_t n_bytes;
+  if (!ReadScope(reader, &out->scope)) return false;
+  if (!reader.ReadVarint(&n_bytes)) return false;
+  if (n_bytes != reader.remaining()) return false;
+  out->blob.clear();
+  if (!reader.ReadBytes(static_cast<size_t>(n_bytes), &out->blob)) {
+    return false;
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeIngestBatchResponse(wire::VarintReader& reader,
+                               IngestBatchResponse* out) {
+  if (!reader.ReadVarint(&out->rows_accepted)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeQuerySumResponse(wire::VarintReader& reader,
+                            QuerySumResponse* out) {
+  if (!reader.ReadDouble(&out->estimate)) return false;
+  if (!reader.ReadDouble(&out->variance)) return false;
+  if (!reader.ReadVarint(&out->items_in_sample)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeQueryTopKResponse(wire::VarintReader& reader,
+                             QueryTopKResponse* out) {
+  uint64_t n;
+  if (!ReadScope(reader, &out->scope)) return false;
+  if (!reader.ReadVarint(&n)) return false;
+  if (n > kMaxTopK || n > reader.remaining()) return false;
+  out->counts.clear();
+  out->weighted.clear();
+  if (out->scope == QueryScope::kCounts) {
+    out->counts.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      SketchEntry e;
+      int64_t count;
+      if (!reader.ReadVarint(&e.item)) return false;
+      if (!reader.ReadVarintInt64(&count)) return false;
+      e.count = count;
+      out->counts.push_back(e);
+    }
+  } else {
+    out->weighted.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      WeightedEntry e;
+      if (!reader.ReadVarint(&e.item)) return false;
+      if (!reader.ReadDouble(&e.weight)) return false;
+      out->weighted.push_back(e);
+    }
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeQueryGroupByResponse(wire::VarintReader& reader,
+                                QueryGroupByResponse* out) {
+  uint64_t n;
+  if (!reader.ReadVarint(&n)) return false;
+  if (n > kMaxGroupRows || n > reader.remaining()) return false;
+  out->groups.clear();
+  out->groups.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    GroupRow g;
+    if (!reader.ReadVarint(&g.key)) return false;
+    if (!reader.ReadDouble(&g.estimate)) return false;
+    if (!reader.ReadDouble(&g.variance)) return false;
+    if (!reader.ReadVarint(&g.items_in_sample)) return false;
+    out->groups.push_back(g);
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeSnapshotResponse(wire::VarintReader& reader,
+                            SnapshotResponse* out) {
+  uint64_t n_bytes;
+  if (!reader.ReadVarint(&n_bytes)) return false;
+  if (n_bytes != reader.remaining()) return false;
+  out->blob.clear();
+  if (!reader.ReadBytes(static_cast<size_t>(n_bytes), &out->blob)) {
+    return false;
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeRestoreResponse(wire::VarintReader& reader, RestoreResponse* out) {
+  if (!reader.ReadVarint(&out->num_absorbed)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out) {
+  if (!reader.ReadVarint(&out->rows_ingested)) return false;
+  if (!reader.ReadVarint(&out->weighted_rows_ingested)) return false;
+  if (!reader.ReadVarint(&out->batches)) return false;
+  if (!reader.ReadVarint(&out->queries)) return false;
+  if (!reader.ReadVarint(&out->snapshots)) return false;
+  if (!reader.ReadVarint(&out->restores)) return false;
+  if (!reader.ReadVarint(&out->errors)) return false;
+  if (!reader.ReadVarint(&out->num_shards)) return false;
+  if (!reader.ReadVarintSigned(&out->total_count)) return false;
+  if (!reader.ReadDouble(&out->total_weight)) return false;
+  return reader.AtEnd();
+}
+
+}  // namespace dsketch

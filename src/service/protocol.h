@@ -1,0 +1,276 @@
+// Request/response message layer of the sketch service protocol.
+//
+// Each frame payload (service/frame.h) is one message, encoded with the
+// wire varint primitives (wire/varint.h):
+//
+//   request  = [u8 proto_version = 1][u8 opcode][varint request_id][body]
+//   response = [u8 proto_version = 1][u8 opcode][varint request_id]
+//              [u8 status][body iff status == kOk]
+//
+// The opcode and request id are echoed in the response so clients can
+// match replies; status != kOk carries no body. Decoders must consume the
+// payload exactly (trailing bytes are malformed) and validate every
+// count against the bytes actually present before allocating, mirroring
+// the sketch wire codecs' hostile-input contract: malformed input yields
+// `false`, never a crash or a forced allocation.
+//
+// Message bodies (all varint unless noted; f64 = 8-byte IEEE-754 LE):
+//
+//   INGEST_BATCH  req: [u8 flags (1 = weighted)][varint n][n varint items]
+//                      [weighted: n f64 weights]
+//                 rsp: [varint rows_accepted]
+//   QUERY_SUM     req: [u8 scope][predicate]
+//                 rsp: [f64 estimate][f64 variance][varint items_in_sample]
+//   QUERY_TOPK    req: [u8 scope][varint k]
+//                 rsp: [u8 scope][varint n] then per entry
+//                      [varint item][counts: varint count | weighted: f64]
+//   QUERY_GROUPBY req: [varint dim1][u8 has_dim2][varint dim2][predicate]
+//                 rsp: [varint n] then per group [varint key][f64 estimate]
+//                      [f64 variance][varint items_in_sample]
+//   SNAPSHOT      req: [u8 scope]
+//                 rsp: [varint n_bytes][sketch wire blob]
+//   RESTORE       req: [u8 scope][varint n_bytes][sketch wire blob]
+//                 rsp: [varint num_absorbed]
+//   STATS         req: (empty)
+//                 rsp: counters (see StatsResponse)
+//   SHUTDOWN      req: (empty)   rsp: (empty)
+//
+//   predicate = [varint n_conditions] then per condition
+//               [varint dim][varint n_values][n varint values (u32)]
+//
+// Scope selects which sketch a query/snapshot runs against: kCounts is
+// the unit-row Unbiased Space Saving path, kWeighted the real-valued
+// WeightedSpaceSaving path (populated by weighted INGEST_BATCH frames).
+
+#ifndef DSKETCH_SERVICE_PROTOCOL_H_
+#define DSKETCH_SERVICE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sketch_entry.h"
+#include "wire/varint.h"
+
+namespace dsketch {
+
+/// Protocol version this build speaks (requests and responses both carry
+/// it; a server rejects others with Status::kUnsupported).
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Request opcodes (part of the wire contract; values are stable).
+enum class Opcode : uint8_t {
+  kIngestBatch = 1,
+  kQuerySum = 2,
+  kQueryTopK = 3,
+  kQueryGroupBy = 4,
+  kSnapshot = 5,
+  kRestore = 6,
+  kStats = 7,
+  kShutdown = 8,
+};
+
+/// Response status codes.
+enum class Status : uint8_t {
+  kOk = 0,
+  kMalformed = 1,      ///< request failed to decode
+  kUnknownOpcode = 2,  ///< opcode not in the table above
+  kUnsupported = 3,    ///< wrong protocol version / feature not enabled
+  kTooLarge = 4,       ///< caps exceeded (batch rows, k, blob size)
+  kBadState = 5,       ///< e.g. RESTORE of malformed sketch bytes
+};
+
+/// Which sketch a query, snapshot, or restore addresses.
+enum class QueryScope : uint8_t {
+  kCounts = 0,    ///< unit-row Unbiased Space Saving state
+  kWeighted = 1,  ///< real-valued WeightedSpaceSaving state
+};
+
+/// Caps enforced on decode (and by honest encoders). A frame already
+/// bounds payload bytes; these bound element counts so hostile claims
+/// fail before allocation.
+inline constexpr uint64_t kMaxBatchRows = uint64_t{1} << 20;
+inline constexpr uint64_t kMaxPredicateConditions = 64;
+inline constexpr uint64_t kMaxPredicateValues = uint64_t{1} << 16;
+inline constexpr uint64_t kMaxTopK = uint64_t{1} << 16;
+inline constexpr uint64_t kMaxGroupRows = uint64_t{1} << 20;
+
+/// Parsed header common to every request.
+struct RequestHeader {
+  uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kStats;
+  uint64_t request_id = 0;
+};
+
+/// Parsed header common to every response.
+struct ResponseHeader {
+  uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kStats;
+  uint64_t request_id = 0;
+  Status status = Status::kOk;
+};
+
+/// Wire form of a conjunctive attribute predicate (query/predicate.h):
+/// attr[dim] IN values, ANDed across conditions. Empty = always true.
+struct PredicateSpec {
+  struct Condition {
+    uint64_t dim = 0;
+    std::vector<uint32_t> values;
+  };
+  std::vector<Condition> conditions;
+
+  /// Convenience builders mirroring Predicate's chaining API.
+  PredicateSpec& WhereEq(uint64_t dim, uint32_t value) {
+    conditions.push_back({dim, {value}});
+    return *this;
+  }
+  PredicateSpec& WhereIn(uint64_t dim, std::vector<uint32_t> values) {
+    conditions.push_back({dim, std::move(values)});
+    return *this;
+  }
+};
+
+struct IngestBatchRequest {
+  std::vector<uint64_t> items;
+  std::vector<double> weights;  ///< empty (unit rows) or items.size()
+};
+struct IngestBatchResponse {
+  uint64_t rows_accepted = 0;
+};
+
+struct QuerySumRequest {
+  QueryScope scope = QueryScope::kCounts;
+  PredicateSpec where;
+};
+struct QuerySumResponse {
+  double estimate = 0.0;
+  double variance = 0.0;
+  uint64_t items_in_sample = 0;
+};
+
+struct QueryTopKRequest {
+  QueryScope scope = QueryScope::kCounts;
+  uint64_t k = 0;
+};
+struct QueryTopKResponse {
+  QueryScope scope = QueryScope::kCounts;
+  std::vector<SketchEntry> counts;      ///< filled when scope == kCounts
+  std::vector<WeightedEntry> weighted;  ///< filled when scope == kWeighted
+};
+
+struct QueryGroupByRequest {
+  uint64_t dim1 = 0;
+  bool has_dim2 = false;
+  uint64_t dim2 = 0;
+  PredicateSpec where;
+};
+struct GroupRow {
+  uint64_t key = 0;  ///< attr value (1-way) or PackGroupKey pair (2-way)
+  double estimate = 0.0;
+  double variance = 0.0;
+  uint64_t items_in_sample = 0;
+};
+struct QueryGroupByResponse {
+  std::vector<GroupRow> groups;
+};
+
+struct SnapshotRequest {
+  QueryScope scope = QueryScope::kCounts;
+};
+struct SnapshotResponse {
+  std::string blob;  ///< sketch wire bytes (core/serialization.h)
+};
+
+struct RestoreRequest {
+  QueryScope scope = QueryScope::kCounts;
+  std::string blob;
+};
+struct RestoreResponse {
+  uint64_t num_absorbed = 0;  ///< snapshots absorbed so far (this scope)
+};
+
+struct StatsResponse {
+  uint64_t rows_ingested = 0;           ///< unit rows accepted
+  uint64_t weighted_rows_ingested = 0;  ///< weighted rows accepted
+  uint64_t batches = 0;
+  uint64_t queries = 0;
+  uint64_t snapshots = 0;
+  uint64_t restores = 0;
+  uint64_t errors = 0;           ///< requests answered with status != kOk
+  uint64_t num_shards = 0;
+  int64_t total_count = 0;       ///< TotalCount() of the counts view
+  double total_weight = 0.0;     ///< TotalWeight() of the weighted view
+};
+
+// --- encoders (request side) -----------------------------------------
+
+std::string EncodeIngestBatchRequest(uint64_t request_id,
+                                     const IngestBatchRequest& msg);
+std::string EncodeQuerySumRequest(uint64_t request_id,
+                                  const QuerySumRequest& msg);
+std::string EncodeQueryTopKRequest(uint64_t request_id,
+                                   const QueryTopKRequest& msg);
+std::string EncodeQueryGroupByRequest(uint64_t request_id,
+                                      const QueryGroupByRequest& msg);
+std::string EncodeSnapshotRequest(uint64_t request_id,
+                                  const SnapshotRequest& msg);
+std::string EncodeRestoreRequest(uint64_t request_id,
+                                 const RestoreRequest& msg);
+std::string EncodeStatsRequest(uint64_t request_id);
+std::string EncodeShutdownRequest(uint64_t request_id);
+
+// --- encoders (response side) ----------------------------------------
+
+/// Header-only response carrying an error status (no body).
+std::string EncodeErrorResponse(Opcode opcode, uint64_t request_id,
+                                Status status);
+std::string EncodeIngestBatchResponse(uint64_t request_id,
+                                      const IngestBatchResponse& msg);
+std::string EncodeQuerySumResponse(uint64_t request_id,
+                                   const QuerySumResponse& msg);
+std::string EncodeQueryTopKResponse(uint64_t request_id,
+                                    const QueryTopKResponse& msg);
+std::string EncodeQueryGroupByResponse(uint64_t request_id,
+                                       const QueryGroupByResponse& msg);
+std::string EncodeSnapshotResponse(uint64_t request_id,
+                                   const SnapshotResponse& msg);
+std::string EncodeRestoreResponse(uint64_t request_id,
+                                  const RestoreResponse& msg);
+std::string EncodeStatsResponse(uint64_t request_id,
+                                const StatsResponse& msg);
+std::string EncodeShutdownResponse(uint64_t request_id);
+
+// --- decoders ---------------------------------------------------------
+//
+// Header decoders leave the reader at the first body byte. Body decoders
+// require the reader to end exactly at the payload's last byte and
+// return false otherwise (trailing bytes = malformed).
+
+bool DecodeRequestHeader(wire::VarintReader& reader, RequestHeader* out);
+bool DecodeResponseHeader(wire::VarintReader& reader, ResponseHeader* out);
+
+bool DecodeIngestBatchRequest(wire::VarintReader& reader,
+                              IngestBatchRequest* out);
+bool DecodeQuerySumRequest(wire::VarintReader& reader, QuerySumRequest* out);
+bool DecodeQueryTopKRequest(wire::VarintReader& reader, QueryTopKRequest* out);
+bool DecodeQueryGroupByRequest(wire::VarintReader& reader,
+                               QueryGroupByRequest* out);
+bool DecodeSnapshotRequest(wire::VarintReader& reader, SnapshotRequest* out);
+bool DecodeRestoreRequest(wire::VarintReader& reader, RestoreRequest* out);
+
+bool DecodeIngestBatchResponse(wire::VarintReader& reader,
+                               IngestBatchResponse* out);
+bool DecodeQuerySumResponse(wire::VarintReader& reader, QuerySumResponse* out);
+bool DecodeQueryTopKResponse(wire::VarintReader& reader,
+                             QueryTopKResponse* out);
+bool DecodeQueryGroupByResponse(wire::VarintReader& reader,
+                                QueryGroupByResponse* out);
+bool DecodeSnapshotResponse(wire::VarintReader& reader, SnapshotResponse* out);
+bool DecodeRestoreResponse(wire::VarintReader& reader, RestoreResponse* out);
+bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out);
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SERVICE_PROTOCOL_H_

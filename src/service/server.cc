@@ -1,0 +1,331 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/frequent_items.h"
+#include "core/serialization.h"
+#include "service/frame.h"
+#include "util/span.h"
+
+namespace dsketch {
+
+namespace {
+
+// Seed offset separating the weighted fleet's randomness from the unit
+// fleet's (both derive from options.shard.seed).
+constexpr uint64_t kWeightedSeedOffset = 7777;
+
+}  // namespace
+
+SketchServer::SketchServer(const SketchServerOptions& options,
+                           const AttributeTable* attrs)
+    : options_(options),
+      attrs_(attrs),
+      source_(options.shard, options.merged_capacity, options.seed),
+      engine_(&source_, attrs != nullptr ? attrs : &kEmptyAttrs),
+      weighted_view_(options.merged_capacity, options.seed) {}
+
+// Engine construction requires a non-null table; queries that actually
+// touch attributes are gated on attrs_ before reaching it.
+const AttributeTable SketchServer::kEmptyAttrs(1);
+
+ShardedWeightedSpaceSaving& SketchServer::Weighted() {
+  if (weighted_ == nullptr) {
+    ShardedSketchOptions opt = options_.shard;
+    opt.seed += kWeightedSeedOffset;
+    weighted_ = std::make_unique<ShardedWeightedSpaceSaving>(opt);
+  }
+  return *weighted_;
+}
+
+const WeightedSpaceSaving& SketchServer::WeightedView() {
+  if (weighted_ != nullptr && weighted_dirty_) {
+    weighted_view_ = weighted_->Snapshot(options_.merged_capacity,
+                                         options_.seed + kWeightedSeedOffset);
+    weighted_dirty_ = false;
+  }
+  return weighted_view_;
+}
+
+Status SketchServer::BuildPredicate(const PredicateSpec& spec,
+                                    Predicate* out) const {
+  if (spec.conditions.empty()) return Status::kOk;
+  if (attrs_ == nullptr) return Status::kUnsupported;
+  for (const PredicateSpec::Condition& c : spec.conditions) {
+    if (c.dim >= attrs_->num_dims() || c.values.empty()) {
+      return Status::kMalformed;
+    }
+    out->WhereIn(static_cast<size_t>(c.dim), c.values);
+  }
+  return Status::kOk;
+}
+
+std::string SketchServer::HandleRequest(std::string_view request) {
+  wire::VarintReader reader(request);
+  RequestHeader header;
+  if (!DecodeRequestHeader(reader, &header)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(static_cast<Opcode>(0), 0, Status::kMalformed);
+  }
+  if (header.version != kProtocolVersion) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
+  switch (header.opcode) {
+    case Opcode::kIngestBatch:
+      return HandleIngestBatch(header, reader);
+    case Opcode::kQuerySum:
+      return HandleQuerySum(header, reader);
+    case Opcode::kQueryTopK:
+      return HandleQueryTopK(header, reader);
+    case Opcode::kQueryGroupBy:
+      return HandleQueryGroupBy(header, reader);
+    case Opcode::kSnapshot:
+      return HandleSnapshot(header, reader);
+    case Opcode::kRestore:
+      return HandleRestore(header, reader);
+    case Opcode::kStats: {
+      if (!reader.AtEnd()) {
+        ++counters_.errors;
+        return EncodeErrorResponse(header.opcode, header.request_id,
+                                   Status::kMalformed);
+      }
+      return EncodeStatsResponse(header.request_id, Stats());
+    }
+    case Opcode::kShutdown: {
+      if (!reader.AtEnd()) {
+        ++counters_.errors;
+        return EncodeErrorResponse(header.opcode, header.request_id,
+                                   Status::kMalformed);
+      }
+      shutdown_ = true;
+      return EncodeShutdownResponse(header.request_id);
+    }
+  }
+  ++counters_.errors;
+  return EncodeErrorResponse(header.opcode, header.request_id,
+                             Status::kUnknownOpcode);
+}
+
+std::string SketchServer::HandleIngestBatch(const RequestHeader& header,
+                                            wire::VarintReader& reader) {
+  IngestBatchRequest req;
+  if (!DecodeIngestBatchRequest(reader, &req)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  if (req.weights.empty()) {
+    source_.Ingest(Span<const uint64_t>(req.items.data(), req.items.size()));
+    counters_.rows_ingested += req.items.size();
+  } else {
+    std::vector<WeightedEntry> rows;
+    rows.reserve(req.items.size());
+    for (size_t i = 0; i < req.items.size(); ++i) {
+      rows.push_back({req.items[i], req.weights[i]});
+    }
+    Weighted().Ingest(Span<const WeightedEntry>(rows.data(), rows.size()));
+    weighted_dirty_ = true;
+    counters_.weighted_rows_ingested += rows.size();
+  }
+  ++counters_.batches;
+  IngestBatchResponse rsp;
+  rsp.rows_accepted = req.items.size();
+  return EncodeIngestBatchResponse(header.request_id, rsp);
+}
+
+std::string SketchServer::HandleQuerySum(const RequestHeader& header,
+                                         wire::VarintReader& reader) {
+  QuerySumRequest req;
+  if (!DecodeQuerySumRequest(reader, &req)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  Predicate pred;
+  Status status = BuildPredicate(req.where, &pred);
+  if (status != Status::kOk) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id, status);
+  }
+  ++counters_.queries;
+  QuerySumResponse rsp;
+  if (req.scope == QueryScope::kCounts) {
+    SubsetSumEstimate est = engine_.Sum(pred);
+    rsp.estimate = est.estimate;
+    rsp.variance = est.variance;
+    rsp.items_in_sample = est.items_in_sample;
+  } else {
+    const bool match_all = req.where.conditions.empty();
+    WeightedSubsetSum est =
+        EstimateSubsetSum(WeightedView(), [&](uint64_t item) {
+          return match_all || pred.Matches(*attrs_, item);
+        });
+    rsp.estimate = est.estimate;
+    rsp.variance = est.variance;
+    rsp.items_in_sample = est.items_in_sample;
+  }
+  return EncodeQuerySumResponse(header.request_id, rsp);
+}
+
+std::string SketchServer::HandleQueryTopK(const RequestHeader& header,
+                                          wire::VarintReader& reader) {
+  QueryTopKRequest req;
+  if (!DecodeQueryTopKRequest(reader, &req)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  ++counters_.queries;
+  QueryTopKResponse rsp;
+  rsp.scope = req.scope;
+  if (req.scope == QueryScope::kCounts) {
+    source_.Flush();
+    rsp.counts = TopK(source_.View(), static_cast<size_t>(req.k));
+  } else {
+    std::vector<WeightedEntry> entries = WeightedView().Entries();
+    if (entries.size() > req.k) entries.resize(static_cast<size_t>(req.k));
+    rsp.weighted = std::move(entries);
+  }
+  return EncodeQueryTopKResponse(header.request_id, rsp);
+}
+
+std::string SketchServer::HandleQueryGroupBy(const RequestHeader& header,
+                                             wire::VarintReader& reader) {
+  QueryGroupByRequest req;
+  if (!DecodeQueryGroupByRequest(reader, &req)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  if (attrs_ == nullptr) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
+  if (req.dim1 >= attrs_->num_dims() ||
+      (req.has_dim2 && req.dim2 >= attrs_->num_dims())) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  Predicate pred;
+  Status status = BuildPredicate(req.where, &pred);
+  if (status != Status::kOk) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id, status);
+  }
+  ++counters_.queries;
+  QueryGroupByResponse rsp;
+  auto add_group = [&rsp](uint64_t key, const SubsetSumEstimate& est) {
+    rsp.groups.push_back(
+        {key, est.estimate, est.variance, est.items_in_sample});
+  };
+  if (req.has_dim2) {
+    for (const auto& [key, est] :
+         engine_.GroupBy2(static_cast<size_t>(req.dim1),
+                          static_cast<size_t>(req.dim2), pred)) {
+      add_group(key, est);
+    }
+  } else {
+    for (const auto& [key, est] :
+         engine_.GroupBy1(static_cast<size_t>(req.dim1), pred)) {
+      add_group(key, est);
+    }
+  }
+  // Deterministic response order (the engine's maps are unordered).
+  std::sort(rsp.groups.begin(), rsp.groups.end(),
+            [](const GroupRow& a, const GroupRow& b) { return a.key < b.key; });
+  return EncodeQueryGroupByResponse(header.request_id, rsp);
+}
+
+std::string SketchServer::HandleSnapshot(const RequestHeader& header,
+                                         wire::VarintReader& reader) {
+  SnapshotRequest req;
+  if (!DecodeSnapshotRequest(reader, &req)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  ++counters_.snapshots;
+  SnapshotResponse rsp;
+  if (req.scope == QueryScope::kCounts) {
+    rsp.blob = source_.SaveSnapshot();
+  } else {
+    rsp.blob = SketchWire<WeightedSpaceSaving>::Serialize(WeightedView());
+  }
+  // A frame must hold the response; the serialization caps keep real
+  // snapshots far below this.
+  if (rsp.blob.size() + 64 > kMaxFramePayload) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kTooLarge);
+  }
+  return EncodeSnapshotResponse(header.request_id, rsp);
+}
+
+std::string SketchServer::HandleRestore(const RequestHeader& header,
+                                        wire::VarintReader& reader) {
+  RestoreRequest req;
+  if (!DecodeRestoreRequest(reader, &req)) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kMalformed);
+  }
+  RestoreResponse rsp;
+  if (req.scope == QueryScope::kCounts) {
+    if (!source_.RestoreSnapshot(req.blob)) {
+      ++counters_.errors;
+      return EncodeErrorResponse(header.opcode, header.request_id,
+                                 Status::kBadState);
+    }
+    rsp.num_absorbed = source_.sharded().num_absorbed();
+  } else {
+    if (!Weighted().IngestSerialized(req.blob)) {
+      ++counters_.errors;
+      return EncodeErrorResponse(header.opcode, header.request_id,
+                                 Status::kBadState);
+    }
+    weighted_dirty_ = true;
+    rsp.num_absorbed = Weighted().num_absorbed();
+  }
+  ++counters_.restores;
+  return EncodeRestoreResponse(header.request_id, rsp);
+}
+
+StatsResponse SketchServer::Stats() {
+  StatsResponse out;
+  out.rows_ingested = counters_.rows_ingested;
+  out.weighted_rows_ingested = counters_.weighted_rows_ingested;
+  out.batches = counters_.batches;
+  out.queries = counters_.queries;
+  out.snapshots = counters_.snapshots;
+  out.restores = counters_.restores;
+  out.errors = counters_.errors;
+  out.num_shards = source_.sharded().num_shards();
+  source_.Flush();
+  out.total_count = source_.View().TotalCount();
+  out.total_weight =
+      weighted_ != nullptr ? WeightedView().TotalWeight() : 0.0;
+  return out;
+}
+
+void SketchServer::Serve(Transport& transport) {
+  std::string payload;
+  while (true) {
+    FrameStatus fs = ReadFrame(transport, &payload);
+    // EOF ends the session cleanly; a frame violation (hostile length
+    // prefix, mid-frame EOF) is unrecoverable on a byte stream, so the
+    // connection is dropped either way.
+    if (fs != FrameStatus::kOk) break;
+    std::string response = HandleRequest(payload);
+    if (!WriteFrame(transport, response)) break;
+    if (shutdown_) break;
+  }
+  transport.CloseWrite();
+}
+
+}  // namespace dsketch

@@ -1,0 +1,134 @@
+// SketchServer: the long-lived streaming service over the query engine.
+//
+// One server owns the full ingest-to-answer pipeline the ROADMAP's
+// streaming-service item describes: framed INGEST_BATCH requests drain
+// into a ShardedSketch via SketchSource::Ingest (unit rows) or into a
+// ShardedWeightedSpaceSaving fleet (weighted rows), queries are answered
+// from SketchQueryEngine against the merged snapshot view, and
+// replication rides the wire snapshot codecs — SNAPSHOT streams
+// SaveSnapshot bytes out, RESTORE feeds IngestSerialized so a replica
+// catches up from a peer's snapshot while keeping its own rows.
+//
+// The request surface is transport-agnostic: HandleRequest maps one
+// request payload to one response payload (pure request/response, fully
+// unit-testable), and Serve() is the event loop that runs it over a
+// framed Transport until EOF, a frame-level protocol violation, or a
+// SHUTDOWN request. Hostile input never crashes the server: undecodable
+// requests get Status::kMalformed responses, unknown opcodes
+// Status::kUnknownOpcode, oversized claims Status::kTooLarge — the same
+// never-abort contract the sketch wire decoders pin under asan.
+//
+// Threading: one thread drives HandleRequest/Serve (the sharded fleets
+// below fan work out across their own workers). Run multiple servers for
+// multiple connections and let them exchange snapshots.
+
+#ifndef DSKETCH_SERVICE_SERVER_H_
+#define DSKETCH_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "query/attribute_table.h"
+#include "query/engine.h"
+#include "query/sketch_source.h"
+#include "service/protocol.h"
+#include "service/transport.h"
+#include "shard/sharded_sketch.h"
+
+namespace dsketch {
+
+/// Server tuning knobs.
+struct SketchServerOptions {
+  /// Shard fleet configuration (workers, per-shard bins, queues) shared
+  /// by the counts and weighted ingest paths.
+  ShardedSketchOptions shard;
+  /// Bins of the merged snapshot view queries and SNAPSHOT run against.
+  size_t merged_capacity = 4096;
+  /// Seed for the snapshot merge and restores (shard seeds come from
+  /// shard.seed; the weighted fleet offsets it so the paths differ).
+  uint64_t seed = 1;
+};
+
+/// The streaming sketch service.
+class SketchServer {
+ public:
+  /// `attrs` is the dimension table predicates and group-bys evaluate
+  /// against; it may be nullptr (queries with attribute conditions then
+  /// answer Status::kUnsupported) and must outlive the server otherwise.
+  explicit SketchServer(const SketchServerOptions& options,
+                        const AttributeTable* attrs = nullptr);
+
+  /// Maps one request payload to one response payload. Always returns a
+  /// well-formed response (possibly an error response); never aborts on
+  /// hostile bytes.
+  std::string HandleRequest(std::string_view request);
+
+  /// Serves framed requests until EOF, a frame violation, or SHUTDOWN;
+  /// closes the write side on exit.
+  void Serve(Transport& transport);
+
+  /// True once a SHUTDOWN request has been handled.
+  bool shutdown_requested() const { return shutdown_; }
+
+  /// The unit-row ingestion source queries run against (exposed so
+  /// embedders and tests can reach the underlying fleet).
+  ShardedSketchSource& source() { return source_; }
+
+  /// Current counters (same numbers a STATS request reports).
+  StatsResponse Stats();
+
+ private:
+  std::string HandleIngestBatch(const RequestHeader& header,
+                                wire::VarintReader& reader);
+  std::string HandleQuerySum(const RequestHeader& header,
+                             wire::VarintReader& reader);
+  std::string HandleQueryTopK(const RequestHeader& header,
+                              wire::VarintReader& reader);
+  std::string HandleQueryGroupBy(const RequestHeader& header,
+                                 wire::VarintReader& reader);
+  std::string HandleSnapshot(const RequestHeader& header,
+                             wire::VarintReader& reader);
+  std::string HandleRestore(const RequestHeader& header,
+                            wire::VarintReader& reader);
+
+  // Lazily boots the weighted fleet (first weighted ingest/restore).
+  ShardedWeightedSpaceSaving& Weighted();
+
+  // Merged weighted view, recomputed when the fleet ingested since the
+  // last call (mirrors ShardedSketchSource's snapshot cache).
+  const WeightedSpaceSaving& WeightedView();
+
+  // Builds a Predicate from `spec`, validating dimensions. Returns
+  // kOk, kMalformed (bad dim), or kUnsupported (no attribute table).
+  Status BuildPredicate(const PredicateSpec& spec, Predicate* out) const;
+
+  // Stand-in table for attribute-less deployments (the engine requires a
+  // non-null table; attribute-touching queries are gated on attrs_).
+  static const AttributeTable kEmptyAttrs;
+
+  SketchServerOptions options_;
+  const AttributeTable* attrs_;
+  ShardedSketchSource source_;
+  SketchQueryEngine engine_;
+  std::unique_ptr<ShardedWeightedSpaceSaving> weighted_;
+  WeightedSpaceSaving weighted_view_;
+  bool weighted_dirty_ = false;
+  bool shutdown_ = false;
+
+  struct Counters {
+    uint64_t rows_ingested = 0;
+    uint64_t weighted_rows_ingested = 0;
+    uint64_t batches = 0;
+    uint64_t queries = 0;
+    uint64_t snapshots = 0;
+    uint64_t restores = 0;
+    uint64_t errors = 0;
+  };
+  Counters counters_;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SERVICE_SERVER_H_

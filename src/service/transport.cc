@@ -1,0 +1,104 @@
+#include "service/transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace dsketch {
+
+// Endpoint of an InMemoryDuplex: reads from one pipe, writes the other.
+class InMemoryDuplex::Endpoint : public Transport {
+ public:
+  Endpoint(std::shared_ptr<Pipe> read_pipe, std::shared_ptr<Pipe> write_pipe)
+      : read_pipe_(std::move(read_pipe)), write_pipe_(std::move(write_pipe)) {}
+
+  ~Endpoint() override { CloseWrite(); }
+
+  size_t Read(char* buf, size_t n) override {
+    if (n == 0) return 0;
+    std::unique_lock<std::mutex> lock(read_pipe_->mu);
+    read_pipe_->cv.wait(lock, [this] {
+      return !read_pipe_->bytes.empty() || read_pipe_->closed;
+    });
+    size_t count = 0;
+    while (count < n && !read_pipe_->bytes.empty()) {
+      buf[count++] = read_pipe_->bytes.front();
+      read_pipe_->bytes.pop_front();
+    }
+    return count;  // 0 only when closed and drained: EOF
+  }
+
+  bool Write(std::string_view bytes) override {
+    std::lock_guard<std::mutex> lock(write_pipe_->mu);
+    if (write_pipe_->closed) return false;
+    write_pipe_->bytes.insert(write_pipe_->bytes.end(), bytes.begin(),
+                              bytes.end());
+    write_pipe_->cv.notify_one();
+    return true;
+  }
+
+  void CloseWrite() override {
+    std::lock_guard<std::mutex> lock(write_pipe_->mu);
+    write_pipe_->closed = true;
+    write_pipe_->cv.notify_one();
+  }
+
+ private:
+  std::shared_ptr<Pipe> read_pipe_;
+  std::shared_ptr<Pipe> write_pipe_;
+};
+
+InMemoryDuplex::InMemoryDuplex()
+    : a_to_b_(std::make_shared<Pipe>()), b_to_a_(std::make_shared<Pipe>()) {
+  client_ = std::make_unique<Endpoint>(b_to_a_, a_to_b_);
+  server_ = std::make_unique<Endpoint>(a_to_b_, b_to_a_);
+}
+
+FdTransport::FdTransport(int read_fd, int write_fd, bool owns_fds)
+    : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+
+FdTransport::~FdTransport() {
+  if (owns_fds_) {
+    ::close(read_fd_);
+    if (write_fd_ != read_fd_) ::close(write_fd_);
+  }
+}
+
+size_t FdTransport::Read(char* buf, size_t n) {
+  while (true) {
+    ssize_t got = ::read(read_fd_, buf, n);
+    if (got >= 0) return static_cast<size_t>(got);
+    if (errno != EINTR) return 0;  // treat hard errors as EOF
+  }
+}
+
+bool FdTransport::Write(std::string_view bytes) {
+  if (write_closed_) return false;
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t put = ::write(write_fd_, bytes.data() + done, bytes.size() - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(put);
+  }
+  return true;
+}
+
+void FdTransport::CloseWrite() {
+  if (write_closed_) return;
+  write_closed_ = true;
+  // Half-close so the peer sees EOF: sockets (including a single fd
+  // wrapped for both directions) get a real SHUT_WR; pipes/files return
+  // ENOTSOCK, which is harmless — for an owned distinct write fd the
+  // close below delivers the EOF instead.
+  ::shutdown(write_fd_, SHUT_WR);
+  if (owns_fds_ && write_fd_ != read_fd_) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+}  // namespace dsketch

@@ -1,0 +1,104 @@
+// Byte-stream transports under the framed sketch protocol.
+//
+// A Transport is a blocking, ordered, reliable byte stream — the minimal
+// contract the frame layer (service/frame.h) needs. Two implementations
+// cover every deployment the service layer targets without pulling in a
+// network stack:
+//
+//   * InMemoryDuplex — a socketpair-shaped pair of endpoints backed by
+//     two in-process byte pipes. Tests and benchmarks run a real client
+//     and a real server over it with no file descriptors involved; the
+//     CI smoke scenario boots dsketchd on it.
+//   * FdTransport — wraps POSIX file descriptors (stdin/stdout for the
+//     dsketchd CLI, or a socketpair/socket fd a deployment hands in).
+//
+// Endpoints are bidirectional; Read blocks until bytes arrive or the
+// peer's write side closes (then returns 0 = EOF forever after).
+
+#ifndef DSKETCH_SERVICE_TRANSPORT_H_
+#define DSKETCH_SERVICE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+namespace dsketch {
+
+/// Blocking, ordered, reliable byte stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reads up to `n` bytes into `buf`, blocking until at least one byte
+  /// is available. Returns the number of bytes read; 0 means the peer
+  /// closed its write side (EOF — all subsequent reads also return 0).
+  virtual size_t Read(char* buf, size_t n) = 0;
+
+  /// Writes all of `bytes`; returns false when the stream is closed or
+  /// broken (partial writes are never silently dropped).
+  virtual bool Write(std::string_view bytes) = 0;
+
+  /// Closes this endpoint's write side; the peer's Read drains buffered
+  /// bytes and then sees EOF.
+  virtual void CloseWrite() = 0;
+};
+
+/// A connected pair of in-process endpoints: bytes written to client()
+/// are read by server() and vice versa. Both endpoints stay valid for
+/// the lifetime of the duplex; either side may be driven from its own
+/// thread (each direction is an independent single-reader pipe).
+class InMemoryDuplex {
+ public:
+  InMemoryDuplex();
+
+  /// The caller-side endpoint.
+  Transport& client() { return *client_; }
+
+  /// The server-side endpoint.
+  Transport& server() { return *server_; }
+
+ private:
+  // One direction of the duplex: a bounded-unbounded byte queue with
+  // close semantics (writers append, the single reader drains).
+  struct Pipe {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<char> bytes;
+    bool closed = false;
+  };
+
+  class Endpoint;
+
+  std::shared_ptr<Pipe> a_to_b_;
+  std::shared_ptr<Pipe> b_to_a_;
+  std::unique_ptr<Transport> client_;
+  std::unique_ptr<Transport> server_;
+};
+
+/// Transport over POSIX file descriptors (e.g. stdin/stdout for the
+/// dsketchd CLI, or one end of a socketpair). Does not own or close the
+/// descriptors unless `owns_fds` is set.
+class FdTransport : public Transport {
+ public:
+  /// Reads from `read_fd`, writes to `write_fd` (they may be equal for a
+  /// socket). With `owns_fds`, both are closed on destruction.
+  FdTransport(int read_fd, int write_fd, bool owns_fds = false);
+  ~FdTransport() override;
+
+  size_t Read(char* buf, size_t n) override;
+  bool Write(std::string_view bytes) override;
+  void CloseWrite() override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  bool owns_fds_;
+  bool write_closed_ = false;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SERVICE_TRANSPORT_H_

@@ -1,5 +1,7 @@
 #include "shard/sharded_sketch.h"
 
+#include <unordered_map>
+
 #include "core/merge.h"
 
 namespace dsketch {
@@ -32,6 +34,34 @@ DeterministicSpaceSaving MergeShards(
     const std::vector<DeterministicSpaceSaving>& shards, size_t capacity,
     uint64_t seed) {
   return MergeShards(Pointers(shards), capacity, seed);
+}
+
+WeightedSpaceSaving MergeShards(const std::vector<WeightedSpaceSaving>& shards,
+                                size_t capacity, uint64_t seed) {
+  return MergeShards(Pointers(shards), capacity, seed);
+}
+
+WeightedSpaceSaving MergeShards(
+    const std::vector<const WeightedSpaceSaving*>& shards, size_t capacity,
+    uint64_t seed) {
+  DSKETCH_CHECK(!shards.empty());
+  // Combine duplicate labels across shards, then reduce once — the
+  // weighted analogue of MergeAll's single final pairwise reduction.
+  std::unordered_map<uint64_t, double> sums;
+  for (const WeightedSpaceSaving* shard : shards) {
+    for (const WeightedEntry& e : shard->Entries()) sums[e.item] += e.weight;
+  }
+  std::vector<WeightedEntry> combined;
+  combined.reserve(sums.size());
+  for (const auto& [item, weight] : sums) {
+    if (weight > 0.0) combined.push_back({item, weight});
+  }
+  Rng rng(seed);
+  std::vector<WeightedEntry> reduced =
+      ReducePairwiseWeighted(std::move(combined), capacity, rng);
+  WeightedSpaceSaving out(capacity, seed);
+  out.LoadEntries(reduced);
+  return out;
 }
 
 DeterministicSpaceSaving MergeShards(

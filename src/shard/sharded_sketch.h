@@ -40,6 +40,7 @@
 #include "core/deterministic_space_saving.h"
 #include "core/serialization.h"
 #include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
 #include "shard/spsc_queue.h"
 #include "util/flat_map.h"
 #include "util/logging.h"
@@ -69,6 +70,33 @@ DeterministicSpaceSaving MergeShards(
     const std::vector<const DeterministicSpaceSaving*>& shards,
     size_t capacity, uint64_t seed);
 
+/// Unbiased merge of weighted per-shard sketches (combine duplicate
+/// labels, then one ReducePairwiseWeighted reduction — real-valued
+/// analogue of the integer shard merge; preserves the total weight).
+WeightedSpaceSaving MergeShards(const std::vector<WeightedSpaceSaving>& shards,
+                                size_t capacity, uint64_t seed);
+
+/// Pointer form of the weighted merge.
+WeightedSpaceSaving MergeShards(
+    const std::vector<const WeightedSpaceSaving*>& shards, size_t capacity,
+    uint64_t seed);
+
+/// Row type a shard queue carries for sketch type `S`, and how the
+/// partitioner extracts the routing label from one row. Integer-count
+/// sketches ship bare item labels; weighted sketches ship (item, weight)
+/// entries so every row keeps its real-valued weight through the queue.
+template <typename S>
+struct ShardRow {
+  using Type = uint64_t;
+  static uint64_t ItemOf(uint64_t row) { return row; }
+};
+
+template <>
+struct ShardRow<WeightedSpaceSaving> {
+  using Type = WeightedEntry;
+  static uint64_t ItemOf(const WeightedEntry& row) { return row.item; }
+};
+
 /// Tuning knobs for ShardedSketch.
 struct ShardedSketchOptions {
   size_t num_shards = 4;          ///< worker threads / core-local sketches
@@ -79,11 +107,14 @@ struct ShardedSketchOptions {
 };
 
 /// Concurrent sharded front-end over sketch type `S`. `S` must provide
-/// S(capacity, seed), UpdateBatch(Span<const uint64_t>), and a
-/// MergeShards(const std::vector<const S*>&, capacity, seed) overload.
+/// S(capacity, seed), UpdateBatch(Span<const ShardRow<S>::Type>), a
+/// MergeShards(const std::vector<const S*>&, capacity, seed) overload,
+/// and a SketchWire<S> specialization for snapshot replication.
 template <typename S>
 class ShardedSketch {
  public:
+  /// What one queued row looks like for this sketch type.
+  using Row = typename ShardRow<S>::Type;
   explicit ShardedSketch(const ShardedSketchOptions& options)
       : options_(options) {
     DSKETCH_CHECK(options.num_shards > 0);
@@ -109,14 +140,14 @@ class ShardedSketch {
   ShardedSketch(const ShardedSketch&) = delete;
   ShardedSketch& operator=(const ShardedSketch&) = delete;
 
-  /// Routes `items` to their shards and enqueues them (blocking with
+  /// Routes `rows` to their shards and enqueues them (blocking with
   /// backoff while a destination queue is full). Single producer.
-  void Ingest(Span<const uint64_t> items) {
-    for (uint64_t item : items) {
-      staging_[ShardOf(item)].push_back(item);
+  void Ingest(Span<const Row> items) {
+    for (const Row& row : items) {
+      staging_[ShardOf(ShardRow<S>::ItemOf(row))].push_back(row);
     }
     for (size_t s = 0; s < staging_.size(); ++s) {
-      std::vector<uint64_t>& rows = staging_[s];
+      std::vector<Row>& rows = staging_[s];
       if (rows.empty()) continue;
       Shard& shard = *shards_[s];
       size_t done = 0;
@@ -219,7 +250,7 @@ class ShardedSketch {
         : queue(options.queue_capacity),
           sketch(options.shard_capacity, options.seed + i) {}
 
-    SpscQueue<uint64_t> queue;
+    SpscQueue<Row> queue;
     S sketch;
     std::mutex mu;  // guards sketch between worker and Snapshot
     std::atomic<uint64_t> enqueued{0};
@@ -228,7 +259,7 @@ class ShardedSketch {
   };
 
   void WorkerLoop(Shard& shard) {
-    std::vector<uint64_t> rows(options_.batch_size);
+    std::vector<Row> rows(options_.batch_size);
     while (true) {
       const size_t n = shard.queue.PopBulk(rows.data(), rows.size());
       if (n == 0) {
@@ -240,7 +271,7 @@ class ShardedSketch {
       }
       {
         std::lock_guard<std::mutex> lock(shard.mu);
-        shard.sketch.UpdateBatch(Span<const uint64_t>(rows.data(), n));
+        shard.sketch.UpdateBatch(Span<const Row>(rows.data(), n));
       }
       shard.applied.fetch_add(n, std::memory_order_release);
     }
@@ -249,12 +280,17 @@ class ShardedSketch {
   ShardedSketchOptions options_;
   std::atomic<bool> stop_{false};
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::vector<uint64_t>> staging_;  // per-shard routing buffers
+  std::vector<std::vector<Row>> staging_;  // per-shard routing buffers
   std::vector<S> remotes_;  // sketches absorbed via IngestSerialized
 };
 
 /// The concurrent front-end for the paper's primary sketch.
 using ShardedSpaceSaving = ShardedSketch<UnbiasedSpaceSaving>;
+
+/// The concurrent front-end for real-valued (item, weight) rows — the
+/// §5.3 weighted generalization behind the service layer's weighted
+/// ingest path.
+using ShardedWeightedSpaceSaving = ShardedSketch<WeightedSpaceSaving>;
 
 }  // namespace dsketch
 

@@ -117,6 +117,16 @@ class VarintReader {
     return true;
   }
 
+  /// Appends `n` raw bytes to `out` in one copy; false (consuming
+  /// nothing) when fewer than `n` remain. Callers must bound `n` by
+  /// remaining() or a validated length before any allocation.
+  bool ReadBytes(size_t n, std::string* out) {
+    if (bytes_.size() - pos_ < n) return false;
+    out->append(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
   /// Reads a fixed-width little-endian scalar.
   template <typename T>
   bool ReadValue(T* out) {

@@ -1,0 +1,341 @@
+// Adversarial hardening for the service protocol, mirroring the wire
+// decoder sweep (wire_adversarial_test): truncation at every byte,
+// an exhaustive single-bit-flip sweep, hostile length prefixes and
+// oversized batch/top-k/predicate claims, and unknown opcodes. The
+// contract under attack: SketchServer::HandleRequest answers *every*
+// payload with a well-formed response — error status, never a crash,
+// over-read, or forced allocation — and the frame layer rejects hostile
+// prefixes before allocating. CI runs this suite under asan+ubsan on
+// every push.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "core/unbiased_space_saving.h"
+#include "query/attribute_table.h"
+#include "service/frame.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "wire/varint.h"
+
+namespace dsketch {
+namespace {
+
+SketchServerOptions SmallOptions() {
+  SketchServerOptions options;
+  options.shard.num_shards = 2;
+  options.shard.shard_capacity = 128;
+  options.shard.seed = 3;
+  options.merged_capacity = 256;
+  options.seed = 3;
+  return options;
+}
+
+// One well-formed request per opcode (weighted ingest included), so the
+// sweeps cover every handler's decode path.
+std::vector<std::pair<std::string, std::string>> AllRequests() {
+  std::vector<std::pair<std::string, std::string>> out;
+  IngestBatchRequest unit;
+  unit.items = {5, 6, 7, 8, 5, 6, 1000000};
+  out.emplace_back("ingest", EncodeIngestBatchRequest(1, unit));
+  IngestBatchRequest weighted = unit;
+  weighted.weights = {1.0, 2.0, 0.5, 4.0, 1.5, 2.5, 3.5};
+  out.emplace_back("ingest_weighted", EncodeIngestBatchRequest(2, weighted));
+  QuerySumRequest sum;
+  sum.where.WhereEq(0, 2).WhereIn(1, {1, 2, 3});
+  out.emplace_back("query_sum", EncodeQuerySumRequest(3, sum));
+  QueryTopKRequest topk;
+  topk.k = 10;
+  out.emplace_back("query_topk", EncodeQueryTopKRequest(4, topk));
+  QueryGroupByRequest group;
+  group.dim1 = 0;
+  group.has_dim2 = true;
+  group.dim2 = 1;
+  out.emplace_back("query_groupby", EncodeQueryGroupByRequest(5, group));
+  SnapshotRequest snap;
+  out.emplace_back("snapshot", EncodeSnapshotRequest(6, snap));
+  RestoreRequest restore;
+  UnbiasedSpaceSaving sketch(16, 9);
+  for (int i = 0; i < 100; ++i) sketch.Update(static_cast<uint64_t>(i % 20));
+  restore.blob = Serialize(sketch);
+  out.emplace_back("restore", EncodeRestoreRequest(7, restore));
+  out.emplace_back("stats", EncodeStatsRequest(8));
+  out.emplace_back("shutdown", EncodeShutdownRequest(9));
+  return out;
+}
+
+// Decodes the response header; every response must carry one.
+Status ResponseStatus(std::string_view response) {
+  wire::VarintReader reader(response);
+  ResponseHeader header;
+  EXPECT_TRUE(DecodeResponseHeader(reader, &header))
+      << "response without a decodable header";
+  return header.status;
+}
+
+TEST(ServiceAdversarialTest, IntactRequestsSucceed) {
+  AttributeTable attrs(2);
+  for (uint64_t i = 0; i < 30; ++i) {
+    attrs.AddItem({static_cast<uint32_t>(i % 5),
+                   static_cast<uint32_t>(i % 3)});
+  }
+  SketchServer server(SmallOptions(), &attrs);
+  for (const auto& [label, request] : AllRequests()) {
+    EXPECT_EQ(ResponseStatus(server.HandleRequest(request)), Status::kOk)
+        << label;
+  }
+}
+
+TEST(ServiceAdversarialTest, EveryTruncationGetsAnErrorResponse) {
+  // Counts and lengths travel ahead of their payloads, so no strict
+  // prefix of a valid request can itself be valid.
+  AttributeTable attrs(2);
+  for (uint64_t i = 0; i < 30; ++i) {
+    attrs.AddItem({static_cast<uint32_t>(i % 5),
+                   static_cast<uint32_t>(i % 3)});
+  }
+  SketchServer server(SmallOptions(), &attrs);
+  for (const auto& [label, request] : AllRequests()) {
+    for (size_t cut = 0; cut < request.size(); ++cut) {
+      std::string response =
+          server.HandleRequest(std::string_view(request.data(), cut));
+      EXPECT_NE(ResponseStatus(response), Status::kOk)
+          << label << " cut at " << cut;
+    }
+  }
+}
+
+TEST(ServiceAdversarialTest, SingleBitFlipsNeverCrashTheServer) {
+  // A flipped bit may still decode (an item label, a request id); the
+  // contract is a well-formed response every time, no aborts — asan and
+  // ubsan make any violation fatal in CI.
+  SketchServer server(SmallOptions());
+  size_t still_ok = 0;
+  for (const auto& [label, request] : AllRequests()) {
+    std::string tampered = request;
+    for (size_t i = 0; i < tampered.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        tampered[i] = static_cast<char>(tampered[i] ^ (1 << bit));
+        std::string response = server.HandleRequest(tampered);
+        wire::VarintReader reader(response);
+        ResponseHeader header;
+        ASSERT_TRUE(DecodeResponseHeader(reader, &header))
+            << label << " byte " << i << " bit " << bit;
+        if (header.status == Status::kOk) ++still_ok;
+        tampered[i] = request[i];  // restore
+      }
+    }
+  }
+  SUCCEED() << still_ok << " tampered requests still executed cleanly";
+}
+
+TEST(ServiceAdversarialTest, UnknownOpcodesAndVersionsAreRejected) {
+  SketchServer server(SmallOptions());
+  for (uint8_t opcode : {uint8_t{0}, uint8_t{9}, uint8_t{42}, uint8_t{255}}) {
+    std::string request;
+    wire::VarintWriter w(request);
+    w.PutByte(kProtocolVersion);
+    w.PutByte(opcode);
+    w.PutVarint(77);
+    EXPECT_EQ(ResponseStatus(server.HandleRequest(request)),
+              Status::kUnknownOpcode)
+        << "opcode " << static_cast<int>(opcode);
+  }
+  // Future protocol version: refused, not misparsed.
+  std::string future;
+  wire::VarintWriter w(future);
+  w.PutByte(kProtocolVersion + 1);
+  w.PutByte(static_cast<uint8_t>(Opcode::kStats));
+  w.PutVarint(1);
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(future)),
+            Status::kUnsupported);
+  // Empty and garbage payloads (garbage may parse as a header carrying a
+  // foreign version byte, which is an equally firm rejection).
+  EXPECT_EQ(ResponseStatus(server.HandleRequest("")), Status::kMalformed);
+  EXPECT_NE(ResponseStatus(server.HandleRequest("garbage bytes here")),
+            Status::kOk);
+}
+
+std::string RequestWithBody(Opcode opcode,
+                            const std::function<void(wire::VarintWriter&)>& body) {
+  std::string out;
+  wire::VarintWriter w(out);
+  w.PutByte(kProtocolVersion);
+  w.PutByte(static_cast<uint8_t>(opcode));
+  w.PutVarint(1);
+  body(w);
+  return out;
+}
+
+TEST(ServiceAdversarialTest, HostileBatchAndQueryClaimsAreRejected) {
+  SketchServer server(SmallOptions());
+
+  // A maximal claimed row count with almost no bytes behind it: the
+  // byte-budget bound must reject before any reserve.
+  std::string row_bomb = RequestWithBody(
+      Opcode::kIngestBatch, [](wire::VarintWriter& w) {
+        w.PutByte(0);
+        w.PutVarint(kMaxBatchRows);  // claimed rows
+        w.PutVarint(1);              // one lonely byte
+      });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(row_bomb)), Status::kOk);
+
+  // Row count over the cap (with weights, 9 bytes/row claimed).
+  std::string over_cap = RequestWithBody(
+      Opcode::kIngestBatch, [](wire::VarintWriter& w) {
+        w.PutByte(1);
+        w.PutVarint(kMaxBatchRows + 1);
+      });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(over_cap)), Status::kOk);
+
+  // Non-positive and NaN weights (the sketch would CHECK-fail on them).
+  for (double bad : {0.0, -1.0, std::nan("")}) {
+    std::string bad_weight = RequestWithBody(
+        Opcode::kIngestBatch, [bad](wire::VarintWriter& w) {
+          w.PutByte(1);
+          w.PutVarint(1);
+          w.PutVarint(7);
+          w.PutDouble(bad);
+        });
+    EXPECT_NE(ResponseStatus(server.HandleRequest(bad_weight)), Status::kOk);
+  }
+
+  // k = 0 and k beyond the cap.
+  for (uint64_t k : {uint64_t{0}, kMaxTopK + 1}) {
+    std::string bad_k = RequestWithBody(
+        Opcode::kQueryTopK, [k](wire::VarintWriter& w) {
+          w.PutByte(0);
+          w.PutVarint(k);
+        });
+    EXPECT_NE(ResponseStatus(server.HandleRequest(bad_k)), Status::kOk);
+  }
+
+  // Predicate with a hostile value-count claim.
+  std::string pred_bomb = RequestWithBody(
+      Opcode::kQuerySum, [](wire::VarintWriter& w) {
+        w.PutByte(0);
+        w.PutVarint(1);              // one condition
+        w.PutVarint(0);              // dim 0
+        w.PutVarint(uint64_t{1} << 40);  // claimed values
+      });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(pred_bomb)), Status::kOk);
+
+  // Restore whose blob length does not match the bytes present, and
+  // whose bytes are not a sketch.
+  std::string bad_len = RequestWithBody(
+      Opcode::kRestore, [](wire::VarintWriter& w) {
+        w.PutByte(0);
+        w.PutVarint(1000);  // claims 1000 bytes
+        w.PutVarint(7);     // provides 1
+      });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(bad_len)), Status::kOk);
+  std::string not_a_sketch = RequestWithBody(
+      Opcode::kRestore, [](wire::VarintWriter& w) {
+        w.PutByte(0);
+        w.PutVarint(4);
+        w.PutByte('j');
+        w.PutByte('u');
+        w.PutByte('n');
+        w.PutByte('k');
+      });
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(not_a_sketch)),
+            Status::kBadState);
+
+  // Cross-kind restore: a counts blob fed to the weighted scope decodes
+  // as the wrong kind and must be refused, state untouched.
+  UnbiasedSpaceSaving sketch(16, 5);
+  for (int i = 0; i < 50; ++i) sketch.Update(static_cast<uint64_t>(i % 10));
+  std::string counts_blob = Serialize(sketch);
+  std::string cross_kind = RequestWithBody(
+      Opcode::kRestore, [&counts_blob](wire::VarintWriter& w) {
+        w.PutByte(static_cast<uint8_t>(QueryScope::kWeighted));
+        w.PutVarint(counts_blob.size());
+        for (char c : counts_blob) w.PutByte(static_cast<uint8_t>(c));
+      });
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(cross_kind)),
+            Status::kBadState);
+
+  // Out-of-range scope byte.
+  std::string bad_scope = RequestWithBody(
+      Opcode::kSnapshot, [](wire::VarintWriter& w) { w.PutByte(7); });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(bad_scope)), Status::kOk);
+
+  // After all that hostility, the server still works.
+  IngestBatchRequest ok;
+  ok.items = {1, 2, 3};
+  EXPECT_EQ(ResponseStatus(
+                server.HandleRequest(EncodeIngestBatchRequest(50, ok))),
+            Status::kOk);
+}
+
+TEST(ServiceAdversarialTest, GroupByDimensionBoundsAreChecked) {
+  AttributeTable attrs(2);
+  for (uint64_t i = 0; i < 10; ++i) {
+    attrs.AddItem({static_cast<uint32_t>(i), static_cast<uint32_t>(i % 2)});
+  }
+  SketchServer server(SmallOptions(), &attrs);
+  QueryGroupByRequest group;
+  group.dim1 = 99;  // out of range for a 2-dim table
+  EXPECT_EQ(ResponseStatus(
+                server.HandleRequest(EncodeQueryGroupByRequest(1, group))),
+            Status::kMalformed);
+  QuerySumRequest sum;
+  sum.where.WhereEq(5, 1);  // predicate dim out of range
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(EncodeQuerySumRequest(2, sum))),
+            Status::kMalformed);
+}
+
+TEST(ServiceAdversarialTest, HostileFrameLengthPrefixesDropTheConnection) {
+  // Claimed length over the cap: rejected before any allocation.
+  {
+    InMemoryDuplex duplex;
+    const uint32_t huge = 0xFFFFFFFF;
+    std::string raw(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    ASSERT_TRUE(duplex.client().Write(raw));
+    duplex.client().CloseWrite();
+    std::string payload;
+    EXPECT_EQ(ReadFrame(duplex.server(), &payload), FrameStatus::kMalformed);
+  }
+  // Truncated length prefix.
+  {
+    InMemoryDuplex duplex;
+    ASSERT_TRUE(duplex.client().Write(std::string_view("\x05\x00", 2)));
+    duplex.client().CloseWrite();
+    std::string payload;
+    EXPECT_EQ(ReadFrame(duplex.server(), &payload), FrameStatus::kMalformed);
+  }
+  // EOF mid-body: length promises more bytes than ever arrive.
+  {
+    InMemoryDuplex duplex;
+    const uint32_t len = 100;
+    std::string raw(reinterpret_cast<const char*>(&len), sizeof(len));
+    raw += "only a few bytes";
+    ASSERT_TRUE(duplex.client().Write(raw));
+    duplex.client().CloseWrite();
+    std::string payload;
+    EXPECT_EQ(ReadFrame(duplex.server(), &payload), FrameStatus::kMalformed);
+  }
+  // A serving thread fed a hostile prefix exits instead of wedging.
+  {
+    InMemoryDuplex duplex;
+    SketchServer server(SmallOptions());
+    std::thread serve([&] { server.Serve(duplex.server()); });
+    const uint32_t huge = 0xFFFFFFFF;
+    std::string raw(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    ASSERT_TRUE(duplex.client().Write(raw));
+    duplex.client().CloseWrite();
+    serve.join();  // must terminate
+  }
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,382 @@
+// End-to-end tests for the streaming service layer: the frame codec over
+// the in-memory transport, protocol message round trips, a live
+// client/server session exercising every opcode, the weighted ingest
+// path, and the replication contract — a replica that restores from a
+// primary's SNAPSHOT frames answers top-k/subset-sum queries identically
+// (the fresh-fleet restore is exact when the merge capacity holds every
+// snapshot entry, the same contract sharded_sketch_test pins for
+// IngestSerialized).
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/attribute_table.h"
+#include "service/client.h"
+#include "service/frame.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+TEST(FrameTest, RoundTripsPayloadsOverInMemoryDuplex) {
+  InMemoryDuplex duplex;
+  std::string payload;
+  EXPECT_TRUE(WriteFrame(duplex.client(), "hello frames"));
+  EXPECT_TRUE(WriteFrame(duplex.client(), ""));  // empty frame is legal
+  ASSERT_EQ(ReadFrame(duplex.server(), &payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "hello frames");
+  ASSERT_EQ(ReadFrame(duplex.server(), &payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+  duplex.client().CloseWrite();
+  EXPECT_EQ(ReadFrame(duplex.server(), &payload), FrameStatus::kEof);
+}
+
+TEST(FrameTest, RefusesOversizedPayloadOnWrite) {
+  InMemoryDuplex duplex;
+  std::string big(kMaxFramePayload + 1, 'x');
+  EXPECT_FALSE(WriteFrame(duplex.client(), big));
+}
+
+TEST(ProtocolTest, IngestBatchRoundTripsWithAndWithoutWeights) {
+  IngestBatchRequest unit;
+  unit.items = {1, 99, 1u << 30, 7};
+  std::string payload = EncodeIngestBatchRequest(42, unit);
+  wire::VarintReader reader(payload);
+  RequestHeader header;
+  ASSERT_TRUE(DecodeRequestHeader(reader, &header));
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.opcode, Opcode::kIngestBatch);
+  EXPECT_EQ(header.request_id, 42u);
+  IngestBatchRequest decoded;
+  ASSERT_TRUE(DecodeIngestBatchRequest(reader, &decoded));
+  EXPECT_EQ(decoded.items, unit.items);
+  EXPECT_TRUE(decoded.weights.empty());
+
+  IngestBatchRequest weighted = unit;
+  weighted.weights = {0.5, 2.0, 1.25, 100.0};
+  payload = EncodeIngestBatchRequest(43, weighted);
+  wire::VarintReader reader2(payload);
+  ASSERT_TRUE(DecodeRequestHeader(reader2, &header));
+  ASSERT_TRUE(DecodeIngestBatchRequest(reader2, &decoded));
+  EXPECT_EQ(decoded.items, weighted.items);
+  EXPECT_EQ(decoded.weights, weighted.weights);
+}
+
+TEST(ProtocolTest, QueryAndResponseMessagesRoundTrip) {
+  QuerySumRequest sum;
+  sum.scope = QueryScope::kWeighted;
+  sum.where.WhereEq(0, 3).WhereIn(2, {1, 5, 9});
+  std::string payload = EncodeQuerySumRequest(7, sum);
+  wire::VarintReader reader(payload);
+  RequestHeader header;
+  ASSERT_TRUE(DecodeRequestHeader(reader, &header));
+  QuerySumRequest sum2;
+  ASSERT_TRUE(DecodeQuerySumRequest(reader, &sum2));
+  EXPECT_EQ(sum2.scope, QueryScope::kWeighted);
+  ASSERT_EQ(sum2.where.conditions.size(), 2u);
+  EXPECT_EQ(sum2.where.conditions[1].values, (std::vector<uint32_t>{1, 5, 9}));
+
+  QueryTopKResponse topk;
+  topk.scope = QueryScope::kCounts;
+  topk.counts = {{11, 500}, {22, 300}};
+  payload = EncodeQueryTopKResponse(9, topk);
+  wire::VarintReader reader2(payload);
+  ResponseHeader rsp_header;
+  ASSERT_TRUE(DecodeResponseHeader(reader2, &rsp_header));
+  EXPECT_EQ(rsp_header.status, Status::kOk);
+  EXPECT_EQ(rsp_header.request_id, 9u);
+  QueryTopKResponse topk2;
+  ASSERT_TRUE(DecodeQueryTopKResponse(reader2, &topk2));
+  ASSERT_EQ(topk2.counts.size(), 2u);
+  EXPECT_EQ(topk2.counts[0].item, 11u);
+  EXPECT_EQ(topk2.counts[0].count, 500);
+
+  StatsResponse stats;
+  stats.rows_ingested = 12345;
+  stats.total_count = -3;  // signed path
+  stats.total_weight = 2.5;
+  payload = EncodeStatsResponse(1, stats);
+  wire::VarintReader reader3(payload);
+  ASSERT_TRUE(DecodeResponseHeader(reader3, &rsp_header));
+  StatsResponse stats2;
+  ASSERT_TRUE(DecodeStatsResponse(reader3, &stats2));
+  EXPECT_EQ(stats2.rows_ingested, 12345u);
+  EXPECT_EQ(stats2.total_count, -3);
+  EXPECT_DOUBLE_EQ(stats2.total_weight, 2.5);
+}
+
+// Fixture running a server thread over the in-memory duplex.
+class ServiceSessionTest : public ::testing::Test {
+ protected:
+  ServiceSessionTest() : attrs_(2) {
+    // 1000 items: dim 0 = item % 10, dim 1 = item % 4.
+    for (uint64_t i = 0; i < 1000; ++i) {
+      attrs_.AddItem({static_cast<uint32_t>(i % 10),
+                      static_cast<uint32_t>(i % 4)});
+    }
+  }
+
+  void Boot(const AttributeTable* attrs) {
+    SketchServerOptions options;
+    options.shard.num_shards = 2;
+    options.shard.shard_capacity = 512;
+    options.shard.seed = 5;
+    options.merged_capacity = 1024;
+    options.seed = 5;
+    server_ = std::make_unique<SketchServer>(options, attrs);
+    serve_ = std::thread([this] { server_->Serve(duplex_.server()); });
+    client_ = std::make_unique<SketchClient>(duplex_.client());
+  }
+
+  void TearDown() override {
+    if (client_ != nullptr) client_->Shutdown();
+    if (serve_.joinable()) serve_.join();
+  }
+
+  AttributeTable attrs_;
+  InMemoryDuplex duplex_;
+  std::unique_ptr<SketchServer> server_;
+  std::thread serve_;
+  std::unique_ptr<SketchClient> client_;
+};
+
+TEST_F(ServiceSessionTest, IngestsAndAnswersEveryQueryOpcode) {
+  Boot(&attrs_);
+  // 200 copies each of items 0..99: totals are exact, filters are easy
+  // to check (dim 0 == 3 selects items 3, 13, ..., 93 -> 2000 rows).
+  std::vector<uint64_t> rows;
+  for (uint64_t item = 0; item < 100; ++item) {
+    for (int c = 0; c < 200; ++c) rows.push_back(item);
+  }
+  Rng rng(3);
+  for (size_t i = rows.size(); i > 1; --i) {
+    std::swap(rows[i - 1], rows[rng.NextBounded(i)]);
+  }
+  ASSERT_TRUE(client_->IngestBatch(rows));
+
+  auto total = client_->QuerySum();
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->estimate, 20000.0);
+
+  auto filtered = client_->QuerySum(PredicateSpec().WhereEq(0, 3));
+  ASSERT_TRUE(filtered.has_value());
+  // The sketch holds all 100 distinct items (capacity 512), so the
+  // subset estimate is exact.
+  EXPECT_EQ(filtered->estimate, 2000.0);
+  EXPECT_EQ(filtered->items_in_sample, 10u);
+
+  auto topk = client_->QueryTopK(5);
+  ASSERT_TRUE(topk.has_value());
+  ASSERT_EQ(topk->counts.size(), 5u);
+  EXPECT_EQ(topk->counts[0].count, 200);
+
+  auto by_dim0 = client_->QueryGroupBy(0);
+  ASSERT_TRUE(by_dim0.has_value());
+  ASSERT_EQ(by_dim0->groups.size(), 10u);
+  for (const GroupRow& g : by_dim0->groups) {
+    EXPECT_EQ(g.estimate, 2000.0) << "group " << g.key;
+  }
+
+  auto by_pair = client_->QueryGroupBy2(0, 1);
+  ASSERT_TRUE(by_pair.has_value());
+  EXPECT_EQ(by_pair->groups.size(), 20u);  // lcm(10,4)=20 pairs occur
+
+  auto stats = client_->Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->rows_ingested, rows.size());
+  EXPECT_EQ(stats->total_count, 20000);
+  EXPECT_EQ(stats->batches, 1u);
+  EXPECT_EQ(stats->num_shards, 2u);
+}
+
+TEST_F(ServiceSessionTest, WeightedPathIngestsQueriesAndSnapshots) {
+  Boot(&attrs_);
+  // Items 0..49, each with weight item + 0.5, 10 rows each.
+  std::vector<uint64_t> items;
+  std::vector<double> weights;
+  double truth = 0.0;
+  for (uint64_t item = 0; item < 50; ++item) {
+    for (int c = 0; c < 10; ++c) {
+      items.push_back(item);
+      weights.push_back(static_cast<double>(item) + 0.5);
+      truth += static_cast<double>(item) + 0.5;
+    }
+  }
+  ASSERT_TRUE(client_->IngestWeighted(items, weights));
+
+  auto total = client_->QuerySum(PredicateSpec(), QueryScope::kWeighted);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_NEAR(total->estimate, truth, 1e-6 * truth);
+
+  auto topk = client_->QueryTopK(3, QueryScope::kWeighted);
+  ASSERT_TRUE(topk.has_value());
+  ASSERT_EQ(topk->weighted.size(), 3u);
+  EXPECT_EQ(topk->weighted[0].item, 49u);
+  EXPECT_NEAR(topk->weighted[0].weight, 495.0, 1e-9);
+
+  // Weighted filter: dim 0 == 7 selects items 7, 17, 27, 37, 47.
+  auto filtered =
+      client_->QuerySum(PredicateSpec().WhereEq(0, 7), QueryScope::kWeighted);
+  ASSERT_TRUE(filtered.has_value());
+  EXPECT_NEAR(filtered->estimate, 10 * (7 + 17 + 27 + 37 + 47 + 2.5), 1e-6);
+
+  // Weighted snapshot replicates into a fresh node.
+  auto blob = client_->Snapshot(QueryScope::kWeighted);
+  ASSERT_TRUE(blob.has_value());
+  {
+    SketchServerOptions options;
+    options.shard.num_shards = 2;
+    options.shard.shard_capacity = 512;
+    options.shard.seed = 77;
+    options.merged_capacity = 1024;
+    options.seed = 77;
+    InMemoryDuplex wire_b;
+    SketchServer replica(options, &attrs_);
+    std::thread serve_b([&] { replica.Serve(wire_b.server()); });
+    SketchClient client_b(wire_b.client());
+    ASSERT_TRUE(client_b.Restore(*blob, QueryScope::kWeighted));
+    auto replica_total =
+        client_b.QuerySum(PredicateSpec(), QueryScope::kWeighted);
+    ASSERT_TRUE(replica_total.has_value());
+    EXPECT_NEAR(replica_total->estimate, truth, 1e-6 * truth);
+    client_b.Shutdown();
+    serve_b.join();
+  }
+
+  // The unit-row state is untouched by weighted ingest.
+  auto counts_total = client_->QuerySum();
+  ASSERT_TRUE(counts_total.has_value());
+  EXPECT_EQ(counts_total->estimate, 0.0);
+}
+
+TEST_F(ServiceSessionTest, PredicateQueriesWithoutTableAreUnsupported) {
+  Boot(nullptr);
+  ASSERT_TRUE(client_->IngestBatch(std::vector<uint64_t>{1, 2, 3}));
+  auto total = client_->QuerySum();  // no conditions: fine without table
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->estimate, 3.0);
+  auto filtered = client_->QuerySum(PredicateSpec().WhereEq(0, 1));
+  EXPECT_FALSE(filtered.has_value());
+  EXPECT_EQ(client_->last_status(),
+            static_cast<uint8_t>(Status::kUnsupported));
+  auto grouped = client_->QueryGroupBy(0);
+  EXPECT_FALSE(grouped.has_value());
+  EXPECT_EQ(client_->last_status(),
+            static_cast<uint8_t>(Status::kUnsupported));
+}
+
+TEST_F(ServiceSessionTest, ShutdownEndsTheSession) {
+  Boot(&attrs_);
+  ASSERT_TRUE(client_->Shutdown());
+  EXPECT_TRUE(server_->shutdown_requested());
+  serve_.join();
+  // The connection is gone: further calls fail at the transport.
+  EXPECT_FALSE(client_->IngestBatch(std::vector<uint64_t>{1}));
+  EXPECT_EQ(client_->last_status(), kTransportError);
+  client_.reset();  // TearDown must not re-shutdown a dead session
+}
+
+// The acceptance scenario: node A ingests a Zipf workload; node B
+// catches up purely from A's SNAPSHOT frames. A fresh replica's restore
+// is exact (same contract as sharded_sketch_test's
+// SerializedSnapshotRoundTripsIntoFreshFleet): totals match exactly and
+// every top-k / subset-sum answer matches A's.
+TEST(ServiceReplicationTest, ReplicaCatchesUpFromSnapshotFrames) {
+  AttributeTable attrs(1);
+  const size_t kItems = 3000;
+  for (uint64_t i = 0; i < kItems; ++i) {
+    attrs.AddItem({static_cast<uint32_t>(i % 8)});
+  }
+  auto counts = ZipfCounts(kItems, 1.1, 400);
+  Rng rng(17);
+  auto rows = PermutedStream(counts, rng);
+
+  SketchServerOptions options;
+  options.shard.num_shards = 3;
+  options.shard.shard_capacity = 1024;
+  options.shard.seed = 21;
+  options.merged_capacity = 2048;
+  options.seed = 21;
+
+  InMemoryDuplex wire_a;
+  SketchServer node_a(options, &attrs);
+  std::thread serve_a([&] { node_a.Serve(wire_a.server()); });
+  SketchClient client_a(wire_a.client());
+  const size_t kBatch = 2000;
+  for (size_t pos = 0; pos < rows.size(); pos += kBatch) {
+    size_t len = std::min(kBatch, rows.size() - pos);
+    ASSERT_TRUE(client_a.IngestBatch(
+        Span<const uint64_t>(rows.data() + pos, len)));
+  }
+  auto blob = client_a.Snapshot();
+  ASSERT_TRUE(blob.has_value());
+
+  SketchServerOptions options_b = options;
+  options_b.shard.seed = 99;  // replica randomness is independent
+  options_b.seed = 99;
+  InMemoryDuplex wire_b;
+  SketchServer node_b(options_b, &attrs);
+  std::thread serve_b([&] { node_b.Serve(wire_b.server()); });
+  SketchClient client_b(wire_b.client());
+  ASSERT_TRUE(client_b.Restore(*blob));
+
+  // Totals are preserved exactly through snapshot + restore.
+  auto total_a = client_a.QuerySum();
+  auto total_b = client_b.QuerySum();
+  ASSERT_TRUE(total_a.has_value() && total_b.has_value());
+  EXPECT_EQ(total_a->estimate, static_cast<double>(rows.size()));
+  EXPECT_EQ(total_b->estimate, total_a->estimate);
+
+  // Top-k answers match item-for-item, count-for-count.
+  auto topk_a = client_a.QueryTopK(20);
+  auto topk_b = client_b.QueryTopK(20);
+  ASSERT_TRUE(topk_a.has_value() && topk_b.has_value());
+  ASSERT_EQ(topk_a->counts.size(), topk_b->counts.size());
+  for (size_t i = 0; i < topk_a->counts.size(); ++i) {
+    EXPECT_EQ(topk_a->counts[i].item, topk_b->counts[i].item) << "rank " << i;
+    EXPECT_EQ(topk_a->counts[i].count, topk_b->counts[i].count)
+        << "rank " << i;
+  }
+
+  // Subset sums (filtered and grouped) agree on every group.
+  for (uint32_t value : {0u, 3u, 7u}) {
+    auto sum_a = client_a.QuerySum(PredicateSpec().WhereEq(0, value));
+    auto sum_b = client_b.QuerySum(PredicateSpec().WhereEq(0, value));
+    ASSERT_TRUE(sum_a.has_value() && sum_b.has_value());
+    EXPECT_EQ(sum_a->estimate, sum_b->estimate) << "dim0 == " << value;
+  }
+  auto groups_a = client_a.QueryGroupBy(0);
+  auto groups_b = client_b.QueryGroupBy(0);
+  ASSERT_TRUE(groups_a.has_value() && groups_b.has_value());
+  ASSERT_EQ(groups_a->groups.size(), groups_b->groups.size());
+  for (size_t i = 0; i < groups_a->groups.size(); ++i) {
+    EXPECT_EQ(groups_a->groups[i].key, groups_b->groups[i].key);
+    EXPECT_EQ(groups_a->groups[i].estimate, groups_b->groups[i].estimate);
+  }
+
+  // B keeps answering after more local rows arrive on top of the
+  // restored state: the total covers both streams.
+  std::vector<uint64_t> extra(500, 12345);
+  ASSERT_TRUE(client_b.IngestBatch(extra));
+  auto grown = client_b.QuerySum();
+  ASSERT_TRUE(grown.has_value());
+  EXPECT_EQ(grown->estimate, static_cast<double>(rows.size() + 500));
+
+  client_a.Shutdown();
+  client_b.Shutdown();
+  serve_a.join();
+  serve_b.join();
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -261,5 +261,141 @@ TEST(ShardedSketchTest, IngestSerializedRejectsMalformedBytes) {
   EXPECT_EQ(fleet.num_absorbed(), 1u);
 }
 
+// ---------------------------------------------------------------------
+// Weighted sharding: (item, weight) rows through the same queues,
+// WeightedSpaceSaving shards, ReducePairwiseWeighted merge.
+// ---------------------------------------------------------------------
+
+std::vector<WeightedEntry> WeightedRows(size_t n_items, size_t rows_per_item,
+                                        uint64_t seed) {
+  std::vector<WeightedEntry> rows;
+  rows.reserve(n_items * rows_per_item);
+  Rng rng(seed);
+  for (size_t i = 0; i < n_items; ++i) {
+    for (size_t r = 0; r < rows_per_item; ++r) {
+      rows.push_back({static_cast<uint64_t>(i), 0.25 + rng.NextDouble()});
+    }
+  }
+  for (size_t i = rows.size(); i > 1; --i) {
+    std::swap(rows[i - 1], rows[rng.NextBounded(i)]);
+  }
+  return rows;
+}
+
+TEST(ShardedWeightedSketchTest, PreservesTotalWeight) {
+  auto rows = WeightedRows(400, 20, 101);
+  double truth = 0.0;
+  for (const WeightedEntry& r : rows) truth += r.weight;
+
+  ShardedWeightedSpaceSaving sharded(SmallOptions(4));
+  size_t pos = 0;
+  while (pos < rows.size()) {
+    size_t len = std::min<size_t>(777, rows.size() - pos);
+    sharded.Ingest(Span<const WeightedEntry>(rows.data() + pos, len));
+    pos += len;
+  }
+  sharded.Flush();
+  EXPECT_EQ(sharded.RowsIngested(), static_cast<int64_t>(rows.size()));
+
+  double shard_total = 0.0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    shard_total += sharded.shard(s).TotalWeight();
+  }
+  EXPECT_NEAR(shard_total, truth, 1e-6 * truth);
+
+  WeightedSpaceSaving merged = sharded.Snapshot(128, 3);
+  EXPECT_NEAR(merged.TotalWeight(), truth, 1e-6 * truth);
+}
+
+TEST(ShardedWeightedSketchTest, ShardsMatchSequentiallyPartitionedReference) {
+  // Same contract as the unit-row fleet: per-shard state is bit-for-bit
+  // the single-threaded partition of the stream (UpdateBatch over
+  // (item, weight) rows is pinned identical to per-row Update).
+  auto rows = WeightedRows(300, 12, 131);
+  ShardedSketchOptions opt = SmallOptions(3);
+  ShardedWeightedSpaceSaving sharded(opt);
+  sharded.Ingest(rows);
+  sharded.Flush();
+
+  std::vector<WeightedSpaceSaving> reference;
+  for (size_t s = 0; s < opt.num_shards; ++s) {
+    reference.emplace_back(opt.shard_capacity, opt.seed + s);
+  }
+  for (const WeightedEntry& row : rows) {
+    reference[sharded.ShardOf(row.item)].Update(row.item, row.weight);
+  }
+  for (size_t s = 0; s < opt.num_shards; ++s) {
+    auto got = sharded.shard(s).Entries();
+    auto want = reference[s].Entries();
+    ASSERT_EQ(got.size(), want.size()) << "shard " << s;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].item, want[i].item) << "shard " << s << " entry " << i;
+      EXPECT_EQ(got[i].weight, want[i].weight)
+          << "shard " << s << " entry " << i;
+    }
+  }
+}
+
+TEST(ShardedWeightedSketchTest, SnapshotSubsetSumsStayUnbiased) {
+  // The weighted merge (combine + ReducePairwiseWeighted) is a Theorem-2
+  // reduction, so snapshot subset sums stay unbiased across trials.
+  const size_t kItems = 300;
+  std::vector<double> item_weight(kItems);
+  for (size_t i = 0; i < kItems; ++i) {
+    item_weight[i] = 0.5 + static_cast<double>(i % 13);
+  }
+  double truth = 0.0;
+  for (size_t i = 0; i < kItems; i += 3) truth += 8 * item_weight[i];
+
+  const int trials = test::ScaledTrials(300);
+  Welford est;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<WeightedEntry> rows;
+    for (size_t i = 0; i < kItems; ++i) {
+      for (int r = 0; r < 8; ++r) {
+        rows.push_back({static_cast<uint64_t>(i), item_weight[i]});
+      }
+    }
+    Rng rng(90000 + t);
+    for (size_t i = rows.size(); i > 1; --i) {
+      std::swap(rows[i - 1], rows[rng.NextBounded(i)]);
+    }
+    ShardedSketchOptions opt;
+    opt.num_shards = 4;
+    opt.shard_capacity = 24;
+    opt.queue_capacity = 8192;
+    opt.batch_size = 512;
+    opt.seed = 91000 + static_cast<uint64_t>(t) * 13;
+    ShardedWeightedSpaceSaving sharded(opt);
+    sharded.Ingest(rows);
+    WeightedSpaceSaving merged =
+        sharded.Snapshot(64, 92000 + static_cast<uint64_t>(t));
+    est.Add(EstimateSubsetSum(merged, [](uint64_t x) {
+              return x % 3 == 0;
+            }).estimate);
+  }
+  EXPECT_NEAR(est.mean(), truth, 5 * est.stderr_mean());
+}
+
+TEST(ShardedWeightedSketchTest, SerializedSnapshotRoundTripsIntoFreshFleet) {
+  auto rows = WeightedRows(200, 15, 171);
+  ShardedWeightedSpaceSaving primary(SmallOptions(3));
+  primary.Ingest(rows);
+  primary.Flush();
+  std::string blob = primary.SerializeSnapshot(256, 7);
+
+  ShardedWeightedSpaceSaving replica(SmallOptions(2));
+  ASSERT_TRUE(replica.IngestSerialized(blob));
+  EXPECT_FALSE(replica.IngestSerialized("junk"));
+  EXPECT_EQ(replica.num_absorbed(), 1u);
+  WeightedSpaceSaving original = primary.Snapshot(256, 7);
+  WeightedSpaceSaving restored = replica.Snapshot(256, 9);
+  EXPECT_NEAR(restored.TotalWeight(), original.TotalWeight(),
+              1e-9 * original.TotalWeight());
+  for (const WeightedEntry& e : original.Entries()) {
+    EXPECT_DOUBLE_EQ(restored.EstimateWeight(e.item), e.weight);
+  }
+}
+
 }  // namespace
 }  // namespace dsketch

@@ -1,0 +1,173 @@
+// dsketchd — the sketch service daemon.
+//
+// Default mode serves the framed protocol (service/protocol.h) on
+// stdin/stdout, so any supervisor that can pipe bytes can run a node:
+//
+//   mkfifo in out && ./dsketchd < in > out      # or socat/s6/systemd
+//
+// --smoke runs the CI end-to-end scenario fully in-process instead: boot
+// node A over the in-memory transport, ingest a batch, run one query,
+// take a snapshot, restore it into a freshly booted node B, and verify
+// B answers for A's rows. Exits 0 only if every step checks out — the
+// per-push CI job calls this after the build.
+//
+// Flags (all --key=value):
+//   --shards=N            worker threads per node        (default 2)
+//   --shard-capacity=N    bins per shard sketch          (default 4096)
+//   --merged-capacity=N   bins of the query/snapshot view (default 4096)
+//   --seed=N              reproducible randomness        (default 1)
+//   --smoke               run the self-contained two-node scenario
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoll(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+bool FlagSet(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+SketchServerOptions MakeOptions(int argc, char** argv) {
+  SketchServerOptions options;
+  options.shard.num_shards =
+      static_cast<size_t>(FlagInt(argc, argv, "shards", 2));
+  options.shard.shard_capacity =
+      static_cast<size_t>(FlagInt(argc, argv, "shard-capacity", 4096));
+  options.shard.seed = static_cast<uint64_t>(FlagInt(argc, argv, "seed", 1));
+  options.merged_capacity =
+      static_cast<size_t>(FlagInt(argc, argv, "merged-capacity", 4096));
+  options.seed = options.shard.seed;
+  return options;
+}
+
+// One booted node: server thread on an in-memory connection, client on
+// the other end. The destructor closes the client's write side (EOF ends
+// Serve if it is still running) and joins, so early failure returns exit
+// cleanly instead of aborting in a joinable thread's destructor.
+struct Node {
+  InMemoryDuplex wire;
+  SketchServer server;
+  std::thread serve;
+  SketchClient client;
+
+  explicit Node(const SketchServerOptions& options)
+      : server(options),
+        serve([this] { server.Serve(wire.server()); }),
+        client(wire.client()) {}
+
+  ~Node() {
+    wire.client().CloseWrite();
+    if (serve.joinable()) serve.join();
+  }
+};
+
+// The CI smoke scenario: two nodes, one replication hop, every core
+// opcode exercised once. Returns 0 on success, 1 with a message on the
+// first failed check.
+int RunSmoke(const SketchServerOptions& options) {
+  auto fail = [](const char* what) {
+    std::fprintf(stderr, "smoke: FAILED at %s\n", what);
+    return 1;
+  };
+
+  // Node A over its own in-memory connection.
+  Node node_a(options);
+  SketchClient& client_a = node_a.client;
+
+  // A Zipf workload (the shape producers actually send).
+  auto counts = ZipfCounts(2000, 1.1, 500);
+  Rng rng(42);
+  auto rows = PermutedStream(counts, rng);
+  const size_t kBatch = 4096;
+  for (size_t pos = 0; pos < rows.size(); pos += kBatch) {
+    size_t len = std::min(kBatch, rows.size() - pos);
+    std::vector<uint64_t> batch(rows.begin() + pos, rows.begin() + pos + len);
+    if (!client_a.IngestBatch(batch)) return fail("INGEST_BATCH");
+  }
+
+  auto sum_a = client_a.QuerySum();
+  if (!sum_a.has_value()) return fail("QUERY_SUM");
+  if (sum_a->estimate != static_cast<double>(rows.size())) {
+    return fail("QUERY_SUM total (sketch preserves totals exactly)");
+  }
+  auto topk_a = client_a.QueryTopK(10);
+  if (!topk_a.has_value() || topk_a->counts.empty()) {
+    return fail("QUERY_TOPK");
+  }
+
+  auto blob = client_a.Snapshot();
+  if (!blob.has_value() || blob->empty()) return fail("SNAPSHOT");
+
+  // Node B: fresh instance, catches up purely from A's snapshot bytes.
+  SketchServerOptions options_b = options;
+  options_b.shard.seed += 100;
+  options_b.seed += 100;
+  Node node_b(options_b);
+  SketchClient& client_b = node_b.client;
+
+  if (!client_b.Restore(*blob)) return fail("RESTORE");
+  auto sum_b = client_b.QuerySum();
+  if (!sum_b.has_value()) return fail("QUERY_SUM on replica");
+  if (sum_b->estimate != sum_a->estimate) {
+    return fail("replica total == primary total");
+  }
+  auto topk_b = client_b.QueryTopK(10);
+  if (!topk_b.has_value() || topk_b->counts.size() != topk_a->counts.size()) {
+    return fail("QUERY_TOPK on replica");
+  }
+  auto stats_b = client_b.Stats();
+  if (!stats_b.has_value() || stats_b->restores != 1) return fail("STATS");
+
+  if (!client_a.Shutdown()) return fail("SHUTDOWN node A");
+  if (!client_b.Shutdown()) return fail("SHUTDOWN node B");
+
+  std::printf(
+      "smoke: OK — %zu rows ingested, top-1 item %llu, %zu snapshot bytes "
+      "replicated, replica total %.0f\n",
+      rows.size(),
+      static_cast<unsigned long long>(topk_a->counts.front().item),
+      blob->size(), sum_b->estimate);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  SketchServerOptions options = MakeOptions(argc, argv);
+  if (FlagSet(argc, argv, "smoke")) return RunSmoke(options);
+
+  // Serve the framed protocol on stdin/stdout until EOF or SHUTDOWN.
+  FdTransport stdio(/*read_fd=*/0, /*write_fd=*/1);
+  SketchServer server(options);
+  server.Serve(stdio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsketch
+
+int main(int argc, char** argv) { return dsketch::Run(argc, argv); }
