@@ -1,0 +1,135 @@
+// Windowed sketching throughput: what the epoch ring costs to feed,
+// advance, and query as the ring grows.
+//
+// Sweeps ring sizes and measures, per configuration:
+//   * ingest throughput — epoch-stamped rows streamed through
+//     UpdateBatch with row-count auto-advance (the hot path);
+//   * advance cost — closing an epoch, with and without the decayed
+//     accumulator fold (the fold runs a weighted merge, so decay mode
+//     pays per epoch close, not per row);
+//   * window-query latency — QueryWindow over last_k in {1, W/2, W}
+//     (merge cost grows with the number of slots merged, not with the
+//     stream length — the point of the mergeable-window construction).
+//
+// Records baselines with --json=PATH (record_baselines.sh →
+// BENCH_window.json).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "stream/distributions.h"
+#include "stream/generators.h"
+#include "util/random.h"
+#include "util/span.h"
+#include "window/windowed_sketch.h"
+
+namespace dsketch {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void Run(int argc, char** argv) {
+  const int64_t rows = bench::FlagInt(argc, argv, "rows", 4000000);
+  const int64_t m = bench::FlagInt(argc, argv, "bins", 4096);
+  const int64_t items = bench::FlagInt(argc, argv, "items", 100000);
+  const double zipf = bench::FlagDouble(argc, argv, "zipf", 1.1);
+  const int64_t queries = bench::FlagInt(argc, argv, "queries", 50);
+  bench::JsonSink json(argc, argv, "window");
+
+  bench::Banner("Windowed sketching: advance/query cost across ring sizes",
+                "src/window epoch ring (ROADMAP sliding-window workload)");
+
+  auto counts = ScaleCountsToTotal(
+      ZipfCounts(static_cast<size_t>(items), zipf, 1000000), rows);
+  Rng rng(31);
+  std::vector<uint64_t> stream = PermutedStream(counts, rng);
+
+  std::printf("\n%-8s %-7s %14s %14s %12s %12s %12s\n", "ring_W", "decay",
+              "ingest_mrows_s", "advance_us", "q_last1_us", "q_half_us",
+              "q_full_us");
+
+  for (int64_t W : {int64_t{4}, int64_t{16}, int64_t{64}, int64_t{256}}) {
+    for (int decay = 0; decay <= 1; ++decay) {
+      WindowedSketchOptions opt;
+      opt.window_epochs = static_cast<size_t>(W);
+      opt.epoch_capacity = static_cast<size_t>(m);
+      opt.merged_capacity = static_cast<size_t>(m);
+      // 2W epochs over the stream: every slot sees real traffic and
+      // half the epochs fall off the ring.
+      opt.rows_per_epoch = stream.size() / static_cast<size_t>(2 * W) + 1;
+      opt.half_life_epochs = decay == 1 ? static_cast<double>(W) / 4.0 : 0.0;
+      opt.seed = 71;
+      WindowedSpaceSaving sketch(opt);
+
+      Clock::time_point start = Clock::now();
+      sketch.UpdateBatch(Span<const uint64_t>(stream.data(), stream.size()));
+      const double ingest_s = SecondsSince(start);
+
+      // Isolated advance cost: close epochs beyond the stream (empty
+      // epochs still pay ring rotation; with decay they pay the
+      // accumulator scale + fold).
+      const int kAdvances = 64;
+      start = Clock::now();
+      for (int i = 0; i < kAdvances; ++i) sketch.Advance();
+      const double advance_s = SecondsSince(start);
+
+      auto time_query = [&](size_t last_k) {
+        Clock::time_point q = Clock::now();
+        int64_t sink = 0;
+        for (int64_t i = 0; i < queries; ++i) {
+          sink += sketch
+                      .QueryWindow(last_k, static_cast<size_t>(m),
+                                   opt.seed + static_cast<uint64_t>(i))
+                      .TotalCount();
+        }
+        double s = SecondsSince(q);
+        if (sink == -1) std::printf("?");  // keep the merges live
+        return s / static_cast<double>(queries);
+      };
+      const double q1 = time_query(1);
+      const double qh = time_query(static_cast<size_t>(W) / 2);
+      const double qw = time_query(static_cast<size_t>(W));
+
+      const double mrows =
+          static_cast<double>(stream.size()) / ingest_s / 1e6;
+      const double adv_us = advance_s / kAdvances * 1e6;
+      std::printf("%-8lld %-7s %14.2f %14.2f %12.1f %12.1f %12.1f\n",
+                  static_cast<long long>(W), decay ? "on" : "off", mrows,
+                  adv_us, q1 * 1e6, qh * 1e6, qw * 1e6);
+      if (json.enabled()) {
+        json.BeginRecord("window_throughput");
+        json.Add("window_epochs", W);
+        json.Add("decay", static_cast<int64_t>(decay));
+        json.Add("rows", static_cast<int64_t>(stream.size()));
+        json.Add("bins", m);
+        json.Add("rows_per_epoch", static_cast<int64_t>(opt.rows_per_epoch));
+        json.Add("ingest_mrows_per_s", mrows);
+        json.Add("advance_us", adv_us);
+        json.Add("query_last1_us", q1 * 1e6);
+        json.Add("query_half_us", qh * 1e6);
+        json.Add("query_full_us", qw * 1e6);
+      }
+    }
+  }
+
+  std::printf(
+      "\n(ingest pays the flat UpdateBatch cost plus one ring rotation per\n"
+      " epoch; decay adds a weighted fold per close. Query cost scales\n"
+      " with merged slots — last_k=1 is a copy, the full ring a W-way\n"
+      " unbiased reduction)\n");
+}
+
+}  // namespace
+}  // namespace dsketch
+
+int main(int argc, char** argv) {
+  dsketch::Run(argc, argv);
+  return 0;
+}

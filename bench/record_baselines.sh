@@ -10,6 +10,8 @@
 #   BENCH_fig10_epoch.json — per-epoch %RRMSE: USS/DSS, decayed, window,
 #                            plus the §6.3 bursty / all-distinct patterns
 #   BENCH_service.json     — framed ingest + query round-trip throughput
+#   BENCH_window.json      — epoch-ring ingest/advance/query cost across
+#                            ring sizes, decay on/off
 # Later PRs compare their sweeps against these files to prove speedups /
 # catch regressions; the files also record hardware_concurrency (where
 # relevant) so scaling numbers are interpreted against the machine that
@@ -21,7 +23,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 
 for bench in bench_throughput bench_wire bench_fig10_epoch_rrmse \
-             bench_service; do
+             bench_service bench_window; do
   if [ ! -x "${BUILD_DIR}/bench/${bench}" ]; then
     echo "error: ${BUILD_DIR}/bench/${bench} not built" >&2
     echo "build first: cmake --preset release && cmake --build build -j" >&2
@@ -41,5 +43,8 @@ done
 "${BUILD_DIR}/bench/bench_service" \
   --json="${OUT_DIR}/BENCH_service.json"
 
+"${BUILD_DIR}/bench/bench_window" \
+  --json="${OUT_DIR}/BENCH_window.json"
+
 echo ""
-echo "baselines written to ${OUT_DIR}/BENCH_{throughput,wire,fig10_epoch,service}.json"
+echo "baselines written to ${OUT_DIR}/BENCH_{throughput,wire,fig10_epoch,service,window}.json"

@@ -9,18 +9,33 @@ namespace dsketch {
 
 SketchQueryEngine::SketchQueryEngine(const UnbiasedSpaceSaving* sketch,
                                      const AttributeTable* attrs)
-    : sketch_(sketch), source_(nullptr), attrs_(attrs) {
+    : sketch_(sketch), source_(nullptr), window_source_(nullptr),
+      attrs_(attrs) {
   DSKETCH_CHECK(sketch != nullptr && attrs != nullptr);
 }
 
 SketchQueryEngine::SketchQueryEngine(SketchSource* source,
                                      const AttributeTable* attrs)
-    : sketch_(nullptr), source_(source), attrs_(attrs) {
+    : sketch_(nullptr), source_(source), window_source_(nullptr),
+      attrs_(attrs) {
+  DSKETCH_CHECK(source != nullptr && attrs != nullptr);
+}
+
+SketchQueryEngine::SketchQueryEngine(WindowedSketchSource* source,
+                                     const AttributeTable* attrs)
+    : sketch_(nullptr), source_(source), window_source_(source),
+      attrs_(attrs) {
   DSKETCH_CHECK(source != nullptr && attrs != nullptr);
 }
 
 const UnbiasedSpaceSaving& SketchQueryEngine::QuerySketch() const {
   return source_ != nullptr ? source_->View() : *sketch_;
+}
+
+const UnbiasedSpaceSaving& SketchQueryEngine::WindowSketch(
+    size_t last_k) const {
+  DSKETCH_CHECK(window_source_ != nullptr);
+  return window_source_->WindowView(last_k);
 }
 
 std::string SketchQueryEngine::SaveState() const {
@@ -37,50 +52,20 @@ SubsetSumEstimate SketchQueryEngine::Sum(const Predicate& where) const {
   });
 }
 
-std::unordered_map<uint32_t, SubsetSumEstimate> SketchQueryEngine::GroupBy1(
-    size_t dim, const Predicate& where) const {
+template <typename KeyFn>
+std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupByImpl(
+    const UnbiasedSpaceSaving& sketch, const Predicate& where,
+    KeyFn&& key_of) const {
   struct Acc {
     double sum = 0.0;
     uint64_t items = 0;
   };
-  const UnbiasedSpaceSaving& sketch = QuerySketch();
-  std::unordered_map<uint32_t, Acc> acc;
+  std::unordered_map<uint64_t, Acc> acc;
   for (const SketchEntry& e : sketch.Entries()) {
     // Items the table does not describe belong to no group.
     if (e.item >= attrs_->num_items()) continue;
     if (!where.Matches(*attrs_, e.item)) continue;
-    Acc& a = acc[attrs_->Get(e.item, dim)];
-    a.sum += static_cast<double>(e.count);
-    ++a.items;
-  }
-  double nmin = static_cast<double>(sketch.MinCount());
-  std::unordered_map<uint32_t, SubsetSumEstimate> out;
-  out.reserve(acc.size());
-  for (const auto& [key, a] : acc) {
-    SubsetSumEstimate est;
-    est.estimate = a.sum;
-    est.items_in_sample = a.items;
-    est.variance =
-        nmin * nmin * static_cast<double>(std::max<uint64_t>(1, a.items));
-    out.emplace(key, est);
-  }
-  return out;
-}
-
-std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
-    size_t d1, size_t d2, const Predicate& where) const {
-  struct Acc {
-    double sum = 0.0;
-    uint64_t items = 0;
-  };
-  const UnbiasedSpaceSaving& sketch = QuerySketch();
-  std::unordered_map<uint64_t, Acc> acc;
-  for (const SketchEntry& e : sketch.Entries()) {
-    if (e.item >= attrs_->num_items()) continue;
-    if (!where.Matches(*attrs_, e.item)) continue;
-    uint64_t key = PackGroupKey(attrs_->Get(e.item, d1),
-                                attrs_->Get(e.item, d2));
-    Acc& a = acc[key];
+    Acc& a = acc[key_of(e.item)];
     a.sum += static_cast<double>(e.count);
     ++a.items;
   }
@@ -96,6 +81,59 @@ std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
     out.emplace(key, est);
   }
   return out;
+}
+
+namespace {
+
+// GroupBy1's public key type is the attribute value itself.
+std::unordered_map<uint32_t, SubsetSumEstimate> NarrowKeys(
+    const std::unordered_map<uint64_t, SubsetSumEstimate>& wide) {
+  std::unordered_map<uint32_t, SubsetSumEstimate> out;
+  out.reserve(wide.size());
+  for (const auto& [key, est] : wide) {
+    out.emplace(static_cast<uint32_t>(key), est);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unordered_map<uint32_t, SubsetSumEstimate> SketchQueryEngine::GroupBy1(
+    size_t dim, const Predicate& where) const {
+  return NarrowKeys(GroupByImpl(QuerySketch(), where, [&](uint64_t item) {
+    return static_cast<uint64_t>(attrs_->Get(item, dim));
+  }));
+}
+
+std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
+    size_t d1, size_t d2, const Predicate& where) const {
+  return GroupByImpl(QuerySketch(), where, [&](uint64_t item) {
+    return PackGroupKey(attrs_->Get(item, d1), attrs_->Get(item, d2));
+  });
+}
+
+SubsetSumEstimate SketchQueryEngine::SumWindow(size_t last_k,
+                                               const Predicate& where) const {
+  return EstimateSubsetSum(WindowSketch(last_k), [&](uint64_t item) {
+    return where.Matches(*attrs_, item);
+  });
+}
+
+std::unordered_map<uint32_t, SubsetSumEstimate>
+SketchQueryEngine::GroupBy1Window(size_t last_k, size_t dim,
+                                  const Predicate& where) const {
+  return NarrowKeys(
+      GroupByImpl(WindowSketch(last_k), where, [&](uint64_t item) {
+        return static_cast<uint64_t>(attrs_->Get(item, dim));
+      }));
+}
+
+std::unordered_map<uint64_t, SubsetSumEstimate>
+SketchQueryEngine::GroupBy2Window(size_t last_k, size_t d1, size_t d2,
+                                  const Predicate& where) const {
+  return GroupByImpl(WindowSketch(last_k), where, [&](uint64_t item) {
+    return PackGroupKey(attrs_->Get(item, d1), attrs_->Get(item, d2));
+  });
 }
 
 ExactQueryEngine::ExactQueryEngine(const ExactAggregator* agg,

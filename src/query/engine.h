@@ -23,6 +23,7 @@
 #include "query/exact_aggregator.h"
 #include "query/predicate.h"
 #include "query/sketch_source.h"
+#include "query/windowed_source.h"
 
 namespace dsketch {
 
@@ -43,6 +44,11 @@ class SketchQueryEngine {
   /// pointers must outlive the engine.
   SketchQueryEngine(SketchSource* source, const AttributeTable* attrs);
 
+  /// Engine over a windowed source: plain queries see the full-window
+  /// merge (the source's View), and the *Window variants below scope to
+  /// the newest last_k epochs. Both pointers must outlive the engine.
+  SketchQueryEngine(WindowedSketchSource* source, const AttributeTable* attrs);
+
   /// SELECT sum(1) WHERE `where`.
   SubsetSumEstimate Sum(const Predicate& where) const;
 
@@ -53,6 +59,24 @@ class SketchQueryEngine {
   /// Two-dimensional group-by; key = PackGroupKey(attr[d1], attr[d2]).
   std::unordered_map<uint64_t, SubsetSumEstimate> GroupBy2(
       size_t d1, size_t d2, const Predicate& where = Predicate()) const;
+
+  /// SELECT sum(1) WHERE `where` over the newest `last_k` epochs
+  /// (0 = the full window). Requires the windowed constructor.
+  SubsetSumEstimate SumWindow(size_t last_k,
+                              const Predicate& where = Predicate()) const;
+
+  /// 1-way group-by over the newest `last_k` epochs.
+  std::unordered_map<uint32_t, SubsetSumEstimate> GroupBy1Window(
+      size_t last_k, size_t dim, const Predicate& where = Predicate()) const;
+
+  /// 2-way group-by over the newest `last_k` epochs.
+  std::unordered_map<uint64_t, SubsetSumEstimate> GroupBy2Window(
+      size_t last_k, size_t d1, size_t d2,
+      const Predicate& where = Predicate()) const;
+
+  /// True when the engine was built over a windowed source (the
+  /// *Window queries are available).
+  bool windowed() const { return window_source_ != nullptr; }
 
   /// Serializes the engine's sketch state (wire format, current
   /// version); restorable into another engine with RestoreState.
@@ -68,8 +92,18 @@ class SketchQueryEngine {
   // plain sketch, otherwise `source_->View()` resolved per query.
   const UnbiasedSpaceSaving& QuerySketch() const;
 
+  // The last_k-scoped merge (CHECKs that the engine is windowed).
+  const UnbiasedSpaceSaving& WindowSketch(size_t last_k) const;
+
+  // Shared group-by body over an explicit sketch view.
+  template <typename KeyFn>
+  std::unordered_map<uint64_t, SubsetSumEstimate> GroupByImpl(
+      const UnbiasedSpaceSaving& sketch, const Predicate& where,
+      KeyFn&& key_of) const;
+
   const UnbiasedSpaceSaving* sketch_;
   SketchSource* source_;
+  WindowedSketchSource* window_source_;
   const AttributeTable* attrs_;
 };
 

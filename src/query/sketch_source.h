@@ -46,8 +46,9 @@ class SketchSource {
 
   /// Serializes the source's state (wire format, current version):
   /// flushes, then encodes View(). The bytes restore through
-  /// RestoreSnapshot on any SketchSource implementation.
-  std::string SaveSnapshot() {
+  /// RestoreSnapshot on the same kind of source (sources with richer
+  /// state — e.g. the windowed epoch ring — override this to ship it).
+  virtual std::string SaveSnapshot() {
     Flush();
     return Serialize(View());
   }

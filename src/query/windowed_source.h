@@ -1,0 +1,158 @@
+// Windowed ingestion source for the query engine: epoch-stamped rows
+// fan out across a ShardedWindowedSketch, and queries see either the
+// full-window merge (the SketchSource::View contract, so every existing
+// estimator works over "the last W epochs" unchanged) or an explicit
+// last-k window / decayed view through the windowed accessors.
+//
+// Epoch consistency: the producer-side epoch (advanced by Advance or by
+// the stamps fed to IngestEpoch) is authoritative. The merged snapshot
+// is re-aligned to it after every merge — a shard that saw no rows for
+// recent epochs cannot drag the merged ring backwards — so window
+// queries always cut at the epoch the producer last declared.
+//
+// Snapshots: SaveSnapshot ships the full epoch ring as the
+// window-snapshot wire kind (window/window_wire.h) and RestoreSnapshot
+// absorbs a peer's ring into the shard fleet, merging slot-by-epoch
+// with locally ingested rows — windowed state replicates exactly like
+// flat sketches do.
+
+#ifndef DSKETCH_QUERY_WINDOWED_SOURCE_H_
+#define DSKETCH_QUERY_WINDOWED_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/sketch_source.h"
+#include "window/sharded_windowed.h"
+
+namespace dsketch {
+
+/// Sharded windowed source. Single producer, like every source.
+class WindowedSketchSource : public SketchSource {
+ public:
+  /// `shard` configures the fleet, `window` the per-shard epoch rings;
+  /// View()/window queries merge at `window.merged_capacity` bins.
+  WindowedSketchSource(const ShardedSketchOptions& shard,
+                       const WindowedSketchOptions& window)
+      : sharded_(MakeShardedWindowed(shard, window)),
+        window_(window),
+        seed_(shard.seed) {}
+
+  /// Rows stamped with the current producer epoch.
+  void Ingest(Span<const uint64_t> items) override {
+    staging_.clear();
+    staging_.reserve(items.size());
+    for (uint64_t item : items) staging_.push_back({item, epoch_});
+    sharded_->Ingest(Span<const EpochRow>(staging_.data(), staging_.size()));
+    dirty_ = true;
+  }
+
+  /// Explicitly stamped rows; stamps ahead of the producer epoch
+  /// advance it (stale stamps are credited to the epoch that is open
+  /// when their shard applies them — see WindowedSketch::UpdateBatch).
+  void IngestEpoch(Span<const EpochRow> rows) {
+    for (const EpochRow& row : rows) {
+      if (row.epoch > epoch_) epoch_ = row.epoch;
+    }
+    sharded_->Ingest(rows);
+    dirty_ = true;
+  }
+
+  /// Closes the producer epoch and opens `epoch` (monotone; no-op when
+  /// not ahead). Reaches the shards with the next stamped batch, and
+  /// the merged view is re-aligned to it regardless.
+  void Advance(uint64_t epoch) {
+    if (epoch > epoch_) {
+      epoch_ = epoch;
+      dirty_ = true;
+    }
+  }
+
+  void Flush() override { sharded_->Flush(); }
+
+  /// Merged view over the full window (the ring's W newest epochs).
+  const UnbiasedSpaceSaving& View() override {
+    return WindowView(/*last_k=*/0);
+  }
+
+  /// Merged view over the newest min(last_k, ring) epochs (0 = full
+  /// window). One partial-window merge is cached at a time, so the
+  /// returned reference stays valid until the next
+  /// Ingest/Advance/Restore *or* the next WindowView call with a
+  /// different non-zero last_k (the full-window view is cached
+  /// separately and only invalidated by state changes).
+  const UnbiasedSpaceSaving& WindowView(size_t last_k) {
+    const WindowedSpaceSaving& ring = MergedRing();
+    if (last_k >= ring.slots().size()) last_k = 0;  // full window
+    std::optional<UnbiasedSpaceSaving>& cache =
+        last_k == 0 ? ring_view_ : window_view_;
+    if (last_k != 0 && window_view_k_ != last_k) cache.reset();
+    if (!cache.has_value()) {
+      cache.emplace(
+          ring.QueryWindow(last_k, window_.merged_capacity, MergeSeed()));
+      window_view_k_ = last_k;
+    }
+    return *cache;
+  }
+
+  /// Exponentially decayed view as of the producer epoch (requires
+  /// half_life_epochs > 0 in the window options).
+  WeightedSpaceSaving DecayedView() { return MergedRing().QueryDecayed(); }
+
+  /// The epoch-consistent merged ring itself (e.g. for serialization or
+  /// slot inspection). Valid until the next Ingest/Advance/Restore.
+  const WindowedSpaceSaving& MergedRing() {
+    if (dirty_ || !merged_.has_value()) {
+      merged_.emplace(
+          sharded_->Snapshot(window_.epoch_capacity, seed_ + 1000003));
+      // The producer epoch is authoritative: open it even if no shard
+      // saw rows for it yet.
+      merged_->AdvanceTo(epoch_);
+      ring_view_.reset();
+      window_view_.reset();
+      dirty_ = false;
+    }
+    return *merged_;
+  }
+
+  /// Ships the full epoch ring (window-snapshot wire kind).
+  std::string SaveSnapshot() override {
+    return SerializeWindowed(MergedRing());
+  }
+
+  /// Absorbs a peer's ring into the fleet (epoch-aligned merge with
+  /// local rows on the next view). False on malformed bytes.
+  bool RestoreSnapshot(std::string_view bytes) override {
+    if (!sharded_->IngestSerialized(bytes)) return false;
+    dirty_ = true;
+    return true;
+  }
+
+  /// Producer-side open epoch.
+  uint64_t current_epoch() const { return epoch_; }
+
+  /// The underlying fleet (tests/embedders).
+  ShardedWindowedSketch& sharded() { return *sharded_; }
+
+ private:
+  uint64_t MergeSeed() const { return seed_ + 2000003 + epoch_; }
+
+  std::unique_ptr<ShardedWindowedSketch> sharded_;
+  WindowedSketchOptions window_;
+  uint64_t seed_;
+  uint64_t epoch_ = 0;
+  bool dirty_ = true;
+  std::vector<EpochRow> staging_;
+  std::optional<WindowedSpaceSaving> merged_;
+  std::optional<UnbiasedSpaceSaving> ring_view_;    // full-window merge
+  std::optional<UnbiasedSpaceSaving> window_view_;  // last-k merge cache
+  size_t window_view_k_ = 0;
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_QUERY_WINDOWED_SOURCE_H_

@@ -24,9 +24,9 @@ std::optional<std::string> SketchClient::RoundTrip(Opcode opcode,
   return payload.substr(payload.size() - reader.remaining());
 }
 
-bool SketchClient::IngestBatch(Span<const uint64_t> items) {
-  IngestBatchRequest req;
-  req.items.assign(items.begin(), items.end());
+// Shared tail of the three ingest shapes: send the populated request,
+// decode the response, require every row accepted.
+bool SketchClient::SendIngest(const IngestBatchRequest& req) {
   const uint64_t id = next_request_id_++;
   std::optional<std::string> body =
       RoundTrip(Opcode::kIngestBatch, id, EncodeIngestBatchRequest(id, req));
@@ -34,7 +34,13 @@ bool SketchClient::IngestBatch(Span<const uint64_t> items) {
   wire::VarintReader reader(*body);
   IngestBatchResponse rsp;
   return DecodeIngestBatchResponse(reader, &rsp) &&
-         rsp.rows_accepted == items.size();
+         rsp.rows_accepted == req.items.size();
+}
+
+bool SketchClient::IngestBatch(Span<const uint64_t> items) {
+  IngestBatchRequest req;
+  req.items.assign(items.begin(), items.end());
+  return SendIngest(req);
 }
 
 bool SketchClient::IngestWeighted(Span<const uint64_t> items,
@@ -43,20 +49,22 @@ bool SketchClient::IngestWeighted(Span<const uint64_t> items,
   IngestBatchRequest req;
   req.items.assign(items.begin(), items.end());
   req.weights.assign(weights.begin(), weights.end());
-  const uint64_t id = next_request_id_++;
-  std::optional<std::string> body =
-      RoundTrip(Opcode::kIngestBatch, id, EncodeIngestBatchRequest(id, req));
-  if (!body.has_value()) return false;
-  wire::VarintReader reader(*body);
-  IngestBatchResponse rsp;
-  return DecodeIngestBatchResponse(reader, &rsp) &&
-         rsp.rows_accepted == items.size();
+  return SendIngest(req);
+}
+
+bool SketchClient::IngestWindowed(Span<const uint64_t> items, uint64_t epoch) {
+  IngestBatchRequest req;
+  req.items.assign(items.begin(), items.end());
+  req.windowed = true;
+  req.epoch = epoch;
+  return SendIngest(req);
 }
 
 std::optional<QuerySumResponse> SketchClient::QuerySum(
-    const PredicateSpec& where, QueryScope scope) {
+    const PredicateSpec& where, QueryScope scope, uint64_t last_k) {
   QuerySumRequest req;
   req.scope = scope;
+  req.last_k = last_k;
   req.where = where;
   const uint64_t id = next_request_id_++;
   std::optional<std::string> body =
@@ -69,10 +77,12 @@ std::optional<QuerySumResponse> SketchClient::QuerySum(
 }
 
 std::optional<QueryTopKResponse> SketchClient::QueryTopK(uint64_t k,
-                                                         QueryScope scope) {
+                                                         QueryScope scope,
+                                                         uint64_t last_k) {
   QueryTopKRequest req;
   req.scope = scope;
   req.k = k;
+  req.last_k = last_k;
   const uint64_t id = next_request_id_++;
   std::optional<std::string> body =
       RoundTrip(Opcode::kQueryTopK, id, EncodeQueryTopKRequest(id, req));

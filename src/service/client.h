@@ -48,14 +48,22 @@ class SketchClient {
   /// must be positive).
   bool IngestWeighted(Span<const uint64_t> items, Span<const double> weights);
 
-  /// SELECT sum(1) WHERE `where` against the chosen scope.
+  /// Streams a batch of epoch-stamped rows into the windowed ring;
+  /// `epoch` must be non-decreasing across calls (a larger stamp
+  /// advances the server's ring; an empty batch is a pure advance).
+  bool IngestWindowed(Span<const uint64_t> items, uint64_t epoch);
+
+  /// SELECT sum(1) WHERE `where` against the chosen scope. For the
+  /// window scope, `last_k` selects how many of the newest epochs to
+  /// merge (0 = the full window); other scopes ignore it.
   std::optional<QuerySumResponse> QuerySum(
       const PredicateSpec& where = PredicateSpec(),
-      QueryScope scope = QueryScope::kCounts);
+      QueryScope scope = QueryScope::kCounts, uint64_t last_k = 0);
 
-  /// Top-k heavy hitters of the chosen scope.
+  /// Top-k heavy hitters of the chosen scope (`last_k` as in QuerySum).
   std::optional<QueryTopKResponse> QueryTopK(
-      uint64_t k, QueryScope scope = QueryScope::kCounts);
+      uint64_t k, QueryScope scope = QueryScope::kCounts,
+      uint64_t last_k = 0);
 
   /// 1-way group-by over attribute dimension `dim`.
   std::optional<QueryGroupByResponse> QueryGroupBy(
@@ -90,6 +98,10 @@ class SketchClient {
   // at the response body; nullopt on any failure.
   std::optional<std::string> RoundTrip(Opcode opcode, uint64_t request_id,
                                        const std::string& request);
+
+  // Sends one populated ingest request; true when every row was
+  // accepted (shared by the unit/weighted/windowed shapes).
+  bool SendIngest(const IngestBatchRequest& req);
 
   Transport& transport_;
   uint64_t next_request_id_ = 1;

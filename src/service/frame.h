@@ -20,14 +20,12 @@
 #include <string>
 #include <string_view>
 
+#include "service/limits.h"
 #include "service/transport.h"
 
 namespace dsketch {
-
-/// Largest payload a frame may carry (16 MiB). Bounds both sides: writers
-/// refuse to send more, readers reject length prefixes beyond it before
-/// allocating anything.
-inline constexpr size_t kMaxFramePayload = size_t{1} << 24;
+// kMaxFramePayload (the 16 MiB cap both sides enforce) lives in
+// service/limits.h with the other shared protocol limits.
 
 /// Outcome of reading one frame off a transport.
 enum class FrameStatus : uint8_t {

@@ -1,0 +1,44 @@
+// Shared transport and protocol limits for the sketch service.
+//
+// Every cap a frame, request, or response must respect lives here, so
+// the frame layer, the protocol codecs, the server's snapshot path, and
+// new opcode scopes (e.g. the windowed ring snapshots) all bound
+// themselves against the same numbers and cannot drift apart: a payload
+// the protocol layer is willing to build is always one the frame layer
+// is willing to carry.
+
+#ifndef DSKETCH_SERVICE_LIMITS_H_
+#define DSKETCH_SERVICE_LIMITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsketch {
+
+/// Largest payload a frame may carry (16 MiB). Bounds both sides:
+/// writers refuse to send more, readers reject length prefixes beyond
+/// it before allocating anything.
+inline constexpr size_t kMaxFramePayload = size_t{1} << 24;
+
+/// Worst-case bytes a response spends outside its blob body: the
+/// response header (version, opcode, varint id, status) plus a varint
+/// length prefix. Used to bound blob payloads against the frame cap.
+inline constexpr size_t kMaxResponseEnvelopeBytes = 64;
+
+/// Largest sketch/ring blob a SNAPSHOT response (or RESTORE request)
+/// may carry and still fit one frame with its envelope.
+inline constexpr size_t kMaxSnapshotBlobBytes =
+    kMaxFramePayload - kMaxResponseEnvelopeBytes;
+
+/// Caps enforced on decode (and by honest encoders). A frame already
+/// bounds payload bytes; these bound element counts so hostile claims
+/// fail before allocation.
+inline constexpr uint64_t kMaxBatchRows = uint64_t{1} << 20;
+inline constexpr uint64_t kMaxPredicateConditions = 64;
+inline constexpr uint64_t kMaxPredicateValues = uint64_t{1} << 16;
+inline constexpr uint64_t kMaxTopK = uint64_t{1} << 16;
+inline constexpr uint64_t kMaxGroupRows = uint64_t{1} << 20;
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_SERVICE_LIMITS_H_

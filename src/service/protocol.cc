@@ -60,9 +60,17 @@ bool ReadPredicate(wire::VarintReader& reader, PredicateSpec* out) {
 bool ReadScope(wire::VarintReader& reader, QueryScope* out) {
   uint8_t scope;
   if (!reader.ReadByte(&scope)) return false;
-  if (scope > static_cast<uint8_t>(QueryScope::kWeighted)) return false;
+  if (scope > static_cast<uint8_t>(QueryScope::kWindow)) return false;
   *out = static_cast<QueryScope>(scope);
   return true;
+}
+
+// last_k travels only on window-scoped queries; the ring cap bounds it.
+bool ReadLastK(wire::VarintReader& reader, QueryScope scope, uint64_t* out) {
+  *out = 0;
+  if (scope != QueryScope::kWindow) return true;
+  if (!reader.ReadVarint(out)) return false;
+  return *out <= kMaxWindowEpochs;
 }
 
 }  // namespace
@@ -75,7 +83,9 @@ std::string EncodeIngestBatchRequest(uint64_t request_id,
   wire::VarintWriter w(out);
   PutRequestHeader(w, Opcode::kIngestBatch, request_id);
   const bool weighted = !msg.weights.empty();
-  w.PutByte(weighted ? 1 : 0);
+  w.PutByte(static_cast<uint8_t>((weighted ? 1 : 0) |
+                                 (msg.windowed ? 2 : 0)));
+  if (msg.windowed) w.PutVarint(msg.epoch);
   w.PutVarint(msg.items.size());
   for (uint64_t item : msg.items) w.PutVarint(item);
   if (weighted) {
@@ -90,6 +100,7 @@ std::string EncodeQuerySumRequest(uint64_t request_id,
   wire::VarintWriter w(out);
   PutRequestHeader(w, Opcode::kQuerySum, request_id);
   w.PutByte(static_cast<uint8_t>(msg.scope));
+  if (msg.scope == QueryScope::kWindow) w.PutVarint(msg.last_k);
   PutPredicate(w, msg.where);
   return out;
 }
@@ -101,6 +112,7 @@ std::string EncodeQueryTopKRequest(uint64_t request_id,
   PutRequestHeader(w, Opcode::kQueryTopK, request_id);
   w.PutByte(static_cast<uint8_t>(msg.scope));
   w.PutVarint(msg.k);
+  if (msg.scope == QueryScope::kWindow) w.PutVarint(msg.last_k);
   return out;
 }
 
@@ -186,7 +198,7 @@ std::string EncodeQueryTopKResponse(uint64_t request_id,
   wire::VarintWriter w(out);
   PutResponseHeader(w, Opcode::kQueryTopK, request_id, Status::kOk);
   w.PutByte(static_cast<uint8_t>(msg.scope));
-  if (msg.scope == QueryScope::kCounts) {
+  if (msg.scope != QueryScope::kWeighted) {
     w.PutVarint(msg.counts.size());
     for (const SketchEntry& e : msg.counts) {
       w.PutVarint(e.item);
@@ -243,12 +255,14 @@ std::string EncodeStatsResponse(uint64_t request_id,
   PutResponseHeader(w, Opcode::kStats, request_id, Status::kOk);
   w.PutVarint(msg.rows_ingested);
   w.PutVarint(msg.weighted_rows_ingested);
+  w.PutVarint(msg.windowed_rows_ingested);
   w.PutVarint(msg.batches);
   w.PutVarint(msg.queries);
   w.PutVarint(msg.snapshots);
   w.PutVarint(msg.restores);
   w.PutVarint(msg.errors);
   w.PutVarint(msg.num_shards);
+  w.PutVarint(msg.window_epoch);
   w.PutVarintSigned(msg.total_count);
   w.PutDouble(msg.total_weight);
   return out;
@@ -290,7 +304,12 @@ bool DecodeIngestBatchRequest(wire::VarintReader& reader,
   uint8_t flags;
   uint64_t n;
   if (!reader.ReadByte(&flags)) return false;
-  if (flags > 1) return false;
+  // Weighted (1) and windowed (2) are mutually exclusive: the weighted
+  // fleet keeps no epoch ring.
+  if (flags > 2) return false;
+  out->windowed = (flags & 2) != 0;
+  out->epoch = 0;
+  if (out->windowed && !reader.ReadVarint(&out->epoch)) return false;
   if (!reader.ReadVarint(&n)) return false;
   // Byte budget: every item takes >= 1 byte, every weight exactly 8, so
   // a hostile row count fails here before any allocation.
@@ -321,6 +340,7 @@ bool DecodeIngestBatchRequest(wire::VarintReader& reader,
 
 bool DecodeQuerySumRequest(wire::VarintReader& reader, QuerySumRequest* out) {
   if (!ReadScope(reader, &out->scope)) return false;
+  if (!ReadLastK(reader, out->scope, &out->last_k)) return false;
   if (!ReadPredicate(reader, &out->where)) return false;
   return reader.AtEnd();
 }
@@ -330,6 +350,7 @@ bool DecodeQueryTopKRequest(wire::VarintReader& reader,
   if (!ReadScope(reader, &out->scope)) return false;
   if (!reader.ReadVarint(&out->k)) return false;
   if (out->k == 0 || out->k > kMaxTopK) return false;
+  if (!ReadLastK(reader, out->scope, &out->last_k)) return false;
   return reader.AtEnd();
 }
 
@@ -384,7 +405,7 @@ bool DecodeQueryTopKResponse(wire::VarintReader& reader,
   if (n > kMaxTopK || n > reader.remaining()) return false;
   out->counts.clear();
   out->weighted.clear();
-  if (out->scope == QueryScope::kCounts) {
+  if (out->scope != QueryScope::kWeighted) {
     out->counts.reserve(static_cast<size_t>(n));
     for (uint64_t i = 0; i < n; ++i) {
       SketchEntry e;
@@ -444,12 +465,14 @@ bool DecodeRestoreResponse(wire::VarintReader& reader, RestoreResponse* out) {
 bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out) {
   if (!reader.ReadVarint(&out->rows_ingested)) return false;
   if (!reader.ReadVarint(&out->weighted_rows_ingested)) return false;
+  if (!reader.ReadVarint(&out->windowed_rows_ingested)) return false;
   if (!reader.ReadVarint(&out->batches)) return false;
   if (!reader.ReadVarint(&out->queries)) return false;
   if (!reader.ReadVarint(&out->snapshots)) return false;
   if (!reader.ReadVarint(&out->restores)) return false;
   if (!reader.ReadVarint(&out->errors)) return false;
   if (!reader.ReadVarint(&out->num_shards)) return false;
+  if (!reader.ReadVarint(&out->window_epoch)) return false;
   if (!reader.ReadVarintSigned(&out->total_count)) return false;
   if (!reader.ReadDouble(&out->total_weight)) return false;
   return reader.AtEnd();

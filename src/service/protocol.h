@@ -16,14 +16,16 @@
 //
 // Message bodies (all varint unless noted; f64 = 8-byte IEEE-754 LE):
 //
-//   INGEST_BATCH  req: [u8 flags (1 = weighted)][varint n][n varint items]
+//   INGEST_BATCH  req: [u8 flags (1 = weighted, 2 = windowed)]
+//                      [windowed: varint epoch][varint n][n varint items]
 //                      [weighted: n f64 weights]
 //                 rsp: [varint rows_accepted]
-//   QUERY_SUM     req: [u8 scope][predicate]
+//   QUERY_SUM     req: [u8 scope][window scope: varint last_k][predicate]
 //                 rsp: [f64 estimate][f64 variance][varint items_in_sample]
-//   QUERY_TOPK    req: [u8 scope][varint k]
+//   QUERY_TOPK    req: [u8 scope][varint k][window scope: varint last_k]
 //                 rsp: [u8 scope][varint n] then per entry
-//                      [varint item][counts: varint count | weighted: f64]
+//                      [varint item][counts/window: varint count |
+//                       weighted: f64]
 //   QUERY_GROUPBY req: [varint dim1][u8 has_dim2][varint dim2][predicate]
 //                 rsp: [varint n] then per group [varint key][f64 estimate]
 //                      [f64 variance][varint items_in_sample]
@@ -40,7 +42,17 @@
 //
 // Scope selects which sketch a query/snapshot runs against: kCounts is
 // the unit-row Unbiased Space Saving path, kWeighted the real-valued
-// WeightedSpaceSaving path (populated by weighted INGEST_BATCH frames).
+// WeightedSpaceSaving path (populated by weighted INGEST_BATCH frames),
+// and kWindow the epoch-ring path (populated by windowed INGEST_BATCH
+// frames, whose epoch stamp also advances the ring). Window queries
+// carry last_k — how many of the newest epochs to merge (0 = the full
+// window) — and window SNAPSHOT/RESTORE move the entire ring as the
+// windowed wire kind (window/window_wire.h). The weighted and windowed
+// flags are mutually exclusive (the weighted fleet keeps no epochs).
+//
+// The element-count caps below every decoder enforces live in
+// service/limits.h next to the frame cap, so message bodies and the
+// frames that carry them are bounded by one set of numbers.
 
 #ifndef DSKETCH_SERVICE_PROTOCOL_H_
 #define DSKETCH_SERVICE_PROTOCOL_H_
@@ -52,13 +64,19 @@
 #include <vector>
 
 #include "core/sketch_entry.h"
+#include "service/limits.h"
+#include "window/windowed_sketch.h"
 #include "wire/varint.h"
 
 namespace dsketch {
 
 /// Protocol version this build speaks (requests and responses both carry
-/// it; a server rejects others with Status::kUnsupported).
-inline constexpr uint8_t kProtocolVersion = 1;
+/// it; each side rejects others — servers with Status::kUnsupported,
+/// clients by failing the call). Version 2 added the window scope and,
+/// with it, an unconditional STATS body change (windowed_rows_ingested /
+/// window_epoch travel mid-body), so mixed-version fleets refuse each
+/// other explicitly instead of misparsing counters.
+inline constexpr uint8_t kProtocolVersion = 2;
 
 /// Request opcodes (part of the wire contract; values are stable).
 enum class Opcode : uint8_t {
@@ -86,16 +104,12 @@ enum class Status : uint8_t {
 enum class QueryScope : uint8_t {
   kCounts = 0,    ///< unit-row Unbiased Space Saving state
   kWeighted = 1,  ///< real-valued WeightedSpaceSaving state
+  kWindow = 2,    ///< epoch-ring WindowedSpaceSaving state
 };
 
-/// Caps enforced on decode (and by honest encoders). A frame already
-/// bounds payload bytes; these bound element counts so hostile claims
-/// fail before allocation.
-inline constexpr uint64_t kMaxBatchRows = uint64_t{1} << 20;
-inline constexpr uint64_t kMaxPredicateConditions = 64;
-inline constexpr uint64_t kMaxPredicateValues = uint64_t{1} << 16;
-inline constexpr uint64_t kMaxTopK = uint64_t{1} << 16;
-inline constexpr uint64_t kMaxGroupRows = uint64_t{1} << 20;
+// The element-count caps (kMaxBatchRows, kMaxTopK, ...) are shared with
+// the frame layer through service/limits.h. Window last_k values are
+// bounded by the ring cap, kMaxWindowEpochs (window/windowed_sketch.h).
 
 /// Parsed header common to every request.
 struct RequestHeader {
@@ -135,6 +149,8 @@ struct PredicateSpec {
 struct IngestBatchRequest {
   std::vector<uint64_t> items;
   std::vector<double> weights;  ///< empty (unit rows) or items.size()
+  bool windowed = false;        ///< rows land in the epoch ring
+  uint64_t epoch = 0;           ///< ring epoch stamp (windowed only)
 };
 struct IngestBatchResponse {
   uint64_t rows_accepted = 0;
@@ -142,6 +158,7 @@ struct IngestBatchResponse {
 
 struct QuerySumRequest {
   QueryScope scope = QueryScope::kCounts;
+  uint64_t last_k = 0;  ///< window scope: newest epochs to merge (0 = all)
   PredicateSpec where;
 };
 struct QuerySumResponse {
@@ -153,10 +170,11 @@ struct QuerySumResponse {
 struct QueryTopKRequest {
   QueryScope scope = QueryScope::kCounts;
   uint64_t k = 0;
+  uint64_t last_k = 0;  ///< window scope: newest epochs to merge (0 = all)
 };
 struct QueryTopKResponse {
   QueryScope scope = QueryScope::kCounts;
-  std::vector<SketchEntry> counts;      ///< filled when scope == kCounts
+  std::vector<SketchEntry> counts;      ///< scope == kCounts or kWindow
   std::vector<WeightedEntry> weighted;  ///< filled when scope == kWeighted
 };
 
@@ -194,12 +212,14 @@ struct RestoreResponse {
 struct StatsResponse {
   uint64_t rows_ingested = 0;           ///< unit rows accepted
   uint64_t weighted_rows_ingested = 0;  ///< weighted rows accepted
+  uint64_t windowed_rows_ingested = 0;  ///< epoch-stamped rows accepted
   uint64_t batches = 0;
   uint64_t queries = 0;
   uint64_t snapshots = 0;
   uint64_t restores = 0;
   uint64_t errors = 0;           ///< requests answered with status != kOk
   uint64_t num_shards = 0;
+  uint64_t window_epoch = 0;     ///< open epoch of the windowed ring
   int64_t total_count = 0;       ///< TotalCount() of the counts view
   double total_weight = 0.0;     ///< TotalWeight() of the weighted view
 };

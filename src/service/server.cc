@@ -13,9 +13,10 @@ namespace dsketch {
 
 namespace {
 
-// Seed offset separating the weighted fleet's randomness from the unit
-// fleet's (both derive from options.shard.seed).
+// Seed offsets separating the weighted and windowed fleets' randomness
+// from the unit fleet's (all derive from options.shard.seed).
 constexpr uint64_t kWeightedSeedOffset = 7777;
+constexpr uint64_t kWindowSeedOffset = 8888;
 
 }  // namespace
 
@@ -47,6 +48,26 @@ const WeightedSpaceSaving& SketchServer::WeightedView() {
     weighted_dirty_ = false;
   }
   return weighted_view_;
+}
+
+WindowedSketchSource& SketchServer::Window() {
+  if (window_source_ == nullptr) {
+    ShardedSketchOptions shard = options_.shard;
+    shard.seed += kWindowSeedOffset;
+    WindowedSketchOptions window = options_.window;
+    window.merged_capacity = options_.merged_capacity;
+    window_source_ =
+        std::make_unique<WindowedSketchSource>(shard, window);
+  }
+  return *window_source_;
+}
+
+SketchQueryEngine& SketchServer::WindowEngine() {
+  if (window_engine_ == nullptr) {
+    window_engine_ = std::make_unique<SketchQueryEngine>(
+        &Window(), attrs_ != nullptr ? attrs_ : &kEmptyAttrs);
+  }
+  return *window_engine_;
 }
 
 Status SketchServer::BuildPredicate(const PredicateSpec& spec,
@@ -118,7 +139,15 @@ std::string SketchServer::HandleIngestBatch(const RequestHeader& header,
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kMalformed);
   }
-  if (req.weights.empty()) {
+  if (req.windowed) {
+    std::vector<EpochRow> rows;
+    rows.reserve(req.items.size());
+    for (uint64_t item : req.items) rows.push_back({item, req.epoch});
+    WindowedSketchSource& window = Window();
+    window.Advance(req.epoch);  // an empty batch still advances the ring
+    window.IngestEpoch(Span<const EpochRow>(rows.data(), rows.size()));
+    counters_.windowed_rows_ingested += rows.size();
+  } else if (req.weights.empty()) {
     source_.Ingest(Span<const uint64_t>(req.items.data(), req.items.size()));
     counters_.rows_ingested += req.items.size();
   } else {
@@ -158,6 +187,12 @@ std::string SketchServer::HandleQuerySum(const RequestHeader& header,
     rsp.estimate = est.estimate;
     rsp.variance = est.variance;
     rsp.items_in_sample = est.items_in_sample;
+  } else if (req.scope == QueryScope::kWindow) {
+    SubsetSumEstimate est =
+        WindowEngine().SumWindow(static_cast<size_t>(req.last_k), pred);
+    rsp.estimate = est.estimate;
+    rsp.variance = est.variance;
+    rsp.items_in_sample = est.items_in_sample;
   } else {
     const bool match_all = req.where.conditions.empty();
     WeightedSubsetSum est =
@@ -185,6 +220,10 @@ std::string SketchServer::HandleQueryTopK(const RequestHeader& header,
   if (req.scope == QueryScope::kCounts) {
     source_.Flush();
     rsp.counts = TopK(source_.View(), static_cast<size_t>(req.k));
+  } else if (req.scope == QueryScope::kWindow) {
+    // WindowView's merge flushes the fleet whenever the view is dirty.
+    rsp.counts = TopK(Window().WindowView(static_cast<size_t>(req.last_k)),
+                      static_cast<size_t>(req.k));
   } else {
     std::vector<WeightedEntry> entries = WeightedView().Entries();
     if (entries.size() > req.k) entries.resize(static_cast<size_t>(req.k));
@@ -254,12 +293,14 @@ std::string SketchServer::HandleSnapshot(const RequestHeader& header,
   SnapshotResponse rsp;
   if (req.scope == QueryScope::kCounts) {
     rsp.blob = source_.SaveSnapshot();
+  } else if (req.scope == QueryScope::kWindow) {
+    rsp.blob = Window().SaveSnapshot();  // the full epoch ring
   } else {
     rsp.blob = SketchWire<WeightedSpaceSaving>::Serialize(WeightedView());
   }
   // A frame must hold the response; the serialization caps keep real
   // snapshots far below this.
-  if (rsp.blob.size() + 64 > kMaxFramePayload) {
+  if (rsp.blob.size() > kMaxSnapshotBlobBytes) {
     ++counters_.errors;
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kTooLarge);
@@ -283,6 +324,13 @@ std::string SketchServer::HandleRestore(const RequestHeader& header,
                                  Status::kBadState);
     }
     rsp.num_absorbed = source_.sharded().num_absorbed();
+  } else if (req.scope == QueryScope::kWindow) {
+    if (!Window().RestoreSnapshot(req.blob)) {
+      ++counters_.errors;
+      return EncodeErrorResponse(header.opcode, header.request_id,
+                                 Status::kBadState);
+    }
+    rsp.num_absorbed = Window().sharded().num_absorbed();
   } else {
     if (!Weighted().IngestSerialized(req.blob)) {
       ++counters_.errors;
@@ -300,6 +348,9 @@ StatsResponse SketchServer::Stats() {
   StatsResponse out;
   out.rows_ingested = counters_.rows_ingested;
   out.weighted_rows_ingested = counters_.weighted_rows_ingested;
+  out.windowed_rows_ingested = counters_.windowed_rows_ingested;
+  out.window_epoch =
+      window_source_ != nullptr ? window_source_->current_epoch() : 0;
   out.batches = counters_.batches;
   out.queries = counters_.queries;
   out.snapshots = counters_.snapshots;

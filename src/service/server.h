@@ -33,6 +33,7 @@
 #include "query/attribute_table.h"
 #include "query/engine.h"
 #include "query/sketch_source.h"
+#include "query/windowed_source.h"
 #include "service/protocol.h"
 #include "service/transport.h"
 #include "shard/sharded_sketch.h"
@@ -42,12 +43,17 @@ namespace dsketch {
 /// Server tuning knobs.
 struct SketchServerOptions {
   /// Shard fleet configuration (workers, per-shard bins, queues) shared
-  /// by the counts and weighted ingest paths.
+  /// by the counts, weighted, and windowed ingest paths.
   ShardedSketchOptions shard;
   /// Bins of the merged snapshot view queries and SNAPSHOT run against.
   size_t merged_capacity = 4096;
+  /// Epoch-ring configuration of the windowed scope (its merged_capacity
+  /// is overridden by `merged_capacity` above so every scope's query
+  /// view is sized the same way; its seed comes from shard.seed).
+  WindowedSketchOptions window;
   /// Seed for the snapshot merge and restores (shard seeds come from
-  /// shard.seed; the weighted fleet offsets it so the paths differ).
+  /// shard.seed; the weighted/windowed fleets offset it so the paths
+  /// differ).
   uint64_t seed = 1;
 };
 
@@ -100,6 +106,11 @@ class SketchServer {
   // last call (mirrors ShardedSketchSource's snapshot cache).
   const WeightedSpaceSaving& WeightedView();
 
+  // Lazily boots the windowed source + engine (first windowed
+  // ingest/query/restore); the source caches its own merged views.
+  WindowedSketchSource& Window();
+  SketchQueryEngine& WindowEngine();
+
   // Builds a Predicate from `spec`, validating dimensions. Returns
   // kOk, kMalformed (bad dim), or kUnsupported (no attribute table).
   Status BuildPredicate(const PredicateSpec& spec, Predicate* out) const;
@@ -114,12 +125,15 @@ class SketchServer {
   SketchQueryEngine engine_;
   std::unique_ptr<ShardedWeightedSpaceSaving> weighted_;
   WeightedSpaceSaving weighted_view_;
+  std::unique_ptr<WindowedSketchSource> window_source_;
+  std::unique_ptr<SketchQueryEngine> window_engine_;
   bool weighted_dirty_ = false;
   bool shutdown_ = false;
 
   struct Counters {
     uint64_t rows_ingested = 0;
     uint64_t weighted_rows_ingested = 0;
+    uint64_t windowed_rows_ingested = 0;
     uint64_t batches = 0;
     uint64_t queries = 0;
     uint64_t snapshots = 0;

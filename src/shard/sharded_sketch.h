@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -115,7 +116,19 @@ class ShardedSketch {
  public:
   /// What one queued row looks like for this sketch type.
   using Row = typename ShardRow<S>::Type;
+
+  /// Builds the shard sketch for partition `i` (lets sketch types whose
+  /// constructor is not (capacity, seed) — e.g. the windowed epoch ring —
+  /// ride the same front-end).
+  using ShardFactory = std::function<S(size_t)>;
+
   explicit ShardedSketch(const ShardedSketchOptions& options)
+      : ShardedSketch(options, [&options](size_t i) {
+          return S(options.shard_capacity, options.seed + i);
+        }) {}
+
+  ShardedSketch(const ShardedSketchOptions& options,
+                const ShardFactory& factory)
       : options_(options) {
     DSKETCH_CHECK(options.num_shards > 0);
     DSKETCH_CHECK(options.shard_capacity > 0);
@@ -123,7 +136,7 @@ class ShardedSketch {
     shards_.reserve(options.num_shards);
     staging_.resize(options.num_shards);
     for (size_t i = 0; i < options.num_shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>(options, i));
+      shards_.push_back(std::make_unique<Shard>(options, i, factory));
     }
     for (auto& shard : shards_) {
       shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
@@ -246,9 +259,9 @@ class ShardedSketch {
 
  private:
   struct Shard {
-    Shard(const ShardedSketchOptions& options, size_t i)
-        : queue(options.queue_capacity),
-          sketch(options.shard_capacity, options.seed + i) {}
+    Shard(const ShardedSketchOptions& options, size_t i,
+          const ShardFactory& factory)
+        : queue(options.queue_capacity), sketch(factory(i)) {}
 
     SpscQueue<Row> queue;
     S sketch;

@@ -1,0 +1,105 @@
+#include "window/windowed_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsketch {
+
+namespace {
+
+// Decayed accumulator of `shard` re-expressed as of `current` (the
+// merged view's open epoch): the stored mass ages by the epochs the
+// shard lags behind, and the shard's own open epoch — closed from the
+// merged view's perspective when it lags — folds in at its true age.
+WeightedSpaceSaving AlignDecayed(const WindowedSpaceSaving& shard,
+                                 uint64_t current, uint64_t seed) {
+  const WindowedSketchOptions& opt = shard.options();
+  WeightedSpaceSaving acc = shard.decayed_accumulator();
+  const uint64_t lag = current - shard.CurrentEpoch();
+  if (lag == 0) return acc;
+  const double age_factor = std::exp2(-static_cast<double>(lag) /
+                                      opt.half_life_epochs);
+  acc.Scale(age_factor);
+  WeightedSpaceSaving open(opt.merged_capacity, seed);
+  for (const SketchEntry& e : shard.slots().back().sketch.Entries()) {
+    if (e.count > 0) {
+      open.Update(e.item, static_cast<double>(e.count) * age_factor);
+    }
+  }
+  if (open.size() == 0) return acc;
+  return Merge(acc, open, opt.merged_capacity, seed);
+}
+
+}  // namespace
+
+WindowedSpaceSaving MergeShards(
+    const std::vector<const WindowedSpaceSaving*>& shards,
+    size_t epoch_capacity, uint64_t seed) {
+  DSKETCH_CHECK(!shards.empty());
+  WindowedSketchOptions opt = shards.front()->options();
+  opt.epoch_capacity = epoch_capacity;
+  opt.seed = seed;
+
+  uint64_t current = 0;
+  uint64_t rows_in_epoch = 0;
+  uint64_t total_rows = 0;
+  for (const WindowedSpaceSaving* s : shards) {
+    DSKETCH_CHECK(s != nullptr);
+    current = std::max(current, s->CurrentEpoch());
+    total_rows += s->TotalRows();
+  }
+  // Open-epoch row count: only shards whose open epoch IS the merged
+  // open epoch contribute — a lagging shard's open rows belong to an
+  // older (closed) slot of the merged ring.
+  for (const WindowedSpaceSaving* s : shards) {
+    if (s->CurrentEpoch() == current) rows_in_epoch += s->RowsInCurrentEpoch();
+  }
+  const uint64_t lo = current + 1 >= opt.window_epochs
+                          ? current + 1 - opt.window_epochs
+                          : 0;
+
+  // One merged slot per epoch in the window, aligned by absolute epoch
+  // id; epochs no shard saw stay as empty sketches so last-k counting
+  // matches a single sketch over the whole stream.
+  std::deque<WindowedSpaceSaving::EpochSlot> slots;
+  for (uint64_t e = lo; e <= current; ++e) {
+    std::vector<const UnbiasedSpaceSaving*> parts;
+    for (const WindowedSpaceSaving* s : shards) {
+      for (const auto& slot : s->slots()) {
+        if (slot.epoch == e && slot.sketch.size() > 0) {
+          parts.push_back(&slot.sketch);
+        }
+      }
+    }
+    if (parts.empty()) {
+      slots.emplace_back(e, UnbiasedSpaceSaving(epoch_capacity, seed + e));
+    } else {
+      slots.emplace_back(e, MergeShards(parts, epoch_capacity, seed + e));
+    }
+  }
+
+  WeightedSpaceSaving decayed(opt.merged_capacity, seed);
+  if (opt.half_life_epochs > 0.0) {
+    std::vector<WeightedSpaceSaving> aligned;
+    aligned.reserve(shards.size());
+    for (const WindowedSpaceSaving* s : shards) {
+      aligned.push_back(AlignDecayed(*s, current, seed + current));
+    }
+    decayed = MergeShards(aligned, opt.merged_capacity, seed + current);
+  }
+
+  WindowedSpaceSaving out(opt);
+  out.LoadState(std::move(slots), std::move(decayed),
+                std::min(rows_in_epoch, total_rows), total_rows);
+  return out;
+}
+
+WindowedSpaceSaving MergeShards(const std::vector<WindowedSpaceSaving>& shards,
+                                size_t epoch_capacity, uint64_t seed) {
+  std::vector<const WindowedSpaceSaving*> ptrs;
+  ptrs.reserve(shards.size());
+  for (const WindowedSpaceSaving& s : shards) ptrs.push_back(&s);
+  return MergeShards(ptrs, epoch_capacity, seed);
+}
+
+}  // namespace dsketch

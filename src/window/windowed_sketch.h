@@ -1,0 +1,332 @@
+// First-class time-windowed sketching: an epoch ring of mergeable
+// sketches with sliding-window and exponentially-decayed queries.
+//
+// A WindowedSketch<S> partitions the stream into epochs (logical time —
+// the caller advances explicitly — or row-count time via
+// rows_per_epoch) and keeps one sketch of type `S` per epoch in a ring
+// of the last `window_epochs` epochs. Queries over "the last k epochs"
+// merge the k newest ring slots with the same unbiased pairwise-PPS
+// reduction the shard layer uses (MergeShards, paper §5.3 / Theorem 2),
+// so a window estimate behaves exactly as if one sketch had seen just
+// those epochs' rows — the classic mergeable-sketch window
+// construction, promoted from bench/epoch_common.h's hand-merged form
+// into a library citizen.
+//
+// Decayed mode (half_life_epochs > 0) additionally folds every *closed*
+// epoch into a weighted accumulator whose mass decays by
+// 2^(-age/half_life) per epoch: QueryDecayed() answers exponentially
+// time-decayed subset sums over the entire stream with O(merged
+// capacity) state, complementing the ring's sharp cutoff. Sliding
+// window = "last W epochs count fully, older count zero"; decay =
+// "every epoch counts, geometrically less" — the two standard
+// time-scoped weightings.
+//
+// Determinism: epoch e's sketch is seeded seed + e and the decay folds
+// are seeded from seed + e too, so a fixed (seed, stream, epoch stamps)
+// triple reproduces the ring, the accumulator, and every window merge
+// bit-for-bit — which is what lets window_test cross-check QueryWindow
+// against the hand-merged construction exactly.
+
+#ifndef DSKETCH_WINDOW_WINDOWED_SKETCH_H_
+#define DSKETCH_WINDOW_WINDOWED_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cmath>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/merge.h"
+#include "core/sketch_entry.h"
+#include "core/unbiased_space_saving.h"
+#include "core/weighted_space_saving.h"
+#include "shard/sharded_sketch.h"
+#include "util/logging.h"
+#include "util/span.h"
+
+namespace dsketch {
+
+/// Largest ring length a WindowedSketch accepts (and the window-snapshot
+/// wire codec restores) — epochs are coarse query units, not rows, so a
+/// few thousand covers every realistic retention policy while keeping
+/// hostile ring claims cheap to reject.
+inline constexpr uint64_t kMaxWindowEpochs = 4096;
+
+/// Configuration of the epoch ring.
+struct WindowedSketchOptions {
+  size_t window_epochs = 8;     ///< ring length W (>= 1, <= kMaxWindowEpochs)
+  size_t epoch_capacity = 1024; ///< bins per per-epoch sketch
+  size_t merged_capacity = 4096;  ///< bins of window merges + decay state
+  /// > 0: auto-advance every N rows (row-count time). Applies to the
+  /// unstamped Update/UpdateBatch path only — epoch-stamped rows carry
+  /// their own clock, so the two are mutually exclusive.
+  uint64_t rows_per_epoch = 0;
+  double half_life_epochs = 0.0;  ///< > 0: maintain the decayed accumulator
+  uint64_t seed = 1;            ///< epoch e's sketch is seeded seed + e
+};
+
+/// One (item, epoch) row, as shipped through the sharded front-end's
+/// queues when a ShardedSketch hosts a windowed sketch.
+struct EpochRow {
+  uint64_t item = 0;
+  uint64_t epoch = 0;
+};
+
+namespace window_internal {
+
+// Entry-to-weighted adapters so the decay fold works over both the
+// integer-count and the real-valued sketch families.
+inline WeightedEntry AsWeighted(const SketchEntry& e) {
+  return {e.item, static_cast<double>(e.count)};
+}
+inline WeightedEntry AsWeighted(const WeightedEntry& e) { return e; }
+
+}  // namespace window_internal
+
+/// Epoch ring over sketch type `S` (UnbiasedSpaceSaving by default;
+/// anything with S(capacity, seed), Update, UpdateBatch, Entries() and a
+/// MergeShards pointer overload works).
+template <typename S>
+class WindowedSketch {
+ public:
+  /// One ring slot: the epoch id and its sketch.
+  struct EpochSlot {
+    uint64_t epoch = 0;
+    S sketch;
+
+    EpochSlot(uint64_t e, S s) : epoch(e), sketch(std::move(s)) {}
+  };
+
+  explicit WindowedSketch(const WindowedSketchOptions& options)
+      : options_(options),
+        decayed_(options.merged_capacity, options.seed),
+        decay_factor_(options.half_life_epochs > 0.0
+                          ? std::exp2(-1.0 / options.half_life_epochs)
+                          : 0.0) {
+    DSKETCH_CHECK(options.window_epochs > 0 &&
+                  options.window_epochs <= kMaxWindowEpochs);
+    DSKETCH_CHECK(options.epoch_capacity > 0);
+    DSKETCH_CHECK(options.merged_capacity > 0);
+    DSKETCH_CHECK(options.half_life_epochs >= 0.0);
+    ring_.emplace_back(0, S(options.epoch_capacity, options.seed));
+  }
+
+  /// Processes one row in the open epoch; auto-advances first in
+  /// row-count mode.
+  void Update(uint64_t item) {
+    MaybeAutoAdvance();
+    ring_.back().sketch.Update(item);
+    ++rows_in_epoch_;
+    ++total_rows_;
+  }
+
+  /// Batch form of Update (same auto-advance semantics per row chunk).
+  void UpdateBatch(Span<const uint64_t> items) {
+    size_t pos = 0;
+    while (pos < items.size()) {
+      MaybeAutoAdvance();
+      size_t len = items.size() - pos;
+      if (options_.rows_per_epoch > 0) {
+        const uint64_t room = options_.rows_per_epoch - rows_in_epoch_;
+        if (static_cast<uint64_t>(len) > room) {
+          len = static_cast<size_t>(room);
+        }
+      }
+      ring_.back().sketch.UpdateBatch(
+          Span<const uint64_t>(items.data() + pos, len));
+      rows_in_epoch_ += len;
+      total_rows_ += len;
+      pos += len;
+    }
+  }
+
+  /// Batch of epoch-stamped rows (the sharded hosting path). Stamps at
+  /// or before the open epoch land in it (late rows are credited to the
+  /// open epoch — a closed ring slot is immutable); a larger stamp
+  /// advances the ring to it first. Stamps are the clock here, so
+  /// row-count time must be off (MakeShardedWindowed enforces this for
+  /// the sharded fleet).
+  void UpdateBatch(Span<const EpochRow> rows) {
+    DSKETCH_CHECK(options_.rows_per_epoch == 0);
+    size_t pos = 0;
+    while (pos < rows.size()) {
+      const uint64_t epoch = rows[pos].epoch;
+      if (epoch > CurrentEpoch()) AdvanceTo(epoch);
+      size_t end = pos;
+      batch_.clear();
+      while (end < rows.size() && rows[end].epoch <= CurrentEpoch()) {
+        batch_.push_back(rows[end].item);
+        ++end;
+      }
+      ring_.back().sketch.UpdateBatch(
+          Span<const uint64_t>(batch_.data(), batch_.size()));
+      rows_in_epoch_ += batch_.size();
+      total_rows_ += batch_.size();
+      pos = end;
+    }
+  }
+
+  /// Closes the open epoch and opens the next one. Slots older than the
+  /// window fall off the ring; in decayed mode the closed epoch is
+  /// folded into the accumulator first, so its mass survives (decayed)
+  /// after the ring forgets it.
+  void Advance() { AdvanceTo(CurrentEpoch() + 1); }
+
+  /// Advances the ring to `epoch` (no-op when not ahead of the open
+  /// epoch). Skipped epochs are closed empty.
+  void AdvanceTo(uint64_t epoch) {
+    while (CurrentEpoch() < epoch) {
+      CloseEpoch();
+      ring_.emplace_back(CurrentEpoch() + 1,
+                         S(options_.epoch_capacity,
+                           options_.seed + CurrentEpoch() + 1));
+      if (ring_.size() > options_.window_epochs) ring_.pop_front();
+      rows_in_epoch_ = 0;
+    }
+  }
+
+  /// Unbiased merged view of the newest min(last_k, ring) epochs with
+  /// `capacity` bins, reduced with `merge_seed` (single final pairwise
+  /// reduction — identical to MergeShards over the same epoch sketches).
+  /// last_k == 0 means the full ring.
+  S QueryWindow(size_t last_k, size_t capacity, uint64_t merge_seed) const {
+    if (last_k == 0 || last_k > ring_.size()) last_k = ring_.size();
+    std::vector<const S*> parts;
+    parts.reserve(last_k);
+    for (size_t i = ring_.size() - last_k; i < ring_.size(); ++i) {
+      parts.push_back(&ring_[i].sketch);
+    }
+    return MergeShards(parts, capacity, merge_seed);
+  }
+
+  /// QueryWindow with the configured merged capacity and a merge seed
+  /// derived from (seed, open epoch) so repeated queries of the same
+  /// state are deterministic.
+  S QueryWindow(size_t last_k = 0) const {
+    return QueryWindow(last_k, options_.merged_capacity,
+                       options_.seed + CurrentEpoch() + 1);
+  }
+
+  /// Exponentially decayed view over the whole stream as of the open
+  /// epoch: closed epochs carry weight 2^(-age/half_life), the open
+  /// epoch weight 1. Requires decayed mode.
+  WeightedSpaceSaving QueryDecayed() const {
+    DSKETCH_CHECK(decay_enabled());
+    WeightedSpaceSaving open(options_.merged_capacity,
+                             options_.seed + CurrentEpoch());
+    for (const auto& e : ring_.back().sketch.Entries()) {
+      WeightedEntry w = window_internal::AsWeighted(e);
+      if (w.weight > 0.0) open.Update(w.item, w.weight);
+    }
+    return Merge(decayed_, open, options_.merged_capacity,
+                 options_.seed + CurrentEpoch());
+  }
+
+  /// Id of the open epoch (0-based, monotone).
+  uint64_t CurrentEpoch() const { return ring_.back().epoch; }
+
+  /// Rows applied to the open epoch so far.
+  uint64_t RowsInCurrentEpoch() const { return rows_in_epoch_; }
+
+  /// Rows applied across all epochs (ring and expired).
+  uint64_t TotalRows() const { return total_rows_; }
+
+  /// Ring slots, oldest first (newest is the open epoch).
+  const std::deque<EpochSlot>& slots() const { return ring_; }
+
+  /// The decayed accumulator over *closed* epochs (meaningful only in
+  /// decayed mode; QueryDecayed adds the open epoch on top).
+  const WeightedSpaceSaving& decayed_accumulator() const { return decayed_; }
+
+  /// True when the exponentially-decayed accumulator is maintained.
+  bool decay_enabled() const { return decay_factor_ > 0.0; }
+
+  /// The ring configuration.
+  const WindowedSketchOptions& options() const { return options_; }
+
+  /// Restores internal state from decoded parts (the window wire codec's
+  /// entry point; `slots` must be non-empty with strictly increasing
+  /// epochs spanning at most the window).
+  void LoadState(std::deque<EpochSlot> slots, WeightedSpaceSaving decayed,
+                 uint64_t rows_in_epoch, uint64_t total_rows) {
+    DSKETCH_CHECK(!slots.empty() &&
+                  slots.size() <= options_.window_epochs);
+    for (size_t i = 1; i < slots.size(); ++i) {
+      DSKETCH_CHECK(slots[i - 1].epoch < slots[i].epoch);
+    }
+    ring_ = std::move(slots);
+    decayed_ = std::move(decayed);
+    rows_in_epoch_ = rows_in_epoch;
+    total_rows_ = total_rows;
+  }
+
+ private:
+  void MaybeAutoAdvance() {
+    if (options_.rows_per_epoch > 0 &&
+        rows_in_epoch_ >= options_.rows_per_epoch) {
+      Advance();
+    }
+  }
+
+  // Folds the open epoch into the decayed accumulator: age existing
+  // mass by one epoch, then merge the closing epoch's entries at full
+  // weight (they are now exactly one epoch from the next open one after
+  // the subsequent decay, matching 2^(-age/half_life) at query time).
+  void CloseEpoch() {
+    if (!decay_enabled()) return;
+    decayed_.Scale(decay_factor_);
+    WeightedSpaceSaving closing(options_.merged_capacity,
+                                options_.seed + CurrentEpoch());
+    for (const auto& e : ring_.back().sketch.Entries()) {
+      WeightedEntry w = window_internal::AsWeighted(e);
+      if (w.weight > 0.0) closing.Update(w.item, w.weight);
+    }
+    // One more epoch of decay for the closing mass: as of the next open
+    // epoch it is one epoch old.
+    closing.Scale(decay_factor_);
+    decayed_ = Merge(decayed_, closing, options_.merged_capacity,
+                     options_.seed + CurrentEpoch());
+  }
+
+  WindowedSketchOptions options_;
+  std::deque<EpochSlot> ring_;
+  WeightedSpaceSaving decayed_;
+  double decay_factor_;
+  uint64_t rows_in_epoch_ = 0;
+  uint64_t total_rows_ = 0;
+  std::vector<uint64_t> batch_;  // scratch for epoch-stamped batches
+};
+
+/// The windowed form of the paper's primary sketch — what the wire,
+/// shard, query, and service layers instantiate.
+using WindowedSpaceSaving = WindowedSketch<UnbiasedSpaceSaving>;
+
+/// Epoch-aligned unbiased merge of windowed sketches: slots are matched
+/// by absolute epoch id (a shard that saw no rows for an epoch simply
+/// contributes nothing to it), each aligned epoch set is merged with the
+/// unbiased MergeShards reduction at `epoch_capacity` bins, and the
+/// decayed accumulators merge under the weighted reduction — so
+/// ShardedSketch<WindowedSpaceSaving>::Snapshot() is epoch-consistent:
+/// the merged ring answers window queries exactly as one windowed sketch
+/// over the whole stream would.
+WindowedSpaceSaving MergeShards(
+    const std::vector<const WindowedSpaceSaving*>& shards,
+    size_t epoch_capacity, uint64_t seed);
+
+/// Value form of the windowed merge.
+WindowedSpaceSaving MergeShards(const std::vector<WindowedSpaceSaving>& shards,
+                                size_t epoch_capacity, uint64_t seed);
+
+/// ShardRow trait: a windowed shard queue carries epoch-stamped rows and
+/// routes on the item label (so every epoch of one item lands in one
+/// shard and the per-epoch merge stays a disjoint-stream merge).
+template <>
+struct ShardRow<WindowedSpaceSaving> {
+  using Type = EpochRow;
+  static uint64_t ItemOf(const EpochRow& row) { return row.item; }
+};
+
+}  // namespace dsketch
+
+#endif  // DSKETCH_WINDOW_WINDOWED_SKETCH_H_

@@ -72,7 +72,8 @@ struct CodecInfo {
 
 /// Registers `info` for its kind byte (static-init time; re-registration
 /// overwrites, including the built-ins). Kind bytes must be in [1, 63];
-/// 1-6 are reserved for the built-in sketch kinds (see codec.cc).
+/// 1-7 are reserved for the built-in sketch kinds (see codec.cc; 7 is
+/// the windowed epoch-ring snapshot, encoded by src/window).
 void RegisterCodec(const CodecInfo& info);
 
 /// Looks up the registered codec for `kind`; nullptr when unknown.

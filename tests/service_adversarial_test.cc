@@ -25,6 +25,7 @@
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/transport.h"
+#include "window/window_wire.h"
 #include "wire/varint.h"
 
 namespace dsketch {
@@ -50,12 +51,25 @@ std::vector<std::pair<std::string, std::string>> AllRequests() {
   IngestBatchRequest weighted = unit;
   weighted.weights = {1.0, 2.0, 0.5, 4.0, 1.5, 2.5, 3.5};
   out.emplace_back("ingest_weighted", EncodeIngestBatchRequest(2, weighted));
+  IngestBatchRequest windowed = unit;
+  windowed.windowed = true;
+  windowed.epoch = 2;
+  out.emplace_back("ingest_windowed", EncodeIngestBatchRequest(10, windowed));
   QuerySumRequest sum;
   sum.where.WhereEq(0, 2).WhereIn(1, {1, 2, 3});
   out.emplace_back("query_sum", EncodeQuerySumRequest(3, sum));
+  QuerySumRequest win_sum;
+  win_sum.scope = QueryScope::kWindow;
+  win_sum.last_k = 2;
+  out.emplace_back("query_sum_window", EncodeQuerySumRequest(11, win_sum));
   QueryTopKRequest topk;
   topk.k = 10;
   out.emplace_back("query_topk", EncodeQueryTopKRequest(4, topk));
+  QueryTopKRequest win_topk;
+  win_topk.scope = QueryScope::kWindow;
+  win_topk.k = 5;
+  win_topk.last_k = 1;
+  out.emplace_back("query_topk_window", EncodeQueryTopKRequest(12, win_topk));
   QueryGroupByRequest group;
   group.dim1 = 0;
   group.has_dim2 = true;
@@ -68,6 +82,20 @@ std::vector<std::pair<std::string, std::string>> AllRequests() {
   for (int i = 0; i < 100; ++i) sketch.Update(static_cast<uint64_t>(i % 20));
   restore.blob = Serialize(sketch);
   out.emplace_back("restore", EncodeRestoreRequest(7, restore));
+  SnapshotRequest win_snap;
+  win_snap.scope = QueryScope::kWindow;
+  out.emplace_back("snapshot_window", EncodeSnapshotRequest(13, win_snap));
+  RestoreRequest win_restore;
+  win_restore.scope = QueryScope::kWindow;
+  WindowedSketchOptions wopt;
+  wopt.window_epochs = 2;
+  wopt.epoch_capacity = 16;
+  wopt.merged_capacity = 32;
+  wopt.seed = 14;
+  WindowedSpaceSaving ring(wopt);
+  for (int i = 0; i < 60; ++i) ring.Update(static_cast<uint64_t>(i % 12));
+  win_restore.blob = SerializeWindowed(ring);
+  out.emplace_back("restore_window", EncodeRestoreRequest(14, win_restore));
   out.emplace_back("stats", EncodeStatsRequest(8));
   out.emplace_back("shutdown", EncodeShutdownRequest(9));
   return out;
@@ -268,6 +296,58 @@ TEST(ServiceAdversarialTest, HostileBatchAndQueryClaimsAreRejected) {
   std::string bad_scope = RequestWithBody(
       Opcode::kSnapshot, [](wire::VarintWriter& w) { w.PutByte(7); });
   EXPECT_NE(ResponseStatus(server.HandleRequest(bad_scope)), Status::kOk);
+
+  // Weighted + windowed ingest flags together (3): mutually exclusive.
+  std::string both_flags = RequestWithBody(
+      Opcode::kIngestBatch, [](wire::VarintWriter& w) {
+        w.PutByte(3);
+        w.PutVarint(0);  // epoch (were windowed accepted)
+        w.PutVarint(1);
+        w.PutVarint(7);
+        w.PutDouble(1.0);
+      });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(both_flags)), Status::kOk);
+
+  // Window last_k beyond the ring cap.
+  std::string bad_last_k = RequestWithBody(
+      Opcode::kQuerySum, [](wire::VarintWriter& w) {
+        w.PutByte(static_cast<uint8_t>(QueryScope::kWindow));
+        w.PutVarint(kMaxWindowEpochs + 1);
+        w.PutVarint(0);  // empty predicate
+      });
+  EXPECT_NE(ResponseStatus(server.HandleRequest(bad_last_k)), Status::kOk);
+
+  // Cross-kind restore into the window scope: a flat counts blob is not
+  // a ring and must be refused, state untouched.
+  UnbiasedSpaceSaving flat(16, 6);
+  for (int i = 0; i < 40; ++i) flat.Update(static_cast<uint64_t>(i % 8));
+  std::string flat_blob = Serialize(flat);
+  std::string flat_into_window = RequestWithBody(
+      Opcode::kRestore, [&flat_blob](wire::VarintWriter& w) {
+        w.PutByte(static_cast<uint8_t>(QueryScope::kWindow));
+        w.PutVarint(flat_blob.size());
+        for (char c : flat_blob) w.PutByte(static_cast<uint8_t>(c));
+      });
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(flat_into_window)),
+            Status::kBadState);
+
+  // And the reverse: a ring blob fed to the counts scope.
+  WindowedSketchOptions wopt;
+  wopt.window_epochs = 2;
+  wopt.epoch_capacity = 16;
+  wopt.merged_capacity = 32;
+  wopt.seed = 8;
+  WindowedSpaceSaving ring(wopt);
+  for (int i = 0; i < 30; ++i) ring.Update(static_cast<uint64_t>(i % 6));
+  std::string ring_blob = SerializeWindowed(ring);
+  std::string ring_into_counts = RequestWithBody(
+      Opcode::kRestore, [&ring_blob](wire::VarintWriter& w) {
+        w.PutByte(static_cast<uint8_t>(QueryScope::kCounts));
+        w.PutVarint(ring_blob.size());
+        for (char c : ring_blob) w.PutByte(static_cast<uint8_t>(c));
+      });
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(ring_into_counts)),
+            Status::kBadState);
 
   // After all that hostility, the server still works.
   IngestBatchRequest ok;

@@ -259,6 +259,108 @@ TEST_F(ServiceSessionTest, WeightedPathIngestsQueriesAndSnapshots) {
   EXPECT_EQ(counts_total->estimate, 0.0);
 }
 
+TEST_F(ServiceSessionTest, WindowedPathIngestsQueriesAndReplicates) {
+  Boot(&attrs_);
+  // 3 epochs of epoch-disjoint labels: epoch e carries 120 rows of
+  // items e*100 .. e*100+39 (3 rows each), so per-epoch truths and
+  // window truths are exact.
+  const uint64_t kEpochs = 3;
+  size_t window_rows = 0;
+  for (uint64_t e = 0; e < kEpochs; ++e) {
+    std::vector<uint64_t> rows;
+    for (uint64_t item = 0; item < 40; ++item) {
+      for (int c = 0; c < 3; ++c) rows.push_back(e * 100 + item);
+    }
+    window_rows += rows.size();
+    ASSERT_TRUE(client_->IngestWindowed(rows, e));
+  }
+
+  // Full-window total (ring default of 8 epochs holds everything).
+  auto total = client_->QuerySum(PredicateSpec(), QueryScope::kWindow);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->estimate, static_cast<double>(window_rows));
+
+  // last_k = 1 scopes to the newest epoch exactly.
+  auto newest = client_->QuerySum(PredicateSpec(), QueryScope::kWindow, 1);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->estimate, 120.0);
+
+  // Predicates compose with the window scope: dim 0 == 5 selects items
+  // ending in 5, present in every epoch (4 per epoch x 3 rows).
+  auto filtered = client_->QuerySum(PredicateSpec().WhereEq(0, 5),
+                                    QueryScope::kWindow);
+  ASSERT_TRUE(filtered.has_value());
+  EXPECT_EQ(filtered->estimate, 36.0);
+
+  // Window top-k over the newest epoch stays in its label range.
+  auto topk = client_->QueryTopK(5, QueryScope::kWindow, /*last_k=*/1);
+  ASSERT_TRUE(topk.has_value());
+  ASSERT_EQ(topk->counts.size(), 5u);
+  for (const SketchEntry& e : topk->counts) {
+    EXPECT_GE(e.item, (kEpochs - 1) * 100);
+    EXPECT_EQ(e.count, 3);
+  }
+
+  auto stats = client_->Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->windowed_rows_ingested, window_rows);
+  EXPECT_EQ(stats->window_epoch, kEpochs - 1);
+  // The unit-row state is untouched by windowed ingest.
+  EXPECT_EQ(stats->total_count, 0);
+
+  // The full ring replicates into a fresh node through one
+  // SNAPSHOT -> RESTORE hop: totals, per-window totals, and epoch
+  // position all carry over exactly.
+  auto ring = client_->Snapshot(QueryScope::kWindow);
+  ASSERT_TRUE(ring.has_value());
+  {
+    SketchServerOptions options;
+    options.shard.num_shards = 2;
+    options.shard.shard_capacity = 512;
+    options.shard.seed = 88;
+    options.merged_capacity = 1024;
+    options.seed = 88;
+    InMemoryDuplex wire_b;
+    SketchServer replica(options, &attrs_);
+    std::thread serve_b([&] { replica.Serve(wire_b.server()); });
+    SketchClient client_b(wire_b.client());
+    ASSERT_TRUE(client_b.Restore(*ring, QueryScope::kWindow));
+    auto replica_total =
+        client_b.QuerySum(PredicateSpec(), QueryScope::kWindow);
+    ASSERT_TRUE(replica_total.has_value());
+    EXPECT_EQ(replica_total->estimate, static_cast<double>(window_rows));
+    auto replica_newest =
+        client_b.QuerySum(PredicateSpec(), QueryScope::kWindow, 1);
+    ASSERT_TRUE(replica_newest.has_value());
+    EXPECT_EQ(replica_newest->estimate, 120.0);
+    client_b.Shutdown();
+    serve_b.join();
+  }
+}
+
+TEST_F(ServiceSessionTest, WindowedEpochAdvanceExpiresOldEpochs) {
+  Boot(&attrs_);
+  // Ring length defaults to 8; advance far enough that epoch 0 falls
+  // off and the full-window total shrinks accordingly.
+  std::vector<uint64_t> old_rows(60, 7);
+  ASSERT_TRUE(client_->IngestWindowed(old_rows, 0));
+  std::vector<uint64_t> new_rows(40, 9);
+  ASSERT_TRUE(client_->IngestWindowed(new_rows, 9));  // epoch 0 expires
+
+  auto total = client_->QuerySum(PredicateSpec(), QueryScope::kWindow);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->estimate, 40.0);  // only epoch 9 remains in range
+
+  // An empty windowed batch is a pure epoch advance.
+  ASSERT_TRUE(client_->IngestWindowed(std::vector<uint64_t>{}, 17));
+  auto stats = client_->Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->window_epoch, 17u);
+  auto after = client_->QuerySum(PredicateSpec(), QueryScope::kWindow);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->estimate, 0.0);  // everything expired
+}
+
 TEST_F(ServiceSessionTest, PredicateQueriesWithoutTableAreUnsupported) {
   Boot(nullptr);
   ASSERT_TRUE(client_->IngestBatch(std::vector<uint64_t>{1, 2, 3}));

@@ -1,0 +1,383 @@
+// The windowed epoch-ring subsystem: ring semantics (advance, row-count
+// time, slots falling off), window-query totals, the estimate-identical
+// cross-check against the hand-merged per-epoch construction the epoch
+// bench used before the subsystem existed (on the §6.3 bursty and
+// all-distinct arrival patterns), the decayed accumulator against the
+// analytically decayed truth, the epoch-aligned sharded merge, and the
+// window-snapshot wire round trip with replication through
+// IngestSerialized.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/merge.h"
+#include "core/subset_sum.h"
+#include "query/windowed_source.h"
+#include "stream/generators.h"
+#include "util/random.h"
+#include "window/sharded_windowed.h"
+#include "window/window_wire.h"
+#include "window/windowed_sketch.h"
+#include "wire/codec.h"
+
+namespace dsketch {
+namespace {
+
+// Canonical entry order for exact comparisons (count ties by item).
+std::vector<SketchEntry> Canonical(std::vector<SketchEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.item < b.item;
+            });
+  return entries;
+}
+
+WindowedSketchOptions SmallOptions() {
+  WindowedSketchOptions opt;
+  opt.window_epochs = 3;
+  opt.epoch_capacity = 64;
+  opt.merged_capacity = 128;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(WindowedSketchTest, RingAdvancesAndForgetsOldEpochs) {
+  WindowedSketchOptions opt = SmallOptions();
+  WindowedSpaceSaving sketch(opt);
+  EXPECT_EQ(sketch.CurrentEpoch(), 0u);
+  EXPECT_EQ(sketch.slots().size(), 1u);
+
+  for (uint64_t e = 0; e < 5; ++e) {
+    std::vector<uint64_t> rows(100, e);  // 100 rows of item e per epoch
+    sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+    if (e < 4) sketch.Advance();
+  }
+  EXPECT_EQ(sketch.CurrentEpoch(), 4u);
+  EXPECT_EQ(sketch.slots().size(), 3u);  // ring holds epochs 2, 3, 4
+  EXPECT_EQ(sketch.slots().front().epoch, 2u);
+  EXPECT_EQ(sketch.TotalRows(), 500u);
+
+  // Full-window merge covers exactly the ring: epochs 2-4, 300 rows.
+  UnbiasedSpaceSaving window = sketch.QueryWindow();
+  EXPECT_EQ(window.TotalCount(), 300);
+  EXPECT_GT(window.EstimateCount(3), 0);
+  EXPECT_EQ(window.EstimateCount(0), 0);  // fell off the ring
+
+  // last_k = 1 sees only the open epoch.
+  UnbiasedSpaceSaving newest = sketch.QueryWindow(1);
+  EXPECT_EQ(newest.TotalCount(), 100);
+  EXPECT_EQ(newest.EstimateCount(4), 100);
+}
+
+TEST(WindowedSketchTest, RowCountTimeAutoAdvances) {
+  WindowedSketchOptions opt = SmallOptions();
+  opt.rows_per_epoch = 50;
+  WindowedSpaceSaving sketch(opt);
+  std::vector<uint64_t> rows(175);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i % 7;
+  sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+  // 175 rows at 50/epoch: epochs 0-2 closed full, epoch 3 open with 25.
+  EXPECT_EQ(sketch.CurrentEpoch(), 3u);
+  EXPECT_EQ(sketch.RowsInCurrentEpoch(), 25u);
+  EXPECT_EQ(sketch.QueryWindow().TotalCount(), 125);  // epochs 1-3
+
+  // Per-row updates honor the same boundary.
+  sketch.Update(1);  // fills epoch 3 to 26 rows
+  EXPECT_EQ(sketch.CurrentEpoch(), 3u);
+  for (int i = 0; i < 24; ++i) sketch.Update(2);
+  sketch.Update(3);  // 51st row: lands in epoch 4
+  EXPECT_EQ(sketch.CurrentEpoch(), 4u);
+  EXPECT_EQ(sketch.RowsInCurrentEpoch(), 1u);
+}
+
+TEST(WindowedSketchTest, AdvanceToSkipsEpochsWithEmptySlots) {
+  WindowedSpaceSaving sketch(SmallOptions());
+  std::vector<uint64_t> rows(40, 9);
+  sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+  sketch.AdvanceTo(5);
+  EXPECT_EQ(sketch.CurrentEpoch(), 5u);
+  EXPECT_EQ(sketch.slots().size(), 3u);  // epochs 3, 4, 5 — all empty
+  EXPECT_EQ(sketch.QueryWindow().TotalCount(), 0);
+  EXPECT_EQ(sketch.TotalRows(), 40u);  // expired rows still counted
+}
+
+// Satellite cross-check: QueryWindow over last_k epochs is
+// estimate-identical to the hand-merged per-epoch construction of
+// bench/epoch_common.h (per-epoch sketches merged with MergeAll) when
+// both use the same per-epoch seeds and merge seed — on the §6.3
+// bursty and all-distinct arrival patterns.
+void CrossCheckHandMerged(const std::vector<uint64_t>& stream,
+                          size_t n_epochs, uint64_t seed) {
+  const size_t m = 48;
+  const size_t rows_per_epoch = stream.size() / n_epochs;
+
+  WindowedSketchOptions opt;
+  opt.window_epochs = n_epochs;  // keep every epoch mergeable
+  opt.epoch_capacity = m;
+  opt.merged_capacity = m;
+  opt.seed = seed;
+  WindowedSpaceSaving windowed(opt);
+
+  std::vector<UnbiasedSpaceSaving> hand;
+  for (size_t e = 0; e < n_epochs; ++e) {
+    hand.emplace_back(m, seed + e);  // the ring's seed schedule
+    const size_t begin = e * rows_per_epoch;
+    const size_t len =
+        e + 1 == n_epochs ? stream.size() - begin : rows_per_epoch;
+    Span<const uint64_t> chunk(stream.data() + begin, len);
+    hand.back().UpdateBatch(chunk);
+    windowed.UpdateBatch(chunk);
+    if (e + 1 < n_epochs) windowed.Advance();
+  }
+
+  for (size_t last_k : {size_t{1}, size_t{2}, n_epochs}) {
+    const uint64_t merge_seed = 900000 + last_k;
+    std::vector<const UnbiasedSpaceSaving*> win;
+    for (size_t e = n_epochs - last_k; e < n_epochs; ++e) {
+      win.push_back(&hand[e]);
+    }
+    UnbiasedSpaceSaving expected = MergeAll(win, m, merge_seed);
+    UnbiasedSpaceSaving actual = windowed.QueryWindow(last_k, m, merge_seed);
+    EXPECT_EQ(actual.TotalCount(), expected.TotalCount());
+    EXPECT_EQ(Canonical(actual.Entries()), Canonical(expected.Entries()))
+        << "last_k=" << last_k;
+  }
+}
+
+TEST(WindowedSketchTest, WindowQueryMatchesHandMergedEpochsOnBursty) {
+  // §6.3 bursty pattern: one hot item bursting between runs of fresh
+  // distinct items, split into 4 epochs.
+  std::vector<uint64_t> stream =
+      BurstyStream(/*burst_item=*/0, /*burst_length=*/300,
+                   /*quiet_length=*/300, /*periods=*/4, /*fresh_start_id=*/1);
+  CrossCheckHandMerged(stream, 4, 4001);
+}
+
+TEST(WindowedSketchTest, WindowQueryMatchesHandMergedEpochsOnAllDistinct) {
+  // §6.3 all-distinct pattern: every row a fresh item — the worst case
+  // for any bin sketch, and the case where merge randomization matters
+  // most (every bin ties at count 1).
+  std::vector<uint64_t> stream = DistinctStream(2400);
+  CrossCheckHandMerged(stream, 4, 4002);
+}
+
+TEST(WindowedSketchTest, DecayedViewTracksAnalyticTruth) {
+  WindowedSketchOptions opt;
+  opt.window_epochs = 2;  // ring shorter than the decay horizon
+  opt.epoch_capacity = 256;
+  opt.merged_capacity = 512;
+  opt.half_life_epochs = 2.0;
+  opt.seed = 77;
+  WindowedSpaceSaving sketch(opt);
+
+  // Epoch e carries 1000 rows of epoch-disjoint labels.
+  const size_t kEpochs = 6;
+  const size_t kRows = 1000;
+  for (uint64_t e = 0; e < kEpochs; ++e) {
+    std::vector<uint64_t> rows;
+    rows.reserve(kRows);
+    for (size_t i = 0; i < kRows; ++i) rows.push_back(e * 10000 + i % 200);
+    sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+    if (e + 1 < kEpochs) sketch.Advance();
+  }
+
+  WeightedSpaceSaving decayed = sketch.QueryDecayed();
+  // Total decayed mass: sum over epochs of rows * 2^-(T-e)/hl, T = 5.
+  double truth = 0.0;
+  for (size_t e = 0; e < kEpochs; ++e) {
+    truth += static_cast<double>(kRows) *
+             std::exp2(-(static_cast<double>(kEpochs - 1 - e)) / 2.0);
+  }
+  EXPECT_NEAR(decayed.TotalWeight(), truth, truth * 1e-9);
+
+  // Per-epoch decayed mass is preserved through the folds: the weight
+  // landing on epoch e's label range matches its analytic decay.
+  for (size_t e = 0; e < kEpochs; ++e) {
+    auto est = EstimateSubsetSum(decayed, [e](uint64_t item) {
+      return item / 10000 == e;
+    });
+    const double epoch_truth =
+        static_cast<double>(kRows) *
+        std::exp2(-(static_cast<double>(kEpochs - 1 - e)) / 2.0);
+    EXPECT_NEAR(est.estimate, epoch_truth, truth * 0.35)
+        << "epoch " << e;
+  }
+}
+
+TEST(ShardedWindowedTest, EpochAlignedSnapshotPreservesWindowTotals) {
+  ShardedSketchOptions shard;
+  shard.num_shards = 3;
+  shard.shard_capacity = 64;  // unused by the windowed factory
+  shard.seed = 5;
+  WindowedSketchOptions window;
+  window.window_epochs = 3;
+  window.epoch_capacity = 256;
+  window.merged_capacity = 512;
+  auto sharded = MakeShardedWindowed(shard, window);
+
+  // 4 epochs x 3000 rows of epoch-disjoint labels, shipped as stamped
+  // rows in one producer stream.
+  const size_t kEpochs = 4;
+  const size_t kRows = 3000;
+  std::vector<EpochRow> rows;
+  rows.reserve(kEpochs * kRows);
+  Rng rng(99);
+  for (uint64_t e = 0; e < kEpochs; ++e) {
+    for (size_t i = 0; i < kRows; ++i) {
+      rows.push_back({e * 100000 + rng.NextBounded(400), e});
+    }
+  }
+  sharded->Ingest(Span<const EpochRow>(rows.data(), rows.size()));
+  sharded->Flush();
+
+  WindowedSpaceSaving merged = sharded->Snapshot(window.epoch_capacity, 123);
+  EXPECT_EQ(merged.CurrentEpoch(), kEpochs - 1);
+  EXPECT_EQ(merged.slots().size(), window.window_epochs);
+  // Ring totals: epochs 1-3 (epoch 0 fell off), 9000 rows.
+  EXPECT_EQ(merged.QueryWindow().TotalCount(),
+            static_cast<int64_t>(3 * kRows));
+  // last_k = 1: exactly the newest epoch's rows, all in its label range.
+  UnbiasedSpaceSaving newest = merged.QueryWindow(1);
+  EXPECT_EQ(newest.TotalCount(), static_cast<int64_t>(kRows));
+  for (const SketchEntry& e : newest.Entries()) {
+    EXPECT_EQ(e.item / 100000, kEpochs - 1);
+  }
+}
+
+TEST(ShardedWindowedTest, MergeCreditsOpenEpochRowsToAlignedShardsOnly) {
+  // A lagging shard's open-epoch rows belong to a *closed* slot of the
+  // merged ring, so they must not inflate the merged open-epoch count.
+  WindowedSketchOptions opt;
+  opt.window_epochs = 4;
+  opt.epoch_capacity = 16;
+  opt.merged_capacity = 32;
+  opt.seed = 3;
+  WindowedSpaceSaving a(opt);
+  WindowedSpaceSaving b(opt);
+  a.AdvanceTo(5);
+  for (int i = 0; i < 10; ++i) a.Update(1);
+  b.AdvanceTo(3);  // lagging: saw no rows for epochs 4-5
+  for (int i = 0; i < 7; ++i) b.Update(2);
+
+  WindowedSpaceSaving merged =
+      MergeShards(std::vector<WindowedSpaceSaving>{a, b}, 16, 9);
+  EXPECT_EQ(merged.CurrentEpoch(), 5u);
+  EXPECT_EQ(merged.RowsInCurrentEpoch(), 10u);  // shard a only
+  EXPECT_EQ(merged.TotalRows(), 17u);
+  // The lagging shard's rows still live in their own (closed) slot.
+  EXPECT_EQ(merged.QueryWindow(3, 16, 4).TotalCount(), 17);
+  EXPECT_EQ(merged.QueryWindow(1, 16, 4).TotalCount(), 10);
+}
+
+TEST(WindowWireTest, RingRoundTripsThroughWireBytes) {
+  WindowedSketchOptions opt = SmallOptions();
+  opt.rows_per_epoch = 0;
+  opt.half_life_epochs = 3.0;
+  WindowedSpaceSaving sketch(opt);
+  Rng rng(42);
+  for (uint64_t e = 0; e < 5; ++e) {
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 500; ++i) rows.push_back(rng.NextBounded(90));
+    sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+    if (e < 4) sketch.Advance();
+  }
+
+  const std::string bytes = SerializeWindowed(sketch);
+  auto info = wire::DescribeWire(bytes);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->kind, kWireKindWindowed);
+  EXPECT_STREQ(info->kind_name, "windowed_sketch");
+  EXPECT_EQ(info->version, wire::kVersionCurrent);
+
+  auto restored = DeserializeWindowed(bytes, opt.seed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->CurrentEpoch(), sketch.CurrentEpoch());
+  EXPECT_EQ(restored->TotalRows(), sketch.TotalRows());
+  ASSERT_EQ(restored->slots().size(), sketch.slots().size());
+  for (size_t i = 0; i < sketch.slots().size(); ++i) {
+    EXPECT_EQ(restored->slots()[i].epoch, sketch.slots()[i].epoch);
+    EXPECT_EQ(Canonical(restored->slots()[i].sketch.Entries()),
+              Canonical(sketch.slots()[i].sketch.Entries()));
+  }
+  // The restored total re-sums the entries, so it may differ from the
+  // live accumulator's scale/merge history by fp association only.
+  const double live_total = sketch.decayed_accumulator().TotalWeight();
+  EXPECT_NEAR(restored->decayed_accumulator().TotalWeight(), live_total,
+              live_total * 1e-12);
+  // Window queries on the restored ring behave identically.
+  EXPECT_EQ(restored->QueryWindow(2, 64, 7).TotalCount(),
+            sketch.QueryWindow(2, 64, 7).TotalCount());
+}
+
+TEST(WindowWireTest, ShardedFleetReplicatesRingState) {
+  ShardedSketchOptions shard;
+  shard.num_shards = 2;
+  shard.seed = 21;
+  WindowedSketchOptions window;
+  window.window_epochs = 4;
+  window.epoch_capacity = 128;
+  window.merged_capacity = 256;
+
+  WindowedSketchSource primary(shard, window);
+  std::vector<uint64_t> items;
+  Rng rng(7);
+  for (uint64_t e = 0; e < 3; ++e) {
+    items.clear();
+    for (int i = 0; i < 2000; ++i) {
+      items.push_back(e * 1000 + rng.NextBounded(300));
+    }
+    primary.Advance(e);
+    primary.Ingest(Span<const uint64_t>(items.data(), items.size()));
+  }
+  primary.Flush();
+  const std::string ring = primary.SaveSnapshot();
+
+  // A fresh replica catches up from the ring bytes alone: totals and
+  // per-window totals match exactly (totals are preserved by every
+  // reduction on the path).
+  ShardedSketchOptions shard_b = shard;
+  shard_b.seed = 4000;
+  WindowedSketchSource replica(shard_b, window);
+  ASSERT_TRUE(replica.RestoreSnapshot(ring));
+  EXPECT_EQ(replica.View().TotalCount(), primary.View().TotalCount());
+  EXPECT_EQ(replica.WindowView(1).TotalCount(),
+            primary.WindowView(1).TotalCount());
+  EXPECT_EQ(replica.WindowView(2).TotalCount(),
+            primary.WindowView(2).TotalCount());
+
+  // Malformed bytes are refused with the state untouched.
+  EXPECT_FALSE(replica.RestoreSnapshot("not a ring"));
+  EXPECT_EQ(replica.sharded().num_absorbed(), 1u);
+}
+
+TEST(WindowWireTest, HostileRingHeadersAreRejected) {
+  // A valid blob tampered at the ring-metadata level must be refused
+  // cleanly (the adversarial suite sweeps bit flips; these pin the
+  // specific caps).
+  WindowedSpaceSaving sketch(SmallOptions());
+  std::vector<uint64_t> rows(50, 3);
+  sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+  const std::string good = SerializeWindowed(sketch);
+  ASSERT_TRUE(DeserializeWindowed(good).has_value());
+
+  // Truncations at every boundary.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(
+        DeserializeWindowed(std::string_view(good.data(), cut)).has_value())
+        << "cut at " << cut;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DeserializeWindowed(good + std::string(1, '\0')).has_value());
+  // Wrong kind byte (an unbiased blob is not a ring).
+  UnbiasedSpaceSaving flat(8, 1);
+  flat.Update(1);
+  EXPECT_FALSE(DeserializeWindowed(Serialize(flat)).has_value());
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -17,6 +17,8 @@
 
 #include "core/serialization.h"
 #include "util/random.h"
+#include "util/span.h"
+#include "window/window_wire.h"
 #include "wire/codec.h"
 #include "wire/varint.h"
 
@@ -28,6 +30,7 @@ constexpr uint8_t kKindUnbiased = 1;
 constexpr uint8_t kKindMultiMetric = 4;
 constexpr uint8_t kKindMisraGries = 5;
 constexpr uint8_t kKindCountMin = 6;
+// kWireKindWindowed (7) comes from window/window_wire.h.
 
 struct Blob {
   std::string label;
@@ -71,6 +74,23 @@ std::vector<Blob> AllBlobs() {
   for (int i = 0; i < 300; ++i) cm.Update(rng.NextBounded(50), 2);
   add("countmin", Serialize(cm), SerializeV1(cm));
 
+  // The windowed ring kind is v2-only, so it contributes one blob (with
+  // a populated decayed accumulator so every payload section is swept).
+  WindowedSketchOptions wopt;
+  wopt.window_epochs = 3;
+  wopt.epoch_capacity = 8;
+  wopt.merged_capacity = 16;
+  wopt.half_life_epochs = 2.0;
+  wopt.seed = 16;
+  WindowedSpaceSaving win(wopt);
+  for (uint64_t e = 0; e < 4; ++e) {
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 150; ++i) rows.push_back(rng.NextBounded(25));
+    win.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+    if (e < 3) win.Advance();
+  }
+  blobs.push_back({"windowed/v2", SerializeWindowed(win)});
+
   return blobs;
 }
 
@@ -85,6 +105,7 @@ size_t DecodeAll(std::string_view bytes) {
   if (DeserializeMultiMetric(bytes, 3).has_value()) ++accepted;
   if (DeserializeMisraGries(bytes).has_value()) ++accepted;
   if (DeserializeCountMin(bytes).has_value()) ++accepted;
+  if (DeserializeWindowed(bytes, 3).has_value()) ++accepted;
   return accepted;
 }
 
@@ -279,6 +300,122 @@ TEST(WireAdversarialTest, HostileArityAndGeometryAreRejected) {
     w.PutVarint(3);   // total < decrements
   });
   EXPECT_EQ(DecodeAll(mg_bad), 0u);
+}
+
+TEST(WireAdversarialTest, HostileWindowRingHeadersAreRejected) {
+  // Shared ring prefix up to (and excluding) the slot list:
+  // [W][epoch_cap][merged_cap][rows_per_epoch][f64 half_life]
+  // [rows_in_epoch][total_rows].
+  auto prefix = [](wire::VarintWriter& w, uint64_t window_epochs,
+                   uint64_t epoch_cap) {
+    w.PutVarint(window_epochs);
+    w.PutVarint(epoch_cap);
+    w.PutVarint(32);   // merged capacity
+    w.PutVarint(0);    // rows_per_epoch
+    w.PutDouble(0.0);  // half-life: decay off
+    w.PutVarint(0);    // rows_in_epoch
+    w.PutVarint(0);    // total_rows
+  };
+
+  // Ring length over the cap, and zero.
+  for (uint64_t w_epochs : {uint64_t{0}, kMaxWindowEpochs + 1}) {
+    std::string bad =
+        V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+          prefix(w, w_epochs, 8);
+          w.PutVarint(1);
+        });
+    EXPECT_EQ(DecodeAll(bad), 0u) << w_epochs;
+  }
+
+  // A maximal slot-count claim with almost no bytes behind it: the
+  // byte-budget bound must reject before any allocation.
+  std::string slot_bomb =
+      V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+        prefix(w, kMaxWindowEpochs, 8);
+        w.PutVarint(kMaxWindowEpochs);  // claimed slots
+        w.PutVarint(1);                 // one lonely byte
+      });
+  EXPECT_EQ(DecodeAll(slot_bomb), 0u);
+
+  // Build a genuine one-slot ring, then corrupt structural fields.
+  WindowedSketchOptions opt;
+  opt.window_epochs = 2;
+  opt.epoch_capacity = 8;
+  opt.merged_capacity = 16;
+  opt.seed = 5;
+  WindowedSpaceSaving ring(opt);
+  ring.Update(3);
+  const std::string inner = Serialize(ring.slots().back().sketch);
+
+  // Non-ascending slot epochs.
+  std::string unsorted =
+      V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+        prefix(w, 4, 8);
+        w.PutVarint(2);  // two slots
+        for (uint64_t epoch : {uint64_t{5}, uint64_t{5}}) {
+          w.PutVarint(epoch);
+          w.PutVarint(inner.size());
+          for (char c : inner) w.PutByte(static_cast<uint8_t>(c));
+        }
+        w.PutByte(0);  // no decayed accumulator
+      });
+  EXPECT_EQ(DecodeAll(unsorted), 0u);
+
+  // Slot epochs spanning more than one window (0 and 9 with W = 4).
+  std::string wide = V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+    prefix(w, 4, 8);
+    w.PutVarint(2);
+    for (uint64_t epoch : {uint64_t{0}, uint64_t{9}}) {
+      w.PutVarint(epoch);
+      w.PutVarint(inner.size());
+      for (char c : inner) w.PutByte(static_cast<uint8_t>(c));
+    }
+    w.PutByte(0);
+  });
+  EXPECT_EQ(DecodeAll(wide), 0u);
+
+  // Inner blob of the wrong kind (a weighted sketch where an unbiased
+  // epoch sketch belongs).
+  WeightedSpaceSaving wss(8, 9);
+  wss.Update(1, 2.0);
+  const std::string wrong_kind = Serialize(wss);
+  std::string bad_inner =
+      V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+        prefix(w, 4, 8);
+        w.PutVarint(1);
+        w.PutVarint(0);
+        w.PutVarint(wrong_kind.size());
+        for (char c : wrong_kind) w.PutByte(static_cast<uint8_t>(c));
+        w.PutByte(0);
+      });
+  EXPECT_EQ(DecodeAll(bad_inner), 0u);
+
+  // Inner capacity disagreeing with the declared ring geometry.
+  UnbiasedSpaceSaving mismatched(16, 9);  // ring declares 8 bins
+  mismatched.Update(1);
+  const std::string wrong_cap = Serialize(mismatched);
+  std::string bad_cap =
+      V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+        prefix(w, 4, 8);
+        w.PutVarint(1);
+        w.PutVarint(0);
+        w.PutVarint(wrong_cap.size());
+        for (char c : wrong_cap) w.PutByte(static_cast<uint8_t>(c));
+        w.PutByte(0);
+      });
+  EXPECT_EQ(DecodeAll(bad_cap), 0u);
+
+  // A decayed accumulator claimed with decay disabled (flag mismatch).
+  std::string stray_acc =
+      V2Blob(kWireKindWindowed, [&](wire::VarintWriter& w) {
+        prefix(w, 4, 8);  // half-life 0: decay off
+        w.PutVarint(1);
+        w.PutVarint(0);
+        w.PutVarint(inner.size());
+        for (char c : inner) w.PutByte(static_cast<uint8_t>(c));
+        w.PutByte(1);  // claims an accumulator anyway
+      });
+  EXPECT_EQ(DecodeAll(stray_acc), 0u);
 }
 
 }  // namespace

@@ -150,5 +150,33 @@ TEST(WireCompatTest, GoldenBlobsClassifyAsLegacyVersion) {
   }
 }
 
+TEST(WireCompatTest, WindowedGoldenPinsCurrentEncoderBytes) {
+  // The windowed ring kind is v2-only, so its golden pins the current
+  // encoder: bytes must stay byte-for-byte stable, classify as kind 7,
+  // and decode into the reference ring state.
+  const std::string bytes = ReadFixture(golden::kWindowedFixtureName);
+  EXPECT_EQ(SerializeWindowed(golden::Windowed()), bytes);
+
+  auto info = wire::DescribeWire(bytes);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->kind, kWireKindWindowed);
+  EXPECT_EQ(info->version, wire::kVersionCurrent);
+
+  auto restored = DeserializeWindowed(bytes, 1007);
+  ASSERT_TRUE(restored.has_value());
+  WindowedSpaceSaving ref = golden::Windowed();
+  EXPECT_EQ(restored->CurrentEpoch(), ref.CurrentEpoch());
+  EXPECT_EQ(restored->TotalRows(), ref.TotalRows());
+  ASSERT_EQ(restored->slots().size(), ref.slots().size());
+  for (size_t i = 0; i < ref.slots().size(); ++i) {
+    EXPECT_EQ(restored->slots()[i].epoch, ref.slots()[i].epoch);
+    EXPECT_EQ(Canonical(restored->slots()[i].sketch.Entries()),
+              Canonical(ref.slots()[i].sketch.Entries()));
+  }
+  EXPECT_NEAR(restored->decayed_accumulator().TotalWeight(),
+              ref.decayed_accumulator().TotalWeight(),
+              ref.decayed_accumulator().TotalWeight() * 1e-12);
+}
+
 }  // namespace
 }  // namespace dsketch

@@ -1,10 +1,11 @@
-// Deterministic reference sketches behind the checked-in v1 golden
+// Deterministic reference sketches behind the checked-in golden
 // fixtures in tests/golden/. The generator (wire_golden_gen.cc) encodes
-// these with SerializeV1 and writes the .bin files; wire_compat_test
-// rebuilds the same sketches and asserts (a) the legacy encoder still
-// produces the golden bytes byte-for-byte and (b) the goldens decode
-// into the same state. Never change these recipes without regenerating
-// the fixtures — they pin the v1 wire contract.
+// these (SerializeV1 for the legacy kinds; the current encoder for the
+// v2-only windowed ring) and writes the .bin files; wire_compat_test
+// rebuilds the same sketches and asserts (a) the encoders still produce
+// the golden bytes byte-for-byte and (b) the goldens decode into the
+// same state. Never change these recipes without regenerating the
+// fixtures — they pin the wire contract.
 
 #ifndef DSKETCH_TESTS_WIRE_GOLDEN_COMMON_H_
 #define DSKETCH_TESTS_WIRE_GOLDEN_COMMON_H_
@@ -15,6 +16,8 @@
 
 #include "core/serialization.h"
 #include "util/random.h"
+#include "util/span.h"
+#include "window/window_wire.h"
 
 namespace dsketch {
 namespace golden {
@@ -79,11 +82,35 @@ inline CountMin CountMinSketch() {
   return sketch;
 }
 
+inline WindowedSpaceSaving Windowed() {
+  WindowedSketchOptions opt;
+  opt.window_epochs = 4;
+  opt.epoch_capacity = 16;
+  opt.merged_capacity = 32;
+  opt.half_life_epochs = 2.0;
+  opt.seed = 1007;
+  WindowedSpaceSaving sketch(opt);
+  Rng rng(2007);
+  for (uint64_t e = 0; e < 6; ++e) {
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 600; ++i) {
+      rows.push_back(e * 1000 + rng.NextBounded(80));
+    }
+    sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+    if (e < 5) sketch.Advance();
+  }
+  return sketch;
+}
+
 /// File names of the v1 fixtures, index-aligned with the kinds above.
 inline constexpr const char* kFixtureNames[] = {
     "v1_unbiased.bin",    "v1_deterministic.bin", "v1_weighted.bin",
     "v1_multimetric.bin", "v1_misragries.bin",    "v1_countmin.bin",
 };
+
+/// The v2-only windowed-ring fixture (kind 7 was born on wire v2, so
+/// its golden pins the *current* encoder's bytes).
+inline constexpr const char* kWindowedFixtureName = "v2_windowed.bin";
 
 }  // namespace golden
 }  // namespace dsketch

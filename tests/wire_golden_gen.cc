@@ -43,6 +43,8 @@ int Run(const std::string& dir) {
                            SerializeV1(golden::MisraGriesSketch()));
   failures += WriteFixture(dir, golden::kFixtureNames[5],
                            SerializeV1(golden::CountMinSketch()));
+  failures += WriteFixture(dir, golden::kWindowedFixtureName,
+                           SerializeWindowed(golden::Windowed()));
   return failures == 0 ? 0 : 1;
 }
 

@@ -8,13 +8,17 @@
 // --smoke runs the CI end-to-end scenario fully in-process instead: boot
 // node A over the in-memory transport, ingest a batch, run one query,
 // take a snapshot, restore it into a freshly booted node B, and verify
-// B answers for A's rows. Exits 0 only if every step checks out — the
-// per-push CI job calls this after the build.
+// B answers for A's rows — then repeat the whole hop for the windowed
+// scope (epoch-stamped ingest, last-k window queries, ring snapshot,
+// ring restore), so replication of epoch-ring state is gated per push.
+// Exits 0 only if every step checks out — the per-push CI job calls
+// this after the build.
 //
 // Flags (all --key=value):
 //   --shards=N            worker threads per node        (default 2)
 //   --shard-capacity=N    bins per shard sketch          (default 4096)
 //   --merged-capacity=N   bins of the query/snapshot view (default 4096)
+//   --window-epochs=N     ring length of the windowed scope (default 4)
 //   --seed=N              reproducible randomness        (default 1)
 //   --smoke               run the self-contained two-node scenario
 
@@ -62,6 +66,8 @@ SketchServerOptions MakeOptions(int argc, char** argv) {
   options.shard.seed = static_cast<uint64_t>(FlagInt(argc, argv, "seed", 1));
   options.merged_capacity =
       static_cast<size_t>(FlagInt(argc, argv, "merged-capacity", 4096));
+  options.window.window_epochs =
+      static_cast<size_t>(FlagInt(argc, argv, "window-epochs", 4));
   options.seed = options.shard.seed;
   return options;
 }
@@ -144,15 +150,81 @@ int RunSmoke(const SketchServerOptions& options) {
   auto stats_b = client_b.Stats();
   if (!stats_b.has_value() || stats_b->restores != 1) return fail("STATS");
 
+  // Windowed scope: epoch-stamped ingest on A, last-k window queries,
+  // then the full epoch ring replicates to B through one SNAPSHOT →
+  // RESTORE hop.
+  const size_t kEpochs = 3;
+  const size_t kRowsPerEpoch = 2000;
+  size_t window_rows = 0;
+  for (uint64_t e = 0; e < kEpochs; ++e) {
+    std::vector<uint64_t> epoch_rows;
+    epoch_rows.reserve(kRowsPerEpoch);
+    for (size_t i = 0; i < kRowsPerEpoch; ++i) {
+      // Epoch-disjoint labels so per-epoch truths are known exactly.
+      epoch_rows.push_back(e * 10000 + rng.NextBounded(500));
+    }
+    window_rows += epoch_rows.size();
+    if (!client_a.IngestWindowed(epoch_rows, e)) {
+      return fail("windowed INGEST_BATCH");
+    }
+  }
+  auto win_all = client_a.QuerySum(PredicateSpec(), QueryScope::kWindow);
+  if (!win_all.has_value()) return fail("windowed QUERY_SUM");
+  if (win_all->estimate != static_cast<double>(window_rows)) {
+    return fail("windowed QUERY_SUM total (window merge preserves totals)");
+  }
+  auto win_last = client_a.QuerySum(PredicateSpec(), QueryScope::kWindow,
+                                    /*last_k=*/1);
+  if (!win_last.has_value()) return fail("windowed QUERY_SUM last_k=1");
+  if (win_last->estimate != static_cast<double>(kRowsPerEpoch)) {
+    return fail("windowed last_k=1 total == newest epoch rows");
+  }
+  auto win_topk =
+      client_a.QueryTopK(5, QueryScope::kWindow, /*last_k=*/1);
+  if (!win_topk.has_value() || win_topk->counts.empty()) {
+    return fail("windowed QUERY_TOPK");
+  }
+  // Every last_k=1 heavy hitter must be a newest-epoch label.
+  for (const SketchEntry& e : win_topk->counts) {
+    if (e.item / 10000 != kEpochs - 1) {
+      return fail("windowed last_k=1 top-k stays in the newest epoch");
+    }
+  }
+
+  auto ring = client_a.Snapshot(QueryScope::kWindow);
+  if (!ring.has_value() || ring->empty()) return fail("windowed SNAPSHOT");
+  if (!client_b.Restore(*ring, QueryScope::kWindow)) {
+    return fail("windowed RESTORE");
+  }
+  auto win_b = client_b.QuerySum(PredicateSpec(), QueryScope::kWindow);
+  if (!win_b.has_value()) return fail("windowed QUERY_SUM on replica");
+  if (win_b->estimate != win_all->estimate) {
+    return fail("windowed replica total == primary total");
+  }
+  auto win_b_last = client_b.QuerySum(PredicateSpec(), QueryScope::kWindow,
+                                      /*last_k=*/1);
+  if (!win_b_last.has_value() ||
+      win_b_last->estimate != win_last->estimate) {
+    return fail("windowed replica last_k=1 == primary last_k=1");
+  }
+  auto stats_a = client_a.Stats();
+  if (!stats_a.has_value() ||
+      stats_a->windowed_rows_ingested != window_rows ||
+      stats_a->window_epoch != kEpochs - 1) {
+    return fail("windowed STATS");
+  }
+
   if (!client_a.Shutdown()) return fail("SHUTDOWN node A");
   if (!client_b.Shutdown()) return fail("SHUTDOWN node B");
 
   std::printf(
       "smoke: OK — %zu rows ingested, top-1 item %llu, %zu snapshot bytes "
-      "replicated, replica total %.0f\n",
+      "replicated, replica total %.0f; windowed: %zu rows over %zu epochs, "
+      "%zu ring bytes replicated, replica window total %.0f\n",
       rows.size(),
       static_cast<unsigned long long>(topk_a->counts.front().item),
-      blob->size(), sum_b->estimate);
+      blob->size(), sum_b->estimate, window_rows, kEpochs, ring->size(),
+      win_b->estimate);
   return 0;
 }
 
