@@ -4,11 +4,12 @@
 // estimator works over "the last W epochs" unchanged) or an explicit
 // last-k window / decayed view through the windowed accessors.
 //
-// Epoch consistency: the producer-side epoch (advanced by Advance or by
-// the stamps fed to IngestEpoch) is authoritative. The merged snapshot
-// is re-aligned to it after every merge — a shard that saw no rows for
-// recent epochs cannot drag the merged ring backwards — so window
-// queries always cut at the epoch the producer last declared.
+// Epoch consistency: the producer-side epoch (advanced by Advance, by
+// the stamps fed to IngestEpoch, or by restoring a peer that is ahead)
+// is authoritative. The merged snapshot is re-aligned to it after every
+// merge — a shard that saw no rows for recent epochs cannot drag the
+// merged ring backwards — so window queries always cut at the epoch the
+// producer last declared.
 //
 // Snapshots: SaveSnapshot ships the full epoch ring as the
 // window-snapshot wire kind (window/window_wire.h) and RestoreSnapshot
@@ -54,18 +55,26 @@ class WindowedSketchSource : public SketchSource {
   /// Explicitly stamped rows; stamps ahead of the producer epoch
   /// advance it (stale stamps are credited to the epoch that is open
   /// when their shard applies them — see WindowedSketch::UpdateBatch).
+  /// Stamps are bounded by kMaxEpochStamp, checked here at the call
+  /// that introduces them — a stamp past the cap would otherwise only
+  /// surface as a serialization CHECK at the next SaveSnapshot.
   void IngestEpoch(Span<const EpochRow> rows) {
     for (const EpochRow& row : rows) {
-      if (row.epoch > epoch_) epoch_ = row.epoch;
+      if (row.epoch > epoch_) {
+        DSKETCH_CHECK(row.epoch <= kMaxEpochStamp);
+        epoch_ = row.epoch;
+      }
     }
     sharded_->Ingest(rows);
     dirty_ = true;
   }
 
   /// Closes the producer epoch and opens `epoch` (monotone; no-op when
-  /// not ahead). Reaches the shards with the next stamped batch, and
-  /// the merged view is re-aligned to it regardless.
+  /// not ahead, bounded by kMaxEpochStamp like every stamp). Reaches
+  /// the shards with the next stamped batch, and the merged view is
+  /// re-aligned to it regardless.
   void Advance(uint64_t epoch) {
+    DSKETCH_CHECK(epoch <= kMaxEpochStamp);
     if (epoch > epoch_) {
       epoch_ = epoch;
       dirty_ = true;
@@ -94,7 +103,9 @@ class WindowedSketchSource : public SketchSource {
     if (!cache.has_value()) {
       cache.emplace(
           ring.QueryWindow(last_k, window_.merged_capacity, MergeSeed()));
-      window_view_k_ = last_k;
+      // The tag describes window_view_ only — a full-window fill must
+      // not invalidate a still-correct partial-window cache.
+      if (last_k != 0) window_view_k_ = last_k;
     }
     return *cache;
   }
@@ -125,10 +136,18 @@ class WindowedSketchSource : public SketchSource {
   }
 
   /// Absorbs a peer's ring into the fleet (epoch-aligned merge with
-  /// local rows on the next view). False on malformed bytes.
+  /// local rows on the next view). A peer that is ahead advances the
+  /// producer epoch to its newest epoch — otherwise rows ingested after
+  /// the restore would be stamped with the stale clock and fall outside
+  /// the merged window. False on malformed bytes.
   bool RestoreSnapshot(std::string_view bytes) override {
     if (!sharded_->IngestSerialized(bytes)) return false;
     dirty_ = true;
+    // Peeked off the slot headers, not read from a merged view — a
+    // restore stays cheap (the flush + fleet merge keeps being deferred
+    // to the next query, where consecutive restores coalesce into one).
+    std::optional<uint64_t> newest = PeekWindowedNewestEpoch(bytes);
+    if (newest.has_value() && *newest > epoch_) epoch_ = *newest;
     return true;
   }
 

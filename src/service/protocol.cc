@@ -309,7 +309,10 @@ bool DecodeIngestBatchRequest(wire::VarintReader& reader,
   if (flags > 2) return false;
   out->windowed = (flags & 2) != 0;
   out->epoch = 0;
-  if (out->windowed && !reader.ReadVarint(&out->epoch)) return false;
+  if (out->windowed &&
+      (!reader.ReadVarint(&out->epoch) || out->epoch > kMaxEpochStamp)) {
+    return false;
+  }
   if (!reader.ReadVarint(&n)) return false;
   // Byte budget: every item takes >= 1 byte, every weight exactly 8, so
   // a hostile row count fails here before any allocation.

@@ -109,7 +109,9 @@ enum class QueryScope : uint8_t {
 
 // The element-count caps (kMaxBatchRows, kMaxTopK, ...) are shared with
 // the frame layer through service/limits.h. Window last_k values are
-// bounded by the ring cap, kMaxWindowEpochs (window/windowed_sketch.h).
+// bounded by the ring cap, kMaxWindowEpochs, and epoch stamps by
+// kMaxEpochStamp (both window/windowed_sketch.h, shared with the window
+// wire codec so a restored ring obeys the same clock bounds).
 
 /// Parsed header common to every request.
 struct RequestHeader {

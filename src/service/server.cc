@@ -7,6 +7,7 @@
 #include "core/frequent_items.h"
 #include "core/serialization.h"
 #include "service/frame.h"
+#include "util/logging.h"
 #include "util/span.h"
 
 namespace dsketch {
@@ -26,7 +27,26 @@ SketchServer::SketchServer(const SketchServerOptions& options,
       attrs_(attrs),
       source_(options.shard, options.merged_capacity, options.seed),
       engine_(&source_, attrs != nullptr ? attrs : &kEmptyAttrs),
-      weighted_view_(options.merged_capacity, options.seed) {}
+      weighted_view_(options.merged_capacity, options.seed) {
+  // The windowed fleet is built lazily on the first windowed frame, so
+  // its configuration is vetted here: a bad SketchServerOptions.window
+  // must fail at startup, not take down a serving process mid-stream.
+  // Stamped rows are the windowed clock, so row-count time is rejected
+  // (MakeShardedWindowed's contract); the rest mirrors the
+  // WindowedSketch constructor checks.
+  DSKETCH_CHECK(options.window.rows_per_epoch == 0);
+  DSKETCH_CHECK(options.window.window_epochs > 0 &&
+                options.window.window_epochs <= kMaxWindowEpochs);
+  DSKETCH_CHECK(ValidHalfLife(options.window.half_life_epochs));
+  // SNAPSHOT must be able to serialize every scope's view, so the
+  // capacities are bounded by the wire encoders' cap up front too —
+  // SerializeWindowed/Serialize would otherwise CHECK on the first
+  // SNAPSHOT frame.
+  DSKETCH_CHECK(options.window.epoch_capacity > 0 &&
+                options.window.epoch_capacity <= kMaxSerializableCapacity);
+  DSKETCH_CHECK(options.merged_capacity > 0 &&
+                options.merged_capacity <= kMaxSerializableCapacity);
+}
 
 // Engine construction requires a non-null table; queries that actually
 // touch attributes are gated on attrs_ before reaching it.

@@ -29,6 +29,7 @@ std::string SerializeWindowed(const WindowedSpaceSaving& sketch) {
                 opt.epoch_capacity <= kMaxSerializableCapacity);
   DSKETCH_CHECK(opt.merged_capacity > 0 &&
                 opt.merged_capacity <= kMaxSerializableCapacity);
+  DSKETCH_CHECK(sketch.CurrentEpoch() <= kMaxEpochStamp);
 
   std::string out;
   out.reserve(wire::kEnvelopeBytes + 64 +
@@ -81,8 +82,12 @@ std::optional<WindowedSpaceSaving> DeserializeWindowed(std::string_view bytes,
     return std::nullopt;
   }
   if (!reader.ReadVarint(&rows_per_epoch)) return std::nullopt;
+  // ValidHalfLife covers negatives, NaN, and the underflow band where
+  // decay would be silently off while half_life > 0; finiteness is still
+  // checked separately (an infinite half-life means factor 1, which
+  // ValidHalfLife alone would accept).
   if (!reader.ReadDouble(&half_life) || !std::isfinite(half_life) ||
-      half_life < 0.0) {
+      !ValidHalfLife(half_life)) {
     return std::nullopt;
   }
   if (!reader.ReadVarint(&rows_in_epoch)) return std::nullopt;
@@ -98,8 +103,12 @@ std::optional<WindowedSpaceSaving> DeserializeWindowed(std::string_view bytes,
   uint64_t prev_epoch = 0;
   for (uint64_t i = 0; i < n_slots; ++i) {
     uint64_t epoch, blob_len;
-    if (!reader.ReadVarint(&epoch)) return std::nullopt;
-    if (i > 0 && epoch <= prev_epoch) return std::nullopt;  // ascending
+    // Ascending, and bounded like live stamps — a restored ring must not
+    // carry a clock the ingest path would have refused.
+    if (!reader.ReadVarint(&epoch) || epoch > kMaxEpochStamp) {
+      return std::nullopt;
+    }
+    if (i > 0 && epoch <= prev_epoch) return std::nullopt;
     if (!reader.ReadVarint(&blob_len) || blob_len > reader.remaining()) {
       return std::nullopt;
     }
@@ -152,6 +161,37 @@ std::optional<WindowedSpaceSaving> DeserializeWindowed(std::string_view bytes,
   out.LoadState(std::move(slots), std::move(decayed), rows_in_epoch,
                 total_rows);
   return out;
+}
+
+std::optional<uint64_t> PeekWindowedNewestEpoch(std::string_view bytes) {
+  VarintReader reader(bytes);
+  std::optional<wire::Envelope> env = wire::ReadEnvelope(reader);
+  if (!env || env->kind != kWireKindWindowed) return std::nullopt;
+  if (!wire::VersionSupported(env->kind, env->version)) return std::nullopt;
+  // window_epochs .. rows_per_epoch, then half_life, then the row counts.
+  uint64_t skipped;
+  for (int i = 0; i < 4; ++i) {
+    if (!reader.ReadVarint(&skipped)) return std::nullopt;
+  }
+  double half_life;
+  if (!reader.ReadDouble(&half_life)) return std::nullopt;
+  uint64_t n_slots;
+  if (!reader.ReadVarint(&skipped) || !reader.ReadVarint(&skipped) ||
+      !reader.ReadVarint(&n_slots) || n_slots == 0 ||
+      n_slots > kMaxWindowEpochs ||
+      n_slots > reader.remaining() / kMinSlotBytes) {
+    return std::nullopt;
+  }
+  uint64_t epoch = 0;
+  for (uint64_t i = 0; i < n_slots; ++i) {
+    uint64_t blob_len;
+    if (!reader.ReadVarint(&epoch) || !reader.ReadVarint(&blob_len) ||
+        blob_len > reader.remaining() ||
+        !reader.Skip(static_cast<size_t>(blob_len))) {
+      return std::nullopt;
+    }
+  }
+  return epoch;  // slots travel oldest-first; the last one is the open epoch
 }
 
 }  // namespace dsketch

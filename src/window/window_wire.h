@@ -54,6 +54,13 @@ std::string SerializeWindowed(const WindowedSpaceSaving& sketch);
 std::optional<WindowedSpaceSaving> DeserializeWindowed(
     std::string_view bytes, uint64_t seed = 1);
 
+/// Reads the newest (open) slot epoch off a windowed blob in one linear
+/// walk over the slot headers, without reconstructing any per-epoch
+/// sketch. For callers that already validated/absorbed the blob and
+/// only need its clock (e.g. the windowed source adopting an ahead
+/// peer's epoch on restore). Returns nullopt on malformed input.
+std::optional<uint64_t> PeekWindowedNewestEpoch(std::string_view bytes);
+
 /// Wire dispatch so the generic layers (ShardedSketch snapshot
 /// replication, SketchSource save/restore) handle windowed sketches
 /// like any other kind.

@@ -11,14 +11,23 @@ namespace {
 // merged view's open epoch): the stored mass ages by the epochs the
 // shard lags behind, and the shard's own open epoch — closed from the
 // merged view's perspective when it lags — folds in at its true age.
+// `half_life_epochs` is the merged view's (> 0 when this is called): a
+// shard restored from a non-decayed blob carries half_life 0, and its
+// own value would make the factor exp2(-lag/0) = 0, which Scale
+// CHECK-rejects. A lag whose factor underflows double (trivial with
+// timestamp-valued epochs) drains the shard's mass instead.
 WeightedSpaceSaving AlignDecayed(const WindowedSpaceSaving& shard,
-                                 uint64_t current, uint64_t seed) {
+                                 uint64_t current, double half_life_epochs,
+                                 uint64_t seed) {
   const WindowedSketchOptions& opt = shard.options();
   WeightedSpaceSaving acc = shard.decayed_accumulator();
   const uint64_t lag = current - shard.CurrentEpoch();
   if (lag == 0) return acc;
-  const double age_factor = std::exp2(-static_cast<double>(lag) /
-                                      opt.half_life_epochs);
+  const double age_factor =
+      std::exp2(-static_cast<double>(lag) / half_life_epochs);
+  if (age_factor <= 0.0) {
+    return WeightedSpaceSaving(opt.merged_capacity, seed);
+  }
   acc.Scale(age_factor);
   WeightedSpaceSaving open(opt.merged_capacity, seed);
   for (const SketchEntry& e : shard.slots().back().sketch.Entries()) {
@@ -83,7 +92,8 @@ WindowedSpaceSaving MergeShards(
     std::vector<WeightedSpaceSaving> aligned;
     aligned.reserve(shards.size());
     for (const WindowedSpaceSaving* s : shards) {
-      aligned.push_back(AlignDecayed(*s, current, seed + current));
+      aligned.push_back(
+          AlignDecayed(*s, current, opt.half_life_epochs, seed + current));
     }
     decayed = MergeShards(aligned, opt.merged_capacity, seed + current);
   }

@@ -53,6 +53,26 @@ namespace dsketch {
 /// hostile ring claims cheap to reject.
 inline constexpr uint64_t kMaxWindowEpochs = 4096;
 
+/// Largest epoch stamp the service decoder and the window wire codec
+/// accept. Epochs are a coarse monotone clock, so 2^62 accommodates even
+/// nanosecond unix timestamps while keeping epoch/seed arithmetic far
+/// from uint64 wraparound on hostile stamps.
+inline constexpr uint64_t kMaxEpochStamp = uint64_t{1} << 62;
+
+/// Per-epoch decay factor 2^(-1/half_life) (0.0 when decay is off).
+inline double EpochDecayFactor(double half_life_epochs) {
+  return half_life_epochs > 0.0 ? std::exp2(-1.0 / half_life_epochs) : 0.0;
+}
+
+/// A usable half-life: decay off (exactly 0), or a per-epoch factor
+/// that does not underflow double. Half-lives below ~0.00094 epochs
+/// would yield factor 0 — decay silently disabled while half_life > 0,
+/// a combination the wire codec rightly rejects as inconsistent — so
+/// they are refused up front. Also rejects negatives and NaN.
+inline bool ValidHalfLife(double half_life_epochs) {
+  return half_life_epochs == 0.0 || EpochDecayFactor(half_life_epochs) > 0.0;
+}
+
 /// Configuration of the epoch ring.
 struct WindowedSketchOptions {
   size_t window_epochs = 8;     ///< ring length W (>= 1, <= kMaxWindowEpochs)
@@ -101,14 +121,12 @@ class WindowedSketch {
   explicit WindowedSketch(const WindowedSketchOptions& options)
       : options_(options),
         decayed_(options.merged_capacity, options.seed),
-        decay_factor_(options.half_life_epochs > 0.0
-                          ? std::exp2(-1.0 / options.half_life_epochs)
-                          : 0.0) {
+        decay_factor_(EpochDecayFactor(options.half_life_epochs)) {
     DSKETCH_CHECK(options.window_epochs > 0 &&
                   options.window_epochs <= kMaxWindowEpochs);
     DSKETCH_CHECK(options.epoch_capacity > 0);
     DSKETCH_CHECK(options.merged_capacity > 0);
-    DSKETCH_CHECK(options.half_life_epochs >= 0.0);
+    DSKETCH_CHECK(ValidHalfLife(options.half_life_epochs));
     ring_.emplace_back(0, S(options.epoch_capacity, options.seed));
   }
 
@@ -174,8 +192,15 @@ class WindowedSketch {
   void Advance() { AdvanceTo(CurrentEpoch() + 1); }
 
   /// Advances the ring to `epoch` (no-op when not ahead of the open
-  /// epoch). Skipped epochs are closed empty.
+  /// epoch). Skipped epochs are closed empty. Jumps past the whole
+  /// window are O(window), not O(delta): an arbitrary stamp (a unix
+  /// timestamp, or a hostile 2^64-1) never spins per skipped epoch.
   void AdvanceTo(uint64_t epoch) {
+    if (epoch <= CurrentEpoch()) return;
+    if (epoch - CurrentEpoch() > options_.window_epochs) {
+      FastForwardTo(epoch);
+      return;
+    }
     while (CurrentEpoch() < epoch) {
       CloseEpoch();
       ring_.emplace_back(CurrentEpoch() + 1,
@@ -262,6 +287,34 @@ class WindowedSketch {
   }
 
  private:
+  // Jump handler for advances past the whole window: every ring slot
+  // that survives the jump is newly created and empty, so instead of
+  // closing the skipped epochs one at a time the ring is rebuilt
+  // directly at `epoch` and the decayed accumulator is aged once by the
+  // whole lag. Ring state (slot epochs, seeds, emptiness) matches the
+  // epoch-at-a-time path exactly; the decayed mass matches it
+  // analytically — one Scale in place of the skipped epochs'
+  // scale/merge-with-empty rounds, fp rounding aside.
+  void FastForwardTo(uint64_t epoch) {
+    if (decay_enabled()) {
+      CloseEpoch();  // the open epoch's rows, aged one epoch
+      const double lag = static_cast<double>(epoch - CurrentEpoch() - 1);
+      const double factor = std::exp2(-lag / options_.half_life_epochs);
+      if (factor > 0.0) {
+        decayed_.Scale(factor);
+      } else {
+        decayed_.LoadEntries({});  // decayed below the double range
+      }
+    }
+    ring_.clear();
+    // epoch > window_epochs here (CurrentEpoch() >= 0), so no underflow.
+    for (uint64_t e = epoch - options_.window_epochs + 1;; ++e) {
+      ring_.emplace_back(e, S(options_.epoch_capacity, options_.seed + e));
+      if (e == epoch) break;
+    }
+    rows_in_epoch_ = 0;
+  }
+
   void MaybeAutoAdvance() {
     if (options_.rows_per_epoch > 0 &&
         rows_in_epoch_ >= options_.rows_per_epoch) {

@@ -139,6 +139,14 @@ class VarintReader {
   /// Reads a double from its 8 IEEE-754 bytes.
   bool ReadDouble(double* out) { return ReadValue(out); }
 
+  /// Skips `n` raw bytes without copying; false (consuming nothing)
+  /// when fewer than `n` remain.
+  bool Skip(size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    pos_ += n;
+    return true;
+  }
+
   /// Bytes not yet consumed.
   size_t remaining() const { return bytes_.size() - pos_; }
 

@@ -16,8 +16,11 @@
 #include "frequency/count_min.h"
 #include "frequency/misra_gries.h"
 #include "sampling/bottom_k.h"
+#include "core/serialization.h"
+#include "query/windowed_source.h"
 #include "sampling/pps.h"
 #include "sampling/priority_sampling.h"
+#include "service/server.h"
 #include "stats/normal.h"
 #include "stream/distributions.h"
 #include "util/alias.h"
@@ -99,6 +102,51 @@ TEST(DeathTest, DistributionContracts) {
 
 TEST(DeathTest, PpsRejectsNegativeWeights) {
   EXPECT_DEATH(ThresholdedPpsProbabilities({1.0, -2.0}, 1), "CHECK failed");
+}
+
+TEST(DeathTest, ServerVetsWindowConfigAtStartup) {
+  // The windowed fleet boots lazily on the first windowed frame, so a
+  // bad SketchServerOptions.window must abort at construction — not mid-
+  // stream when a client first touches the window scope.
+  SketchServerOptions rows_clock;
+  rows_clock.window.rows_per_epoch = 100;  // stamped rows are the clock
+  EXPECT_DEATH(SketchServer{rows_clock}, "CHECK failed");
+  SketchServerOptions no_ring;
+  no_ring.window.window_epochs = 0;
+  EXPECT_DEATH(SketchServer{no_ring}, "CHECK failed");
+  SketchServerOptions huge_ring;
+  huge_ring.window.window_epochs = kMaxWindowEpochs + 1;
+  EXPECT_DEATH(SketchServer{huge_ring}, "CHECK failed");
+  // A half-life so short the per-epoch factor underflows to 0 would
+  // leave decay silently off while half_life > 0 — and make the
+  // server's own windowed snapshots unrestorable.
+  SketchServerOptions tiny_half_life;
+  tiny_half_life.window.half_life_epochs = 1e-5;
+  EXPECT_DEATH(SketchServer{tiny_half_life}, "CHECK failed");
+  WindowedSketchOptions underflow;
+  underflow.half_life_epochs = 1e-5;
+  EXPECT_DEATH(WindowedSpaceSaving{underflow}, "CHECK failed");
+  // Capacities past the wire encoders' cap would otherwise only abort
+  // on the first SNAPSHOT frame.
+  SketchServerOptions big_epoch_cap;
+  big_epoch_cap.window.epoch_capacity =
+      static_cast<size_t>(kMaxSerializableCapacity) + 1;
+  EXPECT_DEATH(SketchServer{big_epoch_cap}, "CHECK failed");
+  SketchServerOptions big_merged;
+  big_merged.merged_capacity = static_cast<size_t>(kMaxSerializableCapacity) + 1;
+  EXPECT_DEATH(SketchServer{big_merged}, "CHECK failed");
+}
+
+TEST(DeathTest, WindowedSourceRejectsStampsPastTheClockCap) {
+  // A stamp past kMaxEpochStamp must fail at the call that introduces
+  // it, not as a serialization CHECK at the next SaveSnapshot.
+  ShardedSketchOptions shard;
+  shard.num_shards = 1;
+  WindowedSketchSource source(shard, WindowedSketchOptions{});
+  EXPECT_DEATH(source.Advance(kMaxEpochStamp + 1), "CHECK failed");
+  EpochRow row{1, kMaxEpochStamp + 1};
+  EXPECT_DEATH(source.IngestEpoch(Span<const EpochRow>(&row, 1)),
+               "CHECK failed");
 }
 
 }  // namespace

@@ -317,6 +317,29 @@ TEST(ServiceAdversarialTest, HostileBatchAndQueryClaimsAreRejected) {
       });
   EXPECT_NE(ResponseStatus(server.HandleRequest(bad_last_k)), Status::kOk);
 
+  // Epoch stamps beyond the clock cap: rejected at decode, before the
+  // ring ever sees them.
+  for (uint64_t epoch : {kMaxEpochStamp + 1, ~uint64_t{0}}) {
+    std::string epoch_bomb = RequestWithBody(
+        Opcode::kIngestBatch, [epoch](wire::VarintWriter& w) {
+          w.PutByte(2);  // windowed
+          w.PutVarint(epoch);
+          w.PutVarint(1);
+          w.PutVarint(7);
+        });
+    EXPECT_NE(ResponseStatus(server.HandleRequest(epoch_bomb)), Status::kOk);
+  }
+  // The largest accepted stamp is handled promptly — the ring
+  // fast-forwards past skipped epochs instead of closing each one (a
+  // single frame must not be able to spin the server for 2^62 rounds).
+  IngestBatchRequest far_future;
+  far_future.windowed = true;
+  far_future.epoch = kMaxEpochStamp;
+  far_future.items = {7};
+  EXPECT_EQ(ResponseStatus(
+                server.HandleRequest(EncodeIngestBatchRequest(42, far_future))),
+            Status::kOk);
+
   // Cross-kind restore into the window scope: a flat counts blob is not
   // a ring and must be refused, state untouched.
   UnbiasedSpaceSaving flat(16, 6);

@@ -9,7 +9,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,6 +25,7 @@
 #include "window/window_wire.h"
 #include "window/windowed_sketch.h"
 #include "wire/codec.h"
+#include "wire/varint.h"
 
 namespace dsketch {
 namespace {
@@ -104,6 +107,54 @@ TEST(WindowedSketchTest, AdvanceToSkipsEpochsWithEmptySlots) {
   EXPECT_EQ(sketch.slots().size(), 3u);  // epochs 3, 4, 5 — all empty
   EXPECT_EQ(sketch.QueryWindow().TotalCount(), 0);
   EXPECT_EQ(sketch.TotalRows(), 40u);  // expired rows still counted
+}
+
+TEST(WindowedSketchTest, AdvanceToFastForwardsHugeJumps) {
+  WindowedSpaceSaving sketch(SmallOptions());  // window_epochs = 3
+  std::vector<uint64_t> rows(40, 9);
+  sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+
+  // Would spin ~2^40 per-epoch closes without the fast-forward path.
+  const uint64_t far = uint64_t{1} << 40;
+  sketch.AdvanceTo(far);
+  EXPECT_EQ(sketch.CurrentEpoch(), far);
+  ASSERT_EQ(sketch.slots().size(), 3u);  // ring rebuilt: far-2 .. far
+  EXPECT_EQ(sketch.slots().front().epoch, far - 2);
+  EXPECT_EQ(sketch.QueryWindow().TotalCount(), 0);
+  EXPECT_EQ(sketch.TotalRows(), 40u);  // expired rows still counted
+  EXPECT_EQ(sketch.RowsInCurrentEpoch(), 0u);
+
+  // The ring keeps working at the new clock, including a second jump
+  // all the way to the largest stamp the decoders accept.
+  sketch.Update(1);
+  sketch.AdvanceTo(kMaxEpochStamp);
+  EXPECT_EQ(sketch.CurrentEpoch(), kMaxEpochStamp);
+  EXPECT_EQ(sketch.QueryWindow().TotalCount(), 0);
+  EXPECT_EQ(sketch.TotalRows(), 41u);
+}
+
+TEST(WindowedSketchTest, FastForwardAgesDecayedMassAnalytically) {
+  WindowedSketchOptions opt;
+  opt.window_epochs = 2;
+  opt.epoch_capacity = 64;
+  opt.merged_capacity = 128;
+  opt.half_life_epochs = 2.0;
+  opt.seed = 13;
+  WindowedSpaceSaving sketch(opt);
+  std::vector<uint64_t> rows(1000);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i % 50;
+  sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+
+  // A jump past the window ages the epoch-0 mass in one Scale: 1000
+  // rows, 10 epochs old at half-life 2 → 1000 * 2^-5.
+  sketch.AdvanceTo(10);
+  const double truth = 1000.0 * std::exp2(-10.0 / 2.0);
+  EXPECT_NEAR(sketch.QueryDecayed().TotalWeight(), truth, truth * 1e-9);
+
+  // A lag beyond double's range drains the accumulator instead of
+  // aborting on a zero scale factor.
+  sketch.AdvanceTo(uint64_t{1} << 40);
+  EXPECT_EQ(sketch.QueryDecayed().TotalWeight(), 0.0);
 }
 
 // Satellite cross-check: QueryWindow over last_k epochs is
@@ -274,6 +325,31 @@ TEST(ShardedWindowedTest, MergeCreditsOpenEpochRowsToAlignedShardsOnly) {
   EXPECT_EQ(merged.QueryWindow(1, 16, 4).TotalCount(), 10);
 }
 
+TEST(ShardedWindowedTest, DecayedMergeSurvivesLagBeyondDoubleRange) {
+  // A shard lagging so far behind the merged clock that its age factor
+  // underflows double (trivial with timestamp-valued epochs) must drain
+  // in the merge, not hit Scale's factor > 0 contract.
+  WindowedSketchOptions opt;
+  opt.window_epochs = 2;
+  opt.epoch_capacity = 16;
+  opt.merged_capacity = 32;
+  opt.half_life_epochs = 2.0;
+  opt.seed = 3;
+  WindowedSpaceSaving a(opt);
+  WindowedSpaceSaving b(opt);
+  for (int i = 0; i < 100; ++i) b.Update(2);
+  b.Advance();  // 100 rows of item 2 now in b's decayed accumulator
+  a.AdvanceTo(uint64_t{1} << 40);
+  for (int i = 0; i < 10; ++i) a.Update(5);
+
+  WindowedSpaceSaving merged =
+      MergeShards(std::vector<WindowedSpaceSaving>{a, b}, 16, 9);
+  EXPECT_EQ(merged.CurrentEpoch(), uint64_t{1} << 40);
+  // b's mass (accumulator and open epoch both) decayed past double's
+  // range; only a's open-epoch rows carry weight.
+  EXPECT_NEAR(merged.QueryDecayed().TotalWeight(), 10.0, 1e-9);
+}
+
 TEST(WindowWireTest, RingRoundTripsThroughWireBytes) {
   WindowedSketchOptions opt = SmallOptions();
   opt.rows_per_epoch = 0;
@@ -353,6 +429,135 @@ TEST(WindowWireTest, ShardedFleetReplicatesRingState) {
   // Malformed bytes are refused with the state untouched.
   EXPECT_FALSE(replica.RestoreSnapshot("not a ring"));
   EXPECT_EQ(replica.sharded().num_absorbed(), 1u);
+}
+
+TEST(WindowWireTest, RestoreFromAheadPeerAdvancesProducerEpoch) {
+  ShardedSketchOptions shard;
+  shard.num_shards = 2;
+  shard.seed = 31;
+  WindowedSketchOptions window;
+  window.window_epochs = 3;
+  window.epoch_capacity = 64;
+  window.merged_capacity = 128;
+
+  WindowedSketchSource primary(shard, window);
+  primary.Advance(5);
+  std::vector<uint64_t> peer_rows(200, 1);
+  primary.Ingest(Span<const uint64_t>(peer_rows.data(), peer_rows.size()));
+  primary.Flush();
+  const std::string ring = primary.SaveSnapshot();
+
+  ShardedSketchOptions shard_b = shard;
+  shard_b.seed = 77;
+  WindowedSketchSource replica(shard_b, window);
+  ASSERT_TRUE(replica.RestoreSnapshot(ring));
+  // The replica's producer clock adopts the peer's newer epoch...
+  EXPECT_EQ(replica.current_epoch(), 5u);
+  // ...so rows ingested after the restore are stamped inside the merged
+  // window instead of landing at the stale epoch 0, outside the 3-epoch
+  // ring, and silently vanishing from window queries.
+  std::vector<uint64_t> local_rows(100, 2);
+  replica.Ingest(Span<const uint64_t>(local_rows.data(), local_rows.size()));
+  EXPECT_EQ(replica.View().TotalCount(), 300);
+  EXPECT_EQ(replica.WindowView(1).TotalCount(), 300);  // all in epoch 5
+}
+
+// Minimal well-formed ring blob with one (empty) slot at `slot_epoch`,
+// mirroring SerializeWindowed's layout byte for byte.
+std::string RingBlobWithSlotEpoch(uint64_t slot_epoch,
+                                  double half_life = 0.0) {
+  std::string out;
+  wire::WriteEnvelope(out, kWireKindWindowed, wire::kVersionCurrent);
+  wire::VarintWriter w(out);
+  w.PutVarint(4);          // window_epochs
+  w.PutVarint(16);         // epoch_capacity
+  w.PutVarint(32);         // merged_capacity
+  w.PutVarint(0);          // rows_per_epoch
+  w.PutDouble(half_life);  // half_life_epochs
+  w.PutVarint(0);          // rows_in_epoch
+  w.PutVarint(0);          // total_rows
+  w.PutVarint(1);          // n_slots
+  const std::string inner = Serialize(UnbiasedSpaceSaving(16, 1));
+  w.PutVarint(slot_epoch);
+  w.PutVarint(inner.size());
+  out.append(inner);
+  if (half_life > 0.0) {
+    w.PutByte(1);
+    const std::string acc = Serialize(WeightedSpaceSaving(32, 1));
+    w.PutVarint(acc.size());
+    out.append(acc);
+  } else {
+    w.PutByte(0);
+  }
+  return out;
+}
+
+TEST(WindowWireTest, SlotEpochsBeyondTheClockCapAreRejected) {
+  // Live stamps are capped at service decode; a restored ring must obey
+  // the same clock bound (the cap itself is the last accepted value).
+  EXPECT_TRUE(
+      DeserializeWindowed(RingBlobWithSlotEpoch(kMaxEpochStamp)).has_value());
+  EXPECT_FALSE(DeserializeWindowed(RingBlobWithSlotEpoch(kMaxEpochStamp + 1))
+                   .has_value());
+}
+
+TEST(WindowWireTest, UnderflowHalfLivesAreRejected) {
+  // Half-lives below ~0.00094 epochs underflow the per-epoch factor to
+  // zero — decay silently off while half_life > 0. The constructors
+  // refuse the configuration (see death_test), so the decoder must too:
+  // a blob claiming one would otherwise feed the constructor CHECK from
+  // hostile bytes, breaking the never-abort decode contract.
+  EXPECT_TRUE(ValidHalfLife(0.0));
+  EXPECT_TRUE(ValidHalfLife(2.0));
+  EXPECT_FALSE(ValidHalfLife(1e-5));
+  EXPECT_TRUE(DeserializeWindowed(RingBlobWithSlotEpoch(3, /*half_life=*/2.0))
+                  .has_value());
+  EXPECT_FALSE(DeserializeWindowed(RingBlobWithSlotEpoch(3, /*half_life=*/1e-5))
+                   .has_value());
+}
+
+TEST(WindowWireTest, DecayedFleetSurvivesRestoredNonDecayedRing) {
+  // A restored blob carries its own options; a half_life-0 ring
+  // absorbed into a decay-enabled fleet must age under the *fleet's*
+  // half-life when it lags (its own would give factor exp2(-lag/0) = 0,
+  // which Scale CHECK-rejects — a remotely reachable abort via RESTORE).
+  ShardedSketchOptions shard;
+  shard.num_shards = 2;
+  shard.seed = 41;
+  WindowedSketchOptions window;
+  window.window_epochs = 4;
+  window.epoch_capacity = 16;
+  window.merged_capacity = 32;
+  window.half_life_epochs = 2.0;
+  WindowedSketchSource source(shard, window);
+  std::vector<uint64_t> rows(50, 6);
+  source.Ingest(Span<const uint64_t>(rows.data(), rows.size()));
+
+  ASSERT_TRUE(source.RestoreSnapshot(RingBlobWithSlotEpoch(3)));
+  source.Advance(10);
+  std::vector<uint64_t> more(20, 7);  // stamped 10: the restored ring lags
+  source.Ingest(Span<const uint64_t>(more.data(), more.size()));
+  WeightedSpaceSaving decayed = source.DecayedView();  // used to abort
+  // Open-epoch rows at weight 1 plus the epoch-0 rows aged 10 epochs.
+  EXPECT_NEAR(decayed.TotalWeight(),
+              20.0 + 50.0 * std::exp2(-10.0 / 2.0), 1e-6);
+  EXPECT_EQ(source.current_epoch(), 10u);
+}
+
+TEST(WindowWireTest, PeekNewestEpochWalksSlotHeadersOnly) {
+  WindowedSpaceSaving sketch(SmallOptions());
+  std::vector<uint64_t> rows(30, 4);
+  sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+  sketch.AdvanceTo(9);
+  sketch.Update(5);
+  const std::string bytes = SerializeWindowed(sketch);
+  std::optional<uint64_t> newest = PeekWindowedNewestEpoch(bytes);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, 9u);
+  // Malformed input degrades to nullopt, never a crash.
+  EXPECT_FALSE(PeekWindowedNewestEpoch("garbage").has_value());
+  EXPECT_FALSE(
+      PeekWindowedNewestEpoch(std::string_view(bytes.data(), 10)).has_value());
 }
 
 TEST(WindowWireTest, HostileRingHeadersAreRejected) {
