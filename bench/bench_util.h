@@ -28,6 +28,15 @@ inline int64_t FlagInt(int argc, char** argv, const char* name, int64_t def) {
   return def;
 }
 
+/// True when the bare flag --name was passed (no value).
+inline bool FlagSet(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 /// Returns the value of --name=... as double, or `def` if absent.
 inline double FlagDouble(int argc, char** argv, const char* name,
                          double def) {

@@ -5,18 +5,25 @@
 //   * ingest throughput — epoch-stamped rows streamed through
 //     UpdateBatch with row-count auto-advance (the hot path);
 //   * advance cost — closing an epoch, with and without the decayed
-//     accumulator fold (the fold runs a weighted merge, so decay mode
-//     pays per epoch close, not per row);
-//   * window-query latency — QueryWindow over last_k in {1, W/2, W}
-//     (merge cost grows with the number of slots merged, not with the
-//     stream length — the point of the mergeable-window construction).
+//     accumulator fold (the fold batches closed epochs, so decay mode
+//     amortizes the weighted merge across ring growth);
+//   * window-query latency, cached vs uncached — QueryWindow (the
+//     hierarchical merge cache: O(log W) cached partials per query)
+//     against QueryWindowUncached (the from-scratch W-way pairwise
+//     re-merge) over last_k in {1, W/2, W}. The two are bit-identical
+//     in results; the sweep shows what the cache buys as W grows.
 //
 // Records baselines with --json=PATH (record_baselines.sh →
-// BENCH_window.json).
+// BENCH_window.json). --smoke runs a tiny W=64 configuration and exits
+// nonzero unless the cached full-window query is at least as fast as
+// the uncached path (and their results match exactly) — the CI guard
+// against the big-ring query cliff regressing.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -35,12 +42,15 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-void Run(int argc, char** argv) {
-  const int64_t rows = bench::FlagInt(argc, argv, "rows", 4000000);
+int Run(int argc, char** argv) {
+  const bool smoke = bench::FlagSet(argc, argv, "smoke");
+  const int64_t rows =
+      bench::FlagInt(argc, argv, "rows", smoke ? 400000 : 4000000);
   const int64_t m = bench::FlagInt(argc, argv, "bins", 4096);
   const int64_t items = bench::FlagInt(argc, argv, "items", 100000);
   const double zipf = bench::FlagDouble(argc, argv, "zipf", 1.1);
-  const int64_t queries = bench::FlagInt(argc, argv, "queries", 50);
+  const int64_t queries =
+      bench::FlagInt(argc, argv, "queries", smoke ? 16 : 50);
   bench::JsonSink json(argc, argv, "window");
 
   bench::Banner("Windowed sketching: advance/query cost across ring sizes",
@@ -51,11 +61,26 @@ void Run(int argc, char** argv) {
   Rng rng(31);
   std::vector<uint64_t> stream = PermutedStream(counts, rng);
 
-  std::printf("\n%-8s %-7s %14s %14s %12s %12s %12s\n", "ring_W", "decay",
-              "ingest_mrows_s", "advance_us", "q_last1_us", "q_half_us",
-              "q_full_us");
+  if (json.enabled()) {
+    json.BeginRecord("params");
+    json.Add("rows", static_cast<int64_t>(stream.size()));
+    json.Add("items", items);
+    json.Add("bins", m);
+    json.Add("zipf", zipf);
+    json.Add("queries", queries);
+    json.Add("hardware_concurrency",
+             static_cast<int64_t>(std::thread::hardware_concurrency()));
+  }
 
-  for (int64_t W : {int64_t{4}, int64_t{16}, int64_t{64}, int64_t{256}}) {
+  std::printf("\n%-8s %-7s %14s %14s %12s %12s %12s %14s\n", "ring_W",
+              "decay", "ingest_mrows_s", "advance_us", "q_last1_us",
+              "q_half_us", "q_full_us", "q_full_raw_us");
+
+  int failures = 0;
+  const std::vector<int64_t> ring_sizes =
+      smoke ? std::vector<int64_t>{64}
+            : std::vector<int64_t>{4, 16, 64, 256};
+  for (int64_t W : ring_sizes) {
     for (int decay = 0; decay <= 1; ++decay) {
       WindowedSketchOptions opt;
       opt.window_epochs = static_cast<size_t>(W);
@@ -80,29 +105,58 @@ void Run(int argc, char** argv) {
       for (int i = 0; i < kAdvances; ++i) sketch.Advance();
       const double advance_s = SecondsSince(start);
 
-      auto time_query = [&](size_t last_k) {
+      auto time_query = [&](size_t last_k, bool cached, int64_t reps) {
         Clock::time_point q = Clock::now();
         int64_t sink = 0;
-        for (int64_t i = 0; i < queries; ++i) {
-          sink += sketch
-                      .QueryWindow(last_k, static_cast<size_t>(m),
-                                   opt.seed + static_cast<uint64_t>(i))
+        for (int64_t i = 0; i < reps; ++i) {
+          const uint64_t seed = opt.seed + static_cast<uint64_t>(i);
+          sink += (cached ? sketch.QueryWindow(last_k,
+                                               static_cast<size_t>(m), seed)
+                          : sketch.QueryWindowUncached(
+                                last_k, static_cast<size_t>(m), seed))
                       .TotalCount();
         }
         double s = SecondsSince(q);
         if (sink == -1) std::printf("?");  // keep the merges live
-        return s / static_cast<double>(queries);
+        return s / static_cast<double>(reps);
       };
-      const double q1 = time_query(1);
-      const double qh = time_query(static_cast<size_t>(W) / 2);
-      const double qw = time_query(static_cast<size_t>(W));
+      // Uncached re-merges are the expensive reference path: a few reps
+      // bound the sweep's wall clock without blurring the comparison.
+      const int64_t raw_reps = std::max<int64_t>(1, queries / 8);
+      const double q1 = time_query(1, /*cached=*/true, queries);
+      const double qh =
+          time_query(static_cast<size_t>(W) / 2, /*cached=*/true, queries);
+      const double qw =
+          time_query(static_cast<size_t>(W), /*cached=*/true, queries);
+      const double q1_raw = time_query(1, /*cached=*/false, raw_reps);
+      const double qh_raw = time_query(static_cast<size_t>(W) / 2,
+                                       /*cached=*/false, raw_reps);
+      const double qw_raw =
+          time_query(static_cast<size_t>(W), /*cached=*/false, raw_reps);
+
+      // The cache must be an optimization, never a semantic change:
+      // cached and uncached answers are bit-identical on the same state.
+      const auto cached_entries =
+          sketch.QueryWindow(static_cast<size_t>(W), static_cast<size_t>(m),
+                             opt.seed)
+              .Entries();
+      const auto raw_entries =
+          sketch
+              .QueryWindowUncached(static_cast<size_t>(W),
+                                   static_cast<size_t>(m), opt.seed)
+              .Entries();
+      if (cached_entries != raw_entries) {
+        std::printf("FAIL: cached != uncached QueryWindow at W=%lld\n",
+                    static_cast<long long>(W));
+        ++failures;
+      }
 
       const double mrows =
           static_cast<double>(stream.size()) / ingest_s / 1e6;
       const double adv_us = advance_s / kAdvances * 1e6;
-      std::printf("%-8lld %-7s %14.2f %14.2f %12.1f %12.1f %12.1f\n",
+      std::printf("%-8lld %-7s %14.2f %14.2f %12.1f %12.1f %12.1f %14.1f\n",
                   static_cast<long long>(W), decay ? "on" : "off", mrows,
-                  adv_us, q1 * 1e6, qh * 1e6, qw * 1e6);
+                  adv_us, q1 * 1e6, qh * 1e6, qw * 1e6, qw_raw * 1e6);
       if (json.enabled()) {
         json.BeginRecord("window_throughput");
         json.Add("window_epochs", W);
@@ -115,21 +169,32 @@ void Run(int argc, char** argv) {
         json.Add("query_last1_us", q1 * 1e6);
         json.Add("query_half_us", qh * 1e6);
         json.Add("query_full_us", qw * 1e6);
+        json.Add("query_last1_uncached_us", q1_raw * 1e6);
+        json.Add("query_half_uncached_us", qh_raw * 1e6);
+        json.Add("query_full_uncached_us", qw_raw * 1e6);
+      }
+      if (smoke && qw > qw_raw) {
+        std::printf(
+            "FAIL: cached query_full (%.1f us) slower than uncached "
+            "(%.1f us) at W=%lld\n",
+            qw * 1e6, qw_raw * 1e6, static_cast<long long>(W));
+        ++failures;
       }
     }
   }
 
   std::printf(
       "\n(ingest pays the flat UpdateBatch cost plus one ring rotation per\n"
-      " epoch; decay adds a weighted fold per close. Query cost scales\n"
-      " with merged slots — last_k=1 is a copy, the full ring a W-way\n"
-      " unbiased reduction)\n");
+      " epoch; decay folds closed epochs in batches. Cached queries\n"
+      " assemble O(log W) merge-tree partials; q_full_raw_us is the\n"
+      " from-scratch W-way re-merge the cache replaces)\n");
+  if (smoke) {
+    std::printf("smoke: %s\n", failures == 0 ? "OK" : "FAILED");
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace dsketch
 
-int main(int argc, char** argv) {
-  dsketch::Run(argc, argv);
-  return 0;
-}
+int main(int argc, char** argv) { return dsketch::Run(argc, argv); }

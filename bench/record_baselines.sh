@@ -11,11 +11,12 @@
 #                            plus the §6.3 bursty / all-distinct patterns
 #   BENCH_service.json     — framed ingest + query round-trip throughput
 #   BENCH_window.json      — epoch-ring ingest/advance/query cost across
-#                            ring sizes, decay on/off
+#                            ring sizes, decay on/off, cached vs uncached
+#                            window queries
 # Later PRs compare their sweeps against these files to prove speedups /
-# catch regressions; the files also record hardware_concurrency (where
-# relevant) so scaling numbers are interpreted against the machine that
-# produced them.
+# catch regressions; every file records hardware_concurrency (BENCH_window
+# carries it in its "params" record, like BENCH_service) so scaling
+# numbers are interpreted against the machine that produced them.
 
 set -eu
 

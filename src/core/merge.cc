@@ -1,7 +1,6 @@
 #include "core/merge.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 
 #include "util/logging.h"
@@ -25,33 +24,36 @@ std::vector<SketchEntry> ReducePairwise(std::vector<SketchEntry> entries,
   DSKETCH_CHECK(target > 0);
   if (entries.size() <= target) return entries;
 
-  // Min-heap of (count, index, version). Merged bins are re-pushed with a
-  // bumped version; stale heap items are discarded on pop.
-  struct HeapItem {
-    int64_t count;
-    size_t index;
-    uint32_t version;
-    bool operator>(const HeapItem& o) const { return count > o.count; }
+  // Canonical order: the collapse sequence (and therefore the RNG draw
+  // sequence) depends only on the (item, count) multiset, never on the
+  // caller's entry order — so a merge assembled from cached partials
+  // reproduces a from-scratch merge bit-for-bit given the same seed.
+  auto canonical = [](const SketchEntry& a, const SketchEntry& b) {
+    return a.count != b.count ? a.count < b.count : a.item < b.item;
   };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  std::vector<uint32_t> version(entries.size(), 0);
-  std::vector<bool> dead(entries.size(), false);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    heap.push({entries[i].count, i, 0});
+  if (!std::is_sorted(entries.begin(), entries.end(), canonical)) {
+    std::sort(entries.begin(), entries.end(), canonical);
   }
 
-  auto pop_live = [&]() -> HeapItem {
-    while (true) {
-      HeapItem top = heap.top();
-      heap.pop();
-      if (!dead[top.index] && version[top.index] == top.version) return top;
+  // Heap-free two-queue collapse (the classic linear-time Huffman
+  // construction): originals are consumed in ascending order, and bins
+  // produced by collapses emerge with non-decreasing counts, so the two
+  // queue fronts always hold the two candidates for "current smallest".
+  // Ties prefer the original queue, which fixes the collapse order.
+  const size_t n = entries.size();
+  std::vector<SketchEntry> merged;
+  merged.reserve(n - target);
+  size_t i = 0;  // next unconsumed original
+  size_t j = 0;  // next unconsumed merged bin
+  auto take_smallest = [&]() -> SketchEntry {
+    if (i < n && (j >= merged.size() || entries[i].count <= merged[j].count)) {
+      return entries[i++];
     }
+    return merged[j++];
   };
-
-  size_t live = entries.size();
-  while (live > target) {
-    HeapItem a = pop_live();  // smallest
-    HeapItem b = pop_live();  // second smallest
+  for (size_t live = n; live > target; --live) {
+    SketchEntry a = take_smallest();  // smallest
+    SketchEntry b = take_smallest();  // second smallest
     int64_t combined = a.count + b.count;
     // Keep the label of the *larger* bin with probability c2/(c1+c2):
     // a PPS draw between the two collapsed bins (unbiased per Theorem 2).
@@ -60,19 +62,13 @@ std::vector<SketchEntry> ReducePairwise(std::vector<SketchEntry> entries,
         combined == 0 ||
         rng.NextDouble() * static_cast<double>(combined) <
             static_cast<double>(b.count);
-    size_t keep = keep_larger ? b.index : a.index;
-    size_t drop = keep_larger ? a.index : b.index;
-    entries[keep].count = combined;
-    dead[drop] = true;
-    heap.push({combined, keep, ++version[keep]});
-    --live;
+    merged.push_back({keep_larger ? b.item : a.item, combined});
   }
 
   std::vector<SketchEntry> out;
-  out.reserve(live);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (!dead[i]) out.push_back(entries[i]);
-  }
+  out.reserve(target);
+  for (; i < n; ++i) out.push_back(entries[i]);
+  for (; j < merged.size(); ++j) out.push_back(merged[j]);
   return out;
 }
 
@@ -134,16 +130,48 @@ std::vector<SketchEntry> ReduceMisraGries(std::vector<SketchEntry> entries,
   return out;
 }
 
-UnbiasedSpaceSaving Merge(const UnbiasedSpaceSaving& a,
-                          const UnbiasedSpaceSaving& b, size_t capacity,
-                          uint64_t seed) {
+UnbiasedSpaceSaving SketchFromEntries(std::vector<SketchEntry> combined,
+                                      size_t capacity, uint64_t seed) {
+  // Canonical order even when no reduction runs: the loaded bin order
+  // (and so the sketch's internal layout) is a function of the entry
+  // multiset, not of how the caller assembled it. Pre-sorted input
+  // (e.g. the windowed combine memo replaying under a fresh seed) skips
+  // straight to the reduction.
+  auto canonical = [](const SketchEntry& a, const SketchEntry& b) {
+    return a.count != b.count ? a.count < b.count : a.item < b.item;
+  };
+  if (!std::is_sorted(combined.begin(), combined.end(), canonical)) {
+    std::sort(combined.begin(), combined.end(), canonical);
+  }
   Rng rng(seed);
-  std::vector<SketchEntry> combined = CombineEntries(a.Entries(), b.Entries());
-  std::vector<SketchEntry> reduced = ReducePairwise(std::move(combined),
-                                                    capacity, rng);
+  std::vector<SketchEntry> reduced =
+      ReducePairwise(std::move(combined), capacity, rng);
   UnbiasedSpaceSaving out(capacity, seed);
   out.core().LoadEntries(reduced);
   return out;
+}
+
+WeightedSpaceSaving WeightedSketchFromEntries(
+    std::vector<WeightedEntry> combined, size_t capacity, uint64_t seed) {
+  auto canonical = [](const WeightedEntry& a, const WeightedEntry& b) {
+    return a.weight != b.weight ? a.weight < b.weight : a.item < b.item;
+  };
+  if (!std::is_sorted(combined.begin(), combined.end(), canonical)) {
+    std::sort(combined.begin(), combined.end(), canonical);
+  }
+  Rng rng(seed);
+  std::vector<WeightedEntry> reduced =
+      ReducePairwiseWeighted(std::move(combined), capacity, rng);
+  WeightedSpaceSaving out(capacity, seed);
+  out.LoadEntries(reduced);
+  return out;
+}
+
+UnbiasedSpaceSaving Merge(const UnbiasedSpaceSaving& a,
+                          const UnbiasedSpaceSaving& b, size_t capacity,
+                          uint64_t seed) {
+  return SketchFromEntries(CombineEntries(a.Entries(), b.Entries()), capacity,
+                           seed);
 }
 
 DeterministicSpaceSaving Merge(const DeterministicSpaceSaving& a,
@@ -162,46 +190,40 @@ std::vector<WeightedEntry> ReducePairwiseWeighted(
   DSKETCH_CHECK(target > 0);
   if (entries.size() <= target) return entries;
 
-  struct HeapItem {
-    double weight;
-    size_t index;
-    uint32_t version;
-    bool operator>(const HeapItem& o) const { return weight > o.weight; }
+  // Same canonical order + two-queue collapse as ReducePairwise: the
+  // reduction is a function of the (item, weight) multiset and the seed.
+  auto canonical = [](const WeightedEntry& a, const WeightedEntry& b) {
+    return a.weight != b.weight ? a.weight < b.weight : a.item < b.item;
   };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  std::vector<uint32_t> version(entries.size(), 0);
-  std::vector<bool> dead(entries.size(), false);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    heap.push({entries[i].weight, i, 0});
+  if (!std::is_sorted(entries.begin(), entries.end(), canonical)) {
+    std::sort(entries.begin(), entries.end(), canonical);
   }
-  auto pop_live = [&]() -> HeapItem {
-    while (true) {
-      HeapItem top = heap.top();
-      heap.pop();
-      if (!dead[top.index] && version[top.index] == top.version) return top;
-    }
-  };
 
-  size_t live = entries.size();
-  while (live > target) {
-    HeapItem a = pop_live();
-    HeapItem b = pop_live();
+  const size_t n = entries.size();
+  std::vector<WeightedEntry> merged;
+  merged.reserve(n - target);
+  size_t i = 0;
+  size_t j = 0;
+  auto take_smallest = [&]() -> WeightedEntry {
+    if (i < n &&
+        (j >= merged.size() || entries[i].weight <= merged[j].weight)) {
+      return entries[i++];
+    }
+    return merged[j++];
+  };
+  for (size_t live = n; live > target; --live) {
+    WeightedEntry a = take_smallest();
+    WeightedEntry b = take_smallest();
     double combined = a.weight + b.weight;
     bool keep_larger =
         combined == 0.0 || rng.NextDouble() * combined < b.weight;
-    size_t keep = keep_larger ? b.index : a.index;
-    size_t drop = keep_larger ? a.index : b.index;
-    entries[keep].weight = combined;
-    dead[drop] = true;
-    heap.push({combined, keep, ++version[keep]});
-    --live;
+    merged.push_back({keep_larger ? b.item : a.item, combined});
   }
 
   std::vector<WeightedEntry> out;
-  out.reserve(live);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (!dead[i]) out.push_back(entries[i]);
-  }
+  out.reserve(target);
+  for (; i < n; ++i) out.push_back(entries[i]);
+  for (; j < merged.size(); ++j) out.push_back(merged[j]);
   return out;
 }
 
@@ -214,13 +236,7 @@ WeightedSpaceSaving Merge(const WeightedSpaceSaving& a,
   std::vector<WeightedEntry> combined;
   combined.reserve(sums.size());
   for (const auto& [item, weight] : sums) combined.push_back({item, weight});
-
-  Rng rng(seed);
-  std::vector<WeightedEntry> reduced =
-      ReducePairwiseWeighted(std::move(combined), capacity, rng);
-  WeightedSpaceSaving out(capacity, seed);
-  out.LoadEntries(reduced);
-  return out;
+  return WeightedSketchFromEntries(std::move(combined), capacity, seed);
 }
 
 UnbiasedSpaceSaving MergeAll(
@@ -235,13 +251,7 @@ UnbiasedSpaceSaving MergeAll(
   std::vector<SketchEntry> combined;
   combined.reserve(sums.size());
   for (const auto& [item, count] : sums) combined.push_back({item, count});
-
-  Rng rng(seed);
-  std::vector<SketchEntry> reduced = ReducePairwise(std::move(combined),
-                                                    capacity, rng);
-  UnbiasedSpaceSaving out(capacity, seed);
-  out.core().LoadEntries(reduced);
-  return out;
+  return SketchFromEntries(std::move(combined), capacity, seed);
 }
 
 }  // namespace dsketch

@@ -40,8 +40,27 @@ std::vector<SketchEntry> CombineEntries(const std::vector<SketchEntry>& a,
 /// Unbiased reduction to at most `target` bins by repeatedly collapsing
 /// the two smallest bins into one whose label is chosen with probability
 /// proportional to the collapsed counts. Preserves the total exactly.
+/// When a reduction actually runs, entries are first brought into the
+/// canonical (count, item) order, so the result is a function of the
+/// entry *multiset* and the Rng state alone — cached-partial merges
+/// reproduce from-scratch merges bit-for-bit. Under-target input is
+/// returned unchanged (order included).
 std::vector<SketchEntry> ReducePairwise(std::vector<SketchEntry> entries,
                                         size_t target, Rng& rng);
+
+/// Builds a fresh sketch from pre-combined entry sums: canonical
+/// (count, item) order, one pairwise reduction seeded by `seed`, then
+/// LoadEntries. This is the single definition of "merge these entry
+/// sums" — Merge, MergeAll, and the windowed merge cache all route
+/// through it, which is what keeps their outputs bit-identical for the
+/// same multiset + seed.
+UnbiasedSpaceSaving SketchFromEntries(std::vector<SketchEntry> combined,
+                                      size_t capacity, uint64_t seed);
+
+/// Weighted analogue of SketchFromEntries (canonical (weight, item)
+/// order + ReducePairwiseWeighted + LoadEntries).
+WeightedSpaceSaving WeightedSketchFromEntries(
+    std::vector<WeightedEntry> combined, size_t capacity, uint64_t seed);
 
 /// Unbiased reduction to at most `target` bins via priority sampling
 /// (priorities c_i/u_i, threshold tau = (target+1)-th priority, estimate

@@ -49,7 +49,7 @@ class WindowedSketchSource : public SketchSource {
     staging_.reserve(items.size());
     for (uint64_t item : items) staging_.push_back({item, epoch_});
     sharded_->Ingest(Span<const EpochRow>(staging_.data(), staging_.size()));
-    dirty_ = true;
+    MarkDirty();
   }
 
   /// Explicitly stamped rows; stamps ahead of the producer epoch
@@ -66,7 +66,7 @@ class WindowedSketchSource : public SketchSource {
       }
     }
     sharded_->Ingest(rows);
-    dirty_ = true;
+    MarkDirty();
   }
 
   /// Closes the producer epoch and opens `epoch` (monotone; no-op when
@@ -77,7 +77,7 @@ class WindowedSketchSource : public SketchSource {
     DSKETCH_CHECK(epoch <= kMaxEpochStamp);
     if (epoch > epoch_) {
       epoch_ = epoch;
-      dirty_ = true;
+      MarkDirty();
     }
   }
 
@@ -89,33 +89,43 @@ class WindowedSketchSource : public SketchSource {
   }
 
   /// Merged view over the newest min(last_k, ring) epochs (0 = full
-  /// window). One partial-window merge is cached at a time, so the
-  /// returned reference stays valid until the next
-  /// Ingest/Advance/Restore *or* the next WindowView call with a
-  /// different non-zero last_k (the full-window view is cached
-  /// separately and only invalidated by state changes).
+  /// window). The two caches are keyed by the *caller's* last_k — a
+  /// non-zero last_k never aliases the full-window cache, even while
+  /// the ring is still shorter than last_k, so a fixed last_k keeps
+  /// meaning "the newest k epochs" as the ring fills past k. One
+  /// partial-window merge is cached at a time, so the returned
+  /// reference stays valid until the next Ingest/IngestEpoch/Advance/
+  /// RestoreSnapshot *or* the next WindowView call with a different
+  /// non-zero last_k (the full-window view is cached separately and
+  /// only invalidated by state changes). Both views are thin
+  /// materializations over the merged ring's hierarchical merge cache:
+  /// a miss costs one O(log W) cached-partial assembly, not an O(W)
+  /// re-merge.
   const UnbiasedSpaceSaving& WindowView(size_t last_k) {
     const WindowedSpaceSaving& ring = MergedRing();
-    if (last_k >= ring.slots().size()) last_k = 0;  // full window
     std::optional<UnbiasedSpaceSaving>& cache =
         last_k == 0 ? ring_view_ : window_view_;
-    if (last_k != 0 && window_view_k_ != last_k) cache.reset();
+    if (last_k != 0 && window_view_k_ != last_k) {
+      cache.reset();
+      window_view_k_ = last_k;
+    }
     if (!cache.has_value()) {
       cache.emplace(
           ring.QueryWindow(last_k, window_.merged_capacity, MergeSeed()));
-      // The tag describes window_view_ only — a full-window fill must
-      // not invalidate a still-correct partial-window cache.
-      if (last_k != 0) window_view_k_ = last_k;
     }
     return *cache;
   }
 
   /// Exponentially decayed view as of the producer epoch (requires
-  /// half_life_epochs > 0 in the window options).
+  /// half_life_epochs > 0 in the window options). Never invalidates
+  /// WindowView references — only mutations do.
   WeightedSpaceSaving DecayedView() { return MergedRing().QueryDecayed(); }
 
   /// The epoch-consistent merged ring itself (e.g. for serialization or
-  /// slot inspection). Valid until the next Ingest/Advance/Restore.
+  /// slot inspection). Valid until the next Ingest/IngestEpoch/Advance/
+  /// RestoreSnapshot — like WindowView references: views are dropped
+  /// eagerly at mutation time (MarkDirty), so a read on a dirty source
+  /// re-merges without invalidating anything a caller still holds.
   const WindowedSpaceSaving& MergedRing() {
     if (dirty_ || !merged_.has_value()) {
       merged_.emplace(
@@ -123,8 +133,6 @@ class WindowedSketchSource : public SketchSource {
       // The producer epoch is authoritative: open it even if no shard
       // saw rows for it yet.
       merged_->AdvanceTo(epoch_);
-      ring_view_.reset();
-      window_view_.reset();
       dirty_ = false;
     }
     return *merged_;
@@ -142,7 +150,7 @@ class WindowedSketchSource : public SketchSource {
   /// the merged window. False on malformed bytes.
   bool RestoreSnapshot(std::string_view bytes) override {
     if (!sharded_->IngestSerialized(bytes)) return false;
-    dirty_ = true;
+    MarkDirty();
     // Peeked off the slot headers, not read from a merged view — a
     // restore stays cheap (the flush + fleet merge keeps being deferred
     // to the next query, where consecutive restores coalesce into one).
@@ -159,6 +167,20 @@ class WindowedSketchSource : public SketchSource {
 
  private:
   uint64_t MergeSeed() const { return seed_ + 2000003 + epoch_; }
+
+  // Every mutation ends handed-out view validity *here*, eagerly — not
+  // lazily at the next read. This is what makes the documented contract
+  // ("references valid until the next Ingest/Advance/Restore") true:
+  // DecayedView/MergedRing/SaveSnapshot on a dirty source re-merge the
+  // ring but never destroy a view some caller still references. The
+  // window_view_k_ tag is reset with its cache so it can never describe
+  // a cleared cache.
+  void MarkDirty() {
+    dirty_ = true;
+    ring_view_.reset();
+    window_view_.reset();
+    window_view_k_ = 0;
+  }
 
   std::unique_ptr<ShardedWindowedSketch> sharded_;
   WindowedSketchOptions window_;

@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,9 @@ SketchServer::SketchServer(const SketchServerOptions& options,
                 options.window.epoch_capacity <= kMaxSerializableCapacity);
   DSKETCH_CHECK(options.merged_capacity > 0 &&
                 options.merged_capacity <= kMaxSerializableCapacity);
+  // Wall-clock epoch scheduling is vetted at startup like the rest of
+  // the window configuration (0 = disabled).
+  DSKETCH_CHECK(options.epoch_interval_ms >= 0);
 }
 
 // Engine construction requires a non-null table; queries that actually
@@ -384,9 +388,45 @@ StatsResponse SketchServer::Stats() {
   return out;
 }
 
+void SketchServer::TickEpochs(uint64_t ticks) {
+  WindowedSketchSource& window = Window();
+  const uint64_t current = window.current_epoch();
+  const uint64_t target = ticks > kMaxEpochStamp - current
+                              ? kMaxEpochStamp
+                              : current + ticks;
+  window.Advance(target);
+}
+
 void SketchServer::Serve(Transport& transport) {
+  using Clock = std::chrono::steady_clock;
+  const int64_t interval = options_.epoch_interval_ms;
+  Clock::time_point next_tick =
+      Clock::now() + std::chrono::milliseconds(interval);
   std::string payload;
   while (true) {
+    if (interval > 0) {
+      // Wall-clock epoch scheduling: wait for readability in slices so
+      // every elapsed interval advances the windowed epoch — including
+      // idle stretches with no frames at all. A stalled serve loop
+      // (slow request, suspended process) catches up in one Advance for
+      // all owed ticks, never one epoch at a time.
+      while (!transport.WaitReadable(static_cast<int>(std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::milliseconds>(
+                 next_tick - Clock::now())
+                 .count())))) {
+        const Clock::time_point now = Clock::now();
+        if (now < next_tick) continue;  // spurious poll-timeout slop
+        const uint64_t ticks =
+            1 + static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now - next_tick)
+                        .count()) /
+                    static_cast<uint64_t>(interval);
+        TickEpochs(ticks);
+        next_tick += std::chrono::milliseconds(
+            interval * static_cast<int64_t>(ticks));
+      }
+    }
     FrameStatus fs = ReadFrame(transport, &payload);
     // EOF ends the session cleanly; a frame violation (hostile length
     // prefix, mid-frame EOF) is unrecoverable on a byte stream, so the

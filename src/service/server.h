@@ -55,6 +55,11 @@ struct SketchServerOptions {
   /// shard.seed; the weighted/windowed fleets offset it so the paths
   /// differ).
   uint64_t seed = 1;
+  /// > 0: wall-clock epoch scheduling — Serve() advances the windowed
+  /// scope's epoch every this-many milliseconds of real time, so a
+  /// deployment gets sliding windows without every client stamping rows.
+  /// 0 (default) keeps epochs purely caller-driven. Must be >= 0.
+  int64_t epoch_interval_ms = 0;
 };
 
 /// The streaming sketch service.
@@ -114,6 +119,12 @@ class SketchServer {
   // Builds a Predicate from `spec`, validating dimensions. Returns
   // kOk, kMalformed (bad dim), or kUnsupported (no attribute table).
   Status BuildPredicate(const PredicateSpec& spec, Predicate* out) const;
+
+  // Advances the windowed scope's epoch by `ticks` elapsed timer
+  // intervals (boots the windowed fleet on the first tick). Saturates
+  // at kMaxEpochStamp — a long-lived timer or a hostile near-cap stamp
+  // stops the clock instead of crashing the serve loop.
+  void TickEpochs(uint64_t ticks);
 
   // Stand-in table for attribute-less deployments (the engine requires a
   // non-null table; attribute-touching queries are gated on attrs_).

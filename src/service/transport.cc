@@ -1,9 +1,11 @@
 #include "service/transport.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 
 namespace dsketch {
 
@@ -27,6 +29,14 @@ class InMemoryDuplex::Endpoint : public Transport {
       read_pipe_->bytes.pop_front();
     }
     return count;  // 0 only when closed and drained: EOF
+  }
+
+  bool WaitReadable(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(read_pipe_->mu);
+    return read_pipe_->cv.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), [this] {
+          return !read_pipe_->bytes.empty() || read_pipe_->closed;
+        });
   }
 
   bool Write(std::string_view bytes) override {
@@ -70,6 +80,21 @@ size_t FdTransport::Read(char* buf, size_t n) {
     ssize_t got = ::read(read_fd_, buf, n);
     if (got >= 0) return static_cast<size_t>(got);
     if (errno != EINTR) return 0;  // treat hard errors as EOF
+  }
+}
+
+bool FdTransport::WaitReadable(int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = read_fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  while (true) {
+    int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return true;  // readable, hung up, or errored: Read decides
+    if (r == 0) return false;
+    // EINTR: retry with the full timeout — a signal storm only delays
+    // the timer, it never wedges the wait.
+    if (errno != EINTR) return true;  // let Read surface the failure
   }
 }
 

@@ -37,6 +37,17 @@ class Transport {
   /// closed its write side (EOF — all subsequent reads also return 0).
   virtual size_t Read(char* buf, size_t n) = 0;
 
+  /// Waits up to `timeout_ms` for Read to have something to return
+  /// (bytes or EOF). True = Read won't block now; false = the timeout
+  /// elapsed first. The base implementation returns true immediately —
+  /// a conservative default for transports without a waitable handle:
+  /// callers fall back to a blocking Read, so a timer using this is
+  /// best-effort there, exact on FdTransport/InMemoryDuplex.
+  virtual bool WaitReadable(int timeout_ms) {
+    (void)timeout_ms;
+    return true;
+  }
+
   /// Writes all of `bytes`; returns false when the stream is closed or
   /// broken (partial writes are never silently dropped).
   virtual bool Write(std::string_view bytes) = 0;
@@ -89,6 +100,7 @@ class FdTransport : public Transport {
   ~FdTransport() override;
 
   size_t Read(char* buf, size_t n) override;
+  bool WaitReadable(int timeout_ms) override;
   bool Write(std::string_view bytes) override;
   void CloseWrite() override;
 

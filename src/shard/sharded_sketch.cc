@@ -56,12 +56,7 @@ WeightedSpaceSaving MergeShards(
   for (const auto& [item, weight] : sums) {
     if (weight > 0.0) combined.push_back({item, weight});
   }
-  Rng rng(seed);
-  std::vector<WeightedEntry> reduced =
-      ReducePairwiseWeighted(std::move(combined), capacity, rng);
-  WeightedSpaceSaving out(capacity, seed);
-  out.LoadEntries(reduced);
-  return out;
+  return WeightedSketchFromEntries(std::move(combined), capacity, seed);
 }
 
 DeterministicSpaceSaving MergeShards(

@@ -52,7 +52,10 @@ std::string SerializeWindowed(const WindowedSpaceSaving& sketch) {
   }
   writer.PutByte(sketch.decay_enabled() ? 1 : 0);
   if (sketch.decay_enabled()) {
-    const std::string blob = Serialize(sketch.decayed_accumulator());
+    // DecayedClosedView (not the raw accumulator): folds any pending
+    // closed epochs so the blob is complete regardless of batch phase.
+    const WeightedSpaceSaving settled = sketch.DecayedClosedView();
+    const std::string blob = Serialize(settled);
     writer.PutVarint(blob.size());
     out.append(blob);
   }

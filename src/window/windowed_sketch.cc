@@ -20,7 +20,7 @@ WeightedSpaceSaving AlignDecayed(const WindowedSpaceSaving& shard,
                                  uint64_t current, double half_life_epochs,
                                  uint64_t seed) {
   const WindowedSketchOptions& opt = shard.options();
-  WeightedSpaceSaving acc = shard.decayed_accumulator();
+  WeightedSpaceSaving acc = shard.DecayedClosedView();
   const uint64_t lag = current - shard.CurrentEpoch();
   if (lag == 0) return acc;
   const double age_factor =

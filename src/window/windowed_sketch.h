@@ -21,19 +21,38 @@
 // "every epoch counts, geometrically less" — the two standard
 // time-scoped weightings.
 //
+// Query cost: QueryWindow is backed by an incremental hierarchical
+// merge cache — a binary merge tree over aligned epoch spans. Closed
+// epochs are immutable, so the exact per-span entry sums (integer
+// addition is associative) are cached per (level, block) node and a
+// last-k query assembles its combined entry set from O(log W) cached
+// partials plus the open epoch's live entries, instead of re-merging
+// all W slots pairwise from scratch. Only the open epoch is ever
+// uncached (ingest invalidates nothing but a small combine memo);
+// advancing the window evicts just the nodes that fell off the ring's
+// left edge. QueryWindowUncached keeps the from-scratch path for
+// benchmarks and cross-checks.
+//
 // Determinism: epoch e's sketch is seeded seed + e and the decay folds
-// are seeded from seed + e too, so a fixed (seed, stream, epoch stamps)
-// triple reproduces the ring, the accumulator, and every window merge
-// bit-for-bit — which is what lets window_test cross-check QueryWindow
-// against the hand-merged construction exactly.
+// are seeded from seed + the epoch they fold at, so a fixed (seed,
+// stream, epoch stamps) triple reproduces the ring, the accumulator,
+// and every window merge bit-for-bit. Cached and uncached queries are
+// bit-identical too: both feed the same exact entry sums into the same
+// canonical-order pairwise reduction (core/merge's SketchFromEntries)
+// with the same merge seed — which is what lets window_test cross-check
+// QueryWindow against the hand-merged construction exactly.
 
 #ifndef DSKETCH_WINDOW_WINDOWED_SKETCH_H_
 #define DSKETCH_WINDOW_WINDOWED_SKETCH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cmath>
 #include <deque>
+#include <iterator>
+#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -133,6 +152,7 @@ class WindowedSketch {
   /// Processes one row in the open epoch; auto-advances first in
   /// row-count mode.
   void Update(uint64_t item) {
+    ++open_version_;
     MaybeAutoAdvance();
     ring_.back().sketch.Update(item);
     ++rows_in_epoch_;
@@ -141,6 +161,7 @@ class WindowedSketch {
 
   /// Batch form of Update (same auto-advance semantics per row chunk).
   void UpdateBatch(Span<const uint64_t> items) {
+    ++open_version_;
     size_t pos = 0;
     while (pos < items.size()) {
       MaybeAutoAdvance();
@@ -167,6 +188,7 @@ class WindowedSketch {
   /// the sharded fleet).
   void UpdateBatch(Span<const EpochRow> rows) {
     DSKETCH_CHECK(options_.rows_per_epoch == 0);
+    ++open_version_;
     size_t pos = 0;
     while (pos < rows.size()) {
       const uint64_t epoch = rows[pos].epoch;
@@ -197,6 +219,7 @@ class WindowedSketch {
   /// timestamp, or a hostile 2^64-1) never spins per skipped epoch.
   void AdvanceTo(uint64_t epoch) {
     if (epoch <= CurrentEpoch()) return;
+    ++open_version_;
     if (epoch - CurrentEpoch() > options_.window_epochs) {
       FastForwardTo(epoch);
       return;
@@ -209,20 +232,20 @@ class WindowedSketch {
       if (ring_.size() > options_.window_epochs) ring_.pop_front();
       rows_in_epoch_ = 0;
     }
+    // Closed slots are immutable, so existing tree nodes stay valid —
+    // only spans that fell off the ring's left edge are dropped.
+    EvictExpiredNodes();
   }
 
   /// Unbiased merged view of the newest min(last_k, ring) epochs with
   /// `capacity` bins, reduced with `merge_seed` (single final pairwise
   /// reduction — identical to MergeShards over the same epoch sketches).
-  /// last_k == 0 means the full ring.
+  /// last_k == 0 means the full ring. Assembled from the hierarchical
+  /// merge cache: O(log W) cached closed-span partials plus the open
+  /// epoch's live entries, bit-identical to QueryWindowUncached.
   S QueryWindow(size_t last_k, size_t capacity, uint64_t merge_seed) const {
     if (last_k == 0 || last_k > ring_.size()) last_k = ring_.size();
-    std::vector<const S*> parts;
-    parts.reserve(last_k);
-    for (size_t i = ring_.size() - last_k; i < ring_.size(); ++i) {
-      parts.push_back(&ring_[i].sketch);
-    }
-    return MergeShards(parts, capacity, merge_seed);
+    return SketchFromEntries(WindowCombined(last_k), capacity, merge_seed);
   }
 
   /// QueryWindow with the configured merged capacity and a merge seed
@@ -231,6 +254,21 @@ class WindowedSketch {
   S QueryWindow(size_t last_k = 0) const {
     return QueryWindow(last_k, options_.merged_capacity,
                        options_.seed + CurrentEpoch() + 1);
+  }
+
+  /// The from-scratch reference path: pairwise-merges the suffix slots
+  /// directly (what QueryWindow did before the merge cache existed).
+  /// Always bit-identical to QueryWindow on the same state — pinned by
+  /// window_test — and kept for benchmarks and cross-checks.
+  S QueryWindowUncached(size_t last_k, size_t capacity,
+                        uint64_t merge_seed) const {
+    if (last_k == 0 || last_k > ring_.size()) last_k = ring_.size();
+    std::vector<const S*> parts;
+    parts.reserve(last_k);
+    for (size_t i = ring_.size() - last_k; i < ring_.size(); ++i) {
+      parts.push_back(&ring_[i].sketch);
+    }
+    return MergeShards(parts, capacity, merge_seed);
   }
 
   /// Exponentially decayed view over the whole stream as of the open
@@ -244,7 +282,8 @@ class WindowedSketch {
       WeightedEntry w = window_internal::AsWeighted(e);
       if (w.weight > 0.0) open.Update(w.item, w.weight);
     }
-    return Merge(decayed_, open, options_.merged_capacity,
+    WeightedSpaceSaving closed = DecayedClosedView();
+    return Merge(closed, open, options_.merged_capacity,
                  options_.seed + CurrentEpoch());
   }
 
@@ -260,9 +299,22 @@ class WindowedSketch {
   /// Ring slots, oldest first (newest is the open epoch).
   const std::deque<EpochSlot>& slots() const { return ring_; }
 
-  /// The decayed accumulator over *closed* epochs (meaningful only in
-  /// decayed mode; QueryDecayed adds the open epoch on top).
+  /// The raw decayed accumulator (meaningful only in decayed mode).
+  /// Excludes closed epochs still waiting in the amortized fold batch —
+  /// use DecayedClosedView() for the query/serialization semantics.
   const WeightedSpaceSaving& decayed_accumulator() const { return decayed_; }
+
+  /// The effective decayed view over all *closed* epochs as of the open
+  /// epoch: the accumulator plus every pending (not yet batch-folded)
+  /// closed epoch aged to now. Pure — reads never fold, so results stay
+  /// a function of (seed, stream, epoch stamps) alone. QueryDecayed adds
+  /// the open epoch on top of this.
+  WeightedSpaceSaving DecayedClosedView() const {
+    if (pending_.empty()) return decayed_;
+    return WeightedSketchFromEntries(CombinedDecayed(CurrentEpoch()),
+                                     options_.merged_capacity,
+                                     options_.seed + CurrentEpoch());
+  }
 
   /// True when the exponentially-decayed accumulator is maintained.
   bool decay_enabled() const { return decay_factor_ > 0.0; }
@@ -284,6 +336,11 @@ class WindowedSketch {
     decayed_ = std::move(decayed);
     rows_in_epoch_ = rows_in_epoch;
     total_rows_ = total_rows;
+    // Restores can replace slot contents at epochs the tree already
+    // cached, so the whole merge cache (not just the expired left edge)
+    // is rebuilt lazily from the new slots.
+    pending_.clear();
+    ClearMergeCache();
   }
 
  private:
@@ -298,6 +355,9 @@ class WindowedSketch {
   void FastForwardTo(uint64_t epoch) {
     if (decay_enabled()) {
       CloseEpoch();  // the open epoch's rows, aged one epoch
+      // Settle the fold batch before lag-scaling: the whole pending mass
+      // must age by the jump too.
+      FoldPending(CurrentEpoch() + 1);
       const double lag = static_cast<double>(epoch - CurrentEpoch() - 1);
       const double factor = std::exp2(-lag / options_.half_life_epochs);
       if (factor > 0.0) {
@@ -313,6 +373,8 @@ class WindowedSketch {
       if (e == epoch) break;
     }
     rows_in_epoch_ = 0;
+    // Every surviving slot is new (and empty); the old tree is useless.
+    ClearMergeCache();
   }
 
   void MaybeAutoAdvance() {
@@ -322,24 +384,202 @@ class WindowedSketch {
     }
   }
 
-  // Folds the open epoch into the decayed accumulator: age existing
-  // mass by one epoch, then merge the closing epoch's entries at full
-  // weight (they are now exactly one epoch from the next open one after
-  // the subsequent decay, matching 2^(-age/half_life) at query time).
+  // Closes the open epoch into the decayed state: age the accumulator
+  // by one epoch (cheap — it stays expressed as of the open epoch), but
+  // *stash* the closing epoch's entries instead of paying a weighted
+  // merge per close. Stashed epochs fold in batches of FoldBatchEpochs()
+  // with their exact ages 2^(-(fold epoch - e)/half_life), so decay-on
+  // ingest no longer pays a full fold per epoch close.
   void CloseEpoch() {
     if (!decay_enabled()) return;
     decayed_.Scale(decay_factor_);
-    WeightedSpaceSaving closing(options_.merged_capacity,
-                                options_.seed + CurrentEpoch());
+    std::vector<WeightedEntry> closing;
     for (const auto& e : ring_.back().sketch.Entries()) {
       WeightedEntry w = window_internal::AsWeighted(e);
-      if (w.weight > 0.0) closing.Update(w.item, w.weight);
+      if (w.weight > 0.0) closing.push_back(w);
     }
-    // One more epoch of decay for the closing mass: as of the next open
-    // epoch it is one epoch old.
-    closing.Scale(decay_factor_);
-    decayed_ = Merge(decayed_, closing, options_.merged_capacity,
-                     options_.seed + CurrentEpoch());
+    if (!closing.empty()) {
+      pending_.emplace_back(CurrentEpoch(), std::move(closing));
+    }
+    if (pending_.size() >= FoldBatchEpochs()) FoldPending(CurrentEpoch() + 1);
+  }
+
+  // Epochs stashed per fold: enough batching to amortize the weighted
+  // reduction across ring growth, small enough that a read's on-the-fly
+  // combine (DecayedClosedView) stays cheap.
+  size_t FoldBatchEpochs() const {
+    const size_t b = options_.window_epochs / 8;
+    return b < 1 ? 1 : (b > 32 ? 32 : b);
+  }
+
+  // Exact (item -> weight) sums of the accumulator plus every pending
+  // closed epoch aged to `as_of` (the epoch the accumulator itself is
+  // expressed at). Zero/underflowed masses drop out.
+  std::vector<WeightedEntry> CombinedDecayed(uint64_t as_of) const {
+    std::unordered_map<uint64_t, double> sums;
+    for (const WeightedEntry& e : decayed_.Entries()) sums[e.item] += e.weight;
+    for (const auto& [ep, entries] : pending_) {
+      const double f = std::exp2(-static_cast<double>(as_of - ep) /
+                                 options_.half_life_epochs);
+      if (f <= 0.0) continue;
+      for (const WeightedEntry& e : entries) sums[e.item] += e.weight * f;
+    }
+    std::vector<WeightedEntry> combined;
+    combined.reserve(sums.size());
+    for (const auto& [item, w] : sums) {
+      if (w > 0.0) combined.push_back({item, w});
+    }
+    return combined;
+  }
+
+  // Collapses the fold batch into the accumulator with one weighted
+  // reduction, seeded by the epoch the fold lands at (span-derived, so
+  // a fixed stream reproduces it).
+  void FoldPending(uint64_t as_of) {
+    if (pending_.empty()) return;
+    decayed_ = WeightedSketchFromEntries(CombinedDecayed(as_of),
+                                         options_.merged_capacity,
+                                         options_.seed + as_of);
+    pending_.clear();
+  }
+
+  // ---- hierarchical merge cache ----
+  //
+  // A node (level, block) covers the aligned absolute-epoch span
+  // [block·2^level, (block+1)·2^level) and caches the item-sorted exact
+  // entry sums of its slots. Exact integer sums are associative, so a
+  // node is just the merge of its two children — and because only spans
+  // of *closed* epochs are ever requested (the decomposition stops the
+  // closed range at open-1), cached nodes can never go stale: ingest
+  // touches only the open epoch, and advancing merely expires nodes off
+  // the ring's left edge. At most ~2W nodes exist, each bounded by its
+  // span's distinct items. Queries are logically const, so the cache
+  // lives in mutable members (same single-producer threading contract
+  // as the rest of the class).
+
+  static bool ItemLess(const SketchEntry& a, const SketchEntry& b) {
+    return a.item < b.item;
+  }
+
+  // Merges two item-sorted entry vectors, summing duplicate labels.
+  static std::vector<SketchEntry> MergeByItem(
+      const std::vector<SketchEntry>& a, const std::vector<SketchEntry>& b) {
+    std::vector<SketchEntry> merged;
+    merged.reserve(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(merged), ItemLess);
+    size_t w = 0;
+    for (size_t r = 0; r < merged.size(); ++r) {
+      if (w > 0 && merged[w - 1].item == merged[r].item) {
+        merged[w - 1].count += merged[r].count;
+      } else {
+        merged[w++] = merged[r];
+      }
+    }
+    merged.resize(w);
+    return merged;
+  }
+
+  // The slot holding absolute epoch `epoch`, or nullptr (expired epochs,
+  // or gaps in a restored ring — both contribute nothing).
+  const S* FindSlotSketch(uint64_t epoch) const {
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), epoch,
+        [](const EpochSlot& s, uint64_t e) { return s.epoch < e; });
+    return (it != ring_.end() && it->epoch == epoch) ? &it->sketch : nullptr;
+  }
+
+  // Cached item-sorted entry sums of the node (level, block); built
+  // lazily from its children. Only called for all-closed spans.
+  const std::vector<SketchEntry>& NodeEntries(uint32_t level,
+                                              uint64_t block) const {
+    const auto key = std::make_pair(level, block);
+    auto it = node_cache_.find(key);
+    if (it != node_cache_.end()) return it->second;
+    std::vector<SketchEntry> entries;
+    if (level == 0) {
+      if (const S* slot = FindSlotSketch(block)) {
+        entries = slot->Entries();
+        std::sort(entries.begin(), entries.end(), ItemLess);
+      }
+    } else {
+      const std::vector<SketchEntry>& left = NodeEntries(level - 1, 2 * block);
+      const std::vector<SketchEntry>& right =
+          NodeEntries(level - 1, 2 * block + 1);
+      entries = MergeByItem(left, right);
+    }
+    return node_cache_.emplace(key, std::move(entries)).first->second;
+  }
+
+  // The combined exact entry sums of the newest `last_k` slots
+  // (1 <= last_k <= ring size), memoized in the canonical reduce-ready
+  // (count, item) order: repeated queries of unchanged state — any
+  // capacity or merge seed — skip straight to the final collapse.
+  const std::vector<SketchEntry>& WindowCombined(size_t last_k) const {
+    auto mit = combine_memo_.find(last_k);
+    if (mit != combine_memo_.end() && mit->second.version == open_version_) {
+      return mit->second.combined;
+    }
+    // Closed part: canonical segment decomposition of the epoch range
+    // [first suffix epoch, open epoch) into O(log W) aligned nodes.
+    std::vector<const std::vector<SketchEntry>*> parts;
+    if (last_k >= 2) {
+      uint64_t l = ring_[ring_.size() - last_k].epoch;
+      uint64_t r = CurrentEpoch();
+      uint32_t level = 0;
+      while (l < r) {
+        if (l & 1) parts.push_back(&NodeEntries(level, l++));
+        if (r & 1) parts.push_back(&NodeEntries(level, --r));
+        l >>= 1;
+        r >>= 1;
+        ++level;
+      }
+    }
+    std::vector<SketchEntry> open = ring_.back().sketch.Entries();
+    std::sort(open.begin(), open.end(), ItemLess);
+    // Balanced pairwise merges (n log k element moves, not k·n).
+    std::vector<std::vector<SketchEntry>> round;
+    round.reserve(parts.size() / 2 + 2);
+    for (size_t i = 0; i + 1 < parts.size(); i += 2) {
+      round.push_back(MergeByItem(*parts[i], *parts[i + 1]));
+    }
+    if (parts.size() % 2 == 1) round.push_back(*parts.back());
+    round.push_back(std::move(open));
+    while (round.size() > 1) {
+      std::vector<std::vector<SketchEntry>> next;
+      next.reserve(round.size() / 2 + 1);
+      for (size_t i = 0; i + 1 < round.size(); i += 2) {
+        next.push_back(MergeByItem(round[i], round[i + 1]));
+      }
+      if (round.size() % 2 == 1) next.push_back(std::move(round.back()));
+      round = std::move(next);
+    }
+    std::vector<SketchEntry> combined = std::move(round.front());
+    std::sort(combined.begin(), combined.end(),
+              [](const SketchEntry& a, const SketchEntry& b) {
+                return a.count != b.count ? a.count < b.count
+                                          : a.item < b.item;
+              });
+    if (combine_memo_.size() >= 8) combine_memo_.clear();
+    CombineMemo& memo = combine_memo_[last_k];
+    memo.version = open_version_;
+    memo.combined = std::move(combined);
+    return memo.combined;
+  }
+
+  // Drops cached nodes whose span lies entirely left of the ring.
+  void EvictExpiredNodes() {
+    const uint64_t front = ring_.front().epoch;
+    for (auto it = node_cache_.begin(); it != node_cache_.end();) {
+      const uint64_t span_hi =
+          ((it->first.second + 1) << it->first.first) - 1;
+      it = span_hi < front ? node_cache_.erase(it) : std::next(it);
+    }
+  }
+
+  void ClearMergeCache() {
+    node_cache_.clear();
+    combine_memo_.clear();
   }
 
   WindowedSketchOptions options_;
@@ -349,6 +589,21 @@ class WindowedSketch {
   uint64_t rows_in_epoch_ = 0;
   uint64_t total_rows_ = 0;
   std::vector<uint64_t> batch_;  // scratch for epoch-stamped batches
+  // Closed epochs stashed for the next batched decay fold (epoch id +
+  // that epoch's full-weight entries).
+  std::vector<std::pair<uint64_t, std::vector<WeightedEntry>>> pending_;
+  // Bumped by every mutation that can change a query's combined entry
+  // set (ingest into the open epoch, advances, restores); versions the
+  // combine memo. Node entries never need versioning — closed spans are
+  // immutable and restores clear the cache outright.
+  uint64_t open_version_ = 0;
+  mutable std::map<std::pair<uint32_t, uint64_t>, std::vector<SketchEntry>>
+      node_cache_;
+  struct CombineMemo {
+    uint64_t version = 0;
+    std::vector<SketchEntry> combined;
+  };
+  mutable std::map<size_t, CombineMemo> combine_memo_;
 };
 
 /// The windowed form of the paper's primary sketch — what the wire,

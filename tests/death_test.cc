@@ -126,6 +126,11 @@ TEST(DeathTest, ServerVetsWindowConfigAtStartup) {
   WindowedSketchOptions underflow;
   underflow.half_life_epochs = 1e-5;
   EXPECT_DEATH(WindowedSpaceSaving{underflow}, "CHECK failed");
+  // The wall-clock epoch timer cannot run backwards (dsketchd rejects
+  // the flag value before it gets here; embedders hit the same CHECK).
+  SketchServerOptions negative_interval;
+  negative_interval.epoch_interval_ms = -1;
+  EXPECT_DEATH(SketchServer{negative_interval}, "CHECK failed");
   // Capacities past the wire encoders' cap would otherwise only abort
   // on the first SNAPSHOT frame.
   SketchServerOptions big_epoch_cap;

@@ -7,6 +7,7 @@
 // snapshot entry, the same contract sharded_sketch_test pins for
 // IngestSerialized).
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -359,6 +360,69 @@ TEST_F(ServiceSessionTest, WindowedEpochAdvanceExpiresOldEpochs) {
   auto after = client_->QuerySum(PredicateSpec(), QueryScope::kWindow);
   ASSERT_TRUE(after.has_value());
   EXPECT_EQ(after->estimate, 0.0);  // everything expired
+}
+
+// The wall-clock epoch timer: a server booted with epoch_interval_ms
+// closes window epochs on its own between frames (WaitReadable slices),
+// so clients that only query still see the window slide.
+TEST(ServiceEpochTimerTest, WallClockTicksAdvanceTheWindowEpoch) {
+  SketchServerOptions options;
+  options.shard.num_shards = 2;
+  options.shard.shard_capacity = 512;
+  options.shard.seed = 5;
+  options.merged_capacity = 1024;
+  options.seed = 5;
+  options.epoch_interval_ms = 5;
+  SketchServer server(options);
+  InMemoryDuplex duplex;
+  std::thread serve([&] { server.Serve(duplex.server()); });
+  SketchClient client(duplex.client());
+
+  // Boot the windowed fleet (it is lazy) with rows at the start epoch.
+  ASSERT_TRUE(client.IngestWindowed(std::vector<uint64_t>{1, 2, 3}, 0));
+  // Poll until the timer has closed at least one epoch. Bounded wait:
+  // one tick is due after 5ms; 400 polls of 5ms only matter on a
+  // machine so loaded the test would time out anyway.
+  uint64_t epoch = 0;
+  for (int i = 0; i < 400 && epoch == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.has_value());
+    epoch = stats->window_epoch;
+  }
+  EXPECT_GE(epoch, 1u);
+
+  client.Shutdown();
+  serve.join();
+}
+
+// Hostile-stamp safety for the timer: a client that parks the window
+// clock at the stamp cap must not push wall-clock ticks past it — the
+// tick target saturates at kMaxEpochStamp instead of overflowing or
+// tripping the stamp CHECKs.
+TEST(ServiceEpochTimerTest, TicksSaturateAtTheEpochStampCap) {
+  SketchServerOptions options;
+  options.shard.num_shards = 2;
+  options.shard.shard_capacity = 512;
+  options.shard.seed = 5;
+  options.merged_capacity = 1024;
+  options.seed = 5;
+  options.epoch_interval_ms = 1;
+  SketchServer server(options);
+  InMemoryDuplex duplex;
+  std::thread serve([&] { server.Serve(duplex.server()); });
+  SketchClient client(duplex.client());
+
+  ASSERT_TRUE(
+      client.IngestWindowed(std::vector<uint64_t>{9}, kMaxEpochStamp));
+  // Give the timer several due ticks, then confirm the clock held.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->window_epoch, kMaxEpochStamp);
+
+  client.Shutdown();
+  serve.join();
 }
 
 TEST_F(ServiceSessionTest, PredicateQueriesWithoutTableAreUnsupported) {

@@ -217,6 +217,111 @@ TEST(WindowedSketchTest, WindowQueryMatchesHandMergedEpochsOnAllDistinct) {
   CrossCheckHandMerged(stream, 4, 4002);
 }
 
+// The merge-cache contract, pinned exactly: QueryWindow (hierarchical
+// cached partials) and QueryWindowUncached (from-scratch W-way pairwise
+// re-merge) are *bit-identical* — same entries in the same internal
+// order — on the same state, for every last_k and merge seed. Checked
+// cold (empty cache), warm (memo replay), and after every kind of
+// invalidation the cache must survive: open-epoch ingest, single-step
+// advances, and multi-epoch gap advances that expire cached spans.
+TEST(WindowedSketchTest, CachedWindowQueriesAreBitIdenticalToUncached) {
+  WindowedSketchOptions opt;
+  opt.window_epochs = 8;
+  opt.epoch_capacity = 48;
+  opt.merged_capacity = 96;
+  opt.seed = 501;
+  WindowedSpaceSaving sketch(opt);
+  Rng rng(17);
+
+  auto expect_identical = [&](const char* stage) {
+    for (size_t last_k : {size_t{1}, size_t{3}, size_t{8}}) {
+      for (uint64_t ms : {uint64_t{1}, uint64_t{777}}) {
+        const UnbiasedSpaceSaving cached = sketch.QueryWindow(last_k, 96, ms);
+        const UnbiasedSpaceSaving raw =
+            sketch.QueryWindowUncached(last_k, 96, ms);
+        EXPECT_EQ(cached.Entries(), raw.Entries())
+            << stage << " last_k=" << last_k << " merge_seed=" << ms;
+        // Warm replay: the second query answers from the combine memo
+        // and must reproduce the cold answer bit for bit.
+        EXPECT_EQ(sketch.QueryWindow(last_k, 96, ms).Entries(),
+                  cached.Entries())
+            << stage << " (warm) last_k=" << last_k;
+      }
+    }
+  };
+
+  for (uint64_t e = 0; e < 12; ++e) {
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 400; ++i) rows.push_back(rng.NextBounded(120));
+    sketch.UpdateBatch(Span<const uint64_t>(rows.data(), rows.size()));
+    // Query mid-stream so later epochs invalidate a *warm* cache.
+    if (e % 3 == 0) expect_identical("mid-stream");
+    sketch.Advance();
+  }
+  expect_identical("after per-epoch advances");
+
+  // Partial invalidation: rows into the open epoch dirty only the open
+  // suffix — cached closed-span partials must still compose correctly.
+  sketch.Update(5);
+  expect_identical("after open-epoch ingest");
+
+  // A gap advance expires cached spans off the ring's left edge and
+  // inserts empty slots the level-0 lookup must treat as absent.
+  sketch.AdvanceTo(sketch.CurrentEpoch() + 5);
+  expect_identical("after gap advance");
+}
+
+// LoadState can replace slot contents at epochs the merge tree already
+// cached (a restore absorbing a peer's ring mid-stream). A warm cache
+// must not leak pre-restore partials into post-restore answers: queries
+// after LoadState are bit-identical to the uncached path *and* to a
+// sketch that held the donor state all along.
+TEST(WindowedSketchTest, RestoreMidStreamRebuildsWarmMergeCache) {
+  WindowedSketchOptions opt;
+  opt.window_epochs = 4;
+  opt.epoch_capacity = 48;
+  opt.merged_capacity = 96;
+  opt.seed = 502;
+  WindowedSpaceSaving warm(opt);
+  WindowedSpaceSaving donor(opt);
+
+  Rng rng(23);
+  for (uint64_t e = 0; e < 6; ++e) {
+    std::vector<uint64_t> warm_rows;
+    std::vector<uint64_t> donor_rows;
+    for (int i = 0; i < 300; ++i) {
+      warm_rows.push_back(rng.NextBounded(80));
+      donor_rows.push_back(100000 + rng.NextBounded(80));  // disjoint labels
+    }
+    warm.UpdateBatch(Span<const uint64_t>(warm_rows.data(), warm_rows.size()));
+    donor.UpdateBatch(
+        Span<const uint64_t>(donor_rows.data(), donor_rows.size()));
+    if (e + 1 < 6) {
+      warm.Advance();
+      donor.Advance();
+    }
+  }
+
+  // Warm every cache layer: node partials and the combine memo.
+  for (size_t last_k : {size_t{1}, size_t{2}, size_t{4}}) {
+    (void)warm.QueryWindow(last_k, 96, 9);
+  }
+
+  warm.LoadState(donor.slots(), donor.decayed_accumulator(),
+                 donor.RowsInCurrentEpoch(), donor.TotalRows());
+
+  for (size_t last_k : {size_t{1}, size_t{2}, size_t{4}}) {
+    const auto after = warm.QueryWindow(last_k, 96, 9).Entries();
+    EXPECT_EQ(after, warm.QueryWindowUncached(last_k, 96, 9).Entries())
+        << "last_k=" << last_k;
+    EXPECT_EQ(after, donor.QueryWindow(last_k, 96, 9).Entries())
+        << "last_k=" << last_k;
+    // Every surviving answer is donor data: warm's old labels (< 100000)
+    // must be gone entirely.
+    for (const SketchEntry& e : after) EXPECT_GE(e.item, 100000u);
+  }
+}
+
 TEST(WindowedSketchTest, DecayedViewTracksAnalyticTruth) {
   WindowedSketchOptions opt;
   opt.window_epochs = 2;  // ring shorter than the decay horizon
@@ -382,8 +487,10 @@ TEST(WindowWireTest, RingRoundTripsThroughWireBytes) {
   }
   // The restored total re-sums the entries, so it may differ from the
   // live accumulator's scale/merge history by fp association only.
-  const double live_total = sketch.decayed_accumulator().TotalWeight();
-  EXPECT_NEAR(restored->decayed_accumulator().TotalWeight(), live_total,
+  // DecayedClosedView is the settled semantics on both sides (the live
+  // ring may still hold epochs in the amortized fold batch).
+  const double live_total = sketch.DecayedClosedView().TotalWeight();
+  EXPECT_NEAR(restored->DecayedClosedView().TotalWeight(), live_total,
               live_total * 1e-12);
   // Window queries on the restored ring behave identically.
   EXPECT_EQ(restored->QueryWindow(2, 64, 7).TotalCount(),
@@ -429,6 +536,98 @@ TEST(WindowWireTest, ShardedFleetReplicatesRingState) {
   // Malformed bytes are refused with the state untouched.
   EXPECT_FALSE(replica.RestoreSnapshot("not a ring"));
   EXPECT_EQ(replica.sharded().num_absorbed(), 1u);
+}
+
+// Regression: WindowView(last_k) with last_k >= the current ring length
+// used to alias the full-window cache — a fixed last_k silently changed
+// meaning ("the whole ring") while the ring was still short, and the
+// cached sketch was not recomputed when the ring grew past last_k. The
+// caches are now keyed by the *caller's* last_k: a fixed last_k means
+// "the newest k epochs" at every ring length, across interleaved
+// full-window reads and mutations.
+TEST(WindowedSourceTest, FixedLastKMeansNewestKEpochsWhileRingGrows) {
+  ShardedSketchOptions shard;
+  shard.num_shards = 2;
+  shard.seed = 61;
+  WindowedSketchOptions window;
+  window.window_epochs = 6;
+  window.epoch_capacity = 64;
+  window.merged_capacity = 128;
+  WindowedSketchSource source(shard, window);
+
+  // Epoch e carries a distinct row count, so each expected window total
+  // identifies exactly which epochs were merged.
+  auto ingest_epoch = [&](uint64_t e, size_t n) {
+    source.Advance(e);
+    std::vector<uint64_t> rows(n, e);
+    source.Ingest(Span<const uint64_t>(rows.data(), rows.size()));
+  };
+
+  ingest_epoch(0, 100);
+  // Ring holds 1 epoch: last_k=3 clamps to it, but stays keyed as 3.
+  EXPECT_EQ(source.WindowView(3).TotalCount(), 100);
+  ingest_epoch(1, 200);
+  EXPECT_EQ(source.WindowView(3).TotalCount(), 300);
+  EXPECT_EQ(source.View().TotalCount(), 300);  // interleaved full read
+  ingest_epoch(2, 400);
+  EXPECT_EQ(source.WindowView(3).TotalCount(), 700);
+  ingest_epoch(3, 800);
+  // Ring now exceeds last_k: the view must drop epoch 0, not keep
+  // serving the full-window merge it aliased while the ring was short.
+  EXPECT_EQ(source.WindowView(3).TotalCount(), 1400);
+  EXPECT_EQ(source.View().TotalCount(), 1500);
+  // Cached replay of the same last_k is stable...
+  EXPECT_EQ(source.WindowView(3).TotalCount(), 1400);
+  // ...switching last_k swaps the one partial-window cache...
+  EXPECT_EQ(source.WindowView(1).TotalCount(), 800);
+  // ...and switching back re-merges rather than serving the stale k.
+  EXPECT_EQ(source.WindowView(3).TotalCount(), 1400);
+}
+
+// The documented reference contract: views stay valid until the next
+// Ingest/IngestEpoch/Advance/RestoreSnapshot. Reads — DecayedView,
+// MergedRing, SaveSnapshot — must never destroy a view some caller
+// still holds (they used to, lazily, when the first read after a
+// mutation reset every cache). Value equality is asserted through the
+// held references; asan turns any stale-reference bug into a hard fail.
+TEST(WindowedSourceTest, ReadsNeverInvalidateHeldViews) {
+  ShardedSketchOptions shard;
+  shard.num_shards = 2;
+  shard.seed = 67;
+  WindowedSketchOptions window;
+  window.window_epochs = 4;
+  window.epoch_capacity = 64;
+  window.merged_capacity = 128;
+  window.half_life_epochs = 2.0;
+  WindowedSketchSource source(shard, window);
+
+  std::vector<uint64_t> rows(150, 1);
+  source.Ingest(Span<const uint64_t>(rows.data(), rows.size()));
+  source.Advance(1);
+  std::vector<uint64_t> more(50, 2);
+  source.Ingest(Span<const uint64_t>(more.data(), more.size()));
+
+  const UnbiasedSpaceSaving& full = source.View();
+  const int64_t full_total = full.TotalCount();
+  const UnbiasedSpaceSaving& win = source.WindowView(1);
+  const int64_t win_total = win.TotalCount();
+  EXPECT_EQ(full_total, 200);
+  EXPECT_EQ(win_total, 50);
+
+  // Reads on a clean source: re-derive whatever they need, but leave
+  // handed-out views alone.
+  (void)source.DecayedView();
+  (void)source.MergedRing();
+  const std::string snapshot = source.SaveSnapshot();
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_EQ(full.TotalCount(), full_total);
+  EXPECT_EQ(win.TotalCount(), win_total);
+
+  // A mutation is the invalidation point — fresh views see it.
+  std::vector<uint64_t> last(25, 3);
+  source.Ingest(Span<const uint64_t>(last.data(), last.size()));
+  EXPECT_EQ(source.View().TotalCount(), 225);
+  EXPECT_EQ(source.WindowView(1).TotalCount(), 75);
 }
 
 TEST(WindowWireTest, RestoreFromAheadPeerAdvancesProducerEpoch) {

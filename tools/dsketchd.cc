@@ -19,6 +19,9 @@
 //   --shard-capacity=N    bins per shard sketch          (default 4096)
 //   --merged-capacity=N   bins of the query/snapshot view (default 4096)
 //   --window-epochs=N     ring length of the windowed scope (default 4)
+//   --epoch-interval-ms=N wall-clock epoch scheduling: advance the
+//                         windowed epoch every N ms of real time while
+//                         serving (default 0 = caller-driven epochs)
 //   --seed=N              reproducible randomness        (default 1)
 //   --smoke               run the self-contained two-node scenario
 
@@ -68,6 +71,7 @@ SketchServerOptions MakeOptions(int argc, char** argv) {
       static_cast<size_t>(FlagInt(argc, argv, "merged-capacity", 4096));
   options.window.window_epochs =
       static_cast<size_t>(FlagInt(argc, argv, "window-epochs", 4));
+  options.epoch_interval_ms = FlagInt(argc, argv, "epoch-interval-ms", 0);
   options.seed = options.shard.seed;
   return options;
 }
@@ -230,6 +234,14 @@ int RunSmoke(const SketchServerOptions& options) {
 
 int Run(int argc, char** argv) {
   SketchServerOptions options = MakeOptions(argc, argv);
+  // Flag validation before any server boots: a bad value must be a
+  // usage error on stderr, not a DSKETCH_CHECK abort mid-startup.
+  if (options.epoch_interval_ms < 0) {
+    std::fprintf(stderr,
+                 "dsketchd: --epoch-interval-ms must be >= 0 (got %lld)\n",
+                 static_cast<long long>(options.epoch_interval_ms));
+    return 2;
+  }
   if (FlagSet(argc, argv, "smoke")) return RunSmoke(options);
 
   // Serve the framed protocol on stdin/stdout until EOF or SHUTDOWN.
