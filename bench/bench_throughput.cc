@@ -19,7 +19,16 @@
 // BENCH_throughput.json by bench/record_baselines.sh). The
 // multi-million-bin configurations run by default (they are where the
 // batch pipeline pays off); pass --full=0 --rows=2000000 --reps=1 for a
-// quick smoke run.
+// quick run.
+//
+// --smoke replaces the sweeps with a CI correctness gate: a small
+// configuration covering both UpdateBatch bodies (plain and software-
+// pipelined) that asserts batch ingestion is bit-identical to per-row
+// updates and that throughput is sane (> 0), exiting nonzero otherwise.
+//
+// Every JSON output starts with a "params" record (hardware threads,
+// allocator mode, probe ISA, compiler) so recorded baselines say what
+// machine state produced them.
 
 #include <chrono>
 #include <cstdint>
@@ -40,6 +49,8 @@
 #include "shard/sharded_sketch.h"
 #include "stream/distributions.h"
 #include "stream/generators.h"
+#include "util/flat_map.h"
+#include "util/mmap_array.h"
 #include "util/random.h"
 #include "util/span.h"
 
@@ -254,6 +265,39 @@ void MicroBenches(const Workload& w, int reps, bench::JsonSink& sink) {
   }
 }
 
+// --smoke body: proves the ingest hot path end to end on a small stream.
+// UpdateBatch documents bit-for-bit identity with per-row Update; m is
+// chosen to cover both batch bodies (plain below the pipelining
+// threshold, software-pipelined above it). Returns the failure count.
+int SmokeCheck(const Workload& w) {
+  int failures = 0;
+  // 65536 bins is the smallest sketch that takes the pipelined
+  // UpdateBatch body; 4096 exercises the plain loop.
+  for (size_t m : {size_t{4096}, size_t{65536}}) {
+    UnbiasedSpaceSaving per_row(m, 2);
+    for (uint64_t x : w.rows) per_row.Update(x);
+
+    UnbiasedSpaceSaving batched(m, 2);
+    auto t0 = Clock::now();
+    batched.UpdateBatch(w.rows);
+    const double mrows =
+        static_cast<double>(w.rows.size()) / Seconds(t0) / 1e6;
+
+    const bool identical = per_row.Entries() == batched.Entries() &&
+                           per_row.TotalCount() == batched.TotalCount();
+    const bool sane_rate = mrows > 0.0;
+    std::printf("smoke m=%-8zu batch %8.1f Mrows/s  bit-identity %s\n", m,
+                mrows, identical ? "OK" : "FAILED");
+    if (!identical) ++failures;
+    if (!sane_rate) {
+      std::printf("smoke m=%zu: implausible rate %f Mrows/s\n", m, mrows);
+      ++failures;
+    }
+  }
+  std::printf("smoke: %s\n", failures == 0 ? "OK" : "FAILED");
+  return failures;
+}
+
 }  // namespace
 }  // namespace dsketch
 
@@ -261,10 +305,29 @@ int main(int argc, char** argv) {
   using namespace dsketch;
   bench::Banner("ingestion throughput: batched + sharded pipeline",
                 "paper §6.7 cost claims; ROADMAP throughput/sharding items");
-  const int64_t rows = bench::FlagInt(argc, argv, "rows", 8000000);
+  const bool smoke = bench::FlagSet(argc, argv, "smoke");
+  const int64_t rows =
+      bench::FlagInt(argc, argv, "rows", smoke ? 1000000 : 8000000);
   const int reps = static_cast<int>(bench::FlagInt(argc, argv, "reps", 2));
   const bool full = bench::FlagInt(argc, argv, "full", 1) != 0;
   bench::JsonSink sink(argc, argv, "throughput");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("ingest config: alloc=%s (mmap %savailable), probe=%s, "
+              "%u hardware threads\n",
+              AllocModeName(GlobalAllocMode()),
+              MmapAllocSupported() ? "" : "un", FlatMapProbeIsa(), hw);
+  if (sink.enabled()) {
+    sink.BeginRecord("params");
+    sink.Add("rows", rows);
+    sink.Add("reps", static_cast<int64_t>(reps));
+    sink.Add("hardware_concurrency", static_cast<int64_t>(hw));
+    sink.Add("alloc_mode", AllocModeName(GlobalAllocMode()));
+    sink.Add("mmap_supported",
+             static_cast<int64_t>(MmapAllocSupported() ? 1 : 0));
+    sink.Add("probe_isa", FlatMapProbeIsa());
+    sink.Add("compiler", __VERSION__);
+  }
 
   std::printf("generating streams (%lld rows each)...\n",
               static_cast<long long>(rows));
@@ -274,6 +337,11 @@ int main(int argc, char** argv) {
         ZipfCounts(static_cast<size_t>(rows) / 2, 1.05, 1000000), rows);
     Rng rng(1);
     workloads.push_back({"zipf", PermutedStream(counts, rng)});
+  }
+  if (smoke) {
+    const int failures = SmokeCheck(workloads[0]);
+    sink.Flush();
+    return failures == 0 ? 0 : 1;
   }
   {
     auto counts = ScaleCountsToTotal(

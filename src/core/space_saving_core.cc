@@ -19,12 +19,12 @@ SpaceSavingCore::SpaceSavingCore(size_t capacity, LabelPolicy policy,
       ranges_(64),
       rng_(seed) {
   DSKETCH_CHECK(capacity > 0);
-  DSKETCH_CHECK(capacity < (1ULL << 32));
-  slots_.resize(capacity);
-  for (auto& s : slots_) {
-    s.item = kNoLabel;
-    s.count = 0;
-  }
+  // Slot positions are uint32; index table positions (2x the bin count,
+  // rounded up to a power of two) must fit uint32 as well for the
+  // slot -> index backpointers. 2^30 bins is already a ~48 GiB sketch.
+  DSKETCH_CHECK(capacity <= (1ULL << 30));
+  slots_.assign(capacity, Slot{kNoLabel, 0});
+  index_pos_.assign(capacity, kNoIndex);
   ranges_.InsertOrAssign(0, Range{0, static_cast<uint32_t>(capacity)});
   min_range_end_ = static_cast<uint32_t>(capacity);
 }
@@ -32,8 +32,19 @@ SpaceSavingCore::SpaceSavingCore(size_t capacity, LabelPolicy policy,
 void SpaceSavingCore::SwapSlots(uint32_t a, uint32_t b) {
   if (a == b) return;
   std::swap(slots_[a], slots_[b]);
-  if (slots_[a].item != kNoLabel) index_.InsertOrAssign(slots_[a].item, a);
-  if (slots_[b].item != kNoLabel) index_.InsertOrAssign(slots_[b].item, b);
+  std::swap(index_pos_[a], index_pos_[b]);
+  // The backpointers name each label's index table slot, so the two
+  // item -> position mappings are fixed with one direct store apiece —
+  // no Mix, no probe walk (the old InsertOrAssign pair re-probed both
+  // labels' chains on every bin swap, i.e. twice per stream row).
+  if (slots_[a].item != kNoLabel) {
+    DSKETCH_DCHECK(index_.KeyAtPos(index_pos_[a]) == slots_[a].item);
+    index_.AssignAtPos(index_pos_[a], a);
+  }
+  if (slots_[b].item != kNoLabel) {
+    DSKETCH_DCHECK(index_.KeyAtPos(index_pos_[b]) == slots_[b].item);
+    index_.AssignAtPos(index_pos_[b], b);
+  }
 }
 
 uint32_t SpaceSavingCore::IncrementSlot(uint32_t i) {
@@ -266,9 +277,23 @@ bool SpaceSavingCore::ApplyUntracked(uint64_t item, uint64_t hash) {
     replace = rng_.NextBernoulli(1.0 / (static_cast<double>(min_count) + 1.0));
   }
   if (replace) {
-    if (slots_[k].item != kNoLabel) index_.Erase(slots_[k].item);
+    if (slots_[k].item != kNoLabel) {
+      // The victim's index entry is erased at its known table position:
+      // no re-Mix, no probe walk to find it again. Backward-shift
+      // relocations of neighboring entries are reported through the
+      // hook, which repairs their bins' backpointers in O(1) each.
+      DSKETCH_DCHECK(index_.KeyAtPos(index_pos_[k]) == slots_[k].item);
+      index_.EraseAtPos(index_pos_[k], [this](uint32_t bin, size_t pos) {
+        index_pos_[bin] = static_cast<uint32_t>(pos);
+      });
+      index_pos_[k] = kNoIndex;
+    }
     slots_[k].item = item;
-    index_.InsertOrAssignHashed(item, hash, k);
+    index_pos_[k] = static_cast<uint32_t>(
+        index_.InsertOrAssignPosHashed(item, hash, k));
+    // index_ was pre-sized for capacity() keys, so the insert above can
+    // never trigger a rehash that would silently move stored positions.
+    DSKETCH_DCHECK(index_.TableSize() >= 2 * slots_.size());
   }
   IncrementSlot(k);
   return replace;
@@ -306,13 +331,17 @@ void SpaceSavingCore::LoadEntries(const std::vector<SketchEntry>& entries) {
   for (size_t i = 0; i < pad; ++i) {
     slots_[i].item = kNoLabel;
     slots_[i].count = 0;
+    index_pos_[i] = kNoIndex;
   }
   for (size_t i = 0; i < sorted.size(); ++i) {
     DSKETCH_CHECK(sorted[i].count >= 0);
     slots_[pad + i].item = sorted[i].item;
     slots_[pad + i].count = sorted[i].count;
     total_ += sorted[i].count;
-    index_.InsertOrAssign(sorted[i].item, static_cast<uint32_t>(pad + i));
+    index_pos_[pad + i] =
+        static_cast<uint32_t>(index_.InsertOrAssignPosHashed(
+            sorted[i].item, FlatMap<uint32_t>::MixedHash(sorted[i].item),
+            static_cast<uint32_t>(pad + i)));
   }
 
   // Rebuild the count -> range map over the now-sorted slot array.

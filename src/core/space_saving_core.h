@@ -27,6 +27,7 @@
 
 #include "core/sketch_entry.h"
 #include "util/flat_map.h"
+#include "util/mmap_array.h"
 #include "util/random.h"
 #include "util/span.h"
 
@@ -105,6 +106,7 @@ class SpaceSavingCore {
   };
 
   static constexpr uint64_t kNoLabel = ~0ULL - 1;
+  static constexpr uint32_t kNoIndex = ~0u;  // bin holds no label
 
   // UpdateBatch body for large sketches: overlaps the hash-table and slot
   // misses of nearby rows via lookahead lookups and prefetch.
@@ -127,8 +129,17 @@ class SpaceSavingCore {
 
   LabelPolicy policy_;
   TieBreak tie_break_;
-  std::vector<Slot> slots_;       // ascending by count
+  MmapArray<Slot> slots_;         // ascending by count; huge-page backed
   FlatMap<uint32_t> index_;       // item -> slot position
+  // Backpointer per bin: the index_ table position holding that bin's
+  // label (kNoIndex for unlabeled bins). Lets the constant bin swaps of
+  // IncrementSlot update the index with one direct store each instead of
+  // a probe walk per swap partner, and lets ApplyUntracked erase the
+  // evicted victim's index entry without re-hashing and re-probing it.
+  // index_ is pre-sized for `capacity` keys, so it never rehashes and
+  // positions only move on erases — which report every backward-shift
+  // relocation through EraseAtPos's hook, fixing this array in O(1).
+  MmapArray<uint32_t> index_pos_;
   FlatMap<Range> ranges_;         // count value -> slot range
   // End of the minimum count range (its begin is always 0). Maintained
   // incrementally by IncrementSlot/LoadEntries so the untracked-item path

@@ -29,12 +29,23 @@ namespace internal {
   } while (0)
 
 /// Like DSKETCH_CHECK but compiled out in NDEBUG builds. Use on hot paths.
-#ifdef NDEBUG
+/// -DDSKETCH_FORCE_DCHECK=ON keeps these active even in optimized builds —
+/// the sanitizer CI job uses it so the DCHECK'd contracts (reserved keys,
+/// position validity, BatchGuard) stay enforced under asan+ubsan.
+#if defined(NDEBUG) && !defined(DSKETCH_FORCE_DCHECK)
 #define DSKETCH_DCHECK(cond) \
   do {                       \
   } while (0)
 #else
 #define DSKETCH_DCHECK(cond) DSKETCH_CHECK(cond)
+#endif
+
+/// True when DSKETCH_DCHECK is active (death tests on DCHECK'd contracts
+/// compile only when this is 1).
+#if defined(NDEBUG) && !defined(DSKETCH_FORCE_DCHECK)
+#define DSKETCH_DCHECK_IS_ON 0
+#else
+#define DSKETCH_DCHECK_IS_ON 1
 #endif
 
 #endif  // DSKETCH_UTIL_LOGGING_H_

@@ -1,0 +1,161 @@
+#include "util/mmap_array.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DSKETCH_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define DSKETCH_HAVE_MMAP 0
+#endif
+
+namespace dsketch {
+namespace {
+
+// Below this, auto mode stays on the heap: the table fits in a handful of
+// 4 KiB pages anyway and a syscall per small sketch would be pure loss.
+constexpr size_t kAutoMmapThreshold = 1 << 20;  // 1 MiB
+constexpr size_t kHugePage = 2 << 20;           // x86-64 THP size
+
+AllocMode ModeFromEnv() {
+  const char* env = std::getenv("DSKETCH_ALLOC");
+  if (env == nullptr) return AllocMode::kAuto;
+  if (env[0] == 'm') return AllocMode::kMmap;
+  if (env[0] == 'h') return AllocMode::kHeap;
+  return AllocMode::kAuto;
+}
+
+AllocMode& GlobalModeRef() {
+  static AllocMode mode = ModeFromEnv();
+  return mode;
+}
+
+internal::RawAlloc HeapAlloc(size_t bytes) {
+  internal::RawAlloc a;
+  // Cache-line alignment so SIMD group probes never split a slot group
+  // across lines and unaligned 64-byte groups stay one-line loads.
+  a.block = ::operator new(bytes, std::align_val_t(64));
+  a.data = a.block;
+  return a;
+}
+
+#if DSKETCH_HAVE_MMAP
+size_t RoundUp(size_t n, size_t unit) { return (n + unit - 1) / unit * unit; }
+
+// Maps `bytes` anonymous read-write pages, prefaulted where the kernel
+// supports it. For huge-page candidates the range is reserved oversized
+// and trimmed so the usable start is 2 MiB-aligned — MADV_HUGEPAGE only
+// helps when the advised range actually covers aligned 2 MiB extents.
+bool MmapAlloc(size_t bytes, bool populate, internal::RawAlloc* out) {
+  int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+#if defined(MAP_POPULATE)
+  if (populate) flags |= MAP_POPULATE;
+#endif
+  const bool want_huge = bytes >= kHugePage;
+  if (!want_huge) {
+    void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, flags, -1, 0);
+    if (p == MAP_FAILED) return false;
+    out->block = p;
+    out->data = p;
+    out->block_bytes = bytes;
+    out->mmapped = true;
+    return true;
+  }
+
+  const size_t len = RoundUp(bytes, kHugePage);
+  // Reserve len + one huge page without populating, then place the real
+  // populated mapping at the first aligned address inside it.
+  void* reserve = mmap(nullptr, len + kHugePage, PROT_NONE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (reserve == MAP_FAILED) return false;
+  uintptr_t base = reinterpret_cast<uintptr_t>(reserve);
+  uintptr_t aligned = RoundUp(base, kHugePage);
+  const size_t head = aligned - base;
+  const size_t tail = (base + len + kHugePage) - (aligned + len);
+  if (head > 0) munmap(reserve, head);
+  if (tail > 0) munmap(reinterpret_cast<void*>(aligned + len), tail);
+  // No MAP_POPULATE here: prefaulting before MADV_HUGEPAGE would pin the
+  // range to 4 KiB pages (the advice only steers *future* faults; the
+  // kernel will not synchronously collapse an already-populated range).
+  // Advise first, then populate, so the faults allocate 2 MiB pages.
+  void* p = mmap(reinterpret_cast<void*>(aligned), len, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  if (p == MAP_FAILED) {
+    munmap(reinterpret_cast<void*>(aligned), len);
+    return false;
+  }
+#if defined(MADV_HUGEPAGE)
+  out->huge = madvise(p, len, MADV_HUGEPAGE) == 0;
+#endif
+#if defined(MADV_POPULATE_WRITE)
+  // Linux 5.14+: prefault the whole range in one syscall, honoring the
+  // huge-page advice just given. Best effort — on older kernels the
+  // first touches fault the pages in (also post-advice).
+  if (populate) madvise(p, len, MADV_POPULATE_WRITE);
+#endif
+  out->block = p;
+  out->data = p;
+  out->block_bytes = len;
+  out->mmapped = true;
+  return true;
+}
+#endif  // DSKETCH_HAVE_MMAP
+
+}  // namespace
+
+AllocMode GlobalAllocMode() { return GlobalModeRef(); }
+
+void SetGlobalAllocMode(AllocMode mode) { GlobalModeRef() = mode; }
+
+const char* AllocModeName(AllocMode mode) {
+  switch (mode) {
+    case AllocMode::kAuto:
+      return "auto";
+    case AllocMode::kMmap:
+      return "mmap";
+    case AllocMode::kHeap:
+      return "heap";
+  }
+  return "unknown";
+}
+
+bool MmapAllocSupported() { return DSKETCH_HAVE_MMAP != 0; }
+
+namespace internal {
+
+RawAlloc AllocRaw(size_t bytes, AllocMode mode, bool populate) {
+  if (bytes == 0) bytes = 1;
+#if DSKETCH_HAVE_MMAP
+  const bool try_mmap =
+      mode == AllocMode::kMmap ||
+      (mode == AllocMode::kAuto && bytes >= kAutoMmapThreshold);
+  if (try_mmap) {
+    RawAlloc a;
+    const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    if (MmapAlloc(RoundUp(bytes, page), populate, &a)) return a;
+    // Fall through: address space exhaustion or a sandbox that denies
+    // anonymous mappings must not take the sketch down with it.
+  }
+#else
+  (void)mode;
+  (void)populate;
+#endif
+  return HeapAlloc(bytes);
+}
+
+void FreeRaw(const RawAlloc& a) {
+  if (a.block == nullptr) return;
+#if DSKETCH_HAVE_MMAP
+  if (a.mmapped) {
+    munmap(a.block, a.block_bytes);
+    return;
+  }
+#endif
+  ::operator delete(a.block, std::align_val_t(64));
+}
+
+}  // namespace internal
+}  // namespace dsketch

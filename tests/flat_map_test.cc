@@ -1,0 +1,354 @@
+// Dedicated FlatMap coverage for the ingest hot path: backward-shift
+// deletion under clustered keys, rehash under load, the reserved-key
+// contract, group-probe (AVX2/SSE2) vs scalar-walk equivalence, the
+// MmapArray backing and its heap fallback, and the FindBatch /
+// position-validity (generation) contract. CI runs this suite under
+// AddressSanitizer on every push, so any probe that reads past the slot
+// table or any stale-pointer use in the tests themselves is caught.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_map.h"
+#include "util/mmap_array.h"
+#include "util/random.h"
+
+namespace dsketch {
+namespace {
+
+// Restores the process-wide allocator mode on scope exit so tests that
+// force heap/mmap backing cannot leak state into later suites.
+class ScopedAllocMode {
+ public:
+  explicit ScopedAllocMode(AllocMode mode) : saved_(GlobalAllocMode()) {
+    SetGlobalAllocMode(mode);
+  }
+  ~ScopedAllocMode() { SetGlobalAllocMode(saved_); }
+
+ private:
+  AllocMode saved_;
+};
+
+// Keys whose home slots all land inside [0, width) of a map with
+// `table_size` slots — the adversarial input for probe clustering and
+// backward-shift deletion.
+std::vector<uint64_t> ClusteredKeys(size_t count, size_t table_size,
+                                    size_t width, uint64_t seed) {
+  std::vector<uint64_t> keys;
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  while (keys.size() < count) {
+    uint64_t k = rng.NextU64();
+    if (k == FlatMap<uint32_t>::kEmpty) continue;
+    if ((FlatMap<uint32_t>::MixedHash(k) & (table_size - 1)) >= width) {
+      continue;
+    }
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(FlatMapDeletionTest, BackwardShiftKeepsClusterReachable) {
+  // All keys hash into a narrow window of a 64-slot table, forming one
+  // long collision cluster; every erase order must leave the survivors
+  // reachable (backward-shift deletion has no tombstones to hide bugs).
+  FlatMap<uint32_t> map(32);  // pre-sized: 64 slots, no rehash below 33 keys
+  ASSERT_EQ(map.TableSize(), 64u);
+  std::vector<uint64_t> keys = ClusteredKeys(24, map.TableSize(), 4, 101);
+  for (uint32_t i = 0; i < keys.size(); ++i) map.InsertOrAssign(keys[i], i);
+
+  // Erase from the middle outward (worst case for shift correctness).
+  std::vector<size_t> order = {12, 11, 13, 0, 23, 5, 18, 7};
+  std::unordered_set<uint64_t> erased;
+  for (size_t idx : order) {
+    EXPECT_TRUE(map.Erase(keys[idx]));
+    erased.insert(keys[idx]);
+    for (uint32_t i = 0; i < keys.size(); ++i) {
+      const uint32_t* v = map.Find(keys[i]);
+      if (erased.count(keys[i])) {
+        EXPECT_EQ(v, nullptr);
+      } else {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, i);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), keys.size() - order.size());
+}
+
+TEST(FlatMapDeletionTest, RandomChurnMatchesReferenceMap) {
+  FlatMap<uint32_t> map(64);
+  std::unordered_map<uint64_t, uint32_t> ref;
+  Rng rng(7);
+  // Small key universe so inserts, overwrites, and erases all hit often.
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng.NextU64() % 97;
+    if (rng.NextDouble() < 0.45) {
+      uint32_t value = static_cast<uint32_t>(rng.NextU64());
+      map.InsertOrAssign(key, value);
+      ref[key] = value;
+    } else {
+      EXPECT_EQ(map.Erase(key), ref.erase(key) > 0) << "step " << step;
+    }
+    ASSERT_EQ(map.size(), ref.size()) << "step " << step;
+  }
+  for (const auto& [key, value] : ref) {
+    const uint32_t* v = map.Find(key);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, value);
+  }
+}
+
+TEST(FlatMapRehashTest, GrowsUnderLoadAndKeepsAllEntries) {
+  FlatMap<uint32_t> map(16);
+  const size_t start_table = map.TableSize();
+  const uint64_t gen0 = map.generation();
+  std::unordered_map<uint64_t, uint32_t> ref;
+  Rng rng(13);
+  for (uint32_t i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextU64();
+    if (key == FlatMap<uint32_t>::kEmpty) continue;
+    map.InsertOrAssign(key, i);
+    ref[key] = i;
+  }
+  EXPECT_GT(map.TableSize(), start_table);  // several doublings
+  EXPECT_GT(map.generation(), gen0);
+  EXPECT_EQ(map.size(), ref.size());
+  // Load factor invariant survives every rehash.
+  EXPECT_LE(map.size() * 2, map.TableSize());
+  for (const auto& [key, value] : ref) {
+    const uint32_t* v = map.Find(key);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, value);
+  }
+}
+
+TEST(FlatMapRehashTest, PreSizedMapNeverRehashes) {
+  // The contract SpaceSavingCore's backpointers rely on: a map built
+  // with FlatMap(n) keeps its table (and generation, absent erases)
+  // while at most n keys are present.
+  constexpr size_t kCap = 1000;
+  FlatMap<uint32_t> map(kCap);
+  const size_t table = map.TableSize();
+  for (uint32_t i = 0; i < kCap; ++i) map.InsertOrAssign(i, i);
+  EXPECT_EQ(map.TableSize(), table);
+}
+
+#if DSKETCH_DCHECK_IS_ON
+TEST(FlatMapDeathTest, ReservedKeyInsertIsRejected) {
+  FlatMap<uint32_t> map(16);
+  EXPECT_DEATH(map.InsertOrAssign(FlatMap<uint32_t>::kEmpty, 1),
+               "CHECK failed");
+}
+
+TEST(FlatMapDeathTest, AssignAtFreePositionIsRejected) {
+  FlatMap<uint32_t> map(16);
+  map.InsertOrAssign(5, 1);
+  size_t pos = map.FindPosHashed(5, FlatMap<uint32_t>::MixedHash(5));
+  ASSERT_NE(pos, FlatMap<uint32_t>::kNpos);
+  size_t free_pos = (pos + 1) % map.TableSize();
+  ASSERT_EQ(map.KeyAtPos(free_pos), FlatMap<uint32_t>::kEmpty);
+  EXPECT_DEATH(map.AssignAtPos(free_pos, 2), "CHECK failed");
+}
+
+TEST(FlatMapDeathTest, BatchGuardCatchesStructuralChange) {
+  FlatMap<uint32_t> map(16);
+  map.InsertOrAssign(1, 10);
+  FlatMap<uint32_t>::BatchGuard guard(map);
+  guard.Check();             // no structural change yet: fine
+  map.InsertOrAssign(1, 11); // overwrite: not structural
+  guard.Check();
+  EXPECT_DEATH(
+      {
+        map.InsertOrAssign(2, 20);  // new key: structural
+        guard.Check();
+      },
+      "CHECK failed");
+}
+#endif  // DSKETCH_DCHECK_IS_ON
+
+TEST(FlatMapProbeTest, GroupProbeMatchesScalarWalk) {
+  // Sweep table sizes and load shapes; every lookup through the
+  // dispatched probe (AVX2/SSE2/scalar, whatever this build+machine
+  // uses) must agree with the scalar reference walk — present and
+  // absent keys alike, including after erases reshuffle clusters.
+  Rng rng(29);
+  for (size_t expected : {size_t{4}, size_t{100}, size_t{5000}}) {
+    FlatMap<uint32_t> map(expected);
+    std::vector<uint64_t> present;
+    for (uint32_t i = 0; i < expected; ++i) {
+      uint64_t k = rng.NextU64();
+      if (k == FlatMap<uint32_t>::kEmpty) continue;
+      map.InsertOrAssign(k, i);
+      present.push_back(k);
+    }
+    // Clustered keys stress the group continuation path (the home-slot
+    // shortcut never fires for them past the first).
+    for (uint64_t k : ClusteredKeys(8, map.TableSize(), 2, expected)) {
+      map.InsertOrAssign(k, 77);
+      present.push_back(k);
+    }
+    for (size_t i = 0; i < present.size(); i += 3) map.Erase(present[i]);
+
+    for (uint64_t k : present) {
+      const uint32_t* a = map.Find(k);
+      const uint32_t* b = map.FindScalar(k);
+      EXPECT_EQ(a, b);
+    }
+    for (int i = 0; i < 2000; ++i) {
+      uint64_t k = rng.NextU64();
+      if (k == FlatMap<uint32_t>::kEmpty) continue;
+      EXPECT_EQ(map.Find(k), map.FindScalar(k));
+    }
+  }
+}
+
+TEST(FlatMapProbeTest, ProbeIsaNameIsKnown) {
+  const char* isa = FlatMapProbeIsa();
+  EXPECT_TRUE(std::string(isa) == "avx2" || std::string(isa) == "sse2" ||
+              std::string(isa) == "scalar");
+}
+
+TEST(FlatMapPositionTest, BackpointersSurviveChurn) {
+  // Mirrors SpaceSavingCore's usage: every stored value is also the key
+  // of a side table mapping value -> table position, maintained only
+  // through InsertOrAssignPosHashed's return and EraseAtPos's on_move
+  // hook. After heavy churn every backpointer must still be exact.
+  constexpr uint32_t kValues = 300;
+  FlatMap<uint32_t> map(kValues);  // pre-sized: no rehash, ever
+  std::vector<size_t> pos_of(kValues, FlatMap<uint32_t>::kNpos);
+  std::vector<uint64_t> key_of(kValues, 0);
+  Rng rng(41);
+  for (int step = 0; step < 30000; ++step) {
+    uint32_t v = static_cast<uint32_t>(rng.NextU64() % kValues);
+    if (pos_of[v] == FlatMap<uint32_t>::kNpos) {
+      uint64_t key = rng.NextU64() % 4093;  // collides often
+      if (map.FindPosHashed(key, FlatMap<uint32_t>::MixedHash(key)) !=
+          FlatMap<uint32_t>::kNpos) {
+        continue;  // key already labels another value
+      }
+      pos_of[v] = map.InsertOrAssignPosHashed(
+          key, FlatMap<uint32_t>::MixedHash(key), v);
+      key_of[v] = key;
+    } else {
+      ASSERT_EQ(map.KeyAtPos(pos_of[v]), key_of[v]) << "step " << step;
+      map.EraseAtPos(pos_of[v], [&](uint32_t moved, size_t new_pos) {
+        pos_of[moved] = new_pos;
+      });
+      pos_of[v] = FlatMap<uint32_t>::kNpos;
+    }
+  }
+  for (uint32_t v = 0; v < kValues; ++v) {
+    if (pos_of[v] == FlatMap<uint32_t>::kNpos) continue;
+    ASSERT_EQ(map.KeyAtPos(pos_of[v]), key_of[v]);
+    const uint32_t* found = map.Find(key_of[v]);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, v);
+  }
+}
+
+TEST(FlatMapBatchTest, FindBatchMatchesFindAndRefreshesAfterMutation) {
+  FlatMap<uint32_t> map(256);
+  Rng rng(53);
+  std::vector<uint64_t> keys;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint64_t k = rng.NextU64();
+    if (k == FlatMap<uint32_t>::kEmpty) continue;
+    map.InsertOrAssign(k, i);
+    keys.push_back(k);
+  }
+  keys.push_back(12345);  // absent
+  std::vector<const uint32_t*> out(keys.size());
+
+  FlatMap<uint32_t>::BatchGuard guard(map);
+  map.FindBatch(keys.data(), keys.size(), out.data());
+  guard.Check();  // FindBatch itself is const: results are valid here
+  for (size_t j = 0; j < keys.size(); ++j) {
+    EXPECT_EQ(out[j], map.Find(keys[j]));
+  }
+
+  // The documented hazard: after a structural change the old pointers
+  // must be considered dead (generation says so); re-running the batch
+  // yields pointers that are again exactly Find's.
+  const uint64_t gen_before = map.generation();
+  map.Erase(keys[3]);
+  map.InsertOrAssign(rng.NextU64() % 1000000 + 1000000, 9);
+  EXPECT_NE(map.generation(), gen_before);
+  map.FindBatch(keys.data(), keys.size(), out.data());
+  for (size_t j = 0; j < keys.size(); ++j) {
+    EXPECT_EQ(out[j], map.Find(keys[j]));
+  }
+  EXPECT_EQ(out[3], nullptr);
+}
+
+TEST(FlatMapAllocTest, HeapModeBacksEvenLargeTables) {
+  ScopedAllocMode heap(AllocMode::kHeap);
+  FlatMap<uint32_t> map(1 << 18);  // 4 MiB table: above any mmap threshold
+  EXPECT_FALSE(map.TableBackedByMmap());
+  map.InsertOrAssign(42, 7);
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7u);
+}
+
+TEST(FlatMapAllocTest, MmapModeBacksLargeTablesWhereSupported) {
+  ScopedAllocMode mmapped(AllocMode::kMmap);
+  FlatMap<uint32_t> map(1 << 18);
+  if (MmapAllocSupported()) {
+    EXPECT_TRUE(map.TableBackedByMmap());
+  } else {
+    EXPECT_FALSE(map.TableBackedByMmap());
+  }
+  // Behavior is identical either way.
+  std::unordered_map<uint64_t, uint32_t> ref;
+  Rng rng(61);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    uint64_t k = rng.NextU64();
+    if (k == FlatMap<uint32_t>::kEmpty) continue;
+    map.InsertOrAssign(k, i);
+    ref[k] = i;
+  }
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), value);
+  }
+}
+
+TEST(MmapArrayTest, ValueSemanticsAndBackingReport) {
+  MmapArray<uint64_t> a;
+  EXPECT_TRUE(a.empty());
+  a.assign(100, 5);
+  ASSERT_EQ(a.size(), 100u);
+  for (uint64_t v : a) EXPECT_EQ(v, 5u);
+
+  a.resize(257);  // value-initialized
+  ASSERT_EQ(a.size(), 257u);
+  for (uint64_t v : a) EXPECT_EQ(v, 0u);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = i;
+
+  MmapArray<uint64_t> b = a;  // deep copy
+  ASSERT_EQ(b.size(), a.size());
+  b[0] = 999;
+  EXPECT_EQ(a[0], 0u);
+
+  MmapArray<uint64_t> c = std::move(a);
+  ASSERT_EQ(c.size(), 257u);
+  EXPECT_EQ(c[256], 256u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+
+  // Small blocks stay on the heap in auto mode; forced mmap blocks
+  // report their backing (where the platform has mmap at all).
+  ScopedAllocMode mmapped(AllocMode::kMmap);
+  MmapArray<uint64_t> big(1 << 20);  // 8 MiB: huge-page candidate
+  EXPECT_EQ(big.backed_by_mmap(), MmapAllocSupported());
+  big[0] = 1;
+  big[(1 << 20) - 1] = 2;
+  EXPECT_EQ(big[0] + big[(1 << 20) - 1], 3u);
+}
+
+}  // namespace
+}  // namespace dsketch
