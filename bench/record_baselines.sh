@@ -6,7 +6,9 @@
 # Runs each bench that has a --json sink and stores the results as
 # BENCH_*.json in the repository root (or out_dir):
 #   BENCH_throughput.json  — row-vs-batch / batch-size / shard sweeps
-#   BENCH_wire.json        — wire v1 vs v2 size + encode/decode throughput
+#   BENCH_wire.json        — wire v1 vs v2 size + encode/decode throughput,
+#                            plus frozen-image size / freeze throughput /
+#                            restore-to-first-answer vs v2 decode
 #   BENCH_fig10_epoch.json — per-epoch %RRMSE: USS/DSS, decayed, window,
 #                            plus the §6.3 bursty / all-distinct patterns
 #   BENCH_service.json     — framed ingest + query round-trip throughput

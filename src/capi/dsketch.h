@@ -1,0 +1,103 @@
+/* dsketch C ABI over the frozen sketch image (wire/frozen.h, wire kind
+ * 8) — the stable seam for foreign-language bindings and embedders that
+ * cannot link C++.
+ *
+ * The surface is deliberately stateless (the hipermap shape): freeze
+ * compiles entries into a caller-owned flat buffer, and every query
+ * takes the raw image bytes — typically an mmap'd file — re-vets them in
+ * O(1), and answers without allocating. There are no handles to create
+ * or destroy; the image IS the data structure.
+ *
+ *   // writer: freeze entries into your own storage
+ *   size_t n = ...;                      // entries, canonical order
+ *   size_t bytes = dsketch_freeze_size(n);
+ *   void* image = malloc(bytes);
+ *   if (dsketch_freeze(entries, n, capacity, min_count, total_count,
+ *                      image, bytes) == 0) { ... error ... }
+ *
+ *   // reader: answer straight off the (mmap'd) image
+ *   if (!dsketch_frozen_valid(image, bytes)) { ... reject ... }
+ *   int64_t c = dsketch_frozen_estimate(image, bytes, item);
+ *
+ * Entries must be sorted canonically — count descending, ties by
+ * ascending item — with positive counts and distinct items; that order
+ * is what makes answers off the image bit-identical to the thawed C++
+ * sketch. Hostile images are safe to query once dsketch_frozen_valid
+ * accepts them: every accessor is bounds-checked against the vetted
+ * structure, so corrupt content yields wrong answers, never a crash or
+ * an out-of-bounds read.
+ */
+
+#ifndef DSKETCH_CAPI_DSKETCH_H_
+#define DSKETCH_CAPI_DSKETCH_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* One frozen entry record: layout-identical to the image's 16-byte
+ * entry section records (and to the C++ wire::FrozenEntry). */
+typedef struct dsketch_frozen_entry {
+  uint64_t item;
+  int64_t count;
+} dsketch_frozen_entry;
+
+/* Result of an unbiased subset-sum query (paper eq. 5 variance). */
+typedef struct dsketch_frozen_sum {
+  double estimate;
+  double variance;
+  uint64_t items_in_sample;
+} dsketch_frozen_sum;
+
+/* Image bytes needed to freeze `entry_count` entries. */
+size_t dsketch_freeze_size(size_t entry_count);
+
+/* Writes a frozen image into `out` (at least `out_bytes` long). Returns
+ * the bytes written — dsketch_freeze_size(entry_count) — or 0 on any
+ * invalid argument: buffer too small, capacity outside
+ * [max(1, entry_count), 2^22], negative min/total count, entries out of
+ * canonical order, non-positive counts, or duplicate items. Writes
+ * nothing on failure; never aborts. */
+size_t dsketch_freeze(const dsketch_frozen_entry* entries,
+                      size_t entry_count, uint64_t capacity,
+                      int64_t min_count, int64_t total_count, void* out,
+                      size_t out_bytes);
+
+/* 1 when `image` is a structurally valid frozen image of exactly
+ * `bytes` bytes (the O(1) vet every query repeats), else 0. */
+int dsketch_frozen_valid(const void* image, size_t bytes);
+
+/* Occupied entries in the image, or 0 if the image fails vetting. */
+uint64_t dsketch_frozen_entry_count(const void* image, size_t bytes);
+
+/* TotalCount() of the frozen sketch, or 0 if the image fails vetting. */
+int64_t dsketch_frozen_total_count(const void* image, size_t bytes);
+
+/* Point estimate for `item` via the image's hash index: the tracked
+ * count, or 0 when untracked / the image fails vetting. */
+int64_t dsketch_frozen_estimate(const void* image, size_t bytes,
+                                uint64_t item);
+
+/* Unbiased subset-sum over an explicit item set (`items`, `n_items`
+ * labels): fills `*out` and returns 1, or returns 0 (zeroing `*out`)
+ * when the image fails vetting or out is NULL. Accumulation follows the
+ * image's entry order, so results are bit-identical to the C++ engine's
+ * answer for the same set. */
+int dsketch_frozen_query_sum(const void* image, size_t bytes,
+                             const uint64_t* items, size_t n_items,
+                             dsketch_frozen_sum* out);
+
+/* Top-k entries (count descending — the image's native order) copied
+ * into `out` (room for `k` records). Returns the number written:
+ * min(k, entry_count), or 0 when the image fails vetting. */
+size_t dsketch_frozen_query_topk(const void* image, size_t bytes, size_t k,
+                                 dsketch_frozen_entry* out);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DSKETCH_CAPI_DSKETCH_H_ */

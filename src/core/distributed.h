@@ -22,8 +22,8 @@
 namespace dsketch {
 
 /// Reducer over serialized mapper sketches: deserializes every blob
-/// (accepting any mix of wire versions — v1 from old writers, v2 from
-/// new ones, as during a rolling upgrade) and combines them with the
+/// (accepting any mix of wire formats — v1 from old writers, v2 from
+/// new ones, frozen images from read replicas) and combines them with the
 /// unbiased merge into `capacity` bins. Returns nullopt if any blob is
 /// malformed or not an Unbiased Space Saving sketch.
 std::optional<UnbiasedSpaceSaving> CombineSerialized(

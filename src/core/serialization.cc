@@ -8,13 +8,26 @@
 
 #include "core/serialization.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "wire/frozen.h"
 #include "wire/varint.h"
+
+// The frozen codec lives below core (wire cannot include core), so it
+// speaks its own entry POD; the bridge here is a cast, which these
+// asserts keep honest. The capacity cap is likewise duplicated on both
+// sides of the seam.
+static_assert(sizeof(dsketch::wire::FrozenEntry) ==
+                  sizeof(dsketch::SketchEntry),
+              "frozen/core entry layouts must match");
+static_assert(dsketch::wire::kFrozenMaxCapacity ==
+                  dsketch::kMaxSerializableCapacity,
+              "frozen capacity cap must match the core serialization cap");
 
 namespace dsketch {
 namespace {
@@ -606,6 +619,71 @@ std::string Serialize(const UnbiasedSpaceSaving& sketch) {
   return EncodeIntegerV2(SketchKind::kUnbiased, sketch);
 }
 
+std::string SerializeFrozen(const UnbiasedSpaceSaving& sketch) {
+  // Entries() is count-descending but breaks count ties in slot order;
+  // the image requires the canonical order (ties ascending item) so that
+  // thaw -> Entries() round-trips to the exact image order.
+  std::vector<SketchEntry> entries = sketch.Entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.item < b.item);
+            });
+  std::vector<wire::FrozenEntry> frozen;
+  frozen.reserve(entries.size());
+  for (const SketchEntry& e : entries) frozen.push_back({e.item, e.count});
+  std::string out;
+  out.resize(wire::FrozenImageBytes(frozen.size()));
+  const size_t written = wire::FreezeInto(
+      frozen.data(), frozen.size(), sketch.capacity(), sketch.MinCount(),
+      sketch.TotalCount(), &out[0], out.size());
+  // Same loud-failure contract as the other encoders: a sketch within
+  // the caps always freezes (FreezeInto only rejects malformed input).
+  DSKETCH_CHECK(written == out.size());
+  return out;
+}
+
+std::optional<UnbiasedSpaceSaving> ThawFrozen(std::string_view bytes,
+                                              uint64_t seed) {
+  std::optional<wire::FrozenView> view = wire::FrozenView::Vet(bytes);
+  if (!view.has_value()) return std::nullopt;
+  // Deep content validation — the O(n) work Vet deliberately skips:
+  // counts positive in canonical order (count descending, ties ascending
+  // item), header metadata consistent with the entries. Duplicate labels
+  // and total-count overflow are rejected by LoadIntegerEntries below.
+  const size_t n = static_cast<size_t>(view->entry_count());
+  std::vector<SketchEntry> entries;
+  entries.reserve(n);
+  int64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const wire::FrozenEntry e = view->entry(i);
+    if (e.count <= 0) return std::nullopt;
+    if (i > 0 && !(entries[i - 1].count > e.count ||
+                   (entries[i - 1].count == e.count &&
+                    entries[i - 1].item < e.item))) {
+      return std::nullopt;
+    }
+    if (e.count > INT64_MAX - sum) return std::nullopt;
+    sum += e.count;
+    entries.push_back({e.item, e.count});
+  }
+  // min_count/total_count are served straight off the image by the
+  // zero-decode path, so a valid image must agree with what the thawed
+  // sketch would report — otherwise frozen and thawed answers diverge.
+  if (view->total_count() != sum) return std::nullopt;
+  const int64_t expected_min =
+      (n == view->capacity() && n > 0) ? entries.back().count : 0;
+  if (view->min_count() != expected_min) return std::nullopt;
+  // The hash index must agree with the entry section: zero-decode point
+  // lookups are served through it, so a lying index would make a replica
+  // answer differently from the thawed sketch while still "validating".
+  for (const SketchEntry& e : entries) {
+    if (view->EstimateCount(e.item) != e.count) return std::nullopt;
+  }
+  return LoadIntegerEntries<UnbiasedSpaceSaving>(view->capacity(),
+                                                 std::move(entries), seed);
+}
+
 std::string Serialize(const DeterministicSpaceSaving& sketch) {
   return EncodeIntegerV2(SketchKind::kDeterministic, sketch);
 }
@@ -764,6 +842,16 @@ std::string SerializeV1(const CountMin& sketch) {
 
 std::optional<UnbiasedSpaceSaving> DeserializeUnbiased(std::string_view bytes,
                                                        uint64_t seed) {
+  // A frozen image is the same logical sketch under a different kind
+  // byte; accepting it here means every unbiased restore path (snapshot
+  // RESTORE, CombineSerialized, PlainSketchSource) takes frozen inputs.
+  {
+    VarintReader reader(bytes);
+    std::optional<wire::Envelope> env = wire::ReadEnvelope(reader);
+    if (env.has_value() && env->kind == wire::kKindFrozenUnbiased) {
+      return ThawFrozen(bytes, seed);
+    }
+  }
   return DecodeInteger<UnbiasedSpaceSaving>(SketchKind::kUnbiased, bytes,
                                             seed);
 }

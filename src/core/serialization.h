@@ -104,10 +104,29 @@ std::string SerializeV1(const MultiMetricSpaceSaving& sketch);
 std::string SerializeV1(const MisraGries& sketch);
 std::string SerializeV1(const CountMin& sketch);
 
+/// Serializes an unbiased sketch as the frozen mmap-able image (wire
+/// kind 8, wire/frozen.h): the bytes ARE the query-ready flat layout, so
+/// a reader restores in O(1) via wire::FrozenView::Vet (zero-decode
+/// replica serving; see query/frozen_source.h) or thaws in O(n) via
+/// DeserializeUnbiased, which accepts frozen blobs alongside v1/v2 —
+/// CombineSerialized and snapshot RESTORE therefore take frozen inputs
+/// unchanged. Entries are written in canonical order (count descending,
+/// ties ascending item), the order a thawed sketch's Entries() reports,
+/// so frozen and thawed answers are bit-identical.
+std::string SerializeFrozen(const UnbiasedSpaceSaving& sketch);
+
+/// O(n) thaw of a frozen image into a live sketch: structural vetting,
+/// then full content validation (canonical entry order, positive counts,
+/// duplicate labels, total/min consistency with the header metadata, and
+/// a hash index that resolves every entry — zero-decode point lookups go
+/// through it). Returns nullopt on anything malformed; never aborts.
+std::optional<UnbiasedSpaceSaving> ThawFrozen(std::string_view bytes,
+                                              uint64_t seed = 1);
+
 /// Reconstructs an Unbiased Space Saving sketch; `seed` re-seeds the
 /// receiving side's randomness (the sample itself is in the entries).
-/// Returns nullopt on malformed or wrong-kind input. Accepts wire v1
-/// and v2.
+/// Returns nullopt on malformed or wrong-kind input. Accepts wire v1,
+/// v2, and the frozen image kind (thawed via ThawFrozen).
 std::optional<UnbiasedSpaceSaving> DeserializeUnbiased(std::string_view bytes,
                                                        uint64_t seed = 1);
 

@@ -321,10 +321,17 @@ void SpaceSavingCore::LoadEntries(const std::vector<SketchEntry>& entries) {
   ranges_.Clear();
   total_ = 0;
 
+  // Ascending by count with a deterministic tie-break (descending item,
+  // so the reverse iteration in Entries() reports count descending, ties
+  // ascending item). This makes restore canonical: a thawed sketch's
+  // Entries() order matches the frozen image's canonical entry order
+  // exactly, which the frozen query path (wire/frozen.h) relies on for
+  // bit-identical answers.
   std::vector<SketchEntry> sorted = entries;
   std::sort(sorted.begin(), sorted.end(),
             [](const SketchEntry& a, const SketchEntry& b) {
-              return a.count < b.count;
+              return a.count < b.count ||
+                     (a.count == b.count && a.item > b.item);
             });
 
   const size_t pad = slots_.size() - sorted.size();

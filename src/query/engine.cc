@@ -10,20 +10,28 @@ namespace dsketch {
 SketchQueryEngine::SketchQueryEngine(const UnbiasedSpaceSaving* sketch,
                                      const AttributeTable* attrs)
     : sketch_(sketch), source_(nullptr), window_source_(nullptr),
-      attrs_(attrs) {
+      frozen_(nullptr), attrs_(attrs) {
   DSKETCH_CHECK(sketch != nullptr && attrs != nullptr);
 }
 
 SketchQueryEngine::SketchQueryEngine(SketchSource* source,
                                      const AttributeTable* attrs)
     : sketch_(nullptr), source_(source), window_source_(nullptr),
-      attrs_(attrs) {
+      frozen_(nullptr), attrs_(attrs) {
   DSKETCH_CHECK(source != nullptr && attrs != nullptr);
 }
 
 SketchQueryEngine::SketchQueryEngine(WindowedSketchSource* source,
                                      const AttributeTable* attrs)
     : sketch_(nullptr), source_(source), window_source_(source),
+      frozen_(nullptr), attrs_(attrs) {
+  DSKETCH_CHECK(source != nullptr && attrs != nullptr);
+}
+
+SketchQueryEngine::SketchQueryEngine(FrozenSketchSource* source,
+                                     const AttributeTable* attrs)
+    : sketch_(nullptr), source_(source), window_source_(nullptr),
+      frozen_(source != nullptr ? &source->frozen() : nullptr),
       attrs_(attrs) {
   DSKETCH_CHECK(source != nullptr && attrs != nullptr);
 }
@@ -47,6 +55,20 @@ bool SketchQueryEngine::RestoreState(std::string_view bytes) {
 }
 
 SubsetSumEstimate SketchQueryEngine::Sum(const Predicate& where) const {
+  if (frozen_ != nullptr) {
+    // Zero-decode: FrozenSubsetSum walks the image in entry order with
+    // the same accumulation EstimateSubsetSum uses over Entries(), so
+    // the answer is bit-identical to the thawed path below.
+    const wire::FrozenSumResult r =
+        wire::FrozenSubsetSum(*frozen_, [&](uint64_t item) {
+          return where.Matches(*attrs_, item);
+        });
+    SubsetSumEstimate est;
+    est.estimate = r.estimate;
+    est.variance = r.variance;
+    est.items_in_sample = r.items_in_sample;
+    return est;
+  }
   return EstimateSubsetSum(QuerySketch(), [&](uint64_t item) {
     return where.Matches(*attrs_, item);
   });
@@ -83,6 +105,39 @@ std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupByImpl(
   return out;
 }
 
+template <typename KeyFn>
+std::unordered_map<uint64_t, SubsetSumEstimate>
+SketchQueryEngine::FrozenGroupByImpl(const Predicate& where,
+                                     KeyFn&& key_of) const {
+  struct Acc {
+    double sum = 0.0;
+    uint64_t items = 0;
+  };
+  std::unordered_map<uint64_t, Acc> acc;
+  const size_t n = static_cast<size_t>(frozen_->entry_count());
+  for (size_t i = 0; i < n; ++i) {
+    const wire::FrozenEntry e = frozen_->entry(i);
+    // Items the table does not describe belong to no group.
+    if (e.item >= attrs_->num_items()) continue;
+    if (!where.Matches(*attrs_, e.item)) continue;
+    Acc& a = acc[key_of(e.item)];
+    a.sum += static_cast<double>(e.count);
+    ++a.items;
+  }
+  double nmin = static_cast<double>(frozen_->min_count());
+  std::unordered_map<uint64_t, SubsetSumEstimate> out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    SubsetSumEstimate est;
+    est.estimate = a.sum;
+    est.items_in_sample = a.items;
+    est.variance =
+        nmin * nmin * static_cast<double>(std::max<uint64_t>(1, a.items));
+    out.emplace(key, est);
+  }
+  return out;
+}
+
 namespace {
 
 // GroupBy1's public key type is the attribute value itself.
@@ -100,16 +155,22 @@ std::unordered_map<uint32_t, SubsetSumEstimate> NarrowKeys(
 
 std::unordered_map<uint32_t, SubsetSumEstimate> SketchQueryEngine::GroupBy1(
     size_t dim, const Predicate& where) const {
-  return NarrowKeys(GroupByImpl(QuerySketch(), where, [&](uint64_t item) {
+  auto key_of = [&](uint64_t item) {
     return static_cast<uint64_t>(attrs_->Get(item, dim));
-  }));
+  };
+  if (frozen_ != nullptr) {
+    return NarrowKeys(FrozenGroupByImpl(where, key_of));
+  }
+  return NarrowKeys(GroupByImpl(QuerySketch(), where, key_of));
 }
 
 std::unordered_map<uint64_t, SubsetSumEstimate> SketchQueryEngine::GroupBy2(
     size_t d1, size_t d2, const Predicate& where) const {
-  return GroupByImpl(QuerySketch(), where, [&](uint64_t item) {
+  auto key_of = [&](uint64_t item) {
     return PackGroupKey(attrs_->Get(item, d1), attrs_->Get(item, d2));
-  });
+  };
+  if (frozen_ != nullptr) return FrozenGroupByImpl(where, key_of);
+  return GroupByImpl(QuerySketch(), where, key_of);
 }
 
 SubsetSumEstimate SketchQueryEngine::SumWindow(size_t last_k,

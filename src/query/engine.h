@@ -21,9 +21,11 @@
 #include "core/unbiased_space_saving.h"
 #include "query/attribute_table.h"
 #include "query/exact_aggregator.h"
+#include "query/frozen_source.h"
 #include "query/predicate.h"
 #include "query/sketch_source.h"
 #include "query/windowed_source.h"
+#include "wire/frozen.h"
 
 namespace dsketch {
 
@@ -48,6 +50,12 @@ class SketchQueryEngine {
   /// merge (the source's View), and the *Window variants below scope to
   /// the newest last_k epochs. Both pointers must outlive the engine.
   SketchQueryEngine(WindowedSketchSource* source, const AttributeTable* attrs);
+
+  /// Engine over a frozen image (read replica): Sum / GroupBy run
+  /// straight off the image — zero decode, answers bit-identical to an
+  /// engine over the thawed sketch. Both pointers must outlive the
+  /// engine.
+  SketchQueryEngine(FrozenSketchSource* source, const AttributeTable* attrs);
 
   /// SELECT sum(1) WHERE `where`.
   SubsetSumEstimate Sum(const Predicate& where) const;
@@ -101,9 +109,19 @@ class SketchQueryEngine {
       const UnbiasedSpaceSaving& sketch, const Predicate& where,
       KeyFn&& key_of) const;
 
+  // GroupByImpl mirrored over the frozen image (same accumulation, same
+  // variance arithmetic, entry-for-entry the same iteration order), so
+  // frozen answers are bit-identical to thawed ones.
+  template <typename KeyFn>
+  std::unordered_map<uint64_t, SubsetSumEstimate> FrozenGroupByImpl(
+      const Predicate& where, KeyFn&& key_of) const;
+
   const UnbiasedSpaceSaving* sketch_;
   SketchSource* source_;
   WindowedSketchSource* window_source_;
+  // Set for the frozen constructor: Sum / GroupBy bypass QuerySketch()
+  // and read the image directly.
+  const wire::FrozenView* frozen_;
   const AttributeTable* attrs_;
 };
 

@@ -125,9 +125,11 @@ std::optional<QueryGroupByResponse> SketchClient::QueryGroupBy2(
   return rsp;
 }
 
-std::optional<std::string> SketchClient::Snapshot(QueryScope scope) {
+std::optional<std::string> SketchClient::Snapshot(QueryScope scope,
+                                                  bool frozen) {
   SnapshotRequest req;
   req.scope = scope;
+  req.frozen = frozen;
   const uint64_t id = next_request_id_++;
   std::optional<std::string> body =
       RoundTrip(Opcode::kSnapshot, id, EncodeSnapshotRequest(id, req));

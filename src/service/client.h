@@ -75,8 +75,12 @@ class SketchClient {
       const PredicateSpec& where = PredicateSpec());
 
   /// Serialized snapshot of the server's state — the replication payload
-  /// a peer's Restore absorbs.
-  std::optional<std::string> Snapshot(QueryScope scope = QueryScope::kCounts);
+  /// a peer's Restore absorbs. `frozen` (counts scope only) negotiates
+  /// the frozen mmap-able image (wire/frozen.h) instead of the v2 stream
+  /// encoding: the returned bytes can be written to disk and served by a
+  /// read replica (`dsketchd --replica`) with O(1) restore.
+  std::optional<std::string> Snapshot(QueryScope scope = QueryScope::kCounts,
+                                      bool frozen = false);
 
   /// Feeds a peer snapshot into the server's state; true on success.
   bool Restore(std::string_view blob, QueryScope scope = QueryScope::kCounts);

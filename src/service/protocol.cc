@@ -133,7 +133,9 @@ std::string EncodeSnapshotRequest(uint64_t request_id,
   std::string out;
   wire::VarintWriter w(out);
   PutRequestHeader(w, Opcode::kSnapshot, request_id);
-  w.PutByte(static_cast<uint8_t>(msg.scope));
+  w.PutByte(static_cast<uint8_t>(
+      static_cast<uint8_t>(msg.scope) |
+      (msg.frozen ? kSnapshotFrozenFlag : 0)));
   return out;
 }
 
@@ -265,6 +267,10 @@ std::string EncodeStatsResponse(uint64_t request_id,
   w.PutVarint(msg.window_epoch);
   w.PutVarintSigned(msg.total_count);
   w.PutDouble(msg.total_weight);
+  w.PutByte(static_cast<uint8_t>(msg.last_snapshot_format));
+  w.PutVarint(msg.last_snapshot_bytes);
+  w.PutByte(static_cast<uint8_t>(msg.last_restore_format));
+  w.PutVarint(msg.last_restore_bytes);
   return out;
 }
 
@@ -370,7 +376,14 @@ bool DecodeQueryGroupByRequest(wire::VarintReader& reader,
 }
 
 bool DecodeSnapshotRequest(wire::VarintReader& reader, SnapshotRequest* out) {
-  if (!ReadScope(reader, &out->scope)) return false;
+  // The frozen flag rides the high bit of the scope byte, so mask it off
+  // before validating the scope proper (ReadScope would reject it).
+  uint8_t raw;
+  if (!reader.ReadByte(&raw)) return false;
+  out->frozen = (raw & kSnapshotFrozenFlag) != 0;
+  const uint8_t scope = raw & static_cast<uint8_t>(~kSnapshotFrozenFlag);
+  if (scope > static_cast<uint8_t>(QueryScope::kWindow)) return false;
+  out->scope = static_cast<QueryScope>(scope);
   return reader.AtEnd();
 }
 
@@ -478,6 +491,20 @@ bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out) {
   if (!reader.ReadVarint(&out->window_epoch)) return false;
   if (!reader.ReadVarintSigned(&out->total_count)) return false;
   if (!reader.ReadDouble(&out->total_weight)) return false;
+  uint8_t snapshot_format;
+  uint8_t restore_format;
+  if (!reader.ReadByte(&snapshot_format)) return false;
+  if (snapshot_format > static_cast<uint8_t>(SnapshotFormat::kFrozen)) {
+    return false;
+  }
+  out->last_snapshot_format = static_cast<SnapshotFormat>(snapshot_format);
+  if (!reader.ReadVarint(&out->last_snapshot_bytes)) return false;
+  if (!reader.ReadByte(&restore_format)) return false;
+  if (restore_format > static_cast<uint8_t>(SnapshotFormat::kFrozen)) {
+    return false;
+  }
+  out->last_restore_format = static_cast<SnapshotFormat>(restore_format);
+  if (!reader.ReadVarint(&out->last_restore_bytes)) return false;
   return reader.AtEnd();
 }
 

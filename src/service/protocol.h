@@ -3,8 +3,8 @@
 // Each frame payload (service/frame.h) is one message, encoded with the
 // wire varint primitives (wire/varint.h):
 //
-//   request  = [u8 proto_version = 1][u8 opcode][varint request_id][body]
-//   response = [u8 proto_version = 1][u8 opcode][varint request_id]
+//   request  = [u8 proto_version][u8 opcode][varint request_id][body]
+//   response = [u8 proto_version][u8 opcode][varint request_id]
 //              [u8 status][body iff status == kOk]
 //
 // The opcode and request id are echoed in the response so clients can
@@ -29,8 +29,11 @@
 //   QUERY_GROUPBY req: [varint dim1][u8 has_dim2][varint dim2][predicate]
 //                 rsp: [varint n] then per group [varint key][f64 estimate]
 //                      [f64 variance][varint items_in_sample]
-//   SNAPSHOT      req: [u8 scope]
+//   SNAPSHOT      req: [u8 scope | kSnapshotFrozenFlag (0x80)]
 //                 rsp: [varint n_bytes][sketch wire blob]
+//                 The high bit of the scope byte asks for the frozen
+//                 mmap-able image (wire/frozen.h) instead of the v2
+//                 stream encoding; only valid with the counts scope.
 //   RESTORE       req: [u8 scope][varint n_bytes][sketch wire blob]
 //                 rsp: [varint num_absorbed]
 //   STATS         req: (empty)
@@ -75,8 +78,15 @@ namespace dsketch {
 /// clients by failing the call). Version 2 added the window scope and,
 /// with it, an unconditional STATS body change (windowed_rows_ingested /
 /// window_epoch travel mid-body), so mixed-version fleets refuse each
-/// other explicitly instead of misparsing counters.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// other explicitly instead of misparsing counters. Version 3 added the
+/// frozen-format SNAPSHOT flag and another unconditional STATS body
+/// change (the last_snapshot_* / last_restore_* counters).
+inline constexpr uint8_t kProtocolVersion = 3;
+
+/// High bit of the SNAPSHOT request scope byte: the client wants the
+/// frozen mmap-able image (wire kind 8) instead of the v2 stream
+/// encoding. Counts scope only; the low 7 bits stay the QueryScope.
+inline constexpr uint8_t kSnapshotFrozenFlag = 0x80;
 
 /// Request opcodes (part of the wire contract; values are stable).
 enum class Opcode : uint8_t {
@@ -198,6 +208,7 @@ struct QueryGroupByResponse {
 
 struct SnapshotRequest {
   QueryScope scope = QueryScope::kCounts;
+  bool frozen = false;  ///< counts scope: return the frozen image
 };
 struct SnapshotResponse {
   std::string blob;  ///< sketch wire bytes (core/serialization.h)
@@ -209,6 +220,13 @@ struct RestoreRequest {
 };
 struct RestoreResponse {
   uint64_t num_absorbed = 0;  ///< snapshots absorbed so far (this scope)
+};
+
+/// Snapshot/restore blob format codes reported in STATS.
+enum class SnapshotFormat : uint8_t {
+  kNone = 0,    ///< no snapshot/restore served yet
+  kStream = 1,  ///< v1/v2 stream encoding (core/serialization.h)
+  kFrozen = 2,  ///< frozen mmap-able image (wire/frozen.h)
 };
 
 struct StatsResponse {
@@ -224,6 +242,13 @@ struct StatsResponse {
   uint64_t window_epoch = 0;     ///< open epoch of the windowed ring
   int64_t total_count = 0;       ///< TotalCount() of the counts view
   double total_weight = 0.0;     ///< TotalWeight() of the weighted view
+  /// Format and blob size of the most recent SNAPSHOT served / RESTORE
+  /// absorbed (kNone / 0 until one happens) — operators watching a
+  /// replica fleet see which nodes already hand out frozen images.
+  SnapshotFormat last_snapshot_format = SnapshotFormat::kNone;
+  uint64_t last_snapshot_bytes = 0;
+  SnapshotFormat last_restore_format = SnapshotFormat::kNone;
+  uint64_t last_restore_bytes = 0;
 };
 
 // --- encoders (request side) -----------------------------------------

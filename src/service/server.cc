@@ -10,6 +10,8 @@
 #include "service/frame.h"
 #include "util/logging.h"
 #include "util/span.h"
+#include "wire/codec.h"
+#include "wire/frozen.h"
 
 namespace dsketch {
 
@@ -19,6 +21,16 @@ namespace {
 // from the unit fleet's (all derive from options.shard.seed).
 constexpr uint64_t kWeightedSeedOffset = 7777;
 constexpr uint64_t kWindowSeedOffset = 8888;
+
+// Classifies a restore blob for the STATS counters by its wire envelope
+// (kind 8 = the frozen image; everything else is a stream encoding).
+SnapshotFormat BlobSnapshotFormat(std::string_view blob) {
+  wire::VarintReader reader(blob);
+  std::optional<wire::Envelope> env = wire::ReadEnvelope(reader);
+  return env.has_value() && env->kind == wire::kKindFrozenUnbiased
+             ? SnapshotFormat::kFrozen
+             : SnapshotFormat::kStream;
+}
 
 }  // namespace
 
@@ -50,6 +62,16 @@ SketchServer::SketchServer(const SketchServerOptions& options,
   // Wall-clock epoch scheduling is vetted at startup like the rest of
   // the window configuration (0 = disabled).
   DSKETCH_CHECK(options.epoch_interval_ms >= 0);
+}
+
+SketchServer::SketchServer(const SketchServerOptions& options,
+                           FrozenSketchSource* replica,
+                           const AttributeTable* attrs)
+    : SketchServer(options, attrs) {
+  DSKETCH_CHECK(replica != nullptr);
+  replica_ = replica;
+  replica_engine_ = std::make_unique<SketchQueryEngine>(
+      replica, attrs != nullptr ? attrs : &kEmptyAttrs);
 }
 
 // Engine construction requires a non-null table; queries that actually
@@ -163,6 +185,12 @@ std::string SketchServer::HandleIngestBatch(const RequestHeader& header,
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kMalformed);
   }
+  if (replica_ != nullptr) {
+    // Replicas are read-only; rows belong on a writer node.
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
   if (req.windowed) {
     std::vector<EpochRow> rows;
     rows.reserve(req.items.size());
@@ -204,10 +232,17 @@ std::string SketchServer::HandleQuerySum(const RequestHeader& header,
     ++counters_.errors;
     return EncodeErrorResponse(header.opcode, header.request_id, status);
   }
+  if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
+    // The image holds only the counts sketch.
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
   ++counters_.queries;
   QuerySumResponse rsp;
   if (req.scope == QueryScope::kCounts) {
-    SubsetSumEstimate est = engine_.Sum(pred);
+    SubsetSumEstimate est =
+        replica_ != nullptr ? replica_engine_->Sum(pred) : engine_.Sum(pred);
     rsp.estimate = est.estimate;
     rsp.variance = est.variance;
     rsp.items_in_sample = est.items_in_sample;
@@ -238,12 +273,23 @@ std::string SketchServer::HandleQueryTopK(const RequestHeader& header,
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kMalformed);
   }
+  if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
   ++counters_.queries;
   QueryTopKResponse rsp;
   rsp.scope = req.scope;
   if (req.scope == QueryScope::kCounts) {
-    source_.Flush();
-    rsp.counts = TopK(source_.View(), static_cast<size_t>(req.k));
+    if (replica_ != nullptr) {
+      // The image stores entries in descending order: top-k is its
+      // first k records, no decode or sort.
+      rsp.counts = FrozenTopK(replica_->frozen(), static_cast<size_t>(req.k));
+    } else {
+      source_.Flush();
+      rsp.counts = TopK(source_.View(), static_cast<size_t>(req.k));
+    }
   } else if (req.scope == QueryScope::kWindow) {
     // WindowView's merge flushes the fleet whenever the view is dirty.
     rsp.counts = TopK(Window().WindowView(static_cast<size_t>(req.last_k)),
@@ -287,15 +333,16 @@ std::string SketchServer::HandleQueryGroupBy(const RequestHeader& header,
     rsp.groups.push_back(
         {key, est.estimate, est.variance, est.items_in_sample});
   };
+  SketchQueryEngine& engine = replica_ != nullptr ? *replica_engine_ : engine_;
   if (req.has_dim2) {
     for (const auto& [key, est] :
-         engine_.GroupBy2(static_cast<size_t>(req.dim1),
-                          static_cast<size_t>(req.dim2), pred)) {
+         engine.GroupBy2(static_cast<size_t>(req.dim1),
+                         static_cast<size_t>(req.dim2), pred)) {
       add_group(key, est);
     }
   } else {
     for (const auto& [key, est] :
-         engine_.GroupBy1(static_cast<size_t>(req.dim1), pred)) {
+         engine.GroupBy1(static_cast<size_t>(req.dim1), pred)) {
       add_group(key, est);
     }
   }
@@ -313,10 +360,34 @@ std::string SketchServer::HandleSnapshot(const RequestHeader& header,
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kMalformed);
   }
+  // The frozen image carries only the counts sketch; other scopes have
+  // no frozen form.
+  if (req.frozen && req.scope != QueryScope::kCounts) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
+  if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
+  }
   ++counters_.snapshots;
   SnapshotResponse rsp;
-  if (req.scope == QueryScope::kCounts) {
-    rsp.blob = source_.SaveSnapshot();
+  SnapshotFormat format = SnapshotFormat::kStream;
+  if (replica_ != nullptr) {
+    // A replica's state IS a frozen image: re-serve it byte-for-byte
+    // whether or not the client asked for frozen.
+    rsp.blob = replica_->SaveSnapshot();
+    format = SnapshotFormat::kFrozen;
+  } else if (req.scope == QueryScope::kCounts) {
+    if (req.frozen) {
+      source_.Flush();
+      rsp.blob = SerializeFrozen(source_.View());
+      format = SnapshotFormat::kFrozen;
+    } else {
+      rsp.blob = source_.SaveSnapshot();
+    }
   } else if (req.scope == QueryScope::kWindow) {
     rsp.blob = Window().SaveSnapshot();  // the full epoch ring
   } else {
@@ -329,6 +400,8 @@ std::string SketchServer::HandleSnapshot(const RequestHeader& header,
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kTooLarge);
   }
+  counters_.last_snapshot_format = format;
+  counters_.last_snapshot_bytes = rsp.blob.size();
   return EncodeSnapshotResponse(header.request_id, rsp);
 }
 
@@ -339,6 +412,12 @@ std::string SketchServer::HandleRestore(const RequestHeader& header,
     ++counters_.errors;
     return EncodeErrorResponse(header.opcode, header.request_id,
                                Status::kMalformed);
+  }
+  if (replica_ != nullptr) {
+    // Replicas are read-only; nothing restores into a frozen image.
+    ++counters_.errors;
+    return EncodeErrorResponse(header.opcode, header.request_id,
+                               Status::kUnsupported);
   }
   RestoreResponse rsp;
   if (req.scope == QueryScope::kCounts) {
@@ -365,6 +444,8 @@ std::string SketchServer::HandleRestore(const RequestHeader& header,
     rsp.num_absorbed = Weighted().num_absorbed();
   }
   ++counters_.restores;
+  counters_.last_restore_format = BlobSnapshotFormat(req.blob);
+  counters_.last_restore_bytes = req.blob.size();
   return EncodeRestoreResponse(header.request_id, rsp);
 }
 
@@ -381,10 +462,20 @@ StatsResponse SketchServer::Stats() {
   out.restores = counters_.restores;
   out.errors = counters_.errors;
   out.num_shards = source_.sharded().num_shards();
-  source_.Flush();
-  out.total_count = source_.View().TotalCount();
+  if (replica_ != nullptr) {
+    // Replica totals come off the image header; the (empty) writer
+    // fleet underneath never sees a row.
+    out.total_count = replica_->frozen().total_count();
+  } else {
+    source_.Flush();
+    out.total_count = source_.View().TotalCount();
+  }
   out.total_weight =
       weighted_ != nullptr ? WeightedView().TotalWeight() : 0.0;
+  out.last_snapshot_format = counters_.last_snapshot_format;
+  out.last_snapshot_bytes = counters_.last_snapshot_bytes;
+  out.last_restore_format = counters_.last_restore_format;
+  out.last_restore_bytes = counters_.last_restore_bytes;
   return out;
 }
 

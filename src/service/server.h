@@ -32,6 +32,7 @@
 
 #include "query/attribute_table.h"
 #include "query/engine.h"
+#include "query/frozen_source.h"
 #include "query/sketch_source.h"
 #include "query/windowed_source.h"
 #include "service/protocol.h"
@@ -70,6 +71,16 @@ class SketchServer {
   /// answer Status::kUnsupported) and must outlive the server otherwise.
   explicit SketchServer(const SketchServerOptions& options,
                         const AttributeTable* attrs = nullptr);
+
+  /// Read-replica server over a frozen image (`dsketchd --replica`):
+  /// counts-scope queries are answered straight off the image via the
+  /// engine's zero-decode path, SNAPSHOT re-serves the image itself, and
+  /// everything that would mutate or miss the image (INGEST, RESTORE,
+  /// weighted/window scopes) answers Status::kUnsupported. `replica`
+  /// must be non-null and outlive the server; callers should Validate()
+  /// untrusted images first.
+  SketchServer(const SketchServerOptions& options, FrozenSketchSource* replica,
+               const AttributeTable* attrs);
 
   /// Maps one request payload to one response payload. Always returns a
   /// well-formed response (possibly an error response); never aborts on
@@ -134,6 +145,10 @@ class SketchServer {
   const AttributeTable* attrs_;
   ShardedSketchSource source_;
   SketchQueryEngine engine_;
+  // Replica mode (see the replica constructor): borrowed image source
+  // plus a zero-decode engine over it; both null for writer servers.
+  FrozenSketchSource* replica_ = nullptr;
+  std::unique_ptr<SketchQueryEngine> replica_engine_;
   std::unique_ptr<ShardedWeightedSpaceSaving> weighted_;
   WeightedSpaceSaving weighted_view_;
   std::unique_ptr<WindowedSketchSource> window_source_;
@@ -150,6 +165,10 @@ class SketchServer {
     uint64_t snapshots = 0;
     uint64_t restores = 0;
     uint64_t errors = 0;
+    SnapshotFormat last_snapshot_format = SnapshotFormat::kNone;
+    uint64_t last_snapshot_bytes = 0;
+    SnapshotFormat last_restore_format = SnapshotFormat::kNone;
+    uint64_t last_restore_bytes = 0;
   };
   Counters counters_;
 };

@@ -25,9 +25,11 @@ CodecInfo* RegistryTable() {
         {4, "multi_metric_space_saving", kVersionLegacy, kVersionCurrent},
         {5, "misra_gries", kVersionLegacy, kVersionCurrent},
         {6, "count_min", kVersionLegacy, kVersionCurrent},
-        // The windowed ring kind is v2-only: it was born after the
-        // varint era, so there is no legacy payload to accept.
+        // The windowed ring and frozen-image kinds are v2-only: both
+        // were born after the varint era, so there is no legacy payload
+        // to accept.
         {7, "windowed_sketch", kVersionCurrent, kVersionCurrent},
+        {8, "frozen_unbiased", kVersionCurrent, kVersionCurrent},
     };
     for (const CodecInfo& info : builtins) table[info.kind] = info;
     return true;

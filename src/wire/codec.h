@@ -72,8 +72,9 @@ struct CodecInfo {
 
 /// Registers `info` for its kind byte (static-init time; re-registration
 /// overwrites, including the built-ins). Kind bytes must be in [1, 63];
-/// 1-7 are reserved for the built-in sketch kinds (see codec.cc; 7 is
-/// the windowed epoch-ring snapshot, encoded by src/window).
+/// 1-8 are reserved for the built-in sketch kinds (see codec.cc; 7 is
+/// the windowed epoch-ring snapshot, encoded by src/window, and 8 the
+/// frozen mmap-able image, encoded by wire/frozen.h).
 void RegisterCodec(const CodecInfo& info);
 
 /// Looks up the registered codec for `kind`; nullptr when unknown.

@@ -1,0 +1,205 @@
+#include "wire/frozen.h"
+
+#include <limits>
+
+namespace dsketch {
+namespace wire {
+
+namespace {
+
+constexpr size_t AlignUp(size_t n) {
+  return (n + (kFrozenAlign - 1)) & ~(kFrozenAlign - 1);
+}
+
+void StoreU64(unsigned char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+uint64_t LoadU64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+size_t FrozenIndexSlots(size_t entry_count) {
+  size_t want = entry_count > 4 ? 2 * entry_count : 8;
+  size_t slots = 8;
+  while (slots < want) slots <<= 1;
+  return slots;
+}
+
+size_t FrozenImageBytes(size_t entry_count) {
+  const size_t entries_offset = AlignUp(kFrozenHeaderEnd);
+  const size_t index_offset =
+      AlignUp(entries_offset + entry_count * kFrozenEntryBytes);
+  return AlignUp(index_offset +
+                 FrozenIndexSlots(entry_count) * kFrozenSlotBytes);
+}
+
+size_t FreezeInto(const FrozenEntry* entries, size_t entry_count,
+                  uint64_t capacity, int64_t min_count, int64_t total_count,
+                  void* out, size_t out_bytes) {
+  if (capacity == 0 || capacity > kFrozenMaxCapacity) return 0;
+  if (entry_count > capacity) return 0;
+  if (min_count < 0 || total_count < 0) return 0;
+  if (entry_count > 0 && entries == nullptr) return 0;
+  // Canonical order with positive counts; duplicates across different
+  // counts are caught by the index build below, duplicates within a tie
+  // by the strict item ordering here.
+  for (size_t i = 0; i < entry_count; ++i) {
+    if (entries[i].count <= 0) return 0;
+    if (i > 0 && !(entries[i - 1].count > entries[i].count ||
+                   (entries[i - 1].count == entries[i].count &&
+                    entries[i - 1].item < entries[i].item))) {
+      return 0;
+    }
+  }
+  const size_t image_bytes = FrozenImageBytes(entry_count);
+  if (out == nullptr || out_bytes < image_bytes) return 0;
+
+  const size_t entries_offset = AlignUp(kFrozenHeaderEnd);
+  const size_t index_offset =
+      AlignUp(entries_offset + entry_count * kFrozenEntryBytes);
+  const size_t index_slots = FrozenIndexSlots(entry_count);
+
+  unsigned char* base = static_cast<unsigned char*>(out);
+  // Zero first so every padding byte is deterministic: images of the
+  // same sketch are byte-identical (golden-pinned in wire_compat_test).
+  std::memset(base, 0, image_bytes);
+
+  std::string envelope;
+  WriteEnvelope(envelope, kKindFrozenUnbiased, kVersionCurrent);
+  std::memcpy(base, envelope.data(), kEnvelopeBytes);
+
+  unsigned char* h = base + kEnvelopeBytes;
+  StoreU64(h + 0 * 8, image_bytes);
+  StoreU64(h + 1 * 8, capacity);
+  StoreU64(h + 2 * 8, entry_count);
+  StoreU64(h + 3 * 8, static_cast<uint64_t>(min_count));
+  StoreU64(h + 4 * 8, static_cast<uint64_t>(total_count));
+  StoreU64(h + 5 * 8, entries_offset);
+  StoreU64(h + 6 * 8, entry_count * kFrozenEntryBytes);
+  StoreU64(h + 7 * 8, index_offset);
+  StoreU64(h + 8 * 8, index_slots * kFrozenSlotBytes);
+  StoreU64(h + 9 * 8, index_slots);
+
+  unsigned char* entry_base = base + entries_offset;
+  for (size_t i = 0; i < entry_count; ++i) {
+    StoreU64(entry_base + i * kFrozenEntryBytes, entries[i].item);
+    StoreU64(entry_base + i * kFrozenEntryBytes + 8,
+             static_cast<uint64_t>(entries[i].count));
+  }
+
+  unsigned char* index_base = base + index_offset;
+  std::memset(index_base, 0xFF, index_slots * kFrozenSlotBytes);
+  const size_t mask = index_slots - 1;
+  for (size_t i = 0; i < entry_count; ++i) {
+    size_t s = static_cast<size_t>(FrozenHash(entries[i].item)) & mask;
+    for (;;) {
+      uint32_t v;
+      std::memcpy(&v, index_base + s * kFrozenSlotBytes, 4);
+      if (v == kFrozenEmptySlot) break;
+      if (entries[v].item == entries[i].item) return 0;  // duplicate item
+      s = (s + 1) & mask;
+    }
+    const uint32_t idx = static_cast<uint32_t>(i);
+    std::memcpy(index_base + s * kFrozenSlotBytes, &idx, 4);
+  }
+  return image_bytes;
+}
+
+std::optional<FrozenView> FrozenView::Vet(std::string_view bytes) {
+  if (bytes.size() < kFrozenHeaderEnd) return std::nullopt;
+  VarintReader reader(bytes);
+  std::optional<Envelope> env = ReadEnvelope(reader);
+  if (!env || env->kind != kKindFrozenUnbiased ||
+      env->version != kVersionCurrent) {
+    return std::nullopt;
+  }
+  const unsigned char* base =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  const unsigned char* h = base + kEnvelopeBytes;
+  const uint64_t image_bytes = LoadU64(h + 0 * 8);
+  const uint64_t capacity = LoadU64(h + 1 * 8);
+  const uint64_t entry_count = LoadU64(h + 2 * 8);
+  const uint64_t min_count = LoadU64(h + 3 * 8);
+  const uint64_t total_count = LoadU64(h + 4 * 8);
+  const uint64_t entries_offset = LoadU64(h + 5 * 8);
+  const uint64_t entries_bytes = LoadU64(h + 6 * 8);
+  const uint64_t index_offset = LoadU64(h + 7 * 8);
+  const uint64_t index_bytes = LoadU64(h + 8 * 8);
+  const uint64_t index_slots = LoadU64(h + 9 * 8);
+
+  // Exact size: every truncation or extension of a valid image fails
+  // here, before any offset is trusted.
+  if (image_bytes != bytes.size()) return std::nullopt;
+  if (capacity == 0 || capacity > kFrozenMaxCapacity) return std::nullopt;
+  if (entry_count > capacity) return std::nullopt;
+  const uint64_t int64_max =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  if (min_count > int64_max || total_count > int64_max) return std::nullopt;
+
+  // Section geometry must be internally consistent: derived sizes match
+  // the counts, the slot count is canonical for the entry count, and
+  // both sections are 64-byte aligned.
+  if (entries_bytes != entry_count * kFrozenEntryBytes) return std::nullopt;
+  if (index_slots != FrozenIndexSlots(static_cast<size_t>(entry_count))) {
+    return std::nullopt;
+  }
+  if (index_bytes != index_slots * kFrozenSlotBytes) return std::nullopt;
+  if (entries_offset % kFrozenAlign != 0 || index_offset % kFrozenAlign != 0) {
+    return std::nullopt;
+  }
+
+  // Bounds: each section lives inside [header end, image end). All
+  // arithmetic stays in u64 with subtraction-form checks, so a hostile
+  // offset cannot wrap.
+  if (entries_offset < kFrozenHeaderEnd || entries_offset > image_bytes ||
+      entries_bytes > image_bytes - entries_offset) {
+    return std::nullopt;
+  }
+  if (index_offset < kFrozenHeaderEnd || index_offset > image_bytes ||
+      index_bytes > image_bytes - index_offset) {
+    return std::nullopt;
+  }
+
+  // Overlap: the two sections must be disjoint (the index always has
+  // bytes; the entry section may be empty, and an empty range overlaps
+  // nothing).
+  if (entries_bytes > 0 && entries_offset < index_offset + index_bytes &&
+      index_offset < entries_offset + entries_bytes) {
+    return std::nullopt;
+  }
+
+  FrozenView view;
+  view.base_ = base;
+  view.image_bytes_ = bytes.size();
+  view.capacity_ = capacity;
+  view.entry_count_ = entry_count;
+  view.min_count_ = static_cast<int64_t>(min_count);
+  view.total_count_ = static_cast<int64_t>(total_count);
+  view.entries_offset_ = static_cast<size_t>(entries_offset);
+  view.index_offset_ = static_cast<size_t>(index_offset);
+  view.index_slots_ = static_cast<size_t>(index_slots);
+  return view;
+}
+
+int64_t FrozenView::EstimateCount(uint64_t item) const {
+  const size_t mask = index_slots_ - 1;
+  size_t s = static_cast<size_t>(FrozenHash(item)) & mask;
+  // A well-formed index terminates at an empty slot (load factor
+  // <= 0.5); the step cap and the slot-value bound make hostile index
+  // content safe (wrong answers, never out-of-bounds reads or spins).
+  for (size_t step = 0; step < index_slots_; ++step) {
+    const uint32_t v = slot(s);
+    if (v == kFrozenEmptySlot) return 0;
+    if (v >= entry_count_) return 0;  // corrupt slot: give up
+    const FrozenEntry e = entry(v);
+    if (e.item == item) return e.count;
+    s = (s + 1) & mask;
+  }
+  return 0;
+}
+
+}  // namespace wire
+}  // namespace dsketch

@@ -25,6 +25,7 @@
 #include "stream/distributions.h"
 #include "stream/generators.h"
 #include "util/random.h"
+#include "wire/codec.h"
 
 namespace dsketch {
 namespace {
@@ -106,6 +107,10 @@ TEST(ProtocolTest, QueryAndResponseMessagesRoundTrip) {
   stats.rows_ingested = 12345;
   stats.total_count = -3;  // signed path
   stats.total_weight = 2.5;
+  stats.last_snapshot_format = SnapshotFormat::kFrozen;
+  stats.last_snapshot_bytes = 98432;
+  stats.last_restore_format = SnapshotFormat::kStream;
+  stats.last_restore_bytes = 1613;
   payload = EncodeStatsResponse(1, stats);
   wire::VarintReader reader3(payload);
   ASSERT_TRUE(DecodeResponseHeader(reader3, &rsp_header));
@@ -114,6 +119,24 @@ TEST(ProtocolTest, QueryAndResponseMessagesRoundTrip) {
   EXPECT_EQ(stats2.rows_ingested, 12345u);
   EXPECT_EQ(stats2.total_count, -3);
   EXPECT_DOUBLE_EQ(stats2.total_weight, 2.5);
+  EXPECT_EQ(stats2.last_snapshot_format, SnapshotFormat::kFrozen);
+  EXPECT_EQ(stats2.last_snapshot_bytes, 98432u);
+  EXPECT_EQ(stats2.last_restore_format, SnapshotFormat::kStream);
+  EXPECT_EQ(stats2.last_restore_bytes, 1613u);
+
+  // The frozen flag rides the high bit of the SNAPSHOT scope byte;
+  // decoding must strip it and validate the masked scope.
+  SnapshotRequest snap_req;
+  snap_req.scope = QueryScope::kCounts;
+  snap_req.frozen = true;
+  payload = EncodeSnapshotRequest(9, snap_req);
+  wire::VarintReader reader4(payload);
+  RequestHeader req_header;
+  ASSERT_TRUE(DecodeRequestHeader(reader4, &req_header));
+  SnapshotRequest snap_req2;
+  ASSERT_TRUE(DecodeSnapshotRequest(reader4, &snap_req2));
+  EXPECT_EQ(snap_req2.scope, QueryScope::kCounts);
+  EXPECT_TRUE(snap_req2.frozen);
 }
 
 // Fixture running a server thread over the in-memory duplex.
@@ -537,6 +560,43 @@ TEST(ServiceReplicationTest, ReplicaCatchesUpFromSnapshotFrames) {
   auto grown = client_b.QuerySum();
   ASSERT_TRUE(grown.has_value());
   EXPECT_EQ(grown->estimate, static_cast<double>(rows.size() + 500));
+
+  // STATS reports the format and size of the last snapshot hop: A
+  // served a v2 stream blob, B absorbed the same bytes.
+  auto stats_a = client_a.Stats();
+  ASSERT_TRUE(stats_a.has_value());
+  EXPECT_EQ(stats_a->last_snapshot_format, SnapshotFormat::kStream);
+  EXPECT_EQ(stats_a->last_snapshot_bytes, blob->size());
+  EXPECT_EQ(stats_a->last_restore_format, SnapshotFormat::kNone);
+  auto stats_b = client_b.Stats();
+  ASSERT_TRUE(stats_b.has_value());
+  EXPECT_EQ(stats_b->last_restore_format, SnapshotFormat::kStream);
+  EXPECT_EQ(stats_b->last_restore_bytes, blob->size());
+
+  // The frozen negotiation: A freezes its state into the mmap-able
+  // image (wire kind 8), B restores it through the same RESTORE opcode
+  // (the decoder dispatches on the envelope), and both sides' STATS
+  // flip to the frozen format.
+  auto frozen = client_a.Snapshot(QueryScope::kCounts, /*frozen=*/true);
+  ASSERT_TRUE(frozen.has_value());
+  auto info = wire::DescribeWire(*frozen);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->kind, wire::kKindFrozenUnbiased);
+  ASSERT_TRUE(client_b.Restore(*frozen));
+  // Restore absorbs the peer rows on top of B's state, so B's total
+  // grows by exactly the frozen sketch's row count.
+  auto total_b2 = client_b.QuerySum();
+  ASSERT_TRUE(total_b2.has_value());
+  EXPECT_EQ(total_b2->estimate, grown->estimate + total_a->estimate);
+
+  stats_a = client_a.Stats();
+  ASSERT_TRUE(stats_a.has_value());
+  EXPECT_EQ(stats_a->last_snapshot_format, SnapshotFormat::kFrozen);
+  EXPECT_EQ(stats_a->last_snapshot_bytes, frozen->size());
+  stats_b = client_b.Stats();
+  ASSERT_TRUE(stats_b.has_value());
+  EXPECT_EQ(stats_b->last_restore_format, SnapshotFormat::kFrozen);
+  EXPECT_EQ(stats_b->last_restore_bytes, frozen->size());
 
   client_a.Shutdown();
   client_b.Shutdown();

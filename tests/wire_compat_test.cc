@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "wire/frozen.h"
 #include "wire_golden_common.h"
 
 namespace dsketch {
@@ -176,6 +177,41 @@ TEST(WireCompatTest, WindowedGoldenPinsCurrentEncoderBytes) {
   EXPECT_NEAR(restored->decayed_accumulator().TotalWeight(),
               ref.decayed_accumulator().TotalWeight(),
               ref.decayed_accumulator().TotalWeight() * 1e-12);
+}
+
+TEST(WireCompatTest, FrozenGoldenPinsCurrentImageBytes) {
+  // The frozen image is v2-only and deterministic down to its padding
+  // bytes, so the golden pins the entire mmap'd layout: header field
+  // order, section offsets, canonical entry order, and the hash
+  // function behind the slot assignment. Any drift breaks every
+  // mmap'd replica in the field — regenerate only deliberately.
+  const std::string bytes = ReadFixture(golden::kFrozenFixtureName);
+  EXPECT_EQ(SerializeFrozen(golden::Unbiased()), bytes);
+
+  auto info = wire::DescribeWire(bytes);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->kind, wire::kKindFrozenUnbiased);
+  EXPECT_EQ(info->version, wire::kVersionCurrent);
+
+  // The golden image thaws into the reference sketch's exact state —
+  // and DeserializeUnbiased reaches the same result via its envelope
+  // dispatch.
+  auto thawed = ThawFrozen(bytes, 1001);
+  ASSERT_TRUE(thawed.has_value());
+  UnbiasedSpaceSaving ref = golden::Unbiased();
+  EXPECT_EQ(thawed->TotalCount(), ref.TotalCount());
+  EXPECT_EQ(Canonical(thawed->Entries()), Canonical(ref.Entries()));
+  auto dispatched = DeserializeUnbiased(bytes, 1001);
+  ASSERT_TRUE(dispatched.has_value());
+  EXPECT_EQ(Canonical(dispatched->Entries()), Canonical(ref.Entries()));
+
+  // Zero-decode point lookups off the golden image agree with the
+  // reference sketch for every tracked item.
+  auto view = wire::FrozenView::Vet(bytes);
+  ASSERT_TRUE(view.has_value());
+  for (const SketchEntry& e : ref.Entries()) {
+    EXPECT_EQ(view->EstimateCount(e.item), e.count) << e.item;
+  }
 }
 
 }  // namespace

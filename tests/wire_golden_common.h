@@ -112,6 +112,13 @@ inline constexpr const char* kFixtureNames[] = {
 /// its golden pins the *current* encoder's bytes).
 inline constexpr const char* kWindowedFixtureName = "v2_windowed.bin";
 
+/// The frozen-image fixture (kind 8). Freezing is deterministic down to
+/// the padding bytes, so this golden pins the entire mmap'd layout:
+/// header field order, section offsets/alignment, canonical entry
+/// order, and the open-addressed index's slot assignment (i.e. the
+/// FrozenHash function itself).
+inline constexpr const char* kFrozenFixtureName = "frozen_unbiased.bin";
+
 }  // namespace golden
 }  // namespace dsketch
 

@@ -45,6 +45,8 @@ int Run(const std::string& dir) {
                            SerializeV1(golden::CountMinSketch()));
   failures += WriteFixture(dir, golden::kWindowedFixtureName,
                            SerializeWindowed(golden::Windowed()));
+  failures += WriteFixture(dir, golden::kFrozenFixtureName,
+                           SerializeFrozen(golden::Unbiased()));
   return failures == 0 ? 0 : 1;
 }
 

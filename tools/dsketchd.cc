@@ -5,12 +5,21 @@
 //
 //   mkfifo in out && ./dsketchd < in > out      # or socat/s6/systemd
 //
+// --replica=<path> boots a read-only node instead: the file at <path>
+// must be a frozen sketch image (wire/frozen.h, e.g. the bytes of a
+// frozen SNAPSHOT written to disk). The image is mmap'd and served with
+// zero decode — counts-scope SUM/TOPK/GROUPBY come straight off the
+// page cache, INGEST/RESTORE answer kUnsupported, and SNAPSHOT re-serves
+// the image itself.
+//
 // --smoke runs the CI end-to-end scenario fully in-process instead: boot
 // node A over the in-memory transport, ingest a batch, run one query,
 // take a snapshot, restore it into a freshly booted node B, and verify
 // B answers for A's rows — then repeat the whole hop for the windowed
 // scope (epoch-stamped ingest, last-k window queries, ring snapshot,
-// ring restore), so replication of epoch-ring state is gated per push.
+// ring restore), and finally the frozen-replica hop: A emits the frozen
+// image, a replica node mmaps the written file, and its zero-decode
+// answers must be bit-identical to a node that thawed the same image.
 // Exits 0 only if every step checks out — the per-push CI job calls
 // this after the build.
 //
@@ -23,15 +32,18 @@
 //                         windowed epoch every N ms of real time while
 //                         serving (default 0 = caller-driven epochs)
 //   --seed=N              reproducible randomness        (default 1)
+//   --replica=PATH        serve the frozen image at PATH read-only
 //   --smoke               run the self-contained two-node scenario
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "query/frozen_source.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "service/transport.h"
@@ -58,6 +70,17 @@ bool FlagSet(int argc, char** argv, const char* name) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+std::string FlagStr(int argc, char** argv, const char* name,
+                    const char* def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return def;
 }
 
 SketchServerOptions MakeOptions(int argc, char** argv) {
@@ -88,6 +111,12 @@ struct Node {
 
   explicit Node(const SketchServerOptions& options)
       : server(options),
+        serve([this] { server.Serve(wire.server()); }),
+        client(wire.client()) {}
+
+  // Read-replica node over a frozen image (`replica` must outlive it).
+  Node(const SketchServerOptions& options, FrozenSketchSource* replica)
+      : server(options, replica, nullptr),
         serve([this] { server.Serve(wire.server()); }),
         client(wire.client()) {}
 
@@ -218,17 +247,103 @@ int RunSmoke(const SketchServerOptions& options) {
     return fail("windowed STATS");
   }
 
+  // Frozen-replica hop: A emits the frozen mmap-able image, the image
+  // goes to disk, a replica node mmaps the file and answers with zero
+  // decode. The reference answers come from a node that THAWED the same
+  // image (restored it through the normal path), so this asserts the
+  // tentpole bit-identity contract: frozen answers == thawed answers.
+  auto frozen = client_a.Snapshot(QueryScope::kCounts, /*frozen=*/true);
+  if (!frozen.has_value() || frozen->empty()) return fail("frozen SNAPSHOT");
+  auto stats_fa = client_a.Stats();
+  if (!stats_fa.has_value() ||
+      stats_fa->last_snapshot_format != SnapshotFormat::kFrozen ||
+      stats_fa->last_snapshot_bytes != frozen->size()) {
+    return fail("STATS last_snapshot_format/bytes after frozen SNAPSHOT");
+  }
+  const std::string image_path =
+      "dsketchd_smoke_frozen_" +
+      std::to_string(static_cast<unsigned>(options.seed)) + ".bin";
+  {
+    std::FILE* f = std::fopen(image_path.c_str(), "wb");
+    if (f == nullptr) return fail("frozen image fopen");
+    const bool wrote =
+        std::fwrite(frozen->data(), 1, frozen->size(), f) == frozen->size();
+    std::fclose(f);
+    if (!wrote) return fail("frozen image fwrite");
+  }
+  std::optional<FrozenSketchSource> image =
+      FrozenSketchSource::FromFile(image_path);
+  if (!image.has_value() || !image->Validate()) {
+    std::remove(image_path.c_str());
+    return fail("frozen image map + vet");
+  }
+  {
+    Node node_r(options, &*image);
+    SketchClient& client_r = node_r.client;
+
+    // Thawed reference: a fresh node restores the SAME frozen bytes
+    // through the O(n) path (RESTORE accepts the frozen kind).
+    SketchServerOptions options_c = options;
+    options_c.shard.seed += 200;
+    options_c.seed += 200;
+    Node node_c(options_c);
+    SketchClient& client_c = node_c.client;
+    if (!client_c.Restore(*frozen)) return fail("RESTORE of frozen blob");
+
+    auto sum_r = client_r.QuerySum();
+    auto sum_c = client_c.QuerySum();
+    if (!sum_r.has_value() || !sum_c.has_value()) {
+      return fail("QUERY_SUM on frozen replica");
+    }
+    if (sum_r->estimate != sum_c->estimate ||
+        sum_r->variance != sum_c->variance ||
+        sum_r->items_in_sample != sum_c->items_in_sample) {
+      return fail("frozen SUM bit-identical to thawed SUM");
+    }
+    auto topk_r = client_r.QueryTopK(10);
+    auto topk_c = client_c.QueryTopK(10);
+    if (!topk_r.has_value() || !topk_c.has_value() ||
+        topk_r->counts.size() != topk_c->counts.size()) {
+      return fail("QUERY_TOPK on frozen replica");
+    }
+    for (size_t i = 0; i < topk_r->counts.size(); ++i) {
+      if (topk_r->counts[i].item != topk_c->counts[i].item ||
+          topk_r->counts[i].count != topk_c->counts[i].count) {
+        return fail("frozen TOPK bit-identical to thawed TOPK");
+      }
+    }
+    // The replica is read-only: ingest and restore must be refused.
+    if (client_r.IngestBatch(std::vector<uint64_t>{1, 2, 3})) {
+      return fail("replica rejects INGEST_BATCH");
+    }
+    if (client_r.Restore(*blob)) return fail("replica rejects RESTORE");
+    // A replica's snapshot is the image itself, byte for byte.
+    auto refrozen = client_r.Snapshot();
+    if (!refrozen.has_value() || *refrozen != *frozen) {
+      return fail("replica SNAPSHOT re-serves the image");
+    }
+    auto stats_r = client_r.Stats();
+    if (!stats_r.has_value() ||
+        stats_r->total_count != static_cast<int64_t>(rows.size())) {
+      return fail("replica STATS total_count off the image header");
+    }
+    if (!client_r.Shutdown()) return fail("SHUTDOWN replica node");
+    if (!client_c.Shutdown()) return fail("SHUTDOWN thawed node");
+  }
+  std::remove(image_path.c_str());
+
   if (!client_a.Shutdown()) return fail("SHUTDOWN node A");
   if (!client_b.Shutdown()) return fail("SHUTDOWN node B");
 
   std::printf(
       "smoke: OK — %zu rows ingested, top-1 item %llu, %zu snapshot bytes "
       "replicated, replica total %.0f; windowed: %zu rows over %zu epochs, "
-      "%zu ring bytes replicated, replica window total %.0f\n",
+      "%zu ring bytes replicated, replica window total %.0f; frozen: %zu "
+      "image bytes served via mmap=%d, zero-decode answers bit-identical\n",
       rows.size(),
       static_cast<unsigned long long>(topk_a->counts.front().item),
       blob->size(), sum_b->estimate, window_rows, kEpochs, ring->size(),
-      win_b->estimate);
+      win_b->estimate, frozen->size(), image->backed_by_mmap() ? 1 : 0);
   return 0;
 }
 
@@ -243,6 +358,40 @@ int Run(int argc, char** argv) {
     return 2;
   }
   if (FlagSet(argc, argv, "smoke")) return RunSmoke(options);
+
+  const std::string replica_path = FlagStr(argc, argv, "replica", "");
+  if (!replica_path.empty()) {
+    // Read-replica mode: mmap the frozen image, vet it structurally
+    // (O(1)), then deep-validate the content once (O(n)) — the file is
+    // untrusted input, and a serving process must never CHECK-fail on
+    // it later.
+    std::optional<FrozenSketchSource> image =
+        FrozenSketchSource::FromFile(replica_path);
+    if (!image.has_value()) {
+      std::fprintf(stderr,
+                   "dsketchd: --replica: %s is not a readable frozen image\n",
+                   replica_path.c_str());
+      return 2;
+    }
+    if (!image->Validate()) {
+      std::fprintf(stderr,
+                   "dsketchd: --replica: %s failed content validation\n",
+                   replica_path.c_str());
+      return 2;
+    }
+    std::fprintf(
+        stderr,
+        "dsketchd: replica mode: %s — %zu bytes, %llu entries, "
+        "total_count %lld, snapshot format frozen, backed_by_mmap=%d\n",
+        replica_path.c_str(), image->frozen().bytes().size(),
+        static_cast<unsigned long long>(image->frozen().entry_count()),
+        static_cast<long long>(image->frozen().total_count()),
+        image->backed_by_mmap() ? 1 : 0);
+    FdTransport stdio(/*read_fd=*/0, /*write_fd=*/1);
+    SketchServer server(options, &*image, nullptr);
+    server.Serve(stdio);
+    return 0;
+  }
 
   // Serve the framed protocol on stdin/stdout until EOF or SHUTDOWN.
   FdTransport stdio(/*read_fd=*/0, /*write_fd=*/1);
