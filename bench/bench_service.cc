@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "query/attribute_table.h"
 #include "query/sketch_source.h"
 #include "service/client.h"
@@ -36,6 +37,17 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The server records per-opcode latency histograms into the global
+// metrics registry; benches read them back as snapshot deltas so the
+// tail percentiles cover exactly the timed loop. All-zero under
+// -DDSKETCH_NO_METRICS (the params record says metrics="off").
+obs::HistogramSnapshot LatencySnapshot(const char* opcode) {
+  const obs::Histogram* h = obs::MetricsRegistry::Global().FindHistogram(
+      std::string("dsketch_service_request_latency_us{opcode=\"") + opcode +
+      "\"}");
+  return h != nullptr ? h->Snapshot() : obs::HistogramSnapshot{};
 }
 
 void Run(int argc, char** argv) {
@@ -66,6 +78,7 @@ void Run(int argc, char** argv) {
     json.Add("bins", capacity);
     json.Add("hardware_concurrency",
              static_cast<int64_t>(std::thread::hardware_concurrency()));
+    json.Add("metrics", std::string(obs::MetricsBuildMode()));
   }
 
   SketchServerOptions options;
@@ -136,32 +149,46 @@ void Run(int argc, char** argv) {
 
   struct QueryCase {
     const char* name;
+    const char* opcode;  // latency-histogram label on the server side
     std::function<bool()> run;
   };
   PredicateSpec filtered = PredicateSpec().WhereIn(0, {1, 5, 9});
   std::vector<QueryCase> cases;
-  cases.push_back({"sum_all", [&] { return client.QuerySum().has_value(); }});
   cases.push_back(
-      {"sum_filtered", [&] { return client.QuerySum(filtered).has_value(); }});
-  cases.push_back(
-      {"topk_100", [&] { return client.QueryTopK(100).has_value(); }});
-  cases.push_back(
-      {"groupby_dim0", [&] { return client.QueryGroupBy(0).has_value(); }});
+      {"sum_all", "query_sum", [&] { return client.QuerySum().has_value(); }});
+  cases.push_back({"sum_filtered", "query_sum",
+                   [&] { return client.QuerySum(filtered).has_value(); }});
+  cases.push_back({"topk_100", "query_topk",
+                   [&] { return client.QueryTopK(100).has_value(); }});
+  cases.push_back({"groupby_dim0", "query_groupby",
+                   [&] { return client.QueryGroupBy(0).has_value(); }});
 
-  std::printf("\n%-14s %14s %14s\n", "query", "round_trips_s", "us_per_query");
+  std::printf("\n%-14s %14s %14s %8s %8s %8s\n", "query", "round_trips_s",
+              "us_per_query", "p50_us", "p95_us", "p99_us");
   for (const QueryCase& c : cases) {
     c.run();  // warm the merged snapshot cache
+    const obs::HistogramSnapshot before = LatencySnapshot(c.opcode);
     auto start = Clock::now();
     for (int64_t i = 0; i < query_iters; ++i) {
       if (!c.run()) break;
     }
     double elapsed = SecondsSince(start);
     double qps = static_cast<double>(query_iters) / elapsed;
-    std::printf("%-14s %14.0f %14.2f\n", c.name, qps, 1e6 / qps);
+    // Server-side handler latency for just this loop's requests — the
+    // gap against us_per_query (wall clock) is framing + transport.
+    const obs::HistogramSnapshot lat = LatencySnapshot(c.opcode).Since(before);
+    const double p50 = lat.Percentile(50);
+    const double p95 = lat.Percentile(95);
+    const double p99 = lat.Percentile(99);
+    std::printf("%-14s %14.0f %14.2f %8.1f %8.1f %8.1f\n", c.name, qps,
+                1e6 / qps, p50, p95, p99);
     if (json.enabled()) {
       json.BeginRecord("query");
       json.Add("query", std::string(c.name));
       json.Add("round_trips_per_s", qps);
+      json.Add("p50_us", p50);
+      json.Add("p95_us", p95);
+      json.Add("p99_us", p99);
     }
   }
 

@@ -77,6 +77,7 @@ std::string EncodeBlob(SketchKind kind, uint8_t version, size_t payload_hint,
   wire::WriteEnvelope(out, static_cast<uint8_t>(kind), version);
   VarintWriter writer(out);
   fn(writer);
+  wire::RecordWireEncoded(static_cast<uint8_t>(kind), version, out.size());
   return out;
 }
 
@@ -98,6 +99,7 @@ std::optional<Sketch> DecodeBlob(std::string_view bytes, SketchKind kind,
     out = decode_v2(reader);
   }
   if (!out.has_value() || !reader.AtEnd()) return std::nullopt;
+  wire::RecordWireDecoded(env->kind, env->version, bytes.size());
   return out;
 }
 
@@ -640,6 +642,8 @@ std::string SerializeFrozen(const UnbiasedSpaceSaving& sketch) {
   // Same loud-failure contract as the other encoders: a sketch within
   // the caps always freezes (FreezeInto only rejects malformed input).
   DSKETCH_CHECK(written == out.size());
+  wire::RecordWireEncoded(wire::kKindFrozenUnbiased, wire::kVersionCurrent,
+                          out.size());
   return out;
 }
 
@@ -680,6 +684,8 @@ std::optional<UnbiasedSpaceSaving> ThawFrozen(std::string_view bytes,
   for (const SketchEntry& e : entries) {
     if (view->EstimateCount(e.item) != e.count) return std::nullopt;
   }
+  wire::RecordWireDecoded(wire::kKindFrozenUnbiased, wire::kVersionCurrent,
+                          bytes.size());
   return LoadIntegerEntries<UnbiasedSpaceSaving>(view->capacity(),
                                                  std::move(entries), seed);
 }

@@ -1,0 +1,300 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dsketch {
+namespace obs {
+
+// --- histogram math ---------------------------------------------------
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  DSKETCH_DCHECK(i < kNumBuckets);
+  // Buckets 0..62 bound at 2^0..2^62; the last bucket is +Inf.
+  if (i >= kNumBuckets - 1) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+size_t HistogramSnapshot::BucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  // Smallest i with value <= 2^i is the bit width of value - 1.
+  const size_t width =
+      64 - static_cast<size_t>(__builtin_clzll(value - 1));
+  return width < kNumBuckets ? width : kNumBuckets - 1;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  const double target = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(BucketUpperBound(i - 1));
+    // The overflow bucket has no finite bound; interpolate toward 2^63
+    // (one doubling past the largest finite bound, like every other
+    // bucket).
+    const double upper = i == kNumBuckets - 1
+                             ? static_cast<double>(uint64_t{1} << 62) * 2.0
+                             : static_cast<double>(BucketUpperBound(i));
+    const double into_bucket =
+        target - static_cast<double>(cumulative - buckets[i]);
+    const double fraction = std::min(
+        1.0, std::max(0.0, into_bucket / static_cast<double>(buckets[i])));
+    return lower + fraction * (upper - lower);
+  }
+  // Unreachable when count matches the buckets; a torn concurrent
+  // snapshot can land here — answer the largest finite bound.
+  return static_cast<double>(BucketUpperBound(kNumBuckets - 2));
+}
+
+HistogramSnapshot HistogramSnapshot::Since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  out.count = count - earlier.count;
+  out.sum = sum - earlier.sum;
+  return out;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+// --- registry ---------------------------------------------------------
+
+struct MetricsRegistry::Entry {
+  explicit Entry(MetricKind k) : kind(k) {}
+  MetricKind kind;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metric references handed to worker threads must
+  // stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
+                                                  MetricKind kind) {
+  DSKETCH_CHECK(!name.empty());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), std::make_unique<Entry>(kind))
+             .first;
+  }
+  // One name, one kind: a collision is a naming bug at the call site,
+  // not a runtime condition.
+  DSKETCH_CHECK(it->second->kind == kind);
+  return *it->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindEntry(
+    std::string_view name, MetricKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second->kind != kind) return nullptr;
+  return it->second.get();
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  return GetEntry(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  return GetEntry(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetEntry(name, MetricKind::kHistogram).histogram;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const Entry* e = FindEntry(name, MetricKind::kCounter);
+  return e != nullptr ? &e->counter : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const Entry* e = FindEntry(name, MetricKind::kGauge);
+  return e != nullptr ? &e->gauge : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const Entry* e = FindEntry(name, MetricKind::kHistogram);
+  return e != nullptr ? &e->histogram : nullptr;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+std::vector<MetricValue> MetricsRegistry::Snapshot(
+    std::string_view prefix) const {
+  std::vector<MetricValue> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : metrics_) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    MetricValue v;
+    v.name = name;
+    v.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        v.counter = entry->counter.Value();
+        break;
+      case MetricKind::kGauge:
+        v.gauge = entry->gauge.Value();
+        break;
+      case MetricKind::kHistogram:
+        v.hist = entry->histogram.Snapshot();
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+namespace {
+
+// Everything up to the label set: the family a `# TYPE` line describes.
+std::string_view FamilyOf(std::string_view name) {
+  const size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+// Labels without the braces ("" when the name carries none).
+std::string_view LabelsOf(std::string_view name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {};
+  std::string_view rest = name.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  return rest;
+}
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendInt(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+// One histogram sub-series line: family_suffix{labels,le="bound"} value.
+void AppendHistLine(std::string& out, std::string_view family,
+                    std::string_view suffix, std::string_view labels,
+                    std::string_view le, uint64_t value) {
+  out += family;
+  out += suffix;
+  if (!labels.empty() || !le.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !le.empty()) out += ',';
+    if (!le.empty()) {
+      out += "le=\"";
+      out += le;
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ' ';
+  AppendUint(out, value);
+  out += '\n';
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpText(std::string_view prefix) const {
+  const std::vector<MetricValue> values = Snapshot(prefix);
+  std::string out;
+  std::string last_family;
+  for (const MetricValue& v : values) {
+    const std::string_view family = FamilyOf(v.name);
+    if (family != last_family) {
+      out += "# TYPE ";
+      out += family;
+      out += ' ';
+      out += KindName(v.kind);
+      out += '\n';
+      last_family.assign(family);
+    }
+    if (v.kind == MetricKind::kHistogram) {
+      const std::string_view labels = LabelsOf(v.name);
+      // Cumulative buckets; elide the all-zero head and tail (the
+      // cumulative value of an elided line is implied by its
+      // neighbors), always close with +Inf.
+      size_t first = HistogramSnapshot::kNumBuckets;
+      size_t last = 0;
+      for (size_t i = 0; i < HistogramSnapshot::kNumBuckets - 1; ++i) {
+        if (v.hist.buckets[i] == 0) continue;
+        first = std::min(first, i);
+        last = std::max(last, i);
+      }
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < HistogramSnapshot::kNumBuckets - 1; ++i) {
+        cumulative += v.hist.buckets[i];
+        if (i < first || i > last) continue;
+        char bound[24];
+        std::snprintf(bound, sizeof(bound), "%" PRIu64,
+                      HistogramSnapshot::BucketUpperBound(i));
+        AppendHistLine(out, family, "_bucket", labels, bound, cumulative);
+      }
+      AppendHistLine(out, family, "_bucket", labels, "+Inf", v.hist.count);
+      AppendHistLine(out, family, "_sum", labels, {}, v.hist.sum);
+      AppendHistLine(out, family, "_count", labels, {}, v.hist.count);
+    } else {
+      out += v.name;
+      out += ' ';
+      if (v.kind == MetricKind::kCounter) {
+        AppendUint(out, v.counter);
+      } else {
+        AppendInt(out, v.gauge);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string DumpMetricsText(std::string_view prefix) {
+  return MetricsRegistry::Global().DumpText(prefix);
+}
+
+}  // namespace obs
+}  // namespace dsketch

@@ -164,6 +164,19 @@ std::optional<StatsResponse> SketchClient::Stats() {
   return rsp;
 }
 
+std::optional<std::string> SketchClient::Metrics(MetricsScope scope) {
+  MetricsRequest req;
+  req.scope = scope;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kMetrics, id, EncodeMetricsRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  MetricsResponse rsp;
+  if (!DecodeMetricsResponse(reader, &rsp)) return std::nullopt;
+  return std::move(rsp.text);
+}
+
 bool SketchClient::Shutdown() {
   const uint64_t id = next_request_id_++;
   std::optional<std::string> body =

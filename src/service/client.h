@@ -88,6 +88,12 @@ class SketchClient {
   /// Server-side counters.
   std::optional<StatsResponse> Stats();
 
+  /// Prometheus-style telemetry text (obs/metrics.h), filtered to the
+  /// requested scope's metric families (kAll = everything). Served by
+  /// writers and read replicas alike.
+  std::optional<std::string> Metrics(
+      MetricsScope scope = MetricsScope::kAll);
+
   /// Asks the server to stop serving after replying; true when
   /// acknowledged.
   bool Shutdown();

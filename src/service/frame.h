@@ -27,6 +27,10 @@ namespace dsketch {
 // kMaxFramePayload (the 16 MiB cap both sides enforce) lives in
 // service/limits.h with the other shared protocol limits.
 
+/// Bytes a frame spends on its length prefix (what the
+/// dsketch_service_frame_bytes_total counters add on top of payloads).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
 /// Outcome of reading one frame off a transport.
 enum class FrameStatus : uint8_t {
   kOk = 0,        ///< a whole frame arrived

@@ -39,6 +39,11 @@ inline constexpr uint64_t kMaxPredicateValues = uint64_t{1} << 16;
 inline constexpr uint64_t kMaxTopK = uint64_t{1} << 16;
 inline constexpr uint64_t kMaxGroupRows = uint64_t{1} << 20;
 
+/// Largest METRICS text exposition a response may carry (1 MiB —
+/// thousands of series; a registry would have to leak names to reach
+/// it). Bounds decode-side allocation like every other cap.
+inline constexpr uint64_t kMaxMetricsTextBytes = uint64_t{1} << 20;
+
 }  // namespace dsketch
 
 #endif  // DSKETCH_SERVICE_LIMITS_H_

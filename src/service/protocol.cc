@@ -75,6 +75,24 @@ bool ReadLastK(wire::VarintReader& reader, QueryScope scope, uint64_t* out) {
 
 }  // namespace
 
+std::string_view MetricsScopePrefix(MetricsScope scope) {
+  switch (scope) {
+    case MetricsScope::kAll:
+      return "dsketch_";
+    case MetricsScope::kService:
+      return "dsketch_service_";
+    case MetricsScope::kShard:
+      return "dsketch_shard_";
+    case MetricsScope::kWindow:
+      return "dsketch_window_";
+    case MetricsScope::kWire:
+      return "dsketch_wire_";
+    case MetricsScope::kUtil:
+      return "dsketch_util_";
+  }
+  return "dsketch_";
+}
+
 // --- request encoders -------------------------------------------------
 
 std::string EncodeIngestBatchRequest(uint64_t request_id,
@@ -161,6 +179,15 @@ std::string EncodeShutdownRequest(uint64_t request_id) {
   std::string out;
   wire::VarintWriter w(out);
   PutRequestHeader(w, Opcode::kShutdown, request_id);
+  return out;
+}
+
+std::string EncodeMetricsRequest(uint64_t request_id,
+                                 const MetricsRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kMetrics, request_id);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
   return out;
 }
 
@@ -263,6 +290,11 @@ std::string EncodeStatsResponse(uint64_t request_id,
   w.PutVarint(msg.snapshots);
   w.PutVarint(msg.restores);
   w.PutVarint(msg.errors);
+  w.PutVarint(msg.errors_malformed);
+  w.PutVarint(msg.errors_unknown_opcode);
+  w.PutVarint(msg.errors_unsupported);
+  w.PutVarint(msg.errors_too_large);
+  w.PutVarint(msg.errors_bad_state);
   w.PutVarint(msg.num_shards);
   w.PutVarint(msg.window_epoch);
   w.PutVarintSigned(msg.total_count);
@@ -278,6 +310,16 @@ std::string EncodeShutdownResponse(uint64_t request_id) {
   std::string out;
   wire::VarintWriter w(out);
   PutResponseHeader(w, Opcode::kShutdown, request_id, Status::kOk);
+  return out;
+}
+
+std::string EncodeMetricsResponse(uint64_t request_id,
+                                  const MetricsResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kMetrics, request_id, Status::kOk);
+  w.PutVarint(msg.text.size());
+  out.append(msg.text);
   return out;
 }
 
@@ -399,6 +441,14 @@ bool DecodeRestoreRequest(wire::VarintReader& reader, RestoreRequest* out) {
   return reader.AtEnd();
 }
 
+bool DecodeMetricsRequest(wire::VarintReader& reader, MetricsRequest* out) {
+  uint8_t scope;
+  if (!reader.ReadByte(&scope)) return false;
+  if (scope > static_cast<uint8_t>(MetricsScope::kUtil)) return false;
+  out->scope = static_cast<MetricsScope>(scope);
+  return reader.AtEnd();
+}
+
 bool DecodeIngestBatchResponse(wire::VarintReader& reader,
                                IngestBatchResponse* out) {
   if (!reader.ReadVarint(&out->rows_accepted)) return false;
@@ -487,6 +537,11 @@ bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out) {
   if (!reader.ReadVarint(&out->snapshots)) return false;
   if (!reader.ReadVarint(&out->restores)) return false;
   if (!reader.ReadVarint(&out->errors)) return false;
+  if (!reader.ReadVarint(&out->errors_malformed)) return false;
+  if (!reader.ReadVarint(&out->errors_unknown_opcode)) return false;
+  if (!reader.ReadVarint(&out->errors_unsupported)) return false;
+  if (!reader.ReadVarint(&out->errors_too_large)) return false;
+  if (!reader.ReadVarint(&out->errors_bad_state)) return false;
   if (!reader.ReadVarint(&out->num_shards)) return false;
   if (!reader.ReadVarint(&out->window_epoch)) return false;
   if (!reader.ReadVarintSigned(&out->total_count)) return false;
@@ -505,6 +560,19 @@ bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out) {
   }
   out->last_restore_format = static_cast<SnapshotFormat>(restore_format);
   if (!reader.ReadVarint(&out->last_restore_bytes)) return false;
+  return reader.AtEnd();
+}
+
+bool DecodeMetricsResponse(wire::VarintReader& reader, MetricsResponse* out) {
+  uint64_t n_bytes;
+  if (!reader.ReadVarint(&n_bytes)) return false;
+  if (n_bytes > kMaxMetricsTextBytes || n_bytes != reader.remaining()) {
+    return false;
+  }
+  out->text.clear();
+  if (!reader.ReadBytes(static_cast<size_t>(n_bytes), &out->text)) {
+    return false;
+  }
   return reader.AtEnd();
 }
 

@@ -39,6 +39,11 @@
 //   STATS         req: (empty)
 //                 rsp: counters (see StatsResponse)
 //   SHUTDOWN      req: (empty)   rsp: (empty)
+//   METRICS       req: [u8 scope (MetricsScope: 0 = all, 1 = service,
+//                       2 = shard, 3 = window, 4 = wire, 5 = util)]
+//                 rsp: [varint n_bytes][Prometheus-style text
+//                      exposition (obs/metrics.h), scope-filtered by
+//                      metric family prefix]
 //
 //   predicate = [varint n_conditions] then per condition
 //               [varint dim][varint n_values][n varint values (u32)]
@@ -80,8 +85,13 @@ namespace dsketch {
 /// window_epoch travel mid-body), so mixed-version fleets refuse each
 /// other explicitly instead of misparsing counters. Version 3 added the
 /// frozen-format SNAPSHOT flag and another unconditional STATS body
-/// change (the last_snapshot_* / last_restore_* counters).
-inline constexpr uint8_t kProtocolVersion = 3;
+/// change (the last_snapshot_* / last_restore_* counters). Version 4
+/// added the METRICS opcode (telemetry text exposition, served by
+/// writers and replicas alike) and an unconditional STATS body change
+/// (the per-status error counters errors_malformed /
+/// errors_unknown_opcode / errors_unsupported / errors_too_large /
+/// errors_bad_state).
+inline constexpr uint8_t kProtocolVersion = 4;
 
 /// High bit of the SNAPSHOT request scope byte: the client wants the
 /// frozen mmap-able image (wire kind 8) instead of the v2 stream
@@ -98,6 +108,7 @@ enum class Opcode : uint8_t {
   kRestore = 6,
   kStats = 7,
   kShutdown = 8,
+  kMetrics = 9,
 };
 
 /// Response status codes.
@@ -116,6 +127,21 @@ enum class QueryScope : uint8_t {
   kWeighted = 1,  ///< real-valued WeightedSpaceSaving state
   kWindow = 2,    ///< epoch-ring WindowedSpaceSaving state
 };
+
+/// Which metric families a METRICS request selects (values are wire
+/// contract): each maps to a family-name prefix in the registry
+/// (`dsketch_service_`, `dsketch_shard_`, ...); kAll is everything.
+enum class MetricsScope : uint8_t {
+  kAll = 0,
+  kService = 1,
+  kShard = 2,
+  kWindow = 3,
+  kWire = 4,
+  kUtil = 5,
+};
+
+/// The registry family prefix `scope` selects ("dsketch_" for kAll).
+std::string_view MetricsScopePrefix(MetricsScope scope);
 
 // The element-count caps (kMaxBatchRows, kMaxTopK, ...) are shared with
 // the frame layer through service/limits.h. Window last_k values are
@@ -214,6 +240,13 @@ struct SnapshotResponse {
   std::string blob;  ///< sketch wire bytes (core/serialization.h)
 };
 
+struct MetricsRequest {
+  MetricsScope scope = MetricsScope::kAll;
+};
+struct MetricsResponse {
+  std::string text;  ///< Prometheus-style exposition (obs/metrics.h)
+};
+
 struct RestoreRequest {
   QueryScope scope = QueryScope::kCounts;
   std::string blob;
@@ -238,6 +271,14 @@ struct StatsResponse {
   uint64_t snapshots = 0;
   uint64_t restores = 0;
   uint64_t errors = 0;           ///< requests answered with status != kOk
+  /// Error responses broken down by status — adversarial traffic
+  /// (malformed frames, unknown opcodes, oversized claims) is visible
+  /// per cause, on writers and replicas alike. Sums to `errors`.
+  uint64_t errors_malformed = 0;
+  uint64_t errors_unknown_opcode = 0;
+  uint64_t errors_unsupported = 0;
+  uint64_t errors_too_large = 0;
+  uint64_t errors_bad_state = 0;
   uint64_t num_shards = 0;
   uint64_t window_epoch = 0;     ///< open epoch of the windowed ring
   int64_t total_count = 0;       ///< TotalCount() of the counts view
@@ -267,6 +308,8 @@ std::string EncodeRestoreRequest(uint64_t request_id,
                                  const RestoreRequest& msg);
 std::string EncodeStatsRequest(uint64_t request_id);
 std::string EncodeShutdownRequest(uint64_t request_id);
+std::string EncodeMetricsRequest(uint64_t request_id,
+                                 const MetricsRequest& msg);
 
 // --- encoders (response side) ----------------------------------------
 
@@ -288,6 +331,8 @@ std::string EncodeRestoreResponse(uint64_t request_id,
 std::string EncodeStatsResponse(uint64_t request_id,
                                 const StatsResponse& msg);
 std::string EncodeShutdownResponse(uint64_t request_id);
+std::string EncodeMetricsResponse(uint64_t request_id,
+                                  const MetricsResponse& msg);
 
 // --- decoders ---------------------------------------------------------
 //
@@ -306,6 +351,7 @@ bool DecodeQueryGroupByRequest(wire::VarintReader& reader,
                                QueryGroupByRequest* out);
 bool DecodeSnapshotRequest(wire::VarintReader& reader, SnapshotRequest* out);
 bool DecodeRestoreRequest(wire::VarintReader& reader, RestoreRequest* out);
+bool DecodeMetricsRequest(wire::VarintReader& reader, MetricsRequest* out);
 
 bool DecodeIngestBatchResponse(wire::VarintReader& reader,
                                IngestBatchResponse* out);
@@ -317,6 +363,7 @@ bool DecodeQueryGroupByResponse(wire::VarintReader& reader,
 bool DecodeSnapshotResponse(wire::VarintReader& reader, SnapshotResponse* out);
 bool DecodeRestoreResponse(wire::VarintReader& reader, RestoreResponse* out);
 bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out);
+bool DecodeMetricsResponse(wire::VarintReader& reader, MetricsResponse* out);
 
 }  // namespace dsketch
 

@@ -1,14 +1,20 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "core/frequent_items.h"
 #include "core/serialization.h"
+#include "obs/metrics.h"
 #include "service/frame.h"
+#include "util/flat_map.h"
 #include "util/logging.h"
+#include "util/mmap_array.h"
 #include "util/span.h"
 #include "wire/codec.h"
 #include "wire/frozen.h"
@@ -30,6 +36,119 @@ SnapshotFormat BlobSnapshotFormat(std::string_view blob) {
   return env.has_value() && env->kind == wire::kKindFrozenUnbiased
              ? SnapshotFormat::kFrozen
              : SnapshotFormat::kStream;
+}
+
+// Per-opcode telemetry handles, indexed by opcode value (0 = requests
+// whose header never decoded or whose opcode is unknown). Registered
+// once; the serve path only touches relaxed atomics.
+constexpr size_t kOpcodeSlots = static_cast<size_t>(Opcode::kMetrics) + 1;
+
+constexpr const char* kOpcodeNames[kOpcodeSlots] = {
+    "unknown",  "ingest_batch", "query_sum", "query_topk", "query_groupby",
+    "snapshot", "restore",      "stats",     "shutdown",   "metrics"};
+
+size_t OpcodeIndex(Opcode opcode) {
+  const uint8_t v = static_cast<uint8_t>(opcode);
+  return v < kOpcodeSlots ? v : 0;
+}
+
+obs::Counter& RequestCounter(size_t op_index) {
+  static std::array<obs::Counter*, kOpcodeSlots>* counters = [] {
+    auto* out = new std::array<obs::Counter*, kOpcodeSlots>;
+    for (size_t i = 0; i < kOpcodeSlots; ++i) {
+      (*out)[i] = &obs::MetricsRegistry::Global().GetCounter(
+          std::string("dsketch_service_requests_total{opcode=\"") +
+          kOpcodeNames[i] + "\"}");
+    }
+    return out;
+  }();
+  return *(*counters)[op_index];
+}
+
+obs::Histogram& LatencyHistogram(size_t op_index) {
+  static std::array<obs::Histogram*, kOpcodeSlots>* hists = [] {
+    auto* out = new std::array<obs::Histogram*, kOpcodeSlots>;
+    for (size_t i = 0; i < kOpcodeSlots; ++i) {
+      (*out)[i] = &obs::MetricsRegistry::Global().GetHistogram(
+          std::string("dsketch_service_request_latency_us{opcode=\"") +
+          kOpcodeNames[i] + "\"}");
+    }
+    return out;
+  }();
+  return *(*hists)[op_index];
+}
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kMalformed:
+      return "malformed";
+    case Status::kUnknownOpcode:
+      return "unknown_opcode";
+    case Status::kUnsupported:
+      return "unsupported";
+    case Status::kTooLarge:
+      return "too_large";
+    case Status::kBadState:
+      return "bad_state";
+  }
+  return "unknown";
+}
+
+obs::Counter& ErrorCounter(Status status) {
+  static std::array<obs::Counter*, 6>* counters = [] {
+    auto* out = new std::array<obs::Counter*, 6>;
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = &obs::MetricsRegistry::Global().GetCounter(
+          std::string("dsketch_service_request_errors_total{status=\"") +
+          StatusName(static_cast<Status>(i)) + "\"}");
+    }
+    return out;
+  }();
+  const size_t i = static_cast<size_t>(status);
+  return *(*counters)[i < counters->size() ? i : 0];
+}
+
+obs::Counter& SlowRequestCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_service_slow_requests_total");
+  return counter;
+}
+
+obs::Counter& FrameBytesCounter(bool in) {
+  static obs::Counter& bytes_in = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_service_frame_bytes_total{dir=\"in\"}");
+  static obs::Counter& bytes_out = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_service_frame_bytes_total{dir=\"out\"}");
+  return in ? bytes_in : bytes_out;
+}
+
+obs::Counter& TimerTickCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_timer_ticks_total");
+  return counter;
+}
+
+obs::Counter& TimerCatchupCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_timer_catchup_ticks_total");
+  return counter;
+}
+
+// Info gauge: constant 1, the interesting bits ride the labels (which
+// allocator mode, probe kernel, and metrics build this process runs).
+void RegisterBuildInfo() {
+  static bool once = [] {
+    obs::MetricsRegistry::Global()
+        .GetGauge(std::string("dsketch_util_build_info{alloc_mode=\"") +
+                  AllocModeName(GlobalAllocMode()) + "\",probe_isa=\"" +
+                  FlatMapProbeIsa() + "\",metrics=\"" +
+                  obs::MetricsBuildMode() + "\"}")
+        .Set(1);
+    return true;
+  }();
+  (void)once;
 }
 
 }  // namespace
@@ -62,6 +181,8 @@ SketchServer::SketchServer(const SketchServerOptions& options,
   // Wall-clock epoch scheduling is vetted at startup like the rest of
   // the window configuration (0 = disabled).
   DSKETCH_CHECK(options.epoch_interval_ms >= 0);
+  DSKETCH_CHECK(options.slow_request_us >= 0);
+  RegisterBuildInfo();
 }
 
 SketchServer::SketchServer(const SketchServerOptions& options,
@@ -129,18 +250,83 @@ Status SketchServer::BuildPredicate(const PredicateSpec& spec,
   return Status::kOk;
 }
 
+std::string SketchServer::Fail(Opcode opcode, uint64_t request_id,
+                               Status status) {
+  ++counters_.errors;
+  switch (status) {
+    case Status::kMalformed:
+      ++counters_.errors_malformed;
+      break;
+    case Status::kUnknownOpcode:
+      ++counters_.errors_unknown_opcode;
+      break;
+    case Status::kUnsupported:
+      ++counters_.errors_unsupported;
+      break;
+    case Status::kTooLarge:
+      ++counters_.errors_too_large;
+      break;
+    case Status::kBadState:
+      ++counters_.errors_bad_state;
+      break;
+    case Status::kOk:
+      break;
+  }
+  ErrorCounter(status).Inc();
+  return EncodeErrorResponse(opcode, request_id, status);
+}
+
 std::string SketchServer::HandleRequest(std::string_view request) {
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
   wire::VarintReader reader(request);
   RequestHeader header;
+  std::string response;
+  size_t op_index = 0;
+  uint64_t request_id = 0;
+  Opcode opcode = static_cast<Opcode>(0);
   if (!DecodeRequestHeader(reader, &header)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(static_cast<Opcode>(0), 0, Status::kMalformed);
+    response = Fail(static_cast<Opcode>(0), 0, Status::kMalformed);
+  } else {
+    op_index = OpcodeIndex(header.opcode);
+    request_id = header.request_id;
+    opcode = header.opcode;
+    response = header.version != kProtocolVersion
+                   ? Fail(header.opcode, header.request_id,
+                          Status::kUnsupported)
+                   : Dispatch(header, reader);
   }
-  if (header.version != kProtocolVersion) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+  const uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  RequestCounter(op_index).Inc();
+  LatencyHistogram(op_index).Record(latency_us);
+  if (options_.slow_request_us > 0 &&
+      latency_us >= static_cast<uint64_t>(options_.slow_request_us)) {
+    SlowRequestCounter().Inc();
+    SlowRequestInfo info;
+    info.opcode = opcode;
+    info.request_id = request_id;
+    info.latency_us = latency_us;
+    info.request_bytes = request.size();
+    info.response_bytes = response.size();
+    if (options_.slow_request_hook) {
+      options_.slow_request_hook(info);
+    } else {
+      std::fprintf(stderr,
+                   "dsketchd: slow_request opcode=%s request_id=%" PRIu64
+                   " latency_us=%" PRIu64 " request_bytes=%zu"
+                   " response_bytes=%zu\n",
+                   kOpcodeNames[op_index], info.request_id, info.latency_us,
+                   info.request_bytes, info.response_bytes);
+    }
   }
+  return response;
+}
+
+std::string SketchServer::Dispatch(const RequestHeader& header,
+                                   wire::VarintReader& reader) {
   switch (header.opcode) {
     case Opcode::kIngestBatch:
       return HandleIngestBatch(header, reader);
@@ -154,42 +340,50 @@ std::string SketchServer::HandleRequest(std::string_view request) {
       return HandleSnapshot(header, reader);
     case Opcode::kRestore:
       return HandleRestore(header, reader);
+    case Opcode::kMetrics:
+      return HandleMetrics(header, reader);
     case Opcode::kStats: {
       if (!reader.AtEnd()) {
-        ++counters_.errors;
-        return EncodeErrorResponse(header.opcode, header.request_id,
-                                   Status::kMalformed);
+        return Fail(header.opcode, header.request_id, Status::kMalformed);
       }
       return EncodeStatsResponse(header.request_id, Stats());
     }
     case Opcode::kShutdown: {
       if (!reader.AtEnd()) {
-        ++counters_.errors;
-        return EncodeErrorResponse(header.opcode, header.request_id,
-                                   Status::kMalformed);
+        return Fail(header.opcode, header.request_id, Status::kMalformed);
       }
       shutdown_ = true;
       return EncodeShutdownResponse(header.request_id);
     }
   }
-  ++counters_.errors;
-  return EncodeErrorResponse(header.opcode, header.request_id,
-                             Status::kUnknownOpcode);
+  return Fail(header.opcode, header.request_id, Status::kUnknownOpcode);
+}
+
+std::string SketchServer::HandleMetrics(const RequestHeader& header,
+                                        wire::VarintReader& reader) {
+  MetricsRequest req;
+  if (!DecodeMetricsRequest(reader, &req)) {
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
+  }
+  // Served in replica mode too: a read-only node's telemetry is exactly
+  // what an operator watching a replica fleet needs.
+  MetricsResponse rsp;
+  rsp.text = obs::DumpMetricsText(MetricsScopePrefix(req.scope));
+  if (rsp.text.size() > kMaxMetricsTextBytes) {
+    return Fail(header.opcode, header.request_id, Status::kTooLarge);
+  }
+  return EncodeMetricsResponse(header.request_id, rsp);
 }
 
 std::string SketchServer::HandleIngestBatch(const RequestHeader& header,
                                             wire::VarintReader& reader) {
   IngestBatchRequest req;
   if (!DecodeIngestBatchRequest(reader, &req)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   if (replica_ != nullptr) {
     // Replicas are read-only; rows belong on a writer node.
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   if (req.windowed) {
     std::vector<EpochRow> rows;
@@ -222,21 +416,16 @@ std::string SketchServer::HandleQuerySum(const RequestHeader& header,
                                          wire::VarintReader& reader) {
   QuerySumRequest req;
   if (!DecodeQuerySumRequest(reader, &req)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   Predicate pred;
   Status status = BuildPredicate(req.where, &pred);
   if (status != Status::kOk) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id, status);
+    return Fail(header.opcode, header.request_id, status);
   }
   if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
     // The image holds only the counts sketch.
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   ++counters_.queries;
   QuerySumResponse rsp;
@@ -269,14 +458,10 @@ std::string SketchServer::HandleQueryTopK(const RequestHeader& header,
                                           wire::VarintReader& reader) {
   QueryTopKRequest req;
   if (!DecodeQueryTopKRequest(reader, &req)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   ++counters_.queries;
   QueryTopKResponse rsp;
@@ -306,26 +491,19 @@ std::string SketchServer::HandleQueryGroupBy(const RequestHeader& header,
                                              wire::VarintReader& reader) {
   QueryGroupByRequest req;
   if (!DecodeQueryGroupByRequest(reader, &req)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   if (attrs_ == nullptr) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   if (req.dim1 >= attrs_->num_dims() ||
       (req.has_dim2 && req.dim2 >= attrs_->num_dims())) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   Predicate pred;
   Status status = BuildPredicate(req.where, &pred);
   if (status != Status::kOk) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id, status);
+    return Fail(header.opcode, header.request_id, status);
   }
   ++counters_.queries;
   QueryGroupByResponse rsp;
@@ -356,21 +534,15 @@ std::string SketchServer::HandleSnapshot(const RequestHeader& header,
                                          wire::VarintReader& reader) {
   SnapshotRequest req;
   if (!DecodeSnapshotRequest(reader, &req)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   // The frozen image carries only the counts sketch; other scopes have
   // no frozen form.
   if (req.frozen && req.scope != QueryScope::kCounts) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   ++counters_.snapshots;
   SnapshotResponse rsp;
@@ -396,9 +568,7 @@ std::string SketchServer::HandleSnapshot(const RequestHeader& header,
   // A frame must hold the response; the serialization caps keep real
   // snapshots far below this.
   if (rsp.blob.size() > kMaxSnapshotBlobBytes) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kTooLarge);
+    return Fail(header.opcode, header.request_id, Status::kTooLarge);
   }
   counters_.last_snapshot_format = format;
   counters_.last_snapshot_bytes = rsp.blob.size();
@@ -409,36 +579,26 @@ std::string SketchServer::HandleRestore(const RequestHeader& header,
                                         wire::VarintReader& reader) {
   RestoreRequest req;
   if (!DecodeRestoreRequest(reader, &req)) {
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kMalformed);
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   if (replica_ != nullptr) {
     // Replicas are read-only; nothing restores into a frozen image.
-    ++counters_.errors;
-    return EncodeErrorResponse(header.opcode, header.request_id,
-                               Status::kUnsupported);
+    return Fail(header.opcode, header.request_id, Status::kUnsupported);
   }
   RestoreResponse rsp;
   if (req.scope == QueryScope::kCounts) {
     if (!source_.RestoreSnapshot(req.blob)) {
-      ++counters_.errors;
-      return EncodeErrorResponse(header.opcode, header.request_id,
-                                 Status::kBadState);
+      return Fail(header.opcode, header.request_id, Status::kBadState);
     }
     rsp.num_absorbed = source_.sharded().num_absorbed();
   } else if (req.scope == QueryScope::kWindow) {
     if (!Window().RestoreSnapshot(req.blob)) {
-      ++counters_.errors;
-      return EncodeErrorResponse(header.opcode, header.request_id,
-                                 Status::kBadState);
+      return Fail(header.opcode, header.request_id, Status::kBadState);
     }
     rsp.num_absorbed = Window().sharded().num_absorbed();
   } else {
     if (!Weighted().IngestSerialized(req.blob)) {
-      ++counters_.errors;
-      return EncodeErrorResponse(header.opcode, header.request_id,
-                                 Status::kBadState);
+      return Fail(header.opcode, header.request_id, Status::kBadState);
     }
     weighted_dirty_ = true;
     rsp.num_absorbed = Weighted().num_absorbed();
@@ -461,6 +621,11 @@ StatsResponse SketchServer::Stats() {
   out.snapshots = counters_.snapshots;
   out.restores = counters_.restores;
   out.errors = counters_.errors;
+  out.errors_malformed = counters_.errors_malformed;
+  out.errors_unknown_opcode = counters_.errors_unknown_opcode;
+  out.errors_unsupported = counters_.errors_unsupported;
+  out.errors_too_large = counters_.errors_too_large;
+  out.errors_bad_state = counters_.errors_bad_state;
   out.num_shards = source_.sharded().num_shards();
   if (replica_ != nullptr) {
     // Replica totals come off the image header; the (empty) writer
@@ -480,6 +645,11 @@ StatsResponse SketchServer::Stats() {
 }
 
 void SketchServer::TickEpochs(uint64_t ticks) {
+  // Owed-tick catch-up is visible per cause: ticks counts every epoch
+  // the wall clock owed, catchup the ones beyond the first — a stalled
+  // serve loop (slow request, suspended process) shows up as catchup.
+  TimerTickCounter().Inc(ticks);
+  if (ticks > 1) TimerCatchupCounter().Inc(ticks - 1);
   WindowedSketchSource& window = Window();
   const uint64_t current = window.current_epoch();
   const uint64_t target = ticks > kMaxEpochStamp - current
@@ -523,8 +693,10 @@ void SketchServer::Serve(Transport& transport) {
     // prefix, mid-frame EOF) is unrecoverable on a byte stream, so the
     // connection is dropped either way.
     if (fs != FrameStatus::kOk) break;
+    FrameBytesCounter(/*in=*/true).Inc(payload.size() + kFrameHeaderBytes);
     std::string response = HandleRequest(payload);
     if (!WriteFrame(transport, response)) break;
+    FrameBytesCounter(/*in=*/false).Inc(response.size() + kFrameHeaderBytes);
     if (shutdown_) break;
   }
   transport.CloseWrite();

@@ -25,7 +25,9 @@
 #ifndef DSKETCH_SERVICE_SERVER_H_
 #define DSKETCH_SERVICE_SERVER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -40,6 +42,16 @@
 #include "shard/sharded_sketch.h"
 
 namespace dsketch {
+
+/// One slow request, as handed to SketchServerOptions::slow_request_hook
+/// (all sizes are payload bytes, excluding the 4-byte frame prefix).
+struct SlowRequestInfo {
+  Opcode opcode = Opcode::kStats;
+  uint64_t request_id = 0;
+  uint64_t latency_us = 0;
+  size_t request_bytes = 0;
+  size_t response_bytes = 0;
+};
 
 /// Server tuning knobs.
 struct SketchServerOptions {
@@ -61,6 +73,16 @@ struct SketchServerOptions {
   /// deployment gets sliding windows without every client stamping rows.
   /// 0 (default) keeps epochs purely caller-driven. Must be >= 0.
   int64_t epoch_interval_ms = 0;
+  /// > 0: every request whose HandleRequest latency reaches this many
+  /// microseconds fires `slow_request_hook` (default: one structured
+  /// line on stderr — see README "Observability") and bumps
+  /// dsketch_service_slow_requests_total. 0 (default) disables the
+  /// hook. Must be >= 0.
+  int64_t slow_request_us = 0;
+  /// Replaces the default stderr line when set (tests capture calls;
+  /// embedders route into their own logger). Called on the serving
+  /// thread — keep it cheap.
+  std::function<void(const SlowRequestInfo&)> slow_request_hook;
 };
 
 /// The streaming sketch service.
@@ -102,6 +124,10 @@ class SketchServer {
   StatsResponse Stats();
 
  private:
+  // The opcode switch HandleRequest wraps with telemetry (per-opcode
+  // request count, latency histogram, slow-request hook).
+  std::string Dispatch(const RequestHeader& header,
+                       wire::VarintReader& reader);
   std::string HandleIngestBatch(const RequestHeader& header,
                                 wire::VarintReader& reader);
   std::string HandleQuerySum(const RequestHeader& header,
@@ -114,6 +140,13 @@ class SketchServer {
                              wire::VarintReader& reader);
   std::string HandleRestore(const RequestHeader& header,
                             wire::VarintReader& reader);
+  std::string HandleMetrics(const RequestHeader& header,
+                            wire::VarintReader& reader);
+
+  // The single error-response chokepoint: bumps the total and
+  // per-status error counters (STATS) and the labeled obs series, then
+  // encodes the header-only error response.
+  std::string Fail(Opcode opcode, uint64_t request_id, Status status);
 
   // Lazily boots the weighted fleet (first weighted ingest/restore).
   ShardedWeightedSpaceSaving& Weighted();
@@ -165,6 +198,11 @@ class SketchServer {
     uint64_t snapshots = 0;
     uint64_t restores = 0;
     uint64_t errors = 0;
+    uint64_t errors_malformed = 0;
+    uint64_t errors_unknown_opcode = 0;
+    uint64_t errors_unsupported = 0;
+    uint64_t errors_too_large = 0;
+    uint64_t errors_bad_state = 0;
     SnapshotFormat last_snapshot_format = SnapshotFormat::kNone;
     uint64_t last_snapshot_bytes = 0;
     SnapshotFormat last_restore_format = SnapshotFormat::kNone;

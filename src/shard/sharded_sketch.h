@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -42,12 +43,40 @@
 #include "core/serialization.h"
 #include "core/unbiased_space_saving.h"
 #include "core/weighted_space_saving.h"
+#include "obs/metrics.h"
 #include "shard/spsc_queue.h"
 #include "util/flat_map.h"
 #include "util/logging.h"
 #include "util/span.h"
 
 namespace dsketch {
+
+// Shard-layer telemetry (obs/metrics.h), shared by every fleet in the
+// process and keyed by shard index: a counts, weighted, and windowed
+// fleet with the same shard count aggregate into the same per-shard
+// series. Handles are registered at fleet construction and cached in
+// the Shard, so the ingest/worker paths only touch relaxed atomics.
+namespace shard_metrics {
+
+inline obs::Counter& RowsIngested(size_t shard_index) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_shard_rows_ingested_total{shard=\"" +
+      std::to_string(shard_index) + "\"}");
+}
+
+inline obs::Gauge& QueueDepthHighwater(size_t shard_index) {
+  return obs::MetricsRegistry::Global().GetGauge(
+      "dsketch_shard_queue_depth_highwater{shard=\"" +
+      std::to_string(shard_index) + "\"}");
+}
+
+inline obs::Histogram& SnapshotMergeUs() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "dsketch_shard_snapshot_merge_us");
+  return hist;
+}
+
+}  // namespace shard_metrics
 
 /// Unbiased merge of per-shard sketches (single final pairwise-PPS
 /// reduction over all entries, as in MergeAll).
@@ -172,7 +201,14 @@ class ShardedSketch {
         }
         done += pushed;
       }
-      shard.enqueued.fetch_add(rows.size(), std::memory_order_release);
+      const uint64_t enqueued =
+          shard.enqueued.fetch_add(rows.size(), std::memory_order_release) +
+          rows.size();
+      // Queue-pressure high-water mark: rows enqueued but not yet
+      // applied, sampled once per batch (not per row — one relaxed load
+      // and a CAS-max on the ingest path).
+      shard.queue_highwater->RaiseTo(static_cast<int64_t>(
+          enqueued - shard.applied.load(std::memory_order_relaxed)));
       rows.clear();
     }
   }
@@ -191,6 +227,7 @@ class ShardedSketch {
   /// `capacity` bins. Estimates from the result are unbiased (Theorem 2);
   /// deterministic given the ingested stream and seeds.
   S Snapshot(size_t capacity, uint64_t seed = 1) {
+    obs::ScopedTimer merge_timer(shard_metrics::SnapshotMergeUs());
     Flush();
     // Shard sketches are copied under their locks (workers may still be
     // alive); absorbed remotes are producer-thread-only and immutable,
@@ -261,13 +298,20 @@ class ShardedSketch {
   struct Shard {
     Shard(const ShardedSketchOptions& options, size_t i,
           const ShardFactory& factory)
-        : queue(options.queue_capacity), sketch(factory(i)) {}
+        : queue(options.queue_capacity),
+          sketch(factory(i)),
+          rows_metric(&shard_metrics::RowsIngested(i)),
+          queue_highwater(&shard_metrics::QueueDepthHighwater(i)) {}
 
     SpscQueue<Row> queue;
     S sketch;
     std::mutex mu;  // guards sketch between worker and Snapshot
     std::atomic<uint64_t> enqueued{0};
     std::atomic<uint64_t> applied{0};
+    // Cached telemetry handles (register once here, bump lock-free on
+    // the ingest/worker paths).
+    obs::Counter* rows_metric;
+    obs::Gauge* queue_highwater;
     std::thread worker;
   };
 
@@ -287,6 +331,7 @@ class ShardedSketch {
         shard.sketch.UpdateBatch(Span<const Row>(rows.data(), n));
       }
       shard.applied.fetch_add(n, std::memory_order_release);
+      shard.rows_metric->Inc(n);  // per drained batch, not per row
     }
   }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/metrics.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define DSKETCH_HAVE_MMAP 1
 #include <fcntl.h>
@@ -196,6 +198,31 @@ void MappedFile::Release() {
 }
 
 namespace internal {
+namespace {
+
+// Table-allocation telemetry: how often the backing store actually came
+// from mmap vs the heap fallback, and how many mappings took huge-page
+// advice — the observable answers to "did auto mode kick in" and "are
+// the big tables really on 2 MiB pages" (README "Observability").
+obs::Counter& MmapAllocs() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_util_mmap_allocs_total");
+  return c;
+}
+
+obs::Counter& HeapAllocs() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_util_heap_allocs_total");
+  return c;
+}
+
+obs::Counter& ThpAdvised() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_util_thp_advised_total");
+  return c;
+}
+
+}  // namespace
 
 RawAlloc AllocRaw(size_t bytes, AllocMode mode, bool populate) {
   if (bytes == 0) bytes = 1;
@@ -206,7 +233,11 @@ RawAlloc AllocRaw(size_t bytes, AllocMode mode, bool populate) {
   if (try_mmap) {
     RawAlloc a;
     const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
-    if (MmapAlloc(RoundUp(bytes, page), populate, &a)) return a;
+    if (MmapAlloc(RoundUp(bytes, page), populate, &a)) {
+      MmapAllocs().Inc();
+      if (a.huge) ThpAdvised().Inc();
+      return a;
+    }
     // Fall through: address space exhaustion or a sandbox that denies
     // anonymous mappings must not take the sketch down with it.
   }
@@ -214,6 +245,7 @@ RawAlloc AllocRaw(size_t bytes, AllocMode mode, bool populate) {
   (void)mode;
   (void)populate;
 #endif
+  HeapAllocs().Inc();
   return HeapAlloc(bytes);
 }
 

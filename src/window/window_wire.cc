@@ -59,6 +59,7 @@ std::string SerializeWindowed(const WindowedSpaceSaving& sketch) {
     writer.PutVarint(blob.size());
     out.append(blob);
   }
+  wire::RecordWireEncoded(kWireKindWindowed, wire::kVersionCurrent, out.size());
   return out;
 }
 
@@ -159,6 +160,7 @@ std::optional<WindowedSpaceSaving> DeserializeWindowed(std::string_view bytes,
     decayed = std::move(*acc);
   }
   if (!reader.AtEnd()) return std::nullopt;
+  wire::RecordWireDecoded(env->kind, env->version, bytes.size());
 
   WindowedSpaceSaving out(opt);
   out.LoadState(std::move(slots), std::move(decayed), rows_in_epoch,

@@ -60,6 +60,7 @@
 #include "core/sketch_entry.h"
 #include "core/unbiased_space_saving.h"
 #include "core/weighted_space_saving.h"
+#include "obs/metrics.h"
 #include "shard/sharded_sketch.h"
 #include "util/logging.h"
 #include "util/span.h"
@@ -111,6 +112,60 @@ struct EpochRow {
   uint64_t item = 0;
   uint64_t epoch = 0;
 };
+
+// Window-layer telemetry (obs/metrics.h), shared by every windowed
+// sketch in the process: merge-cache effectiveness (node hits/misses
+// and the level partial reuse lands at), combine-memo effectiveness,
+// decay-fold cost, and fast-forward jumps. Handles are function-local
+// statics, so the query/ingest paths only touch relaxed atomics.
+namespace window_metrics {
+
+inline obs::Counter& NodeCacheHits() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_node_cache_hits_total");
+  return c;
+}
+
+inline obs::Counter& NodeCacheMisses() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_node_cache_misses_total");
+  return c;
+}
+
+// Tree level a node-cache hit reused (0 = a single closed epoch,
+// higher = wider aligned spans): the depth distribution of partial
+// reuse, the quantity the hierarchical cache exists to maximize.
+inline obs::Histogram& NodeReuseLevel() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "dsketch_window_node_reuse_level");
+  return hist;
+}
+
+inline obs::Counter& CombineMemoHits() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_combine_memo_hits_total");
+  return c;
+}
+
+inline obs::Counter& CombineMemoMisses() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_combine_memo_misses_total");
+  return c;
+}
+
+inline obs::Histogram& FoldUs() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "dsketch_window_fold_us");
+  return hist;
+}
+
+inline obs::Counter& FastForwards() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dsketch_window_fast_forward_total");
+  return c;
+}
+
+}  // namespace window_metrics
 
 namespace window_internal {
 
@@ -353,6 +408,7 @@ class WindowedSketch {
   // analytically — one Scale in place of the skipped epochs'
   // scale/merge-with-empty rounds, fp rounding aside.
   void FastForwardTo(uint64_t epoch) {
+    window_metrics::FastForwards().Inc();
     if (decay_enabled()) {
       CloseEpoch();  // the open epoch's rows, aged one epoch
       // Settle the fold batch before lag-scaling: the whole pending mass
@@ -437,6 +493,7 @@ class WindowedSketch {
   // a fixed stream reproduces it).
   void FoldPending(uint64_t as_of) {
     if (pending_.empty()) return;
+    obs::ScopedTimer fold_timer(window_metrics::FoldUs());
     decayed_ = WeightedSketchFromEntries(CombinedDecayed(as_of),
                                          options_.merged_capacity,
                                          options_.seed + as_of);
@@ -495,7 +552,12 @@ class WindowedSketch {
                                               uint64_t block) const {
     const auto key = std::make_pair(level, block);
     auto it = node_cache_.find(key);
-    if (it != node_cache_.end()) return it->second;
+    if (it != node_cache_.end()) {
+      window_metrics::NodeCacheHits().Inc();
+      window_metrics::NodeReuseLevel().Record(level);
+      return it->second;
+    }
+    window_metrics::NodeCacheMisses().Inc();
     std::vector<SketchEntry> entries;
     if (level == 0) {
       if (const S* slot = FindSlotSketch(block)) {
@@ -518,8 +580,10 @@ class WindowedSketch {
   const std::vector<SketchEntry>& WindowCombined(size_t last_k) const {
     auto mit = combine_memo_.find(last_k);
     if (mit != combine_memo_.end() && mit->second.version == open_version_) {
+      window_metrics::CombineMemoHits().Inc();
       return mit->second.combined;
     }
+    window_metrics::CombineMemoMisses().Inc();
     // Closed part: canonical segment decomposition of the epoch range
     // [first suffix epoch, open epoch) into O(log W) aligned nodes.
     std::vector<const std::vector<SketchEntry>*> parts;

@@ -1,5 +1,8 @@
 #include "wire/codec.h"
 
+#include <string>
+
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dsketch {
@@ -75,6 +78,29 @@ bool VersionSupported(uint8_t kind, uint8_t version) {
   const CodecInfo* info = FindCodec(kind);
   return info != nullptr && version >= info->min_version &&
          version <= info->max_version;
+}
+
+namespace {
+
+void RecordWireBytes(const char* direction, uint8_t kind, uint8_t version,
+                     size_t bytes) {
+  const CodecInfo* info = FindCodec(kind);
+  const char* kind_name = info != nullptr ? info->name : "unknown";
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("dsketch_wire_") + direction +
+                  "_bytes_total{kind=\"" + kind_name + "\",version=\"" +
+                  std::to_string(version) + "\"}")
+      .Inc(bytes);
+}
+
+}  // namespace
+
+void RecordWireEncoded(uint8_t kind, uint8_t version, size_t bytes) {
+  RecordWireBytes("encoded", kind, version, bytes);
+}
+
+void RecordWireDecoded(uint8_t kind, uint8_t version, size_t bytes) {
+  RecordWireBytes("decoded", kind, version, bytes);
 }
 
 std::optional<WireInfo> DescribeWire(std::string_view bytes) {

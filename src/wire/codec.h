@@ -96,6 +96,17 @@ struct WireInfo {
 /// kinds, or versions outside the kind's supported range.
 std::optional<WireInfo> DescribeWire(std::string_view bytes);
 
+/// Telemetry taps the serialization chokepoints call per blob: bump
+/// dsketch_wire_encoded_bytes_total / dsketch_wire_decoded_bytes_total
+/// labeled by the registered kind name and version (unknown kinds count
+/// under kind="unknown"). Blob-granular, so the registry lookup cost is
+/// irrelevant next to the codec work itself. Decode taps count accepted
+/// blobs only — rejected hostile bytes never reach them. Container
+/// blobs (the windowed ring) count their full size under their own
+/// kind; the inner per-slot blobs also count under theirs.
+void RecordWireEncoded(uint8_t kind, uint8_t version, size_t bytes);
+void RecordWireDecoded(uint8_t kind, uint8_t version, size_t bytes);
+
 }  // namespace wire
 }  // namespace dsketch
 

@@ -97,6 +97,9 @@ std::vector<std::pair<std::string, std::string>> AllRequests() {
   win_restore.blob = SerializeWindowed(ring);
   out.emplace_back("restore_window", EncodeRestoreRequest(14, win_restore));
   out.emplace_back("stats", EncodeStatsRequest(8));
+  MetricsRequest metrics;
+  metrics.scope = MetricsScope::kShard;
+  out.emplace_back("metrics", EncodeMetricsRequest(15, metrics));
   out.emplace_back("shutdown", EncodeShutdownRequest(9));
   return out;
 }
@@ -166,9 +169,80 @@ TEST(ServiceAdversarialTest, SingleBitFlipsNeverCrashTheServer) {
   SUCCEED() << still_ok << " tampered requests still executed cleanly";
 }
 
+TEST(ServiceAdversarialTest, HostileMetricsRequestsGetCleanErrors) {
+  SketchServer server(SmallOptions());
+  auto request_with = [](const std::function<void(wire::VarintWriter&)>& body) {
+    std::string out;
+    wire::VarintWriter w(out);
+    w.PutByte(kProtocolVersion);
+    w.PutByte(static_cast<uint8_t>(Opcode::kMetrics));
+    w.PutVarint(31);
+    body(w);
+    return out;
+  };
+
+  // Missing scope byte.
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                request_with([](wire::VarintWriter&) {}))),
+            Status::kMalformed);
+  // Every scope byte past the enum, including the extremes.
+  for (uint8_t scope : {uint8_t{6}, uint8_t{7}, uint8_t{100}, uint8_t{255}}) {
+    EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                  request_with([&](wire::VarintWriter& w) {
+                    w.PutByte(scope);
+                  }))),
+              Status::kMalformed)
+        << "scope " << static_cast<int>(scope);
+  }
+  // Trailing garbage after a valid scope: decoders consume exactly.
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                request_with([](wire::VarintWriter& w) {
+                  w.PutByte(0);
+                  w.PutVarint(123456);
+                }))),
+            Status::kMalformed);
+  // An oversized-claim response body cannot be provoked (the dump is
+  // bounded), but the valid request must still answer kOk afterwards —
+  // the hostile traffic above left the server serving.
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                request_with([](wire::VarintWriter& w) { w.PutByte(0); }))),
+            Status::kOk);
+
+  // Response-side: a METRICS response claiming more text than it
+  // carries (or more than the cap) is rejected by the client decoder.
+  MetricsResponse rsp;
+  rsp.text = "dsketch_service_requests_total 1\n";
+  std::string wire_rsp = EncodeMetricsResponse(31, rsp);
+  {
+    wire::VarintReader reader(wire_rsp);
+    ResponseHeader header;
+    ASSERT_TRUE(DecodeResponseHeader(reader, &header));
+    MetricsResponse decoded;
+    EXPECT_TRUE(DecodeMetricsResponse(reader, &decoded));
+    EXPECT_EQ(decoded.text, rsp.text);
+  }
+  std::string truncated = wire_rsp.substr(0, wire_rsp.size() - 5);
+  {
+    wire::VarintReader reader(truncated);
+    ResponseHeader header;
+    ASSERT_TRUE(DecodeResponseHeader(reader, &header));
+    MetricsResponse decoded;
+    EXPECT_FALSE(DecodeMetricsResponse(reader, &decoded));
+  }
+  std::string padded = wire_rsp + "extra";
+  {
+    wire::VarintReader reader(padded);
+    ResponseHeader header;
+    ASSERT_TRUE(DecodeResponseHeader(reader, &header));
+    MetricsResponse decoded;
+    EXPECT_FALSE(DecodeMetricsResponse(reader, &decoded));
+  }
+}
+
 TEST(ServiceAdversarialTest, UnknownOpcodesAndVersionsAreRejected) {
   SketchServer server(SmallOptions());
-  for (uint8_t opcode : {uint8_t{0}, uint8_t{9}, uint8_t{42}, uint8_t{255}}) {
+  // 10 is the first unassigned opcode (9 became METRICS in protocol v4).
+  for (uint8_t opcode : {uint8_t{0}, uint8_t{10}, uint8_t{42}, uint8_t{255}}) {
     std::string request;
     wire::VarintWriter w(request);
     w.PutByte(kProtocolVersion);

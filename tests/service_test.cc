@@ -16,7 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/serialization.h"
+#include "core/unbiased_space_saving.h"
 #include "query/attribute_table.h"
+#include "query/frozen_source.h"
 #include "service/client.h"
 #include "service/frame.h"
 #include "service/protocol.h"
@@ -137,6 +140,42 @@ TEST(ProtocolTest, QueryAndResponseMessagesRoundTrip) {
   ASSERT_TRUE(DecodeSnapshotRequest(reader4, &snap_req2));
   EXPECT_EQ(snap_req2.scope, QueryScope::kCounts);
   EXPECT_TRUE(snap_req2.frozen);
+}
+
+TEST(ProtocolTest, MetricsMessagesRoundTripAndValidateScope) {
+  MetricsRequest req;
+  req.scope = MetricsScope::kWindow;
+  std::string payload = EncodeMetricsRequest(5, req);
+  wire::VarintReader reader(payload);
+  RequestHeader header;
+  ASSERT_TRUE(DecodeRequestHeader(reader, &header));
+  EXPECT_EQ(header.opcode, Opcode::kMetrics);
+  MetricsRequest req2;
+  ASSERT_TRUE(DecodeMetricsRequest(reader, &req2));
+  EXPECT_EQ(req2.scope, MetricsScope::kWindow);
+
+  // A scope byte past the enum is malformed, not misinterpreted.
+  std::string bad = EncodeMetricsRequest(6, req);
+  bad.back() = static_cast<char>(6);
+  wire::VarintReader bad_reader(bad);
+  ASSERT_TRUE(DecodeRequestHeader(bad_reader, &header));
+  MetricsRequest req3;
+  EXPECT_FALSE(DecodeMetricsRequest(bad_reader, &req3));
+
+  MetricsResponse rsp;
+  rsp.text = "# TYPE t counter\nt 1\n";
+  payload = EncodeMetricsResponse(5, rsp);
+  wire::VarintReader rsp_reader(payload);
+  ResponseHeader rsp_header;
+  ASSERT_TRUE(DecodeResponseHeader(rsp_reader, &rsp_header));
+  EXPECT_EQ(rsp_header.status, Status::kOk);
+  MetricsResponse rsp2;
+  ASSERT_TRUE(DecodeMetricsResponse(rsp_reader, &rsp2));
+  EXPECT_EQ(rsp2.text, rsp.text);
+
+  EXPECT_EQ(MetricsScopePrefix(MetricsScope::kAll), "dsketch_");
+  EXPECT_EQ(MetricsScopePrefix(MetricsScope::kService), "dsketch_service_");
+  EXPECT_EQ(MetricsScopePrefix(MetricsScope::kUtil), "dsketch_util_");
 }
 
 // Fixture running a server thread over the in-memory duplex.
@@ -602,6 +641,158 @@ TEST(ServiceReplicationTest, ReplicaCatchesUpFromSnapshotFrames) {
   client_b.Shutdown();
   serve_a.join();
   serve_b.join();
+}
+
+// ---- telemetry surface (protocol v4) ----
+
+Status ResponseStatusOf(const std::string& response) {
+  wire::VarintReader reader(response);
+  ResponseHeader header;
+  EXPECT_TRUE(DecodeResponseHeader(reader, &header));
+  return header.status;
+}
+
+SketchServerOptions SmallServerOptions() {
+  SketchServerOptions options;
+  options.shard.num_shards = 2;
+  options.shard.shard_capacity = 256;
+  options.shard.seed = 11;
+  options.merged_capacity = 512;
+  options.seed = 11;
+  return options;
+}
+
+TEST_F(ServiceSessionTest, MetricsOpcodeServesScopedExposition) {
+  Boot(&attrs_);
+  ASSERT_TRUE(client_->IngestBatch(std::vector<uint64_t>{1, 2, 3, 4, 5}));
+  ASSERT_TRUE(client_->QuerySum().has_value());
+
+  auto all = client_->Metrics();
+  ASSERT_TRUE(all.has_value());
+  // The exposition reflects this very session's traffic (counters are
+  // process-global, so >= rather than == under parallel test runs).
+  EXPECT_NE(
+      all->find("dsketch_service_requests_total{opcode=\"ingest_batch\"}"),
+      std::string::npos);
+  EXPECT_NE(all->find("dsketch_service_request_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(all->find("dsketch_util_build_info"), std::string::npos);
+
+  // Scope filtering selects whole metric families by prefix.
+  auto service_only = client_->Metrics(MetricsScope::kService);
+  ASSERT_TRUE(service_only.has_value());
+  EXPECT_NE(service_only->find("dsketch_service_"), std::string::npos);
+  EXPECT_EQ(service_only->find("dsketch_shard_"), std::string::npos);
+  EXPECT_EQ(service_only->find("dsketch_util_"), std::string::npos);
+  auto util_only = client_->Metrics(MetricsScope::kUtil);
+  ASSERT_TRUE(util_only.has_value());
+  EXPECT_EQ(util_only->find("dsketch_service_"), std::string::npos);
+  EXPECT_NE(util_only->find("dsketch_util_build_info"), std::string::npos);
+}
+
+TEST(ServiceProtocolNegotiationTest, PriorVersionFramesAreRefused) {
+  SketchServer server(SmallServerOptions());
+  // A v3 peer (the pre-METRICS protocol) must get a firm kUnsupported,
+  // not a misparse: the version byte gates before the opcode switch.
+  std::string old_frame;
+  wire::VarintWriter w(old_frame);
+  w.PutByte(kProtocolVersion - 1);
+  w.PutByte(static_cast<uint8_t>(Opcode::kStats));
+  w.PutVarint(1);
+  EXPECT_EQ(ResponseStatusOf(server.HandleRequest(old_frame)),
+            Status::kUnsupported);
+  EXPECT_EQ(server.Stats().errors_unsupported, 1u);
+}
+
+// STATS breaks errors down by status, and a read replica reports the
+// same counter set as a read-write server — same fields, same causes.
+TEST(ServiceErrorCounterTest, WriterAndReplicaReportPerStatusErrors) {
+  auto poke = [](SketchServer& server) {
+    // One malformed (empty request), one unknown opcode, one
+    // unsupported (future protocol version).
+    server.HandleRequest("");
+    std::string unknown;
+    wire::VarintWriter wu(unknown);
+    wu.PutByte(kProtocolVersion);
+    wu.PutByte(42);
+    wu.PutVarint(1);
+    server.HandleRequest(unknown);
+    std::string future;
+    wire::VarintWriter wf(future);
+    wf.PutByte(kProtocolVersion + 1);
+    wf.PutByte(static_cast<uint8_t>(Opcode::kStats));
+    wf.PutVarint(2);
+    server.HandleRequest(future);
+  };
+
+  SketchServer writer(SmallServerOptions());
+  poke(writer);
+  StatsResponse ws = writer.Stats();
+  EXPECT_EQ(ws.errors, 3u);
+  EXPECT_EQ(ws.errors_malformed, 1u);
+  EXPECT_EQ(ws.errors_unknown_opcode, 1u);
+  EXPECT_EQ(ws.errors_unsupported, 1u);
+  EXPECT_EQ(ws.errors_too_large, 0u);
+  EXPECT_EQ(ws.errors_bad_state, 0u);
+
+  UnbiasedSpaceSaving sketch(64, 3);
+  for (uint64_t i = 0; i < 500; ++i) sketch.Update(i % 20);
+  std::optional<FrozenSketchSource> image =
+      FrozenSketchSource::FromBlob(SerializeFrozen(sketch));
+  ASSERT_TRUE(image.has_value());
+  SketchServer replica(SmallServerOptions(), &*image, nullptr);
+  poke(replica);
+  // Plus one replica-specific refusal: ingest is kUnsupported there.
+  IngestBatchRequest ingest;
+  ingest.items = {7, 8};
+  EXPECT_EQ(ResponseStatusOf(
+                replica.HandleRequest(EncodeIngestBatchRequest(9, ingest))),
+            Status::kUnsupported);
+  StatsResponse rs = replica.Stats();
+  EXPECT_EQ(rs.errors, 4u);
+  EXPECT_EQ(rs.errors_malformed, ws.errors_malformed);
+  EXPECT_EQ(rs.errors_unknown_opcode, ws.errors_unknown_opcode);
+  EXPECT_EQ(rs.errors_unsupported, ws.errors_unsupported + 1);
+  EXPECT_EQ(rs.errors_too_large, 0u);
+  EXPECT_EQ(rs.errors_bad_state, 0u);
+
+  // The replica answers METRICS like any writer (observability does not
+  // degrade on read-only nodes).
+  MetricsRequest mreq;
+  std::string mrsp = replica.HandleRequest(EncodeMetricsRequest(10, mreq));
+  EXPECT_EQ(ResponseStatusOf(mrsp), Status::kOk);
+}
+
+TEST(ServiceSlowRequestTest, HookFiresWithTheRequestShape) {
+  SketchServerOptions options = SmallServerOptions();
+  options.slow_request_us = 1;  // every real request is slower than 1µs
+  std::vector<SlowRequestInfo> calls;
+  options.slow_request_hook = [&](const SlowRequestInfo& info) {
+    calls.push_back(info);
+  };
+  SketchServer server(options);
+
+  IngestBatchRequest req;
+  for (uint64_t i = 0; i < 50000; ++i) req.items.push_back(i % 1000);
+  const std::string request = EncodeIngestBatchRequest(21, req);
+  const std::string response = server.HandleRequest(request);
+  EXPECT_EQ(ResponseStatusOf(response), Status::kOk);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].opcode, Opcode::kIngestBatch);
+  EXPECT_EQ(calls[0].request_id, 21u);
+  EXPECT_GE(calls[0].latency_us, 1u);
+  EXPECT_EQ(calls[0].request_bytes, request.size());
+  EXPECT_EQ(calls[0].response_bytes, response.size());
+
+  // Threshold 0 disables the hook entirely.
+  SketchServerOptions quiet = SmallServerOptions();
+  std::vector<SlowRequestInfo> quiet_calls;
+  quiet.slow_request_hook = [&](const SlowRequestInfo& info) {
+    quiet_calls.push_back(info);
+  };
+  SketchServer quiet_server(quiet);
+  quiet_server.HandleRequest(request);
+  EXPECT_TRUE(quiet_calls.empty());
 }
 
 }  // namespace

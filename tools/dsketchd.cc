@@ -32,17 +32,32 @@
 //                         windowed epoch every N ms of real time while
 //                         serving (default 0 = caller-driven epochs)
 //   --seed=N              reproducible randomness        (default 1)
+//   --slow-request-us=N   log every request slower than N µs as one
+//                         structured stderr line (default 0 = off;
+//                         format in README "Observability")
+//   --metrics-interval-ms=N  every N ms, rewrite the full Prometheus-
+//                         style metrics exposition (obs/metrics.h) to
+//                         --metrics-file, plus once at exit
+//                         (default 0 = off)
+//   --metrics-file=PATH   exposition target; the file is truncated and
+//                         rewritten whole each interval so scrapers
+//                         always read one complete dump
+//                         (default "" = stderr)
 //   --replica=PATH        serve the frozen image at PATH read-only
 //   --smoke               run the self-contained two-node scenario
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/frozen_source.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -95,9 +110,61 @@ SketchServerOptions MakeOptions(int argc, char** argv) {
   options.window.window_epochs =
       static_cast<size_t>(FlagInt(argc, argv, "window-epochs", 4));
   options.epoch_interval_ms = FlagInt(argc, argv, "epoch-interval-ms", 0);
+  options.slow_request_us = FlagInt(argc, argv, "slow-request-us", 0);
   options.seed = options.shard.seed;
   return options;
 }
+
+// Periodic Prometheus-style exposition (--metrics-interval-ms): a
+// background thread rewrites the full DumpMetricsText() output to
+// `path` (truncate + rewrite, so a scraper never reads a half-appended
+// dump) or stderr every interval, plus once on shutdown so even a
+// short-lived run leaves a final scrape behind. Sleeps in short slices
+// so destruction is prompt.
+class MetricsExporter {
+ public:
+  MetricsExporter(int64_t interval_ms, std::string path)
+      : interval_ms_(interval_ms), path_(std::move(path)) {
+    if (interval_ms_ > 0) thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsExporter() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    Dump();
+  }
+
+ private:
+  void Loop() {
+    using clock = std::chrono::steady_clock;
+    auto next = clock::now() + std::chrono::milliseconds(interval_ms_);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (clock::now() >= next) {
+        Dump();
+        next = clock::now() + std::chrono::milliseconds(interval_ms_);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  void Dump() const {
+    const std::string text = obs::DumpMetricsText();
+    if (path_.empty()) {
+      std::fwrite(text.data(), 1, text.size(), stderr);
+      return;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) return;  // transient fs trouble must not kill serving
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  const int64_t interval_ms_;
+  const std::string path_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 // One booted node: server thread on an in-memory connection, client on
 // the other end. The destructor closes the client's write side (EOF ends
@@ -125,6 +192,22 @@ struct Node {
     if (serve.joinable()) serve.join();
   }
 };
+
+// Value of the exposition series `name` (exact match including labels),
+// or -1.0 when the dump carries no such line.
+double MetricFromText(const std::string& text, const std::string& name) {
+  const std::string needle = name + ' ';
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text.compare(pos, needle.size(), needle) == 0) {
+      return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
 
 // The CI smoke scenario: two nodes, one replication hop, every core
 // opcode exercised once. Returns 0 on success, 1 with a message on the
@@ -247,6 +330,55 @@ int RunSmoke(const SketchServerOptions& options) {
     return fail("windowed STATS");
   }
 
+  // METRICS hop: the exposition must show the smoke's own traffic.
+  // First stir the window merge cache deliberately: last_k=2 decomposes
+  // to a level-0 node the earlier full-window query already cached (a
+  // node-cache hit), and re-asking last_k=1 lands on the combine memo
+  // entry that query populated (a memo hit).
+  auto win_last2 = client_a.QuerySum(PredicateSpec(), QueryScope::kWindow,
+                                     /*last_k=*/2);
+  if (!win_last2.has_value() ||
+      win_last2->estimate != static_cast<double>(2 * kRowsPerEpoch)) {
+    return fail("windowed QUERY_SUM last_k=2");
+  }
+  auto win_last1b = client_a.QuerySum(PredicateSpec(), QueryScope::kWindow,
+                                      /*last_k=*/1);
+  if (!win_last1b.has_value() || win_last1b->estimate != win_last->estimate) {
+    return fail("windowed QUERY_SUM last_k=1 repeat");
+  }
+  auto metrics = client_a.Metrics();
+  if (!metrics.has_value() || metrics->empty()) return fail("METRICS");
+  const std::string requests = "dsketch_service_requests_total";
+  if (MetricFromText(*metrics, requests + "{opcode=\"ingest_batch\"}") <= 0 ||
+      MetricFromText(*metrics, requests + "{opcode=\"query_sum\"}") <= 0 ||
+      MetricFromText(*metrics, requests + "{opcode=\"snapshot\"}") <= 0) {
+    return fail("METRICS nonzero request counters");
+  }
+  if (MetricFromText(*metrics,
+                     "dsketch_service_request_latency_us_count"
+                     "{opcode=\"query_sum\"}") <= 0) {
+    return fail("METRICS nonzero query latency histogram");
+  }
+  if (MetricFromText(*metrics, "dsketch_window_node_cache_hits_total") <= 0 ||
+      MetricFromText(*metrics, "dsketch_window_node_cache_misses_total") <= 0 ||
+      MetricFromText(*metrics, "dsketch_window_combine_memo_hits_total") <= 0) {
+    return fail("METRICS window merge-cache movement");
+  }
+  if (MetricFromText(*metrics,
+                     "dsketch_shard_rows_ingested_total{shard=\"0\"}") <= 0) {
+    return fail("METRICS shard ingest counters");
+  }
+  if (metrics->find("dsketch_util_build_info{") == std::string::npos) {
+    return fail("METRICS allocator/build info gauge");
+  }
+  // Scope filter: a window-scoped dump carries window families only.
+  auto scoped = client_a.Metrics(MetricsScope::kWindow);
+  if (!scoped.has_value() || scoped->empty() ||
+      scoped->find("dsketch_service_") != std::string::npos ||
+      scoped->find("dsketch_window_") == std::string::npos) {
+    return fail("METRICS window scope filter");
+  }
+
   // Frozen-replica hop: A emits the frozen mmap-able image, the image
   // goes to disk, a replica node mmaps the file and answers with zero
   // decode. The reference answers come from a node that THAWED the same
@@ -357,7 +489,25 @@ int Run(int argc, char** argv) {
                  static_cast<long long>(options.epoch_interval_ms));
     return 2;
   }
+  if (options.slow_request_us < 0) {
+    std::fprintf(stderr,
+                 "dsketchd: --slow-request-us must be >= 0 (got %lld)\n",
+                 static_cast<long long>(options.slow_request_us));
+    return 2;
+  }
+  const int64_t metrics_interval_ms =
+      FlagInt(argc, argv, "metrics-interval-ms", 0);
+  if (metrics_interval_ms < 0) {
+    std::fprintf(stderr,
+                 "dsketchd: --metrics-interval-ms must be >= 0 (got %lld)\n",
+                 static_cast<long long>(metrics_interval_ms));
+    return 2;
+  }
   if (FlagSet(argc, argv, "smoke")) return RunSmoke(options);
+
+  // Covers both writer and replica modes below; inert at interval 0.
+  MetricsExporter exporter(metrics_interval_ms,
+                           FlagStr(argc, argv, "metrics-file", ""));
 
   const std::string replica_path = FlagStr(argc, argv, "replica", "");
   if (!replica_path.empty()) {
