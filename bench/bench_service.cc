@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/attribute_table.h"
 #include "query/sketch_source.h"
 #include "service/client.h"
@@ -190,6 +191,48 @@ void Run(int argc, char** argv) {
       json.Add("p95_us", p95);
       json.Add("p99_us", p99);
     }
+  }
+
+  // --- trace-capture overhead -----------------------------------------
+  // The same live QUERY_SUM loop with request tracing off vs every
+  // request captured in full. "off" is what every request pays
+  // unconditionally (span clock reads + flight-recorder ring writes);
+  // "on" adds the buffered span tree and the publish into the recent
+  // ring — the gap is the price of --trace-sample=1.
+  struct TraceCost {
+    double qps;
+    double p99;
+  };
+  auto measure_trace = [&]() -> TraceCost {
+    client.QuerySum();  // warm the merged snapshot cache
+    const obs::HistogramSnapshot before = LatencySnapshot("query_sum");
+    auto t0 = Clock::now();
+    for (int64_t i = 0; i < query_iters; ++i) {
+      if (!client.QuerySum().has_value()) break;
+    }
+    const double elapsed = SecondsSince(t0);
+    const obs::HistogramSnapshot lat =
+        LatencySnapshot("query_sum").Since(before);
+    return {static_cast<double>(query_iters) / elapsed, lat.Percentile(99)};
+  };
+  obs::TraceCollector::Global().Configure({/*sample_every=*/0,
+                                           /*slow_request_us=*/0});
+  const TraceCost trace_off = measure_trace();
+  obs::TraceCollector::Global().Configure({/*sample_every=*/1,
+                                           /*slow_request_us=*/0});
+  const TraceCost trace_on = measure_trace();
+  obs::TraceCollector::Global().Configure({/*sample_every=*/0,
+                                           /*slow_request_us=*/0});
+  std::printf(
+      "\ntrace capture: off %.0f rt/s (p99 %.1f us) -> every-request "
+      "%.0f rt/s (p99 %.1f us)\n",
+      trace_off.qps, trace_off.p99, trace_on.qps, trace_on.p99);
+  if (json.enabled()) {
+    json.BeginRecord("trace_overhead");
+    json.Add("qps_off", trace_off.qps);
+    json.Add("qps_on", trace_on.qps);
+    json.Add("p99_us_off", trace_off.p99);
+    json.Add("p99_us_on", trace_on.p99);
   }
 
   // --- snapshot / restore hop -----------------------------------------

@@ -1,0 +1,625 @@
+#include "obs/trace.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace dsketch {
+namespace obs {
+
+namespace {
+
+// Bounds on the per-thread capture buffer and span nesting. A request
+// deeper than kMaxDepth or wider than kMaxSpansPerTrace keeps serving
+// (extra spans parent to the root / are dropped from the sampled
+// record) — tracing must never be the thing that breaks a request.
+constexpr size_t kMaxDepth = 16;
+constexpr size_t kMaxSpansPerTrace = 128;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* TraceLayerName(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kService:
+      return "service";
+    case TraceLayer::kShard:
+      return "shard";
+    case TraceLayer::kWindow:
+      return "window";
+    case TraceLayer::kQuery:
+      return "query";
+    case TraceLayer::kWire:
+      return "wire";
+  }
+  return "unknown";
+}
+
+uint64_t TraceNowUs() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+uint64_t TraceIdFromRequestId(uint64_t request_id) {
+  // Never 0 (0 means "no trace"): the mix only yields 0 for one input,
+  // which gets nudged onto a different orbit.
+  const uint64_t id = SplitMix64(request_id);
+  return id != 0 ? id : SplitMix64(request_id + 1);
+}
+
+// --- FlightRecorder ---------------------------------------------------
+
+// Every field is a relaxed atomic so concurrent producers and dump
+// readers are race-free (tsan-clean) by construction. `seq` is the
+// producer's ticket + 1 (never 0 = never written), stored with release
+// after the payload fields; a reader re-checks it after copying and
+// discards the slot when a producer got in between.
+struct FlightRecorder::Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint8_t> layer{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint32_t> span_id{0};
+  std::atomic<uint32_t> parent_id{0};
+  std::atomic<uint64_t> start_us{0};
+  std::atomic<uint64_t> end_us{0};
+  std::atomic<uint32_t> num_annotations{0};
+  std::atomic<const char*> ann_key[Span::kMaxAnnotations];
+  std::atomic<uint64_t> ann_value[Span::kMaxAnnotations];
+};
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity), slots_(new Slot[capacity]) {
+  DSKETCH_CHECK(capacity > 0 && (capacity & (capacity - 1)) == 0);
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked like the metrics registry: spans may record during static
+  // destruction of other objects.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(const Span& span) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  slot.name.store(span.name, std::memory_order_relaxed);
+  slot.layer.store(static_cast<uint8_t>(span.layer),
+                   std::memory_order_relaxed);
+  slot.trace_id.store(span.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span.span_id, std::memory_order_relaxed);
+  slot.parent_id.store(span.parent_id, std::memory_order_relaxed);
+  slot.start_us.store(span.start_us, std::memory_order_relaxed);
+  slot.end_us.store(span.end_us, std::memory_order_relaxed);
+  const uint32_t n_ann =
+      span.num_annotations <= Span::kMaxAnnotations
+          ? span.num_annotations
+          : static_cast<uint32_t>(Span::kMaxAnnotations);
+  slot.num_annotations.store(n_ann, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n_ann; ++i) {
+    slot.ann_key[i].store(span.annotations[i].key, std::memory_order_relaxed);
+    slot.ann_value[i].store(span.annotations[i].value,
+                            std::memory_order_relaxed);
+  }
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<Span> FlightRecorder::Dump() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t count = head < capacity_ ? head : capacity_;
+  std::vector<Span> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t ticket = head - count; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket & (capacity_ - 1)];
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    // A slot whose stamp is not this ticket's was already overwritten by
+    // a newer lap (or never completed); its payload belongs elsewhere.
+    if (seq_before != ticket + 1) continue;
+    Span span;
+    span.name = slot.name.load(std::memory_order_relaxed);
+    span.layer =
+        static_cast<TraceLayer>(slot.layer.load(std::memory_order_relaxed));
+    span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    span.span_id = slot.span_id.load(std::memory_order_relaxed);
+    span.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+    span.start_us = slot.start_us.load(std::memory_order_relaxed);
+    span.end_us = slot.end_us.load(std::memory_order_relaxed);
+    uint32_t n_ann = slot.num_annotations.load(std::memory_order_relaxed);
+    if (n_ann > Span::kMaxAnnotations) n_ann = Span::kMaxAnnotations;
+    span.num_annotations = n_ann;
+    for (uint32_t i = 0; i < n_ann; ++i) {
+      span.annotations[i].key =
+          slot.ann_key[i].load(std::memory_order_relaxed);
+      span.annotations[i].value =
+          slot.ann_value[i].load(std::memory_order_relaxed);
+    }
+    // Discard torn slots: a producer may have claimed this slot while
+    // the fields were being copied.
+    if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+    if (span.name == nullptr) continue;
+    out.push_back(span);
+  }
+  return out;
+}
+
+namespace {
+
+// write(2)-based emit helpers for the fatal path: no allocation, no
+// stdio locks, no formatting machinery — async-signal-safe.
+void FatalWrite(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(2, data + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+void FatalWriteStr(const char* s) { FatalWrite(s, std::strlen(s)); }
+
+void FatalWriteU64(uint64_t v) {
+  char buf[20];
+  size_t i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  FatalWrite(buf + i, sizeof(buf) - i);
+}
+
+void FatalWriteHex64(uint64_t v) {
+  static const char kHex[] = "0123456789abcdef";
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  FatalWrite(buf, sizeof(buf));
+}
+
+}  // namespace
+
+void FlightRecorder::DumpToStderr(size_t last_n) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t count = head < capacity_ ? head : capacity_;
+  if (count > last_n) count = last_n;
+  FatalWriteStr("dsketch flight recorder: last ");
+  FatalWriteU64(count);
+  FatalWriteStr(" of ");
+  FatalWriteU64(head);
+  FatalWriteStr(" spans\n");
+  for (uint64_t ticket = head - count; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket & (capacity_ - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    const char* name = slot.name.load(std::memory_order_relaxed);
+    if (name == nullptr) continue;
+    FatalWriteStr("  [");
+    FatalWriteHex64(slot.trace_id.load(std::memory_order_relaxed));
+    FatalWriteStr("] ");
+    FatalWriteStr(TraceLayerName(
+        static_cast<TraceLayer>(slot.layer.load(std::memory_order_relaxed))));
+    FatalWriteStr(":");
+    FatalWriteStr(name);
+    FatalWriteStr(" ");
+    const uint64_t start = slot.start_us.load(std::memory_order_relaxed);
+    const uint64_t end = slot.end_us.load(std::memory_order_relaxed);
+    FatalWriteU64(start);
+    FatalWriteStr("..");
+    FatalWriteU64(end);
+    FatalWriteStr("us span=");
+    FatalWriteU64(slot.span_id.load(std::memory_order_relaxed));
+    FatalWriteStr(" parent=");
+    FatalWriteU64(slot.parent_id.load(std::memory_order_relaxed));
+    uint32_t n_ann = slot.num_annotations.load(std::memory_order_relaxed);
+    if (n_ann > Span::kMaxAnnotations) n_ann = Span::kMaxAnnotations;
+    for (uint32_t i = 0; i < n_ann; ++i) {
+      const char* key = slot.ann_key[i].load(std::memory_order_relaxed);
+      if (key == nullptr) continue;
+      FatalWriteStr(" ");
+      FatalWriteStr(key);
+      FatalWriteStr("=");
+      FatalWriteU64(slot.ann_value[i].load(std::memory_order_relaxed));
+    }
+    FatalWriteStr("\n");
+  }
+}
+
+// --- TraceCollector ---------------------------------------------------
+
+TraceCollector::TraceCollector() = default;
+TraceCollector::~TraceCollector() = default;
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Configure(const TraceConfig& config) {
+  sample_every_.store(config.sample_every, std::memory_order_relaxed);
+  slow_request_us_.store(
+      config.slow_request_us > 0 ? config.slow_request_us : 0,
+      std::memory_order_relaxed);
+}
+
+TraceConfig TraceCollector::config() const {
+  TraceConfig out;
+  out.sample_every = sample_every_.load(std::memory_order_relaxed);
+  out.slow_request_us = slow_request_us_.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool TraceCollector::NextSampleTick() {
+  const uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
+  return every > 0 && tick % every == 0;
+}
+
+void TraceCollector::Publish(TraceRecord record) {
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.push_back(std::move(record));
+  while (recent_.size() > kMaxRecent) recent_.pop_front();
+}
+
+std::vector<TraceRecord> TraceCollector::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceRecord>(recent_.begin(), recent_.end());
+}
+
+// --- thread-local trace context ---------------------------------------
+
+#ifndef DSKETCH_NO_METRICS
+
+namespace {
+
+struct ThreadTraceState {
+  bool active = false;   // a root trace is open on this thread
+  bool capture = false;  // buffering spans for possible publication
+  uint64_t trace_id = 0;
+  uint32_t next_span_id = 1;
+  uint32_t parent_stack[kMaxDepth];
+  size_t depth = 0;
+  std::vector<Span> buffer;  // captured spans of the open trace
+
+  // Staged trace awaiting FlushPendingTrace (see ScopedTrace docs).
+  bool pending_valid = false;
+  uint64_t pending_trace_id = 0;
+  uint32_t pending_root_id = 0;
+  std::vector<Span> pending_spans;
+};
+
+ThreadTraceState& State() {
+  static thread_local ThreadTraceState state;
+  return state;
+}
+
+void AddAnnotation(Span* span, const char* key, uint64_t value) {
+  if (span->num_annotations >= Span::kMaxAnnotations) return;
+  span->annotations[span->num_annotations].key = key;
+  span->annotations[span->num_annotations].value = value;
+  ++span->num_annotations;
+}
+
+// Retroactively applies a trace-id override to already-buffered spans
+// (children that closed before the envelope's request id decoded).
+void RetagBufferedSpans(ThreadTraceState& st, uint64_t trace_id) {
+  for (Span& span : st.buffer) span.trace_id = trace_id;
+}
+
+}  // namespace
+
+void FlushPendingTrace() {
+  ThreadTraceState& st = State();
+  if (!st.pending_valid) return;
+  TraceRecord record;
+  record.trace_id = st.pending_trace_id;
+  record.spans = std::move(st.pending_spans);
+  st.pending_spans.clear();
+  st.pending_valid = false;
+  TraceCollector::Global().Publish(std::move(record));
+}
+
+ScopedTrace::ScopedTrace(const char* name, TraceLayer layer) {
+  FlushPendingTrace();  // a stale staged trace publishes before reuse
+  ThreadTraceState& st = State();
+  // Re-entrant root opens (nested HandleRequest in tests) degrade to a
+  // plain child span context rather than corrupting the open trace.
+  if (st.active) {
+    root_.name = nullptr;
+    return;
+  }
+  st.active = true;
+  st.capture = TraceCollector::Global().sampling_enabled();
+  // Provisional id (a fresh trace might never learn a request id):
+  // derived from the flight recorder's global span ticket so ids stay
+  // unique across threads without coordination.
+  st.trace_id = TraceIdFromRequestId(
+      FlightRecorder::Global().recorded() * 0x10001ULL + TraceNowUs());
+  st.next_span_id = 2;
+  st.depth = 0;
+  st.parent_stack[st.depth++] = 1;
+  st.buffer.clear();
+  root_.name = name;
+  root_.layer = layer;
+  root_.span_id = 1;
+  root_.parent_id = 0;
+  root_.start_us = TraceNowUs();
+}
+
+void ScopedTrace::SetTraceId(uint64_t trace_id) {
+  if (root_.name == nullptr) return;
+  ThreadTraceState& st = State();
+  st.trace_id = trace_id;
+  RetagBufferedSpans(st, trace_id);
+}
+
+void ScopedTrace::Annotate(const char* key, uint64_t value) {
+  if (root_.name == nullptr) return;
+  AddAnnotation(&root_, key, value);
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (root_.name == nullptr) return;
+  ThreadTraceState& st = State();
+  root_.trace_id = st.trace_id;
+  root_.end_us = TraceNowUs();
+  FlightRecorder::Global().Record(root_);
+  st.active = false;
+  st.depth = 0;
+  if (!st.capture) return;
+  st.capture = false;
+  TraceCollector& collector = TraceCollector::Global();
+  const TraceConfig config = collector.config();
+  const uint64_t latency_us = root_.end_us - root_.start_us;
+  const bool nth = collector.NextSampleTick();
+  const bool slow = config.slow_request_us > 0 &&
+                    latency_us >= static_cast<uint64_t>(config.slow_request_us);
+  if (!nth && !slow) {
+    st.buffer.clear();
+    return;
+  }
+  if (st.buffer.size() < kMaxSpansPerTrace) st.buffer.push_back(root_);
+  st.pending_valid = true;
+  st.pending_trace_id = st.trace_id;
+  st.pending_root_id = root_.span_id;
+  st.pending_spans = std::move(st.buffer);
+  st.buffer.clear();
+}
+
+ScopedSpan::ScopedSpan(const char* name, TraceLayer layer) {
+  ThreadTraceState& st = State();
+  if (st.active) {
+    mode_ = Mode::kActive;
+    span_.name = name;
+    span_.layer = layer;
+    span_.span_id = st.next_span_id++;
+    span_.parent_id = st.depth > 0 ? st.parent_stack[st.depth - 1] : 0;
+    if (st.depth < kMaxDepth) st.parent_stack[st.depth++] = span_.span_id;
+    span_.start_us = TraceNowUs();
+    return;
+  }
+  if (st.pending_valid) {
+    // Post-trace span (e.g. the serve loop's response write): joins the
+    // staged trace as a direct child of its root.
+    mode_ = Mode::kPending;
+    span_.name = name;
+    span_.layer = layer;
+    span_.trace_id = st.pending_trace_id;
+    span_.span_id = st.next_span_id++;
+    span_.parent_id = st.pending_root_id;
+    span_.start_us = TraceNowUs();
+    return;
+  }
+  mode_ = Mode::kInert;
+}
+
+void ScopedSpan::Annotate(const char* key, uint64_t value) {
+  if (mode_ == Mode::kInert) return;
+  AddAnnotation(&span_, key, value);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (mode_ == Mode::kInert) return;
+  ThreadTraceState& st = State();
+  span_.end_us = TraceNowUs();
+  if (mode_ == Mode::kActive) {
+    span_.trace_id = st.trace_id;
+    // Pop only our own frame: overflowed spans past kMaxDepth never
+    // pushed, so the stack top must match before shrinking.
+    if (st.depth > 0 && st.parent_stack[st.depth - 1] == span_.span_id) {
+      --st.depth;
+    }
+    FlightRecorder::Global().Record(span_);
+    if (st.capture && st.buffer.size() < kMaxSpansPerTrace) {
+      st.buffer.push_back(span_);
+    }
+    return;
+  }
+  // kPending: the staged trace may have been flushed while this span was
+  // open; it still lands in the flight recorder either way.
+  FlightRecorder::Global().Record(span_);
+  if (st.pending_valid && st.pending_trace_id == span_.trace_id &&
+      st.pending_spans.size() < kMaxSpansPerTrace) {
+    st.pending_spans.push_back(span_);
+  }
+}
+
+#endif  // DSKETCH_NO_METRICS
+
+// --- exporters --------------------------------------------------------
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendSpanEvent(std::string* out, const Span& span, size_t tid,
+                     bool* first) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  out->append("{\"name\":\"");
+  out->append(span.name != nullptr ? span.name : "null");
+  out->append("\",\"cat\":\"");
+  out->append(TraceLayerName(span.layer));
+  out->append("\",\"ph\":\"X\",\"ts\":");
+  AppendU64(out, span.start_us);
+  out->append(",\"dur\":");
+  AppendU64(out, span.end_us >= span.start_us ? span.end_us - span.start_us
+                                              : 0);
+  out->append(",\"pid\":0,\"tid\":");
+  AppendU64(out, tid);
+  out->append(",\"args\":{\"trace_id\":\"");
+  AppendHex64(out, span.trace_id);
+  out->append("\",\"span\":");
+  AppendU64(out, span.span_id);
+  out->append(",\"parent\":");
+  AppendU64(out, span.parent_id);
+  const uint32_t n_ann = span.num_annotations <= Span::kMaxAnnotations
+                             ? span.num_annotations
+                             : static_cast<uint32_t>(Span::kMaxAnnotations);
+  for (uint32_t i = 0; i < n_ann; ++i) {
+    if (span.annotations[i].key == nullptr) continue;
+    out->append(",\"");
+    out->append(span.annotations[i].key);
+    out->append("\":");
+    AppendU64(out, span.annotations[i].value);
+  }
+  out->append("}}");
+}
+
+void AppendSpanText(std::string* out, const Span& span, const char* indent) {
+  out->append(indent);
+  out->append(TraceLayerName(span.layer));
+  out->append(":");
+  out->append(span.name != nullptr ? span.name : "null");
+  out->append(" ");
+  AppendU64(out, span.start_us);
+  out->append("..");
+  AppendU64(out, span.end_us);
+  out->append("us (");
+  AppendU64(out, span.end_us >= span.start_us ? span.end_us - span.start_us
+                                              : 0);
+  out->append("us) span=");
+  AppendU64(out, span.span_id);
+  out->append(" parent=");
+  AppendU64(out, span.parent_id);
+  const uint32_t n_ann = span.num_annotations <= Span::kMaxAnnotations
+                             ? span.num_annotations
+                             : static_cast<uint32_t>(Span::kMaxAnnotations);
+  for (uint32_t i = 0; i < n_ann; ++i) {
+    if (span.annotations[i].key == nullptr) continue;
+    out->append(" ");
+    out->append(span.annotations[i].key);
+    out->append("=");
+    AppendU64(out, span.annotations[i].value);
+  }
+  out->append("\n");
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const std::vector<TraceRecord>& traces) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (size_t t = 0; t < traces.size(); ++t) {
+    for (const Span& span : traces[t].spans) {
+      AppendSpanEvent(&out, span, t, &first);
+    }
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+std::string TraceToText(const std::vector<TraceRecord>& traces) {
+  std::string out;
+  for (const TraceRecord& record : traces) {
+    out.append("trace ");
+    AppendHex64(&out, record.trace_id);
+    out.append(" (");
+    AppendU64(&out, record.spans.size());
+    out.append(" spans)\n");
+    for (const Span& span : record.spans) {
+      AppendSpanText(&out, span, "  ");
+    }
+  }
+  return out;
+}
+
+std::string SpansToText(const std::vector<Span>& spans) {
+  std::string out;
+  for (const Span& span : spans) {
+    out.append("[");
+    AppendHex64(&out, span.trace_id);
+    out.append("] ");
+    AppendSpanText(&out, span, "");
+  }
+  return out;
+}
+
+// --- fatal-path postmortem --------------------------------------------
+
+namespace {
+
+void FatalDump() {
+  FlightRecorder::Global().DumpToStderr(kFatalDumpSpans);
+}
+
+void FatalSignalHandler(int signo) {
+  FatalWriteStr("dsketch: fatal signal ");
+  FatalWriteU64(static_cast<uint64_t>(signo));
+  FatalWriteStr("\n");
+  FatalDump();
+  // Re-raise with the default disposition so the process still dies
+  // with the original signal (core dumps, wait statuses stay honest).
+  std::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void InstallTraceFatalHandlers() {
+  static bool once = [] {
+    internal::SetFatalHook(&FatalDump);
+    for (int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+      struct sigaction sa;
+      std::memset(&sa, 0, sizeof(sa));
+      sa.sa_handler = &FatalSignalHandler;
+      sigemptyset(&sa.sa_mask);
+      sa.sa_flags = SA_RESETHAND;
+      sigaction(signo, &sa, nullptr);
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace obs
+}  // namespace dsketch

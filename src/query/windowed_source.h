@@ -27,8 +27,10 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "query/sketch_source.h"
 #include "window/sharded_windowed.h"
+#include "window/windowed_sketch.h"
 
 namespace dsketch {
 
@@ -102,6 +104,15 @@ class WindowedSketchSource : public SketchSource {
   /// a miss costs one O(log W) cached-partial assembly, not an O(W)
   /// re-merge.
   const UnbiasedSpaceSaving& WindowView(size_t last_k) {
+    // Opened before MergedRing() so a dirty ring's fleet snapshot
+    // (shard_drain / snapshot_merge) nests under this span. The
+    // merge-cache counter deltas distinguish a cached assembly from an
+    // uncached re-merge in the exported trace.
+    obs::ScopedSpan span("window_merge", obs::TraceLayer::kWindow);
+    span.Annotate("last_k", last_k);
+    const uint64_t node_hits0 = window_metrics::NodeCacheHits().Value();
+    const uint64_t node_misses0 = window_metrics::NodeCacheMisses().Value();
+    const uint64_t memo_hits0 = window_metrics::CombineMemoHits().Value();
     const WindowedSpaceSaving& ring = MergedRing();
     std::optional<UnbiasedSpaceSaving>& cache =
         last_k == 0 ? ring_view_ : window_view_;
@@ -109,10 +120,18 @@ class WindowedSketchSource : public SketchSource {
       cache.reset();
       window_view_k_ = last_k;
     }
-    if (!cache.has_value()) {
+    const bool cached = cache.has_value();
+    if (!cached) {
       cache.emplace(
           ring.QueryWindow(last_k, window_.merged_capacity, MergeSeed()));
     }
+    span.Annotate("view_cached", cached ? 1 : 0);
+    span.Annotate("node_hits",
+                  window_metrics::NodeCacheHits().Value() - node_hits0);
+    span.Annotate("node_misses",
+                  window_metrics::NodeCacheMisses().Value() - node_misses0);
+    span.Annotate("memo_hits",
+                  window_metrics::CombineMemoHits().Value() - memo_hits0);
     return *cache;
   }
 

@@ -177,6 +177,19 @@ std::optional<std::string> SketchClient::Metrics(MetricsScope scope) {
   return std::move(rsp.text);
 }
 
+std::optional<std::string> SketchClient::Trace(TraceScope scope) {
+  TraceRequest req;
+  req.scope = scope;
+  const uint64_t id = next_request_id_++;
+  std::optional<std::string> body =
+      RoundTrip(Opcode::kTrace, id, EncodeTraceRequest(id, req));
+  if (!body.has_value()) return std::nullopt;
+  wire::VarintReader reader(*body);
+  TraceResponse rsp;
+  if (!DecodeTraceResponse(reader, &rsp)) return std::nullopt;
+  return std::move(rsp.text);
+}
+
 bool SketchClient::Shutdown() {
   const uint64_t id = next_request_id_++;
   std::optional<std::string> body =

@@ -94,6 +94,12 @@ class SketchClient {
   std::optional<std::string> Metrics(
       MetricsScope scope = MetricsScope::kAll);
 
+  /// Trace export (obs/trace.h): kRecent returns the sampled traces as
+  /// Chrome trace-event JSON (Perfetto-loadable), kFlight the always-on
+  /// flight recorder as a compact text dump. Served by writers and read
+  /// replicas alike.
+  std::optional<std::string> Trace(TraceScope scope = TraceScope::kRecent);
+
   /// Asks the server to stop serving after replying; true when
   /// acknowledged.
   bool Shutdown();

@@ -44,6 +44,12 @@ inline constexpr uint64_t kMaxGroupRows = uint64_t{1} << 20;
 /// it). Bounds decode-side allocation like every other cap.
 inline constexpr uint64_t kMaxMetricsTextBytes = uint64_t{1} << 20;
 
+/// Largest TRACE text/JSON payload a response may carry (1 MiB — the
+/// recent-traces ring and the flight recorder are both fixed-capacity,
+/// so honest exports sit far below this). Same decode-side role as
+/// kMaxMetricsTextBytes.
+inline constexpr uint64_t kMaxTraceTextBytes = uint64_t{1} << 20;
+
 }  // namespace dsketch
 
 #endif  // DSKETCH_SERVICE_LIMITS_H_

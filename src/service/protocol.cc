@@ -191,6 +191,14 @@ std::string EncodeMetricsRequest(uint64_t request_id,
   return out;
 }
 
+std::string EncodeTraceRequest(uint64_t request_id, const TraceRequest& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutRequestHeader(w, Opcode::kTrace, request_id);
+  w.PutByte(static_cast<uint8_t>(msg.scope));
+  return out;
+}
+
 // --- response encoders ------------------------------------------------
 
 std::string EncodeErrorResponse(Opcode opcode, uint64_t request_id,
@@ -303,6 +311,8 @@ std::string EncodeStatsResponse(uint64_t request_id,
   w.PutVarint(msg.last_snapshot_bytes);
   w.PutByte(static_cast<uint8_t>(msg.last_restore_format));
   w.PutVarint(msg.last_restore_bytes);
+  w.PutVarint(msg.traces_captured_total);
+  w.PutVarint(msg.flight_recorder_dropped_total);
   return out;
 }
 
@@ -318,6 +328,16 @@ std::string EncodeMetricsResponse(uint64_t request_id,
   std::string out;
   wire::VarintWriter w(out);
   PutResponseHeader(w, Opcode::kMetrics, request_id, Status::kOk);
+  w.PutVarint(msg.text.size());
+  out.append(msg.text);
+  return out;
+}
+
+std::string EncodeTraceResponse(uint64_t request_id,
+                                const TraceResponse& msg) {
+  std::string out;
+  wire::VarintWriter w(out);
+  PutResponseHeader(w, Opcode::kTrace, request_id, Status::kOk);
   w.PutVarint(msg.text.size());
   out.append(msg.text);
   return out;
@@ -449,6 +469,14 @@ bool DecodeMetricsRequest(wire::VarintReader& reader, MetricsRequest* out) {
   return reader.AtEnd();
 }
 
+bool DecodeTraceRequest(wire::VarintReader& reader, TraceRequest* out) {
+  uint8_t scope;
+  if (!reader.ReadByte(&scope)) return false;
+  if (scope > static_cast<uint8_t>(TraceScope::kFlight)) return false;
+  out->scope = static_cast<TraceScope>(scope);
+  return reader.AtEnd();
+}
+
 bool DecodeIngestBatchResponse(wire::VarintReader& reader,
                                IngestBatchResponse* out) {
   if (!reader.ReadVarint(&out->rows_accepted)) return false;
@@ -560,6 +588,8 @@ bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out) {
   }
   out->last_restore_format = static_cast<SnapshotFormat>(restore_format);
   if (!reader.ReadVarint(&out->last_restore_bytes)) return false;
+  if (!reader.ReadVarint(&out->traces_captured_total)) return false;
+  if (!reader.ReadVarint(&out->flight_recorder_dropped_total)) return false;
   return reader.AtEnd();
 }
 
@@ -567,6 +597,19 @@ bool DecodeMetricsResponse(wire::VarintReader& reader, MetricsResponse* out) {
   uint64_t n_bytes;
   if (!reader.ReadVarint(&n_bytes)) return false;
   if (n_bytes > kMaxMetricsTextBytes || n_bytes != reader.remaining()) {
+    return false;
+  }
+  out->text.clear();
+  if (!reader.ReadBytes(static_cast<size_t>(n_bytes), &out->text)) {
+    return false;
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeTraceResponse(wire::VarintReader& reader, TraceResponse* out) {
+  uint64_t n_bytes;
+  if (!reader.ReadVarint(&n_bytes)) return false;
+  if (n_bytes > kMaxTraceTextBytes || n_bytes != reader.remaining()) {
     return false;
   }
   out->text.clear();

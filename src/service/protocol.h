@@ -44,6 +44,11 @@
 //                 rsp: [varint n_bytes][Prometheus-style text
 //                      exposition (obs/metrics.h), scope-filtered by
 //                      metric family prefix]
+//   TRACE         req: [u8 scope (TraceScope: 0 = recent sampled traces,
+//                       1 = flight-recorder dump)]
+//                 rsp: [varint n_bytes][kRecent: Chrome trace-event
+//                      JSON over the recent-traces ring | kFlight:
+//                      compact text dump of the span ring (obs/trace.h)]
 //
 //   predicate = [varint n_conditions] then per condition
 //               [varint dim][varint n_values][n varint values (u32)]
@@ -90,8 +95,12 @@ namespace dsketch {
 /// writers and replicas alike) and an unconditional STATS body change
 /// (the per-status error counters errors_malformed /
 /// errors_unknown_opcode / errors_unsupported / errors_too_large /
-/// errors_bad_state).
-inline constexpr uint8_t kProtocolVersion = 4;
+/// errors_bad_state). Version 5 added the TRACE opcode (request-scoped
+/// trace export — recent sampled traces as Chrome trace-event JSON, or
+/// the always-on flight recorder as text — served by writers and
+/// replicas alike) and an unconditional STATS body change (the
+/// traces_captured_total / flight_recorder_dropped_total counters).
+inline constexpr uint8_t kProtocolVersion = 5;
 
 /// High bit of the SNAPSHOT request scope byte: the client wants the
 /// frozen mmap-able image (wire kind 8) instead of the v2 stream
@@ -109,6 +118,7 @@ enum class Opcode : uint8_t {
   kStats = 7,
   kShutdown = 8,
   kMetrics = 9,
+  kTrace = 10,
 };
 
 /// Response status codes.
@@ -142,6 +152,13 @@ enum class MetricsScope : uint8_t {
 
 /// The registry family prefix `scope` selects ("dsketch_" for kAll).
 std::string_view MetricsScopePrefix(MetricsScope scope);
+
+/// Which trace export a TRACE request selects (values are wire
+/// contract).
+enum class TraceScope : uint8_t {
+  kRecent = 0,  ///< recent sampled traces as Chrome trace-event JSON
+  kFlight = 1,  ///< flight-recorder span ring as a compact text dump
+};
 
 // The element-count caps (kMaxBatchRows, kMaxTopK, ...) are shared with
 // the frame layer through service/limits.h. Window last_k values are
@@ -247,6 +264,13 @@ struct MetricsResponse {
   std::string text;  ///< Prometheus-style exposition (obs/metrics.h)
 };
 
+struct TraceRequest {
+  TraceScope scope = TraceScope::kRecent;
+};
+struct TraceResponse {
+  std::string text;  ///< Chrome trace-event JSON or flight-recorder text
+};
+
 struct RestoreRequest {
   QueryScope scope = QueryScope::kCounts;
   std::string blob;
@@ -290,6 +314,11 @@ struct StatsResponse {
   uint64_t last_snapshot_bytes = 0;
   SnapshotFormat last_restore_format = SnapshotFormat::kNone;
   uint64_t last_restore_bytes = 0;
+  /// Sampling pressure of the tracing layer (obs/trace.h): how many
+  /// request traces sampling has captured, and how many flight-recorder
+  /// spans newer ones have already overwritten.
+  uint64_t traces_captured_total = 0;
+  uint64_t flight_recorder_dropped_total = 0;
 };
 
 // --- encoders (request side) -----------------------------------------
@@ -310,6 +339,7 @@ std::string EncodeStatsRequest(uint64_t request_id);
 std::string EncodeShutdownRequest(uint64_t request_id);
 std::string EncodeMetricsRequest(uint64_t request_id,
                                  const MetricsRequest& msg);
+std::string EncodeTraceRequest(uint64_t request_id, const TraceRequest& msg);
 
 // --- encoders (response side) ----------------------------------------
 
@@ -333,6 +363,7 @@ std::string EncodeStatsResponse(uint64_t request_id,
 std::string EncodeShutdownResponse(uint64_t request_id);
 std::string EncodeMetricsResponse(uint64_t request_id,
                                   const MetricsResponse& msg);
+std::string EncodeTraceResponse(uint64_t request_id, const TraceResponse& msg);
 
 // --- decoders ---------------------------------------------------------
 //
@@ -352,6 +383,7 @@ bool DecodeQueryGroupByRequest(wire::VarintReader& reader,
 bool DecodeSnapshotRequest(wire::VarintReader& reader, SnapshotRequest* out);
 bool DecodeRestoreRequest(wire::VarintReader& reader, RestoreRequest* out);
 bool DecodeMetricsRequest(wire::VarintReader& reader, MetricsRequest* out);
+bool DecodeTraceRequest(wire::VarintReader& reader, TraceRequest* out);
 
 bool DecodeIngestBatchResponse(wire::VarintReader& reader,
                                IngestBatchResponse* out);
@@ -364,6 +396,7 @@ bool DecodeSnapshotResponse(wire::VarintReader& reader, SnapshotResponse* out);
 bool DecodeRestoreResponse(wire::VarintReader& reader, RestoreResponse* out);
 bool DecodeStatsResponse(wire::VarintReader& reader, StatsResponse* out);
 bool DecodeMetricsResponse(wire::VarintReader& reader, MetricsResponse* out);
+bool DecodeTraceResponse(wire::VarintReader& reader, TraceResponse* out);
 
 }  // namespace dsketch
 

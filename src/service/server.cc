@@ -11,6 +11,7 @@
 #include "core/frequent_items.h"
 #include "core/serialization.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/frame.h"
 #include "util/flat_map.h"
 #include "util/logging.h"
@@ -41,11 +42,12 @@ SnapshotFormat BlobSnapshotFormat(std::string_view blob) {
 // Per-opcode telemetry handles, indexed by opcode value (0 = requests
 // whose header never decoded or whose opcode is unknown). Registered
 // once; the serve path only touches relaxed atomics.
-constexpr size_t kOpcodeSlots = static_cast<size_t>(Opcode::kMetrics) + 1;
+constexpr size_t kOpcodeSlots = static_cast<size_t>(Opcode::kTrace) + 1;
 
 constexpr const char* kOpcodeNames[kOpcodeSlots] = {
     "unknown",  "ingest_batch", "query_sum", "query_topk", "query_groupby",
-    "snapshot", "restore",      "stats",     "shutdown",   "metrics"};
+    "snapshot", "restore",      "stats",     "shutdown",   "metrics",
+    "trace"};
 
 size_t OpcodeIndex(Opcode opcode) {
   const uint8_t v = static_cast<uint8_t>(opcode);
@@ -182,6 +184,19 @@ SketchServer::SketchServer(const SketchServerOptions& options,
   // the window configuration (0 = disabled).
   DSKETCH_CHECK(options.epoch_interval_ms >= 0);
   DSKETCH_CHECK(options.slow_request_us >= 0);
+  DSKETCH_CHECK(options.trace_sample >= 0);
+  // Sampling rides the process-wide collector (one serving pipeline per
+  // process is the deployment model); a server with both knobs at zero
+  // leaves an already-configured collector alone.
+  if (options.trace_sample > 0 || options.slow_request_us > 0) {
+    obs::TraceConfig trace_config;
+    trace_config.sample_every =
+        options.trace_sample > int64_t{0xFFFFFFFF}
+            ? uint32_t{0xFFFFFFFF}
+            : static_cast<uint32_t>(options.trace_sample);
+    trace_config.slow_request_us = options.slow_request_us;
+    obs::TraceCollector::Global().Configure(trace_config);
+  }
   RegisterBuildInfo();
 }
 
@@ -277,6 +292,11 @@ std::string SketchServer::Fail(Opcode opcode, uint64_t request_id,
 }
 
 std::string SketchServer::HandleRequest(std::string_view request) {
+  // Root span of the request's trace. Declared first so every child
+  // span below (decode, shard, window, query, encode) closes before it;
+  // the serve loop's response-write span joins afterwards via the
+  // pending-trace hand-off (obs/trace.h).
+  obs::ScopedTrace trace("request");
   const std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
   wire::VarintReader reader(request);
@@ -291,6 +311,9 @@ std::string SketchServer::HandleRequest(std::string_view request) {
     op_index = OpcodeIndex(header.opcode);
     request_id = header.request_id;
     opcode = header.opcode;
+    trace.SetTraceId(obs::TraceIdFromRequestId(header.request_id));
+    trace.Annotate("opcode", static_cast<uint64_t>(header.opcode));
+    trace.Annotate("request_bytes", request.size());
     response = header.version != kProtocolVersion
                    ? Fail(header.opcode, header.request_id,
                           Status::kUnsupported)
@@ -342,6 +365,8 @@ std::string SketchServer::Dispatch(const RequestHeader& header,
       return HandleRestore(header, reader);
     case Opcode::kMetrics:
       return HandleMetrics(header, reader);
+    case Opcode::kTrace:
+      return HandleTrace(header, reader);
     case Opcode::kStats: {
       if (!reader.AtEnd()) {
         return Fail(header.opcode, header.request_id, Status::kMalformed);
@@ -375,10 +400,35 @@ std::string SketchServer::HandleMetrics(const RequestHeader& header,
   return EncodeMetricsResponse(header.request_id, rsp);
 }
 
+std::string SketchServer::HandleTrace(const RequestHeader& header,
+                                      wire::VarintReader& reader) {
+  TraceRequest req;
+  if (!DecodeTraceRequest(reader, &req)) {
+    return Fail(header.opcode, header.request_id, Status::kMalformed);
+  }
+  // Served in replica mode too: why a read-only node's requests were
+  // slow is exactly what its traces answer.
+  TraceResponse rsp;
+  rsp.text =
+      req.scope == TraceScope::kRecent
+          ? obs::TraceToChromeJson(obs::TraceCollector::Global().Recent())
+          : obs::SpansToText(obs::FlightRecorder::Global().Dump());
+  if (rsp.text.size() > kMaxTraceTextBytes) {
+    return Fail(header.opcode, header.request_id, Status::kTooLarge);
+  }
+  return EncodeTraceResponse(header.request_id, rsp);
+}
+
 std::string SketchServer::HandleIngestBatch(const RequestHeader& header,
                                             wire::VarintReader& reader) {
   IngestBatchRequest req;
-  if (!DecodeIngestBatchRequest(reader, &req)) {
+  bool decoded;
+  {
+    obs::ScopedSpan span("frame_decode", obs::TraceLayer::kWire);
+    decoded = DecodeIngestBatchRequest(reader, &req);
+    span.Annotate("rows", req.items.size());
+  }
+  if (!decoded) {
     return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   if (replica_ != nullptr) {
@@ -409,13 +459,19 @@ std::string SketchServer::HandleIngestBatch(const RequestHeader& header,
   ++counters_.batches;
   IngestBatchResponse rsp;
   rsp.rows_accepted = req.items.size();
+  obs::ScopedSpan span("wire_encode", obs::TraceLayer::kWire);
   return EncodeIngestBatchResponse(header.request_id, rsp);
 }
 
 std::string SketchServer::HandleQuerySum(const RequestHeader& header,
                                          wire::VarintReader& reader) {
   QuerySumRequest req;
-  if (!DecodeQuerySumRequest(reader, &req)) {
+  bool decoded;
+  {
+    obs::ScopedSpan span("frame_decode", obs::TraceLayer::kWire);
+    decoded = DecodeQuerySumRequest(reader, &req);
+  }
+  if (!decoded) {
     return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   Predicate pred;
@@ -429,35 +485,45 @@ std::string SketchServer::HandleQuerySum(const RequestHeader& header,
   }
   ++counters_.queries;
   QuerySumResponse rsp;
-  if (req.scope == QueryScope::kCounts) {
-    SubsetSumEstimate est =
-        replica_ != nullptr ? replica_engine_->Sum(pred) : engine_.Sum(pred);
-    rsp.estimate = est.estimate;
-    rsp.variance = est.variance;
-    rsp.items_in_sample = est.items_in_sample;
-  } else if (req.scope == QueryScope::kWindow) {
-    SubsetSumEstimate est =
-        WindowEngine().SumWindow(static_cast<size_t>(req.last_k), pred);
-    rsp.estimate = est.estimate;
-    rsp.variance = est.variance;
-    rsp.items_in_sample = est.items_in_sample;
-  } else {
-    const bool match_all = req.where.conditions.empty();
-    WeightedSubsetSum est =
-        EstimateSubsetSum(WeightedView(), [&](uint64_t item) {
-          return match_all || pred.Matches(*attrs_, item);
-        });
-    rsp.estimate = est.estimate;
-    rsp.variance = est.variance;
-    rsp.items_in_sample = est.items_in_sample;
+  {
+    obs::ScopedSpan span("query_reduce", obs::TraceLayer::kQuery);
+    span.Annotate("scope", static_cast<uint64_t>(req.scope));
+    if (req.scope == QueryScope::kCounts) {
+      SubsetSumEstimate est =
+          replica_ != nullptr ? replica_engine_->Sum(pred) : engine_.Sum(pred);
+      rsp.estimate = est.estimate;
+      rsp.variance = est.variance;
+      rsp.items_in_sample = est.items_in_sample;
+    } else if (req.scope == QueryScope::kWindow) {
+      SubsetSumEstimate est =
+          WindowEngine().SumWindow(static_cast<size_t>(req.last_k), pred);
+      rsp.estimate = est.estimate;
+      rsp.variance = est.variance;
+      rsp.items_in_sample = est.items_in_sample;
+    } else {
+      const bool match_all = req.where.conditions.empty();
+      WeightedSubsetSum est =
+          EstimateSubsetSum(WeightedView(), [&](uint64_t item) {
+            return match_all || pred.Matches(*attrs_, item);
+          });
+      rsp.estimate = est.estimate;
+      rsp.variance = est.variance;
+      rsp.items_in_sample = est.items_in_sample;
+    }
   }
+  obs::ScopedSpan span("wire_encode", obs::TraceLayer::kWire);
   return EncodeQuerySumResponse(header.request_id, rsp);
 }
 
 std::string SketchServer::HandleQueryTopK(const RequestHeader& header,
                                           wire::VarintReader& reader) {
   QueryTopKRequest req;
-  if (!DecodeQueryTopKRequest(reader, &req)) {
+  bool decoded;
+  {
+    obs::ScopedSpan span("frame_decode", obs::TraceLayer::kWire);
+    decoded = DecodeQueryTopKRequest(reader, &req);
+  }
+  if (!decoded) {
     return Fail(header.opcode, header.request_id, Status::kMalformed);
   }
   if (replica_ != nullptr && req.scope != QueryScope::kCounts) {
@@ -466,24 +532,31 @@ std::string SketchServer::HandleQueryTopK(const RequestHeader& header,
   ++counters_.queries;
   QueryTopKResponse rsp;
   rsp.scope = req.scope;
-  if (req.scope == QueryScope::kCounts) {
-    if (replica_ != nullptr) {
-      // The image stores entries in descending order: top-k is its
-      // first k records, no decode or sort.
-      rsp.counts = FrozenTopK(replica_->frozen(), static_cast<size_t>(req.k));
+  {
+    obs::ScopedSpan span("query_reduce", obs::TraceLayer::kQuery);
+    span.Annotate("scope", static_cast<uint64_t>(req.scope));
+    span.Annotate("k", req.k);
+    if (req.scope == QueryScope::kCounts) {
+      if (replica_ != nullptr) {
+        // The image stores entries in descending order: top-k is its
+        // first k records, no decode or sort.
+        rsp.counts =
+            FrozenTopK(replica_->frozen(), static_cast<size_t>(req.k));
+      } else {
+        source_.Flush();
+        rsp.counts = TopK(source_.View(), static_cast<size_t>(req.k));
+      }
+    } else if (req.scope == QueryScope::kWindow) {
+      // WindowView's merge flushes the fleet whenever the view is dirty.
+      rsp.counts = TopK(Window().WindowView(static_cast<size_t>(req.last_k)),
+                        static_cast<size_t>(req.k));
     } else {
-      source_.Flush();
-      rsp.counts = TopK(source_.View(), static_cast<size_t>(req.k));
+      std::vector<WeightedEntry> entries = WeightedView().Entries();
+      if (entries.size() > req.k) entries.resize(static_cast<size_t>(req.k));
+      rsp.weighted = std::move(entries);
     }
-  } else if (req.scope == QueryScope::kWindow) {
-    // WindowView's merge flushes the fleet whenever the view is dirty.
-    rsp.counts = TopK(Window().WindowView(static_cast<size_t>(req.last_k)),
-                      static_cast<size_t>(req.k));
-  } else {
-    std::vector<WeightedEntry> entries = WeightedView().Entries();
-    if (entries.size() > req.k) entries.resize(static_cast<size_t>(req.k));
-    rsp.weighted = std::move(entries);
   }
+  obs::ScopedSpan span("wire_encode", obs::TraceLayer::kWire);
   return EncodeQueryTopKResponse(header.request_id, rsp);
 }
 
@@ -507,26 +580,33 @@ std::string SketchServer::HandleQueryGroupBy(const RequestHeader& header,
   }
   ++counters_.queries;
   QueryGroupByResponse rsp;
-  auto add_group = [&rsp](uint64_t key, const SubsetSumEstimate& est) {
-    rsp.groups.push_back(
-        {key, est.estimate, est.variance, est.items_in_sample});
-  };
-  SketchQueryEngine& engine = replica_ != nullptr ? *replica_engine_ : engine_;
-  if (req.has_dim2) {
-    for (const auto& [key, est] :
-         engine.GroupBy2(static_cast<size_t>(req.dim1),
-                         static_cast<size_t>(req.dim2), pred)) {
-      add_group(key, est);
+  {
+    obs::ScopedSpan span("query_reduce", obs::TraceLayer::kQuery);
+    auto add_group = [&rsp](uint64_t key, const SubsetSumEstimate& est) {
+      rsp.groups.push_back(
+          {key, est.estimate, est.variance, est.items_in_sample});
+    };
+    SketchQueryEngine& engine =
+        replica_ != nullptr ? *replica_engine_ : engine_;
+    if (req.has_dim2) {
+      for (const auto& [key, est] :
+           engine.GroupBy2(static_cast<size_t>(req.dim1),
+                           static_cast<size_t>(req.dim2), pred)) {
+        add_group(key, est);
+      }
+    } else {
+      for (const auto& [key, est] :
+           engine.GroupBy1(static_cast<size_t>(req.dim1), pred)) {
+        add_group(key, est);
+      }
     }
-  } else {
-    for (const auto& [key, est] :
-         engine.GroupBy1(static_cast<size_t>(req.dim1), pred)) {
-      add_group(key, est);
-    }
+    // Deterministic response order (the engine's maps are unordered).
+    std::sort(
+        rsp.groups.begin(), rsp.groups.end(),
+        [](const GroupRow& a, const GroupRow& b) { return a.key < b.key; });
+    span.Annotate("groups", rsp.groups.size());
   }
-  // Deterministic response order (the engine's maps are unordered).
-  std::sort(rsp.groups.begin(), rsp.groups.end(),
-            [](const GroupRow& a, const GroupRow& b) { return a.key < b.key; });
+  obs::ScopedSpan span("wire_encode", obs::TraceLayer::kWire);
   return EncodeQueryGroupByResponse(header.request_id, rsp);
 }
 
@@ -572,6 +652,8 @@ std::string SketchServer::HandleSnapshot(const RequestHeader& header,
   }
   counters_.last_snapshot_format = format;
   counters_.last_snapshot_bytes = rsp.blob.size();
+  obs::ScopedSpan span("wire_encode", obs::TraceLayer::kWire);
+  span.Annotate("blob_bytes", rsp.blob.size());
   return EncodeSnapshotResponse(header.request_id, rsp);
 }
 
@@ -641,6 +723,8 @@ StatsResponse SketchServer::Stats() {
   out.last_snapshot_bytes = counters_.last_snapshot_bytes;
   out.last_restore_format = counters_.last_restore_format;
   out.last_restore_bytes = counters_.last_restore_bytes;
+  out.traces_captured_total = obs::TraceCollector::Global().traces_captured();
+  out.flight_recorder_dropped_total = obs::FlightRecorder::Global().dropped();
   return out;
 }
 
@@ -695,7 +779,16 @@ void SketchServer::Serve(Transport& transport) {
     if (fs != FrameStatus::kOk) break;
     FrameBytesCounter(/*in=*/true).Inc(payload.size() + kFrameHeaderBytes);
     std::string response = HandleRequest(payload);
-    if (!WriteFrame(transport, response)) break;
+    bool wrote;
+    {
+      // Joins the request's trace via the pending-trace hand-off even
+      // though the root span already closed inside HandleRequest.
+      obs::ScopedSpan span("response_write", obs::TraceLayer::kWire);
+      span.Annotate("bytes", response.size());
+      wrote = WriteFrame(transport, response);
+    }
+    obs::FlushPendingTrace();
+    if (!wrote) break;
     FrameBytesCounter(/*in=*/false).Inc(response.size() + kFrameHeaderBytes);
     if (shutdown_) break;
   }

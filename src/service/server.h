@@ -83,6 +83,13 @@ struct SketchServerOptions {
   /// embedders route into their own logger). Called on the serving
   /// thread — keep it cheap.
   std::function<void(const SlowRequestInfo&)> slow_request_hook;
+  /// > 0: capture every Nth request's full span tree into the
+  /// recent-traces ring (obs/trace.h; 1 = every request). Combined with
+  /// slow_request_us > 0, every slow request is also captured in full
+  /// (tail sampling). 0 (default) leaves per-request sampling off — the
+  /// flight recorder still runs. Must be >= 0. Applied to the global
+  /// TraceCollector at construction when either sampling knob is set.
+  int64_t trace_sample = 0;
 };
 
 /// The streaming sketch service.
@@ -142,6 +149,8 @@ class SketchServer {
                             wire::VarintReader& reader);
   std::string HandleMetrics(const RequestHeader& header,
                             wire::VarintReader& reader);
+  std::string HandleTrace(const RequestHeader& header,
+                          wire::VarintReader& reader);
 
   // The single error-response chokepoint: bumps the total and
   // per-status error counters (STATS) and the labeled obs series, then

@@ -44,6 +44,7 @@
 #include "core/unbiased_space_saving.h"
 #include "core/weighted_space_saving.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/spsc_queue.h"
 #include "util/flat_map.h"
 #include "util/logging.h"
@@ -185,6 +186,8 @@ class ShardedSketch {
   /// Routes `rows` to their shards and enqueues them (blocking with
   /// backoff while a destination queue is full). Single producer.
   void Ingest(Span<const Row> items) {
+    obs::ScopedSpan span("shard_enqueue", obs::TraceLayer::kShard);
+    span.Annotate("rows", items.size());
     for (const Row& row : items) {
       staging_[ShardOf(ShardRow<S>::ItemOf(row))].push_back(row);
     }
@@ -215,6 +218,7 @@ class ShardedSketch {
 
   /// Blocks until every enqueued row has been applied to its shard sketch.
   void Flush() {
+    obs::ScopedSpan span("shard_drain", obs::TraceLayer::kShard);
     for (auto& shard : shards_) {
       const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
       while (shard->applied.load(std::memory_order_acquire) < target) {
@@ -228,6 +232,9 @@ class ShardedSketch {
   /// deterministic given the ingested stream and seeds.
   S Snapshot(size_t capacity, uint64_t seed = 1) {
     obs::ScopedTimer merge_timer(shard_metrics::SnapshotMergeUs());
+    // Flush() nests its shard_drain span under this one.
+    obs::ScopedSpan span("snapshot_merge", obs::TraceLayer::kShard);
+    span.Annotate("shards", shards_.size());
     Flush();
     // Shard sketches are copied under their locks (workers may still be
     // alive); absorbed remotes are producer-thread-only and immutable,

@@ -5,15 +5,33 @@
 #ifndef DSKETCH_UTIL_LOGGING_H_
 #define DSKETCH_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dsketch {
 namespace internal {
 
+/// Called after a CHECK-failure message prints, before abort. Installed
+/// by obs::InstallTraceFatalHandlers to dump the flight recorder; must
+/// be safe to run from any thread mid-crash.
+using FatalHook = void (*)();
+
+inline std::atomic<FatalHook>& FatalHookSlot() {
+  static std::atomic<FatalHook> slot{nullptr};
+  return slot;
+}
+
+inline void SetFatalHook(FatalHook hook) {
+  FatalHookSlot().store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  if (FatalHook hook = FatalHookSlot().load(std::memory_order_acquire)) {
+    hook();
+  }
   std::abort();
 }
 

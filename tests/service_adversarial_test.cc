@@ -100,6 +100,9 @@ std::vector<std::pair<std::string, std::string>> AllRequests() {
   MetricsRequest metrics;
   metrics.scope = MetricsScope::kShard;
   out.emplace_back("metrics", EncodeMetricsRequest(15, metrics));
+  TraceRequest trace;
+  trace.scope = TraceScope::kFlight;
+  out.emplace_back("trace", EncodeTraceRequest(16, trace));
   out.emplace_back("shutdown", EncodeShutdownRequest(9));
   return out;
 }
@@ -239,10 +242,84 @@ TEST(ServiceAdversarialTest, HostileMetricsRequestsGetCleanErrors) {
   }
 }
 
+TEST(ServiceAdversarialTest, HostileTraceRequestsGetCleanErrors) {
+  SketchServer server(SmallOptions());
+  auto request_with = [](const std::function<void(wire::VarintWriter&)>& body) {
+    std::string out;
+    wire::VarintWriter w(out);
+    w.PutByte(kProtocolVersion);
+    w.PutByte(static_cast<uint8_t>(Opcode::kTrace));
+    w.PutVarint(47);
+    body(w);
+    return out;
+  };
+
+  // Missing scope byte.
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                request_with([](wire::VarintWriter&) {}))),
+            Status::kMalformed);
+  // Every scope byte past the enum, including the extremes.
+  for (uint8_t scope : {uint8_t{2}, uint8_t{3}, uint8_t{100}, uint8_t{255}}) {
+    EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                  request_with([&](wire::VarintWriter& w) {
+                    w.PutByte(scope);
+                  }))),
+              Status::kMalformed)
+        << "scope " << static_cast<int>(scope);
+  }
+  // Trailing garbage after a valid scope: decoders consume exactly.
+  EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                request_with([](wire::VarintWriter& w) {
+                  w.PutByte(0);
+                  w.PutVarint(999);
+                }))),
+            Status::kMalformed);
+  // The hostile traffic above left the server serving: both valid
+  // scopes still answer kOk.
+  for (uint8_t scope : {uint8_t{0}, uint8_t{1}}) {
+    EXPECT_EQ(ResponseStatus(server.HandleRequest(
+                  request_with([&](wire::VarintWriter& w) {
+                    w.PutByte(scope);
+                  }))),
+              Status::kOk)
+        << "scope " << static_cast<int>(scope);
+  }
+
+  // Response-side: a TRACE response claiming more text than it carries
+  // (or truncated mid-claim) is rejected by the client decoder.
+  TraceResponse rsp;
+  rsp.text = "trace 0000000000000001 (0 spans)\n";
+  std::string wire_rsp = EncodeTraceResponse(47, rsp);
+  {
+    wire::VarintReader reader(wire_rsp);
+    ResponseHeader header;
+    ASSERT_TRUE(DecodeResponseHeader(reader, &header));
+    TraceResponse decoded;
+    EXPECT_TRUE(DecodeTraceResponse(reader, &decoded));
+    EXPECT_EQ(decoded.text, rsp.text);
+  }
+  std::string truncated = wire_rsp.substr(0, wire_rsp.size() - 5);
+  {
+    wire::VarintReader reader(truncated);
+    ResponseHeader header;
+    ASSERT_TRUE(DecodeResponseHeader(reader, &header));
+    TraceResponse decoded;
+    EXPECT_FALSE(DecodeTraceResponse(reader, &decoded));
+  }
+  std::string padded = wire_rsp + "extra";
+  {
+    wire::VarintReader reader(padded);
+    ResponseHeader header;
+    ASSERT_TRUE(DecodeResponseHeader(reader, &header));
+    TraceResponse decoded;
+    EXPECT_FALSE(DecodeTraceResponse(reader, &decoded));
+  }
+}
+
 TEST(ServiceAdversarialTest, UnknownOpcodesAndVersionsAreRejected) {
   SketchServer server(SmallOptions());
-  // 10 is the first unassigned opcode (9 became METRICS in protocol v4).
-  for (uint8_t opcode : {uint8_t{0}, uint8_t{10}, uint8_t{42}, uint8_t{255}}) {
+  // 11 is the first unassigned opcode (10 became TRACE in protocol v5).
+  for (uint8_t opcode : {uint8_t{0}, uint8_t{11}, uint8_t{42}, uint8_t{255}}) {
     std::string request;
     wire::VarintWriter w(request);
     w.PutByte(kProtocolVersion);

@@ -18,6 +18,7 @@
 
 #include "core/serialization.h"
 #include "core/unbiased_space_saving.h"
+#include "obs/trace.h"
 #include "query/attribute_table.h"
 #include "query/frozen_source.h"
 #include "service/client.h"
@@ -114,6 +115,8 @@ TEST(ProtocolTest, QueryAndResponseMessagesRoundTrip) {
   stats.last_snapshot_bytes = 98432;
   stats.last_restore_format = SnapshotFormat::kStream;
   stats.last_restore_bytes = 1613;
+  stats.traces_captured_total = 77;
+  stats.flight_recorder_dropped_total = 4096;
   payload = EncodeStatsResponse(1, stats);
   wire::VarintReader reader3(payload);
   ASSERT_TRUE(DecodeResponseHeader(reader3, &rsp_header));
@@ -126,6 +129,8 @@ TEST(ProtocolTest, QueryAndResponseMessagesRoundTrip) {
   EXPECT_EQ(stats2.last_snapshot_bytes, 98432u);
   EXPECT_EQ(stats2.last_restore_format, SnapshotFormat::kStream);
   EXPECT_EQ(stats2.last_restore_bytes, 1613u);
+  EXPECT_EQ(stats2.traces_captured_total, 77u);
+  EXPECT_EQ(stats2.flight_recorder_dropped_total, 4096u);
 
   // The frozen flag rides the high bit of the SNAPSHOT scope byte;
   // decoding must strip it and validate the masked scope.
@@ -176,6 +181,38 @@ TEST(ProtocolTest, MetricsMessagesRoundTripAndValidateScope) {
   EXPECT_EQ(MetricsScopePrefix(MetricsScope::kAll), "dsketch_");
   EXPECT_EQ(MetricsScopePrefix(MetricsScope::kService), "dsketch_service_");
   EXPECT_EQ(MetricsScopePrefix(MetricsScope::kUtil), "dsketch_util_");
+}
+
+TEST(ProtocolTest, TraceMessagesRoundTripAndValidateScope) {
+  TraceRequest req;
+  req.scope = TraceScope::kFlight;
+  std::string payload = EncodeTraceRequest(21, req);
+  wire::VarintReader reader(payload);
+  RequestHeader header;
+  ASSERT_TRUE(DecodeRequestHeader(reader, &header));
+  EXPECT_EQ(header.opcode, Opcode::kTrace);
+  TraceRequest req2;
+  ASSERT_TRUE(DecodeTraceRequest(reader, &req2));
+  EXPECT_EQ(req2.scope, TraceScope::kFlight);
+
+  // A scope byte past the enum is malformed, not misinterpreted.
+  std::string bad = EncodeTraceRequest(22, req);
+  bad.back() = static_cast<char>(2);
+  wire::VarintReader bad_reader(bad);
+  ASSERT_TRUE(DecodeRequestHeader(bad_reader, &header));
+  TraceRequest req3;
+  EXPECT_FALSE(DecodeTraceRequest(bad_reader, &req3));
+
+  TraceResponse rsp;
+  rsp.text = "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}\n";
+  payload = EncodeTraceResponse(21, rsp);
+  wire::VarintReader rsp_reader(payload);
+  ResponseHeader rsp_header;
+  ASSERT_TRUE(DecodeResponseHeader(rsp_reader, &rsp_header));
+  EXPECT_EQ(rsp_header.status, Status::kOk);
+  TraceResponse rsp2;
+  ASSERT_TRUE(DecodeTraceResponse(rsp_reader, &rsp2));
+  EXPECT_EQ(rsp2.text, rsp.text);
 }
 
 // Fixture running a server thread over the in-memory duplex.
@@ -690,9 +727,37 @@ TEST_F(ServiceSessionTest, MetricsOpcodeServesScopedExposition) {
   EXPECT_NE(util_only->find("dsketch_util_build_info"), std::string::npos);
 }
 
+TEST_F(ServiceSessionTest, TraceOpcodeServesRecentAndFlightScopes) {
+  // The fixture boots with sampling off; configure the global collector
+  // directly (what a server built with trace_sample > 0 does) and
+  // restore it on exit so other tests see the default-off policy.
+  obs::TraceCollector::Global().Configure({/*sample_every=*/1,
+                                           /*slow_request_us=*/0});
+  Boot(&attrs_);
+  ASSERT_TRUE(client_->IngestBatch(std::vector<uint64_t>{1, 2, 3, 2, 1}));
+  ASSERT_TRUE(client_->QuerySum().has_value());
+
+  auto recent = client_->Trace();
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_NE(recent->find("traceEvents"), std::string::npos);
+  auto flight = client_->Trace(TraceScope::kFlight);
+  ASSERT_TRUE(flight.has_value());
+#ifndef DSKETCH_NO_METRICS
+  // The sampled QUERY_SUM span tree is visible through the opcode, and
+  // the always-on recorder carries the request roots.
+  EXPECT_NE(recent->find("\"request\""), std::string::npos);
+  EXPECT_NE(recent->find("query_reduce"), std::string::npos);
+  EXPECT_NE(flight->find("request"), std::string::npos);
+  auto stats = client_->Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->traces_captured_total, 0u);
+#endif
+  obs::TraceCollector::Global().Configure(obs::TraceConfig{});
+}
+
 TEST(ServiceProtocolNegotiationTest, PriorVersionFramesAreRefused) {
   SketchServer server(SmallServerOptions());
-  // A v3 peer (the pre-METRICS protocol) must get a firm kUnsupported,
+  // A v4 peer (the pre-TRACE protocol) must get a firm kUnsupported,
   // not a misparse: the version byte gates before the opcode switch.
   std::string old_frame;
   wire::VarintWriter w(old_frame);

@@ -35,16 +35,29 @@
 //   --slow-request-us=N   log every request slower than N µs as one
 //                         structured stderr line (default 0 = off;
 //                         format in README "Observability")
-//   --metrics-interval-ms=N  every N ms, rewrite the full Prometheus-
+//   --metrics-interval-ms=N  every N ms, export the full Prometheus-
 //                         style metrics exposition (obs/metrics.h) to
 //                         --metrics-file, plus once at exit
 //                         (default 0 = off)
-//   --metrics-file=PATH   exposition target; the file is truncated and
-//                         rewritten whole each interval so scrapers
-//                         always read one complete dump
+//   --metrics-file=PATH   exposition target; written to PATH.tmp and
+//                         atomically renamed over PATH, so scrapers
+//                         never read a torn or half-written dump
 //                         (default "" = stderr)
+//   --trace-sample=N      capture every Nth request's full span tree
+//                         (obs/trace.h; 1 = every request, 0 = off —
+//                         the flight recorder runs regardless). With
+//                         --slow-request-us, every slow request is
+//                         also captured in full (tail sampling)
+//   --trace-file=PATH     export the recent sampled traces as Chrome
+//                         trace-event JSON (Perfetto-loadable) every
+//                         --metrics-interval-ms, plus once at exit;
+//                         same atomic tmp-file + rename discipline
 //   --replica=PATH        serve the frozen image at PATH read-only
 //   --smoke               run the self-contained two-node scenario
+//
+// Every mode installs the flight-recorder fatal hook: a CHECK failure
+// or fatal signal dumps the last trace spans to stderr before the
+// process dies, so an abort leaves a postmortem.
 
 #include <atomic>
 #include <chrono>
@@ -58,6 +71,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/frozen_source.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -111,28 +125,57 @@ SketchServerOptions MakeOptions(int argc, char** argv) {
       static_cast<size_t>(FlagInt(argc, argv, "window-epochs", 4));
   options.epoch_interval_ms = FlagInt(argc, argv, "epoch-interval-ms", 0);
   options.slow_request_us = FlagInt(argc, argv, "slow-request-us", 0);
+  options.trace_sample = FlagInt(argc, argv, "trace-sample", 0);
   options.seed = options.shard.seed;
   return options;
 }
 
-// Periodic Prometheus-style exposition (--metrics-interval-ms): a
-// background thread rewrites the full DumpMetricsText() output to
-// `path` (truncate + rewrite, so a scraper never reads a half-appended
-// dump) or stderr every interval, plus once on shutdown so even a
-// short-lived run leaves a final scrape behind. Sleeps in short slices
-// so destruction is prompt.
-class MetricsExporter {
+// Writes `text` to PATH.tmp, then renames over PATH — a reader always
+// sees either the previous complete export or the new one, never a
+// partial file. False on any fs failure (the tmp file is cleaned up).
+bool AtomicWriteFile(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Periodic telemetry export (--metrics-interval-ms): a background
+// thread writes the full DumpMetricsText() output to --metrics-file
+// (or stderr) and, when --trace-file is set, the recent sampled traces
+// as Chrome trace-event JSON — both via AtomicWriteFile, so a scraper
+// or a Perfetto load never reads a torn export. A final export runs at
+// shutdown whenever an interval or a target file was configured, so
+// even a short-lived run leaves its last scrape and traces behind.
+// Sleeps in short slices so destruction is prompt.
+class TelemetryExporter {
  public:
-  MetricsExporter(int64_t interval_ms, std::string path)
-      : interval_ms_(interval_ms), path_(std::move(path)) {
+  TelemetryExporter(int64_t interval_ms, std::string metrics_path,
+                    std::string trace_path)
+      : interval_ms_(interval_ms),
+        metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)) {
     if (interval_ms_ > 0) thread_ = std::thread([this] { Loop(); });
   }
 
-  ~MetricsExporter() {
-    if (!thread_.joinable()) return;
-    stop_.store(true, std::memory_order_relaxed);
-    thread_.join();
-    Dump();
+  ~TelemetryExporter() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      thread_.join();
+    }
+    if (interval_ms_ > 0 || !metrics_path_.empty() || !trace_path_.empty()) {
+      Dump();
+    }
   }
 
  private:
@@ -148,20 +191,27 @@ class MetricsExporter {
     }
   }
 
+  // Transient fs trouble must not kill serving: failures are dropped.
   void Dump() const {
-    const std::string text = obs::DumpMetricsText();
-    if (path_.empty()) {
-      std::fwrite(text.data(), 1, text.size(), stderr);
-      return;
+    // Metrics go to stderr only under a periodic interval — a run that
+    // set just --trace-file should not get a surprise metrics dump.
+    if (interval_ms_ > 0 || !metrics_path_.empty()) {
+      const std::string text = obs::DumpMetricsText();
+      if (metrics_path_.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stderr);
+      } else {
+        AtomicWriteFile(metrics_path_, text);
+      }
     }
-    std::FILE* f = std::fopen(path_.c_str(), "wb");
-    if (f == nullptr) return;  // transient fs trouble must not kill serving
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
+    if (!trace_path_.empty()) {
+      AtomicWriteFile(trace_path_, obs::TraceToChromeJson(
+                                       obs::TraceCollector::Global().Recent()));
+    }
   }
 
   const int64_t interval_ms_;
-  const std::string path_;
+  const std::string metrics_path_;
+  const std::string trace_path_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };
@@ -212,7 +262,10 @@ double MetricFromText(const std::string& text, const std::string& name) {
 // The CI smoke scenario: two nodes, one replication hop, every core
 // opcode exercised once. Returns 0 on success, 1 with a message on the
 // first failed check.
-int RunSmoke(const SketchServerOptions& options) {
+int RunSmoke(SketchServerOptions options) {
+  // Sampling on for the whole scenario unless the caller picked a rate:
+  // the trace assertions below need the span trees captured.
+  if (options.trace_sample == 0) options.trace_sample = 1;
   auto fail = [](const char* what) {
     std::fprintf(stderr, "smoke: FAILED at %s\n", what);
     return 1;
@@ -307,6 +360,57 @@ int RunSmoke(const SketchServerOptions& options) {
     }
   }
 
+  // Tracing hop. The first windowed query hit a dirty ring, so its
+  // sampled span tree must cover every layer: frame decode → shard
+  // drain → window merge → query reduction → wire encode, all under
+  // one "request" root. (Spans compile to no-ops under
+  // -DDSKETCH_NO_METRICS; the structural checks are gated with them.)
+#ifndef DSKETCH_NO_METRICS
+  {
+    bool tree_found = false;
+    for (const obs::TraceRecord& rec :
+         obs::TraceCollector::Global().Recent()) {
+      bool root = false, decode = false, drain = false, window = false,
+           reduce = false, encode = false;
+      for (const obs::Span& s : rec.spans) {
+        if (s.name == nullptr) continue;
+        if (std::strcmp(s.name, "request") == 0 && s.parent_id == 0) {
+          root = true;
+        }
+        if (std::strcmp(s.name, "frame_decode") == 0) decode = true;
+        if (std::strcmp(s.name, "shard_drain") == 0) drain = true;
+        if (std::strcmp(s.name, "window_merge") == 0) window = true;
+        if (std::strcmp(s.name, "query_reduce") == 0) reduce = true;
+        if (std::strcmp(s.name, "wire_encode") == 0) encode = true;
+      }
+      if (root && decode && drain && window && reduce && encode) {
+        tree_found = true;
+        break;
+      }
+    }
+    if (!tree_found) {
+      return fail("sampled trace covers service/shard/window/wire layers");
+    }
+  }
+#endif
+  // TRACE opcode: recent scope is Chrome trace-event JSON, flight scope
+  // the always-on recorder's text dump.
+  auto trace_json = client_a.Trace();
+  if (!trace_json.has_value() ||
+      trace_json->find("traceEvents") == std::string::npos) {
+    return fail("TRACE recent (Chrome JSON)");
+  }
+  auto flight = client_a.Trace(TraceScope::kFlight);
+  if (!flight.has_value()) return fail("TRACE flight");
+#ifndef DSKETCH_NO_METRICS
+  if (trace_json->find("window_merge") == std::string::npos) {
+    return fail("TRACE recent carries the window_merge span");
+  }
+  if (flight->find("request") == std::string::npos) {
+    return fail("TRACE flight carries request spans");
+  }
+#endif
+
   auto ring = client_a.Snapshot(QueryScope::kWindow);
   if (!ring.has_value() || ring->empty()) return fail("windowed SNAPSHOT");
   if (!client_b.Restore(*ring, QueryScope::kWindow)) {
@@ -329,6 +433,11 @@ int RunSmoke(const SketchServerOptions& options) {
       stats_a->window_epoch != kEpochs - 1) {
     return fail("windowed STATS");
   }
+#ifndef DSKETCH_NO_METRICS
+  if (stats_a->traces_captured_total == 0) {
+    return fail("STATS traces_captured_total after sampled requests");
+  }
+#endif
 
   // METRICS hop: the exposition must show the smoke's own traffic.
   // First stir the window merge cache deliberately: last_k=2 decomposes
@@ -346,8 +455,13 @@ int RunSmoke(const SketchServerOptions& options) {
   if (!win_last1b.has_value() || win_last1b->estimate != win_last->estimate) {
     return fail("windowed QUERY_SUM last_k=1 repeat");
   }
+  // The exposition's content (like the trace checks above) only exists
+  // when the build records metrics; the opcode itself must answer kOk
+  // either way.
   auto metrics = client_a.Metrics();
-  if (!metrics.has_value() || metrics->empty()) return fail("METRICS");
+  if (!metrics.has_value()) return fail("METRICS");
+#ifndef DSKETCH_NO_METRICS
+  if (metrics->empty()) return fail("METRICS");
   const std::string requests = "dsketch_service_requests_total";
   if (MetricFromText(*metrics, requests + "{opcode=\"ingest_batch\"}") <= 0 ||
       MetricFromText(*metrics, requests + "{opcode=\"query_sum\"}") <= 0 ||
@@ -378,6 +492,7 @@ int RunSmoke(const SketchServerOptions& options) {
       scoped->find("dsketch_window_") == std::string::npos) {
     return fail("METRICS window scope filter");
   }
+#endif  // DSKETCH_NO_METRICS
 
   // Frozen-replica hop: A emits the frozen mmap-able image, the image
   // goes to disk, a replica node mmaps the file and answers with zero
@@ -459,6 +574,12 @@ int RunSmoke(const SketchServerOptions& options) {
         stats_r->total_count != static_cast<int64_t>(rows.size())) {
       return fail("replica STATS total_count off the image header");
     }
+    // Replicas serve TRACE too — observability never requires a writer.
+    auto trace_r = client_r.Trace();
+    if (!trace_r.has_value() ||
+        trace_r->find("traceEvents") == std::string::npos) {
+      return fail("TRACE on frozen replica");
+    }
     if (!client_r.Shutdown()) return fail("SHUTDOWN replica node");
     if (!client_c.Shutdown()) return fail("SHUTDOWN thawed node");
   }
@@ -495,6 +616,12 @@ int Run(int argc, char** argv) {
                  static_cast<long long>(options.slow_request_us));
     return 2;
   }
+  if (options.trace_sample < 0) {
+    std::fprintf(stderr,
+                 "dsketchd: --trace-sample must be >= 0 (got %lld)\n",
+                 static_cast<long long>(options.trace_sample));
+    return 2;
+  }
   const int64_t metrics_interval_ms =
       FlagInt(argc, argv, "metrics-interval-ms", 0);
   if (metrics_interval_ms < 0) {
@@ -503,11 +630,16 @@ int Run(int argc, char** argv) {
                  static_cast<long long>(metrics_interval_ms));
     return 2;
   }
+  // Postmortem hook: a CHECK failure or fatal signal from here on dumps
+  // the flight recorder's newest spans to stderr before the abort.
+  obs::InstallTraceFatalHandlers();
+
   if (FlagSet(argc, argv, "smoke")) return RunSmoke(options);
 
   // Covers both writer and replica modes below; inert at interval 0.
-  MetricsExporter exporter(metrics_interval_ms,
-                           FlagStr(argc, argv, "metrics-file", ""));
+  TelemetryExporter exporter(metrics_interval_ms,
+                             FlagStr(argc, argv, "metrics-file", ""),
+                             FlagStr(argc, argv, "trace-file", ""));
 
   const std::string replica_path = FlagStr(argc, argv, "replica", "");
   if (!replica_path.empty()) {
