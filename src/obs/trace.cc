@@ -21,6 +21,11 @@ namespace {
 constexpr size_t kMaxDepth = 16;
 constexpr size_t kMaxSpansPerTrace = 128;
 
+// In-progress sentinel for FlightRecorder slot stamps. Published stamps
+// are ticket + 1, so this value is unreachable (head_ would have to
+// wrap uint64).
+constexpr uint64_t kSlotWriting = ~uint64_t{0};
+
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -64,11 +69,15 @@ uint64_t TraceIdFromRequestId(uint64_t request_id) {
 
 // --- FlightRecorder ---------------------------------------------------
 
-// Every field is a relaxed atomic so concurrent producers and dump
-// readers are race-free (tsan-clean) by construction. `seq` is the
-// producer's ticket + 1 (never 0 = never written), stored with release
-// after the payload fields; a reader re-checks it after copying and
-// discards the slot when a producer got in between.
+// Per-slot seqlock. A producer claims the slot by swinging `seq` from
+// its last published stamp to kSlotWriting, writes the payload, then
+// publishes its ticket + 1 (never 0 = never written). A reader accepts
+// a slot only when the stamp equals its ticket + 1 both before and
+// after copying the payload, so an in-progress or overwritten slot is
+// discarded whole — two producers a full ring lap apart can never
+// interleave payloads under one stamp (the CAS loser drops its span).
+// Every field is an atomic, so the races tsan could flag are gone by
+// construction and consistency rests on the stamp protocol alone.
 struct FlightRecorder::Slot {
   std::atomic<uint64_t> seq{0};
   std::atomic<const char*> name{nullptr};
@@ -79,8 +88,8 @@ struct FlightRecorder::Slot {
   std::atomic<uint64_t> start_us{0};
   std::atomic<uint64_t> end_us{0};
   std::atomic<uint32_t> num_annotations{0};
-  std::atomic<const char*> ann_key[Span::kMaxAnnotations];
-  std::atomic<uint64_t> ann_value[Span::kMaxAnnotations];
+  std::atomic<const char*> ann_key[Span::kMaxAnnotations] = {};
+  std::atomic<uint64_t> ann_value[Span::kMaxAnnotations] = {};
 };
 
 FlightRecorder::FlightRecorder(size_t capacity)
@@ -100,6 +109,22 @@ FlightRecorder& FlightRecorder::Global() {
 void FlightRecorder::Record(const Span& span) {
   const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket & (capacity_ - 1)];
+  // Claim the slot: only the producer that swings seq to the sentinel
+  // may write. Losing the claim — a producer a full ring lap away is
+  // mid-write on this very slot — drops the span rather than
+  // interleaving two payloads under one stamp.
+  uint64_t prev = slot.seq.load(std::memory_order_relaxed);
+  if (prev == kSlotWriting ||
+      !slot.seq.compare_exchange_strong(prev, kSlotWriting,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
+  // The payload stores below must not become visible before the claim:
+  // this release fence pairs with the acquire fence in CopySlot, so a
+  // reader that observed any of them is guaranteed to see a changed
+  // stamp on its re-check.
+  std::atomic_thread_fence(std::memory_order_release);
   slot.name.store(span.name, std::memory_order_relaxed);
   slot.layer.store(static_cast<uint8_t>(span.layer),
                    std::memory_order_relaxed);
@@ -121,39 +146,47 @@ void FlightRecorder::Record(const Span& span) {
   slot.seq.store(ticket + 1, std::memory_order_release);
 }
 
+bool FlightRecorder::CopySlot(const Slot& slot, uint64_t ticket,
+                              Span* out) const {
+  const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+  // A slot whose stamp is not this ticket's was already overwritten by
+  // a newer lap, is mid-write (kSlotWriting), or never completed; its
+  // payload belongs elsewhere.
+  if (seq_before != ticket + 1) return false;
+  out->name = slot.name.load(std::memory_order_relaxed);
+  out->layer =
+      static_cast<TraceLayer>(slot.layer.load(std::memory_order_relaxed));
+  out->trace_id = slot.trace_id.load(std::memory_order_relaxed);
+  out->span_id = slot.span_id.load(std::memory_order_relaxed);
+  out->parent_id = slot.parent_id.load(std::memory_order_relaxed);
+  out->start_us = slot.start_us.load(std::memory_order_relaxed);
+  out->end_us = slot.end_us.load(std::memory_order_relaxed);
+  uint32_t n_ann = slot.num_annotations.load(std::memory_order_relaxed);
+  if (n_ann > Span::kMaxAnnotations) n_ann = Span::kMaxAnnotations;
+  out->num_annotations = n_ann;
+  for (uint32_t i = 0; i < n_ann; ++i) {
+    out->annotations[i].key = slot.ann_key[i].load(std::memory_order_relaxed);
+    out->annotations[i].value =
+        slot.ann_value[i].load(std::memory_order_relaxed);
+  }
+  // Discard torn slots: a producer may have claimed this slot while the
+  // fields were being copied. The acquire fence pairs with Record()'s
+  // release fence — the field loads above cannot drift past the stamp
+  // re-check, so a producer that touched any of them has provably
+  // changed seq by the time it is re-read.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != seq_before) return false;
+  return out->name != nullptr;
+}
+
 std::vector<Span> FlightRecorder::Dump() const {
   const uint64_t head = head_.load(std::memory_order_acquire);
   const uint64_t count = head < capacity_ ? head : capacity_;
   std::vector<Span> out;
   out.reserve(static_cast<size_t>(count));
   for (uint64_t ticket = head - count; ticket < head; ++ticket) {
-    const Slot& slot = slots_[ticket & (capacity_ - 1)];
-    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
-    // A slot whose stamp is not this ticket's was already overwritten by
-    // a newer lap (or never completed); its payload belongs elsewhere.
-    if (seq_before != ticket + 1) continue;
     Span span;
-    span.name = slot.name.load(std::memory_order_relaxed);
-    span.layer =
-        static_cast<TraceLayer>(slot.layer.load(std::memory_order_relaxed));
-    span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
-    span.span_id = slot.span_id.load(std::memory_order_relaxed);
-    span.parent_id = slot.parent_id.load(std::memory_order_relaxed);
-    span.start_us = slot.start_us.load(std::memory_order_relaxed);
-    span.end_us = slot.end_us.load(std::memory_order_relaxed);
-    uint32_t n_ann = slot.num_annotations.load(std::memory_order_relaxed);
-    if (n_ann > Span::kMaxAnnotations) n_ann = Span::kMaxAnnotations;
-    span.num_annotations = n_ann;
-    for (uint32_t i = 0; i < n_ann; ++i) {
-      span.annotations[i].key =
-          slot.ann_key[i].load(std::memory_order_relaxed);
-      span.annotations[i].value =
-          slot.ann_value[i].load(std::memory_order_relaxed);
-    }
-    // Discard torn slots: a producer may have claimed this slot while
-    // the fields were being copied.
-    if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
-    if (span.name == nullptr) continue;
+    if (!CopySlot(slots_[ticket & (capacity_ - 1)], ticket, &span)) continue;
     out.push_back(span);
   }
   return out;
@@ -206,36 +239,31 @@ void FlightRecorder::DumpToStderr(size_t last_n) const {
   FatalWriteU64(head);
   FatalWriteStr(" spans\n");
   for (uint64_t ticket = head - count; ticket < head; ++ticket) {
-    const Slot& slot = slots_[ticket & (capacity_ - 1)];
-    if (slot.seq.load(std::memory_order_acquire) != ticket + 1) continue;
-    const char* name = slot.name.load(std::memory_order_relaxed);
-    if (name == nullptr) continue;
+    // Same validated seqlock read as Dump() — a stack copy and atomic
+    // loads only, so it stays async-signal-safe and a producer racing
+    // the crash can not make the postmortem print a torn span.
+    Span span;
+    if (!CopySlot(slots_[ticket & (capacity_ - 1)], ticket, &span)) continue;
     FatalWriteStr("  [");
-    FatalWriteHex64(slot.trace_id.load(std::memory_order_relaxed));
+    FatalWriteHex64(span.trace_id);
     FatalWriteStr("] ");
-    FatalWriteStr(TraceLayerName(
-        static_cast<TraceLayer>(slot.layer.load(std::memory_order_relaxed))));
+    FatalWriteStr(TraceLayerName(span.layer));
     FatalWriteStr(":");
-    FatalWriteStr(name);
+    FatalWriteStr(span.name);
     FatalWriteStr(" ");
-    const uint64_t start = slot.start_us.load(std::memory_order_relaxed);
-    const uint64_t end = slot.end_us.load(std::memory_order_relaxed);
-    FatalWriteU64(start);
+    FatalWriteU64(span.start_us);
     FatalWriteStr("..");
-    FatalWriteU64(end);
+    FatalWriteU64(span.end_us);
     FatalWriteStr("us span=");
-    FatalWriteU64(slot.span_id.load(std::memory_order_relaxed));
+    FatalWriteU64(span.span_id);
     FatalWriteStr(" parent=");
-    FatalWriteU64(slot.parent_id.load(std::memory_order_relaxed));
-    uint32_t n_ann = slot.num_annotations.load(std::memory_order_relaxed);
-    if (n_ann > Span::kMaxAnnotations) n_ann = Span::kMaxAnnotations;
-    for (uint32_t i = 0; i < n_ann; ++i) {
-      const char* key = slot.ann_key[i].load(std::memory_order_relaxed);
-      if (key == nullptr) continue;
+    FatalWriteU64(span.parent_id);
+    for (uint32_t i = 0; i < span.num_annotations; ++i) {
+      if (span.annotations[i].key == nullptr) continue;
       FatalWriteStr(" ");
-      FatalWriteStr(key);
+      FatalWriteStr(span.annotations[i].key);
       FatalWriteStr("=");
-      FatalWriteU64(slot.ann_value[i].load(std::memory_order_relaxed));
+      FatalWriteU64(span.annotations[i].value);
     }
     FatalWriteStr("\n");
   }

@@ -29,12 +29,14 @@
 //
 // Threading: trace context is thread_local (one request pipeline per
 // serving thread — SketchServer's model). The flight recorder accepts
-// concurrent producers from any thread: slots are claimed by a relaxed
-// fetch_add ticket and every slot field is itself a relaxed atomic,
-// with a per-slot sequence stamp (release-published, re-checked by
-// readers) so dumps taken under fire discard torn slots instead of
-// tearing. The recent-traces ring is mutex-guarded — it is only touched
-// at publish/scrape time, never per span.
+// concurrent producers from any thread: a relaxed fetch_add hands out
+// slot tickets and each slot is a small seqlock — the producer swings
+// the slot's stamp to an in-progress sentinel (CAS; the loser drops its
+// span), writes the payload, then release-publishes ticket + 1, and
+// readers re-check the stamp after copying — so dumps taken under fire
+// discard in-progress or overwritten slots instead of tearing. The
+// recent-traces ring is mutex-guarded — it is only touched at
+// publish/scrape time, never per span.
 
 #ifndef DSKETCH_OBS_TRACE_H_
 #define DSKETCH_OBS_TRACE_H_
@@ -114,7 +116,9 @@ class FlightRecorder {
   /// The process-wide recorder every ScopedSpan/ScopedTrace records into.
   static FlightRecorder& Global();
 
-  /// Records one completed span (any thread; lock-free).
+  /// Records one completed span (any thread; lock-free). When two
+  /// producers a full ring lap apart land on the same slot, the later
+  /// claimant drops its span — a dump never sees a torn one.
   void Record(const Span& span);
 
   /// Spans currently in the ring, oldest-first. Torn slots (a producer
@@ -126,8 +130,9 @@ class FlightRecorder {
     return head_.load(std::memory_order_relaxed);
   }
 
-  /// Spans overwritten by newer ones (recorded() minus what the ring
-  /// still holds) — the STATS flight_recorder_dropped_total counter.
+  /// Spans no longer retrievable — overwritten by newer ones or dropped
+  /// at claim time (recorded() minus the ring's capacity) — the STATS
+  /// flight_recorder_dropped_total counter.
   uint64_t dropped() const {
     const uint64_t n = recorded();
     return n > capacity_ ? n - capacity_ : 0;
@@ -142,6 +147,13 @@ class FlightRecorder {
 
  private:
   struct Slot;
+
+  // Seqlock read of one slot: copies the payload into *out and returns
+  // true only when the stamp matched `ticket + 1` both before and after
+  // the copy (no producer touched the slot mid-read). Atomic loads and
+  // a stack copy only — async-signal-safe, shared by Dump() and the
+  // fatal-path DumpToStderr().
+  bool CopySlot(const Slot& slot, uint64_t ticket, Span* out) const;
 
   const size_t capacity_;  // power of two
   std::atomic<uint64_t> head_{0};

@@ -187,8 +187,12 @@ SketchServer::SketchServer(const SketchServerOptions& options,
   DSKETCH_CHECK(options.trace_sample >= 0);
   // Sampling rides the process-wide collector (one serving pipeline per
   // process is the deployment model); a server with both knobs at zero
-  // leaves an already-configured collector alone.
+  // leaves an already-configured collector alone. The previous policy
+  // is saved and restored by the destructor so it stays scoped to this
+  // server's lifetime.
   if (options.trace_sample > 0 || options.slow_request_us > 0) {
+    saved_trace_config_ = obs::TraceCollector::Global().config();
+    configured_tracing_ = true;
     obs::TraceConfig trace_config;
     trace_config.sample_every =
         options.trace_sample > int64_t{0xFFFFFFFF}
@@ -208,6 +212,12 @@ SketchServer::SketchServer(const SketchServerOptions& options,
   replica_ = replica;
   replica_engine_ = std::make_unique<SketchQueryEngine>(
       replica, attrs != nullptr ? attrs : &kEmptyAttrs);
+}
+
+SketchServer::~SketchServer() {
+  if (configured_tracing_) {
+    obs::TraceCollector::Global().Configure(saved_trace_config_);
+  }
 }
 
 // Engine construction requires a non-null table; queries that actually

@@ -32,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace.h"
 #include "query/attribute_table.h"
 #include "query/engine.h"
 #include "query/frozen_source.h"
@@ -88,7 +89,11 @@ struct SketchServerOptions {
   /// slow_request_us > 0, every slow request is also captured in full
   /// (tail sampling). 0 (default) leaves per-request sampling off — the
   /// flight recorder still runs. Must be >= 0. Applied to the global
-  /// TraceCollector at construction when either sampling knob is set.
+  /// TraceCollector at construction when either sampling knob is set;
+  /// the destructor restores the previous policy, so a server's
+  /// sampling does not outlive it (tests and embedders constructing
+  /// several servers in one process see each policy scoped to its
+  /// server's lifetime).
   int64_t trace_sample = 0;
 };
 
@@ -110,6 +115,10 @@ class SketchServer {
   /// untrusted images first.
   SketchServer(const SketchServerOptions& options, FrozenSketchSource* replica,
                const AttributeTable* attrs);
+
+  /// Restores the process-global trace sampling policy the constructor
+  /// replaced (see SketchServerOptions::trace_sample).
+  ~SketchServer();
 
   /// Maps one request payload to one response payload. Always returns a
   /// well-formed response (possibly an error response); never aborts on
@@ -197,6 +206,11 @@ class SketchServer {
   std::unique_ptr<SketchQueryEngine> window_engine_;
   bool weighted_dirty_ = false;
   bool shutdown_ = false;
+  // Set when the constructor applied this server's sampling knobs to
+  // the process-global TraceCollector; the destructor then restores the
+  // policy saved here.
+  bool configured_tracing_ = false;
+  obs::TraceConfig saved_trace_config_;
 
   struct Counters {
     uint64_t rows_ingested = 0;

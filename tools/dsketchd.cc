@@ -59,6 +59,9 @@
 // or fatal signal dumps the last trace spans to stderr before the
 // process dies, so an abort leaves a postmortem.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -130,15 +133,19 @@ SketchServerOptions MakeOptions(int argc, char** argv) {
   return options;
 }
 
-// Writes `text` to PATH.tmp, then renames over PATH — a reader always
-// sees either the previous complete export or the new one, never a
-// partial file. False on any fs failure (the tmp file is cleaned up).
+// Writes `text` to PATH.tmp, fsyncs it, then renames over PATH and
+// fsyncs the parent directory — a reader always sees either the
+// previous complete export or the new one, never a partial file, and
+// the rename survives a crash or power loss (the tmp file's bytes are
+// durable before its name is). False on any fs failure (the tmp file
+// is cleaned up).
 bool AtomicWriteFile(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
   const bool wrote =
-      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   if (std::fclose(f) != 0 || !wrote) {
     std::remove(tmp.c_str());
     return false;
@@ -146,6 +153,15 @@ bool AtomicWriteFile(const std::string& path, const std::string& text) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort: the rename itself already landed
+    ::close(dir_fd);
   }
   return true;
 }
